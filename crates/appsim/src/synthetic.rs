@@ -1,0 +1,96 @@
+//! A synthetic, nearly-free kernel for load and scalability experiments
+//! (E1/E2/E8), where the measured quantity is middleware overhead, not
+//! numerics. It exposes the same sensor/actuator surface as the real
+//! applications so the full interaction path is exercised.
+
+use crate::control::{write_clamped_f64, ControlNetwork, Kernel, SteerableApp};
+use wire::Value;
+
+/// Trivial kernel: a counter plus steerable knobs and derived readings.
+#[derive(Clone)]
+pub struct Synthetic {
+    it: u64,
+    horizon: u64,
+    /// Steerable knobs.
+    pub knobs: Vec<f64>,
+    acc: f64,
+}
+
+impl Synthetic {
+    /// Create a synthetic kernel with `knobs` steerable parameters that
+    /// reports completion after `horizon` iterations.
+    pub fn new(knobs: usize, horizon: u64) -> Self {
+        Synthetic { it: 0, horizon: horizon.max(1), knobs: vec![1.0; knobs.max(1)], acc: 0.0 }
+    }
+
+    /// Accumulated work metric (depends on knob settings, so steering has
+    /// an observable effect).
+    pub fn accumulated(&self) -> f64 {
+        self.acc
+    }
+}
+
+impl Kernel for Synthetic {
+    fn kind(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn advance(&mut self) {
+        self.it += 1;
+        self.acc += self.knobs.iter().sum::<f64>();
+    }
+
+    fn iteration(&self) -> u64 {
+        self.it
+    }
+
+    fn progress(&self) -> f64 {
+        (self.it as f64 / self.horizon as f64).min(1.0)
+    }
+}
+
+/// Build an instrumented synthetic application.
+pub fn synthetic_app(knobs: usize, horizon: u64) -> SteerableApp<Synthetic> {
+    let mut net = ControlNetwork::new()
+        .sensor("accumulated", |k: &Synthetic| Value::Float(k.accumulated()))
+        .sensor("iteration", |k: &Synthetic| Value::Int(k.iteration() as i64));
+    for i in 0..knobs.max(1) {
+        let name = format!("knob{i}");
+        net = net.actuator(
+            name,
+            "float",
+            move |k: &Synthetic| Value::Float(k.knobs[i]),
+            move |k, v| write_clamped_f64(v, -1e6, 1e6, k, |k, x| k.knobs[i] = x),
+        );
+    }
+    SteerableApp::new(Synthetic::new(knobs, horizon), net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{AppOp, AppPhase};
+
+    #[test]
+    fn advances_and_steers() {
+        let mut app = synthetic_app(2, 100);
+        for _ in 0..10 {
+            app.step();
+        }
+        assert_eq!(app.kernel().iteration(), 10);
+        assert_eq!(app.kernel().accumulated(), 20.0);
+        app.apply(&AppOp::SetParam("knob1".into(), Value::Float(3.0)), AppPhase::Interacting)
+            .unwrap();
+        app.step();
+        assert_eq!(app.kernel().accumulated(), 24.0);
+    }
+
+    #[test]
+    fn progress_saturates() {
+        let mut k = Synthetic::new(1, 4);
+        for _ in 0..10 {
+            k.advance();
+        }
+        assert_eq!(k.progress(), 1.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end simulation benchmarks: wall-clock cost of simulating whole
+//! DISCOVER scenarios (the "how fast is the reproduction itself" number),
+//! plus the directory's query scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use appsim::synthetic_app;
+use discover_bench::fixtures::{hot_app_config, workload_portal};
+use discover_client::{OpMix, Portal};
+use discover_core::CollaboratoryBuilder;
+use simnet::SimTime;
+use wire::Privilege;
+
+/// One busy server: 8 apps, 4 clients, 10 virtual seconds.
+fn simulate_single_server() -> u64 {
+    let mut b = CollaboratoryBuilder::new(1);
+    let server = b.server("s0");
+    let acl = [
+        ("user0", Privilege::ReadWrite),
+        ("user1", Privilege::ReadWrite),
+        ("user2", Privilege::ReadWrite),
+        ("user3", Privilege::ReadWrite),
+    ];
+    for i in 0..8 {
+        b.application(server, synthetic_app(2, u64::MAX), hot_app_config(&format!("a{i}"), &acl));
+    }
+    let app0 = wire::AppId { server: server.addr, seq: 0 };
+    let mut nodes = Vec::new();
+    for i in 0..4 {
+        let p = workload_portal(&format!("user{i}"), app0, OpMix::status_only(), 500);
+        nodes.push(b.attach(server, &format!("c{i}"), p));
+    }
+    let mut c = b.build();
+    for n in nodes {
+        c.engine.actor_mut::<Portal>(n).unwrap().server = Some(server.node);
+    }
+    c.engine.run_until(SimTime::from_secs(10));
+    c.engine.events_processed()
+}
+
+/// A 4-server WAN mesh with cross-server collaboration, 10 virtual secs.
+fn simulate_mesh() -> u64 {
+    let mut b = CollaboratoryBuilder::new(2);
+    let servers: Vec<_> = (0..4).map(|i| b.server(&format!("s{i}"))).collect();
+    b.mesh_servers(simnet::LinkSpec::wan());
+    let acl = [("user0", Privilege::ReadWrite), ("user1", Privilege::ReadWrite)];
+    let (_, app) = b.application(servers[0], synthetic_app(2, u64::MAX), hot_app_config("a0", &acl));
+    for (i, &srv) in servers.iter().enumerate().skip(1) {
+        b.application(srv, synthetic_app(1, u64::MAX), hot_app_config(&format!("anchor{i}"), &acl));
+    }
+    let mut nodes = Vec::new();
+    for (i, &srv) in servers.iter().enumerate().take(2) {
+        let p = workload_portal(&format!("user{i}"), app, OpMix::status_only(), 500);
+        nodes.push((b.attach(srv, &format!("c{i}"), p), srv));
+    }
+    let mut c = b.build();
+    for (n, srv) in nodes {
+        c.engine.actor_mut::<Portal>(n).unwrap().server = Some(srv.node);
+    }
+    c.engine.run_until(SimTime::from_secs(10));
+    c.engine.events_processed()
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("single_server_10s_virtual", |b| {
+        b.iter(|| black_box(simulate_single_server()))
+    });
+    g.bench_function("wan_mesh_4servers_10s_virtual", |b| b.iter(|| black_box(simulate_mesh())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Application-kernel benchmarks: one iteration of each of the paper's
+//! four application classes, including the serial-vs-parallel `parkit`
+//! ablation (set `PARKIT_THREADS=1` to compare).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use appsim::{Cavity, Kernel, OilReservoir, ReggeWheeler, Seismic};
+
+fn bench_oilres(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_oilres");
+    for &n in &[16usize, 32, 64] {
+        g.bench_function(format!("step_{n}x{n}"), |b| {
+            b.iter_batched(
+                || OilReservoir::new(n),
+                |mut k| {
+                    k.advance();
+                    black_box(k.recovery())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cfd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_cfd");
+    for &n in &[16usize, 32, 64] {
+        g.bench_function(format!("step_{n}x{n}"), |b| {
+            b.iter_batched(
+                || Cavity::new(n),
+                |mut k| {
+                    k.advance();
+                    black_box(k.kinetic_energy())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_seismic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_seismic");
+    for &n in &[32usize, 64, 128] {
+        g.bench_function(format!("step_{n}x{n}"), |b| {
+            b.iter_batched(
+                || Seismic::new(n),
+                |mut k| {
+                    k.advance();
+                    black_box(k.max_amplitude())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_relativity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_relativity");
+    for &n in &[256usize, 1024, 4096] {
+        g.bench_function(format!("step_n{n}"), |b| {
+            b.iter_batched(
+                || ReggeWheeler::new(n),
+                |mut k| {
+                    k.advance();
+                    black_box(k.observer_signal())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_parkit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parkit");
+    let data: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.001).collect();
+    g.bench_function("par_map_100k", |b| {
+        b.iter(|| parkit::par_map(black_box(&data), |x| x.sin() * x.cos()))
+    });
+    g.bench_function("par_reduce_100k", |b| {
+        b.iter(|| {
+            parkit::par_reduce(0..data.len(), 1024, 0.0f64, |i| data[i] * data[i], |a, b| a + b)
+        })
+    });
+    g.bench_function("seq_map_100k_reference", |b| {
+        b.iter(|| data.iter().map(|x| x.sin() * x.cos()).collect::<Vec<f64>>())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oilres,
+    bench_cfd,
+    bench_seismic,
+    bench_relativity,
+    bench_parkit
+);
+criterion_main!(benches);

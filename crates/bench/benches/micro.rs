@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the middleware substrate's hot paths: the DBP
+//! codec, HTTP head rendering/parsing, GIOP framing, the poll FIFO, the
+//! steering lock, the trader's offer matching, and histogram queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use simnet::{Histogram, SimDuration, SimTime};
+use webserv::FifoBuffer;
+use wire::http::HttpRequest;
+use wire::{
+    codec, AppId, AppOp, ClientMessage, ClientRequest, ResponseBody, ServerAddr, UpdateBody,
+    UserId, Value,
+};
+
+fn sample_request() -> ClientRequest {
+    ClientRequest::Op {
+        app: AppId { server: ServerAddr(3), seq: 17 },
+        op: AppOp::SetParam("injection_rate".to_string(), Value::Float(2.5)),
+    }
+}
+
+fn sample_update() -> UpdateBody {
+    UpdateBody::AppStatus {
+        app: AppId { server: ServerAddr(3), seq: 17 },
+        status: wire::AppStatus {
+            phase: wire::AppPhase::Computing,
+            iteration: 123_456,
+            progress: 0.42,
+        },
+        readings: vec![
+            ("water_cut".to_string(), Value::Float(0.31)),
+            ("recovery".to_string(), Value::Float(0.18)),
+            ("trace".to_string(), Value::Vector(vec![0.0; 16])),
+        ],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let req = sample_request();
+    let update = sample_update();
+    let req_bytes = codec::encode(&req);
+    let upd_bytes = codec::encode(&update);
+
+    g.throughput(Throughput::Bytes(req_bytes.len() as u64));
+    g.bench_function("encode_client_request", |b| b.iter(|| codec::encode(black_box(&req))));
+    g.bench_function("decode_client_request", |b| {
+        b.iter(|| codec::decode::<ClientRequest>(black_box(&req_bytes)).unwrap())
+    });
+    g.throughput(Throughput::Bytes(upd_bytes.len() as u64));
+    g.bench_function("encode_status_update", |b| b.iter(|| codec::encode(black_box(&update))));
+    g.bench_function("decode_status_update", |b| {
+        b.iter(|| codec::decode::<UpdateBody>(black_box(&upd_bytes)).unwrap())
+    });
+    g.bench_function("encoded_len_status_update", |b| {
+        b.iter(|| codec::encoded_len(black_box(&update)))
+    });
+    g.finish();
+}
+
+fn bench_http(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http");
+    let req = HttpRequest::post("/discover/command", Some(0xdeadbeef), sample_request());
+    let body_len = codec::encoded_len(req.body.as_ref().unwrap());
+    let head = req.render_head(body_len);
+    g.bench_function("render_head", |b| b.iter(|| black_box(&req).render_head(body_len)));
+    g.bench_function("parse_head", |b| {
+        b.iter(|| HttpRequest::parse_head(black_box(&head)).unwrap())
+    });
+    g.bench_function("wire_size", |b| b.iter(|| black_box(&req).wire_size()));
+    g.finish();
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fifo");
+    let msg = ClientMessage::Response(ResponseBody::LogoutOk);
+    g.bench_function("push_drain_64", |b| {
+        b.iter_batched(
+            || FifoBuffer::new(256),
+            |mut fifo| {
+                for _ in 0..64 {
+                    fifo.push(msg.clone());
+                }
+                black_box(fifo.drain(32));
+                black_box(fifo.drain(32));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("overflow_behaviour", |b| {
+        b.iter_batched(
+            || FifoBuffer::new(16),
+            |mut fifo| {
+                for _ in 0..64 {
+                    fifo.push(msg.clone());
+                }
+                black_box(fifo.dropped())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_lock(c: &mut Criterion) {
+    use discover_server::SteeringLock;
+    let users: Vec<UserId> = (0..8).map(|i| UserId::new(format!("u{i}"))).collect();
+    c.bench_function("steering_lock_contention_cycle", |b| {
+        b.iter_batched(
+            SteeringLock::new,
+            |mut lock| {
+                for u in &users {
+                    let _ = black_box(lock.try_acquire(u, SimTime::ZERO));
+                }
+                lock.release(&users[0]);
+                for u in &users {
+                    let _ = black_box(lock.try_acquire(u, SimTime::ZERO));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_and_quantiles_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut h = Histogram::new();
+                for i in 0..10_000u64 {
+                    h.record(SimDuration::from_micros(i * 37 % 100_000));
+                }
+                h
+            },
+            |mut h| {
+                black_box(h.quantile(0.5));
+                black_box(h.quantile(0.95));
+                black_box(h.quantile(0.99));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_http, bench_fifo, bench_lock, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! The experiment harness: regenerates every table/figure-equivalent of
+//! the paper's evaluation.
+//!
+//! Usage:
+//!   cargo run --release -p discover-bench --bin harness -- all
+//!   cargo run --release -p discover-bench --bin harness -- e1 e4 e7
+
+use discover_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::all().iter().map(|(id, _)| id.to_string()).collect()
+    } else {
+        args
+    };
+    println!("DISCOVER middleware reproduction — experiment harness");
+    println!("(virtual-time simulation; see EXPERIMENTS.md for paper-vs-measured)");
+    for (id, run) in experiments::all() {
+        if !wanted.iter().any(|w| w.eq_ignore_ascii_case(id)) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let table = run();
+        table.print();
+        table.write_csv();
+        println!("  [{} finished in {:.1}s wall time]", id, start.elapsed().as_secs_f64());
+    }
+}

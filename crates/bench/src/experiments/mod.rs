@@ -1,0 +1,30 @@
+//! The experiment suite. Each function is self-contained and returns a
+//! [`Table`](crate::report::Table); the ids map to DESIGN.md's
+//! per-experiment index.
+
+mod scalability;
+mod collaboration;
+mod distributed;
+
+pub use collaboration::{e11_push_vs_poll, e4_collab_traffic, e5_remote_vs_local, e6_discovery_auth};
+pub use distributed::{e10_latecomer_replay, e7_lock_contention, e8_network_scalability, e9_fifo_slow_clients};
+pub use scalability::{e1_app_scalability, e2_client_scalability, e3_protocol_asymmetry};
+
+use crate::report::Table;
+
+/// Every experiment, in order.
+pub fn all() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("e1", e1_app_scalability as fn() -> Table),
+        ("e2", e2_client_scalability),
+        ("e3", e3_protocol_asymmetry),
+        ("e4", e4_collab_traffic),
+        ("e5", e5_remote_vs_local),
+        ("e6", e6_discovery_auth),
+        ("e7", e7_lock_contention),
+        ("e8", e8_network_scalability),
+        ("e9", e9_fifo_slow_clients),
+        ("e10", e10_latecomer_replay),
+        ("e11", e11_push_vs_poll),
+    ]
+}

@@ -1,0 +1,164 @@
+//! Shared experiment fixtures: calibrated workload parameters and
+//! network assembly helpers.
+//!
+//! Calibration (documented in EXPERIMENTS.md): the cost model lives in
+//! `webserv::{HttpCosts, TcpCosts, OrbCosts}::default()` and is shared by
+//! every experiment; the workload rates here are the paper-era
+//! operating points — applications emit ~10 status updates/second under
+//! "high load" testing, clients poll every 200 ms and issue roughly one
+//! interaction per second.
+
+use appsim::{synthetic_app, DriverConfig};
+use discover_client::{OpMix, Portal, PortalConfig, Workload};
+use discover_core::{CollabMode, Collaboratory, CollaboratoryBuilder, ServerHandle};
+use simnet::{NodeId, SimDuration};
+use wire::{AppId, AppToken, Privilege, UserId};
+
+/// Virtual duration of a steady-state measurement run.
+pub const RUN_SECS: u64 = 60;
+
+/// "High-load" application: 10 status updates per second, interleaved
+/// interaction windows.
+pub fn hot_app_config(name: &str, acl_users: &[(&str, Privilege)]) -> DriverConfig {
+    let mut dc = DriverConfig::default();
+    dc.name = name.to_string();
+    dc.token = AppToken::new(name);
+    dc.acl = acl_users.iter().map(|(u, p)| (UserId::new(*u), *p)).collect();
+    dc.iters_per_batch = 1;
+    dc.batch_time = SimDuration::from_millis(100); // 10 updates/s
+    dc.batches_per_phase = 20; // interact every 2 s
+    dc.interaction_window = SimDuration::from_millis(100);
+    dc
+}
+
+/// Quiet application: one update every 2 s (login anchor / low load).
+pub fn quiet_app_config(name: &str, acl_users: &[(&str, Privilege)]) -> DriverConfig {
+    let mut dc = hot_app_config(name, acl_users);
+    dc.batch_time = SimDuration::from_secs(2);
+    dc.batches_per_phase = 2;
+    dc.interaction_window = SimDuration::from_millis(500);
+    dc
+}
+
+/// Mostly-interactive application: brief compute batches, long
+/// interaction windows — so command-path latency measurements are not
+/// dominated by the Daemon servlet's compute-phase buffering.
+pub fn interactive_app_config(name: &str, acl_users: &[(&str, Privilege)]) -> DriverConfig {
+    let mut dc = hot_app_config(name, acl_users);
+    dc.batch_time = SimDuration::from_millis(50);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_secs(1);
+    dc
+}
+
+/// Standard client poll period (5 polls/second).
+pub fn poll_period() -> SimDuration {
+    SimDuration::from_millis(200)
+}
+
+/// Build a portal running a closed-loop workload against `app`.
+pub fn workload_portal(user: &str, app: AppId, mix: OpMix, think_ms: u64) -> Portal {
+    let cfg = PortalConfig::new(user)
+        .select_app(app)
+        .poll_every(poll_period())
+        .workload(Workload::new(app, mix, SimDuration::from_millis(think_ms)));
+    Portal::new(cfg)
+}
+
+/// Attach `n` viewer portals with a given workload to a server; names are
+/// `user{base+i}`. Every user must already be on the target app's ACL.
+pub fn attach_workload_clients(
+    b: &mut CollaboratoryBuilder,
+    server: ServerHandle,
+    app: AppId,
+    users: &[String],
+    mix: OpMix,
+    think_ms: u64,
+) -> Vec<NodeId> {
+    users
+        .iter()
+        .map(|u| {
+            let portal = workload_portal(u, app, mix.clone(), think_ms);
+            b.attach(server, &format!("portal-{u}"), portal)
+        })
+        .collect()
+}
+
+/// Wire every portal's `server` field after build (portals are created
+/// before their server NodeId is final only in edge cases, but the
+/// builder's `attach` returns the node so we set it here uniformly).
+pub fn wire_portals(c: &mut Collaboratory, portals: &[(NodeId, ServerHandle)]) {
+    for (node, server) in portals {
+        c.engine.actor_mut::<Portal>(*node).unwrap().server = Some(server.node);
+    }
+}
+
+/// Collect all op latencies (microseconds) across portals.
+pub fn collect_op_latencies(c: &Collaboratory, nodes: &[NodeId]) -> Vec<u64> {
+    let mut all = Vec::new();
+    for &n in nodes {
+        if let Some(p) = c.engine.actor_ref::<Portal>(n) {
+            all.extend_from_slice(&p.op_latencies_us);
+        }
+    }
+    all
+}
+
+/// Collect lock-acquisition latencies (microseconds) across portals.
+pub fn collect_lock_latencies(c: &Collaboratory, nodes: &[NodeId]) -> Vec<u64> {
+    let mut all = Vec::new();
+    for &n in nodes {
+        if let Some(p) = c.engine.actor_ref::<Portal>(n) {
+            all.extend_from_slice(&p.lock_latencies_us);
+        }
+    }
+    all
+}
+
+/// Total completed workload ops across portals.
+pub fn total_ops(c: &Collaboratory, nodes: &[NodeId]) -> u64 {
+    nodes
+        .iter()
+        .filter_map(|&n| c.engine.actor_ref::<Portal>(n))
+        .map(|p| p.op_latencies_us.len() as u64)
+        .sum()
+}
+
+/// An ACL granting `user0..userN` the given privilege.
+pub fn acl_users(n: usize, privilege: Privilege) -> Vec<(String, Privilege)> {
+    (0..n).map(|i| (format!("user{i}"), privilege)).collect()
+}
+
+/// A single-server fixture with one hot app whose ACL covers `n_users`
+/// ReadWrite users. Returns (builder, server, app id).
+pub fn single_server(seed: u64, n_users: usize) -> (CollaboratoryBuilder, ServerHandle, AppId) {
+    let mut b = CollaboratoryBuilder::new(seed);
+    let server = b.server("server0");
+    let users = acl_users(n_users, Privilege::ReadWrite);
+    let acl: Vec<(&str, Privilege)> = users.iter().map(|(u, p)| (u.as_str(), *p)).collect();
+    let (_, app) = b.application(server, synthetic_app(2, u64::MAX), hot_app_config("app0", &acl));
+    (b, server, app)
+}
+
+/// An S-server WAN mesh, each server hosting one hot app with a shared
+/// user population of `n_users` ReadWrite users. Returns
+/// (builder, servers, apps).
+pub fn server_mesh(
+    seed: u64,
+    s: usize,
+    n_users: usize,
+    mode: CollabMode,
+) -> (CollaboratoryBuilder, Vec<ServerHandle>, Vec<AppId>) {
+    let mut b = CollaboratoryBuilder::new(seed);
+    b.collab_mode(mode);
+    let servers: Vec<ServerHandle> = (0..s).map(|i| b.server(&format!("server{i}"))).collect();
+    b.mesh_servers(simnet::LinkSpec::wan());
+    let users = acl_users(n_users, Privilege::ReadWrite);
+    let acl: Vec<(&str, Privilege)> = users.iter().map(|(u, p)| (u.as_str(), *p)).collect();
+    let apps: Vec<AppId> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, &srv)| b.application(srv, synthetic_app(2, u64::MAX), hot_app_config(&format!("app{i}"), &acl)).1)
+        .collect();
+    (b, servers, apps)
+}

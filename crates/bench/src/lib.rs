@@ -1,0 +1,13 @@
+//! # discover-bench — the paper's evaluation, regenerated
+//!
+//! One experiment per measurable claim in the HPDC 2001 paper (§6.1 plus
+//! the §7 measurements-in-progress), each emitting a table with the
+//! paper's claim, the measured series, and conclusions. The `harness`
+//! binary runs them (`cargo run --release -p discover-bench --bin
+//! harness -- all`); criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fixtures;
+pub mod report;

@@ -1,0 +1,140 @@
+//! Tabular reporting for the experiment harness: aligned console tables
+//! plus CSV dumps under `target/experiments/` for plotting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A result table: header row plus data rows of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims; printed above the data.
+    pub paper_claim: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, paper_claim: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Append a conclusion note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render to the console.
+    pub fn print(&self) {
+        println!();
+        println!("== {}: {} ==", self.id, self.title);
+        println!("paper: {}", self.paper_claim);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("  {}", header.join("  "));
+        println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", line.join("  "));
+        }
+        for note in &self.notes {
+            println!("  -> {note}");
+        }
+    }
+
+    /// Write the table as CSV under `target/experiments/<id>.csv`.
+    pub fn write_csv(&self) {
+        let dir = PathBuf::from("target/experiments");
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.csv", self.id.to_lowercase()));
+        let Ok(mut f) = fs::File::create(&path) else { return };
+        let _ = writeln!(f, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(f, "{}", row.join(","));
+        }
+    }
+}
+
+/// Summary statistics of a latency sample set (microsecond inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Mean, milliseconds.
+    pub mean_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Summarize a set of microsecond latencies.
+pub fn summarize_us(values: &[u64]) -> LatencySummary {
+    if values.is_empty() {
+        return LatencySummary::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let q = |p: f64| -> f64 {
+        let idx = ((p * sorted.len() as f64).ceil() as usize).saturating_sub(1).min(sorted.len() - 1);
+        sorted[idx] as f64 / 1000.0
+    };
+    let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+    LatencySummary {
+        count: sorted.len(),
+        mean_ms: sum as f64 / sorted.len() as f64 / 1000.0,
+        p50_ms: q(0.50),
+        p95_ms: q(0.95),
+        max_ms: *sorted.last().unwrap() as f64 / 1000.0,
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}

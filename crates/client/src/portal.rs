@@ -1,0 +1,470 @@
+//! The client portal actor: a scripted stand-in for the paper's thin
+//! web-browser portals.
+//!
+//! A portal logs in over HTTP, selects an application (local or remote —
+//! it cannot tell the difference, which is the point of the middleware),
+//! polls its server for buffered messages (poll-and-pull), runs an
+//! optional scripted request sequence, and can drive a closed-loop
+//! steering workload that measures per-operation completion latency
+//! (issue → OpDone observed), including the polling delay HTTP imposes.
+
+use std::collections::VecDeque;
+
+use simnet::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use wire::http::HttpRequest;
+use wire::{
+    AppId, AppOp, ClientMessage, ClientRequest, Content, Envelope, MessageKind, ResponseBody,
+    UpdateBody, UserId, Value,
+};
+
+const TAG_LOGIN: u64 = 1;
+const TAG_POLL: u64 = 2;
+const TAG_THINK: u64 = 3;
+const TAG_SCRIPT_BASE: u64 = 1000;
+
+/// Relative frequencies of closed-loop operations.
+#[derive(Clone, Debug)]
+pub struct OpMix {
+    /// Weight of `GetStatus` (served from the server's proxy cache; the
+    /// cheapest probe of server responsiveness).
+    pub get_status: u32,
+    /// Weight of `GetSensors` (view refresh; forwarded to the app).
+    pub get_sensors: u32,
+    /// Weight of `GetParam` reads.
+    pub get_param: u32,
+    /// Weight of `SetParam` steering writes (requires the lock).
+    pub set_param: u32,
+    /// Weight of chat messages.
+    pub chat: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        // A monitoring-heavy mix, as interactive steering sessions are.
+        OpMix { get_status: 0, get_sensors: 6, get_param: 2, set_param: 1, chat: 1 }
+    }
+}
+
+impl OpMix {
+    /// Only cache-served status probes (pure middleware load, no app).
+    pub fn status_only() -> Self {
+        OpMix { get_status: 1, get_sensors: 0, get_param: 0, set_param: 0, chat: 0 }
+    }
+
+    /// Only sensor reads (exercises the app command/response path).
+    pub fn sensors_only() -> Self {
+        OpMix { get_status: 0, get_sensors: 1, get_param: 0, set_param: 0, chat: 0 }
+    }
+
+    /// Only steering writes (requires the lock).
+    pub fn steering_only() -> Self {
+        OpMix { get_status: 0, get_sensors: 0, get_param: 0, set_param: 1, chat: 0 }
+    }
+
+    fn total(&self) -> u32 {
+        self.get_status + self.get_sensors + self.get_param + self.set_param + self.chat
+    }
+
+    /// Draw one request for `app` given a steerable parameter name.
+    fn sample(
+        &self,
+        rng: &mut impl rand::Rng,
+        app: AppId,
+        param: &str,
+        counter: u64,
+    ) -> ClientRequest {
+        let total = self.total().max(1);
+        let mut x = rng.gen_range(0..total);
+        if x < self.get_status {
+            return ClientRequest::Op { app, op: AppOp::GetStatus };
+        }
+        x -= self.get_status;
+        if x < self.get_sensors {
+            return ClientRequest::Op { app, op: AppOp::GetSensors };
+        }
+        x -= self.get_sensors;
+        if x < self.get_param {
+            return ClientRequest::Op { app, op: AppOp::GetParam(param.to_string()) };
+        }
+        x -= self.get_param;
+        if x < self.set_param {
+            let value = Value::Float(1.0 + (counter % 7) as f64 * 0.25);
+            return ClientRequest::Op { app, op: AppOp::SetParam(param.to_string(), value) };
+        }
+        ClientRequest::Chat { app, text: format!("msg-{counter}") }
+    }
+}
+
+/// Closed-loop workload configuration.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The application to drive.
+    pub app: AppId,
+    /// Think time between an operation's completion and the next issue.
+    pub think: SimDuration,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Whether to acquire the steering lock after selecting (needed for
+    /// any `set_param` weight > 0).
+    pub take_lock: bool,
+    /// Release and re-acquire the lock after this many operations
+    /// (0 = hold it for the whole session). Drives contention experiments.
+    pub ops_per_lock: u64,
+    /// Stop issuing after this many operations (0 = unlimited).
+    pub max_ops: u64,
+}
+
+impl Workload {
+    /// A closed-loop workload over `app` with the given mix and think time.
+    pub fn new(app: AppId, mix: OpMix, think: SimDuration) -> Self {
+        let take_lock = mix.set_param > 0;
+        Workload { app, think, mix, take_lock, ops_per_lock: 0, max_ops: 0 }
+    }
+}
+
+/// Portal configuration.
+#[derive(Clone, Debug)]
+pub struct PortalConfig {
+    /// The user identity.
+    pub user: UserId,
+    /// Password (defaults to the shared-secret convention).
+    pub password: String,
+    /// Delay before the login request (lets applications register).
+    pub login_delay: SimDuration,
+    /// Poll period.
+    pub poll_every: SimDuration,
+    /// Application to select right after login, if any.
+    pub select: Option<AppId>,
+    /// Scripted requests at absolute times.
+    pub script: Vec<(SimDuration, ClientRequest)>,
+    /// Optional closed-loop workload (starts once selected / locked).
+    pub workload: Option<Workload>,
+}
+
+impl PortalConfig {
+    /// A portal for `user` with the standard password convention.
+    pub fn new(user: &str) -> Self {
+        PortalConfig {
+            user: UserId::new(user),
+            password: format!("secret-{user}"),
+            login_delay: SimDuration::from_millis(50),
+            poll_every: SimDuration::from_millis(250),
+            select: None,
+            script: Vec::new(),
+            workload: None,
+        }
+    }
+
+    /// Select `app` right after login.
+    pub fn select_app(mut self, app: AppId) -> Self {
+        self.select = Some(app);
+        self
+    }
+
+    /// Add a scripted request.
+    pub fn at(mut self, t: SimDuration, req: ClientRequest) -> Self {
+        self.script.push((t, req));
+        self
+    }
+
+    /// Attach a closed-loop workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Override the poll period.
+    pub fn poll_every(mut self, d: SimDuration) -> Self {
+        self.poll_every = d;
+        self
+    }
+}
+
+/// The portal actor.
+pub struct Portal {
+    /// Configuration.
+    pub config: PortalConfig,
+    /// The server node to talk to (set by the wiring code).
+    pub server: Option<NodeId>,
+    /// Session cookie once logged in.
+    pub cookie: Option<u64>,
+    /// HTTP status of the login response.
+    pub login_status: Option<u16>,
+    /// Everything received, flattened (batches unpacked), with arrival times.
+    pub received: Vec<(SimTime, ClientMessage)>,
+    /// Completion latencies of closed-loop operations (microseconds).
+    pub op_latencies_us: Vec<u64>,
+    /// Number of workload operations issued.
+    pub ops_issued: u64,
+    ops_since_lock: u64,
+    /// True once the steering lock has been granted to this portal.
+    pub lock_held: bool,
+    /// Lock acquisition latencies (first request → grant), microseconds.
+    pub lock_latencies_us: Vec<u64>,
+    lock_requested_at: Option<SimTime>,
+    outstanding: VecDeque<SimTime>,
+    selected: bool,
+    select_sent: bool,
+    workload_started: bool,
+    op_counter: u64,
+}
+
+impl Portal {
+    /// Create a portal from its configuration.
+    pub fn new(config: PortalConfig) -> Self {
+        Portal {
+            config,
+            server: None,
+            cookie: None,
+            login_status: None,
+            received: Vec::new(),
+            op_latencies_us: Vec::new(),
+            ops_issued: 0,
+            ops_since_lock: 0,
+            lock_held: false,
+            lock_latencies_us: Vec::new(),
+            lock_requested_at: None,
+            outstanding: VecDeque::new(),
+            selected: false,
+            select_sent: false,
+            workload_started: false,
+            op_counter: 0,
+        }
+    }
+
+    /// All updates received, in order.
+    pub fn updates(&self) -> Vec<&UpdateBody> {
+        self.received
+            .iter()
+            .filter_map(|(_, m)| match m {
+                ClientMessage::Update(u) => Some(u),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Messages of one kind.
+    pub fn of_kind(&self, kind: MessageKind) -> Vec<&ClientMessage> {
+        self.received.iter().map(|(_, m)| m).filter(|m| m.kind() == kind).collect()
+    }
+
+    /// Mean completion latency of workload operations.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        if self.op_latencies_us.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.op_latencies_us.iter().map(|&x| x as u128).sum();
+        Some(SimDuration::from_micros((sum / self.op_latencies_us.len() as u128) as u64))
+    }
+
+    fn post(&mut self, ctx: &mut Ctx<'_, Envelope>, req: ClientRequest) {
+        if matches!(req, ClientRequest::RequestLock { .. }) && self.lock_requested_at.is_none() {
+            self.lock_requested_at = Some(ctx.now());
+        }
+        let server = self.server.expect("portal not wired to a server");
+        ctx.send(
+            server,
+            Envelope::http_request(HttpRequest::post(webserv::paths::COMMAND, self.cookie, req)),
+        );
+    }
+
+    fn issue_workload_op(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let Some(w) = self.config.workload.clone() else { return };
+        if w.max_ops > 0 && self.ops_issued >= w.max_ops {
+            return;
+        }
+        // Lock cycling: release after the configured burst, then
+        // immediately contend again (drives the E7 experiment).
+        if w.take_lock && w.ops_per_lock > 0 && self.lock_held && self.ops_since_lock >= w.ops_per_lock
+        {
+            self.lock_held = false;
+            self.ops_since_lock = 0;
+            let app = w.app;
+            self.post(ctx, ClientRequest::ReleaseLock { app });
+            self.lock_requested_at = None;
+            self.post(ctx, ClientRequest::RequestLock { app });
+            return; // the grant restarts the loop via maybe_start_workload
+        }
+        let param = "knob0";
+        let req = w.mix.sample(ctx.rng(), w.app, param, self.op_counter);
+        self.op_counter += 1;
+        self.ops_issued += 1;
+        self.ops_since_lock += 1;
+        // Chat is fire-and-forget (synchronous ack); ops complete via poll.
+        let tracked = matches!(req, ClientRequest::Op { .. });
+        if tracked {
+            self.outstanding.push_back(ctx.now());
+        }
+        self.post(ctx, req);
+        if !tracked {
+            // Treat as immediately complete; think then continue.
+            ctx.schedule(w.think, TAG_THINK);
+        }
+        ctx.stats().incr("client.ops_issued");
+    }
+
+    fn maybe_start_workload(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if !self.selected {
+            return;
+        }
+        let Some(w) = &self.config.workload else { return };
+        if w.take_lock && !self.lock_held {
+            return;
+        }
+        if self.workload_started {
+            // A lock re-grant during cycling resumes the loop.
+            if self.outstanding.is_empty() {
+                self.issue_workload_op(ctx);
+            }
+            return;
+        }
+        self.workload_started = true;
+        self.issue_workload_op(ctx);
+    }
+
+    fn handle_message(&mut self, ctx: &mut Ctx<'_, Envelope>, at: SimTime, msg: ClientMessage) {
+        match &msg {
+            ClientMessage::Response(ResponseBody::Batch(_)) => {
+                if let ClientMessage::Response(ResponseBody::Batch(msgs)) = msg {
+                    for m in msgs {
+                        self.handle_message(ctx, at, m);
+                    }
+                }
+                return;
+            }
+            // Select the target application as soon as it shows up in the
+            // repository-of-services view. A remote application appears
+            // only after the level-1 peer authentication fan-out
+            // completes, so selection naturally waits for it.
+            ClientMessage::Response(ResponseBody::LoginOk { apps, .. })
+            | ClientMessage::Response(ResponseBody::Apps(apps)) => {
+                if let Some(app) = self.config.select {
+                    if !self.select_sent && apps.iter().any(|d| d.app == app) {
+                        self.select_sent = true;
+                        self.post(ctx, ClientRequest::SelectApp { app });
+                    }
+                }
+            }
+            ClientMessage::Response(ResponseBody::AppSelected { .. }) => {
+                self.selected = true;
+                if let Some(w) = &self.config.workload {
+                    if w.take_lock {
+                        let app = w.app;
+                        self.post(ctx, ClientRequest::RequestLock { app });
+                    }
+                }
+                self.maybe_start_workload(ctx);
+            }
+            ClientMessage::Response(ResponseBody::LockGranted { .. }) => {
+                self.lock_held = true;
+                if let Some(requested) = self.lock_requested_at.take() {
+                    let latency = at.since(requested);
+                    self.lock_latencies_us.push(latency.as_micros());
+                    ctx.stats().record("client.lock_latency", latency);
+                }
+                self.maybe_start_workload(ctx);
+            }
+            ClientMessage::Response(ResponseBody::LockDenied { .. }) => {
+                // Retry after a beat (the paper's deny-and-retry protocol).
+                if let Some(w) = &self.config.workload {
+                    if w.take_lock && !self.lock_held {
+                        let app = w.app;
+                        ctx.stats().incr("client.lock_retries");
+                        let cookie = self.cookie;
+                        let server = self.server.expect("wired");
+                        ctx.send_after(
+                            server,
+                            Envelope::http_request(HttpRequest::post(
+                                webserv::paths::COMMAND,
+                                cookie,
+                                ClientRequest::RequestLock { app },
+                            )),
+                            SimDuration::from_millis(500),
+                        );
+                    }
+                }
+            }
+            ClientMessage::Response(ResponseBody::OpDone { .. }) | ClientMessage::Error(_) => {
+                if let Some(issued) = self.outstanding.pop_front() {
+                    let latency = at.since(issued);
+                    self.op_latencies_us.push(latency.as_micros());
+                    ctx.stats().record("client.op_latency", latency);
+                    if self.workload_started {
+                        let think = self.config.workload.as_ref().map(|w| w.think);
+                        if let Some(think) = think {
+                            ctx.schedule(think, TAG_THINK);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.received.push((at, msg));
+    }
+}
+
+impl Actor<Envelope> for Portal {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        ctx.schedule(self.config.login_delay, TAG_LOGIN);
+        ctx.schedule(self.config.login_delay + self.config.poll_every, TAG_POLL);
+        for (i, (delay, _)) in self.config.script.iter().enumerate() {
+            ctx.schedule(*delay, TAG_SCRIPT_BASE + i as u64);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, _from: NodeId, msg: Envelope) {
+        let Content::HttpResponse(resp) = msg.content else { return };
+        if self.login_status.is_none() {
+            self.login_status = Some(resp.status);
+        }
+        if let Some(cookie) = resp.set_session {
+            self.cookie = Some(cookie);
+        }
+        let at = ctx.now();
+        for m in resp.body {
+            self.handle_message(ctx, at, m);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Envelope>, tag: u64) {
+        let server = self.server.expect("portal not wired to a server");
+        match tag {
+            TAG_LOGIN => {
+                ctx.send(
+                    server,
+                    Envelope::http_request(HttpRequest::post(
+                        webserv::paths::MASTER,
+                        None,
+                        ClientRequest::Login {
+                            user: self.config.user.clone(),
+                            password: self.config.password.clone(),
+                        },
+                    )),
+                );
+            }
+            TAG_POLL => {
+                if let Some(cookie) = self.cookie {
+                    ctx.send(
+                        server,
+                        Envelope::http_request(HttpRequest::get(
+                            webserv::paths::POLL,
+                            Some(cookie),
+                        )),
+                    );
+                }
+                ctx.schedule(self.config.poll_every, TAG_POLL);
+            }
+            TAG_THINK => {
+                self.issue_workload_op(ctx);
+            }
+            t if t >= TAG_SCRIPT_BASE => {
+                let idx = (t - TAG_SCRIPT_BASE) as usize;
+                if let Some((_, req)) = self.config.script.get(idx) {
+                    let req = req.clone();
+                    self.post(ctx, req);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The top-level assembly API: build a network of DISCOVER
+//! collaboratory domains — directory, servers, applications, clients,
+//! links — and run it.
+//!
+//! ```
+//! use discover_core::{CollaboratoryBuilder, CollabMode};
+//! use appsim::{synthetic_app, DriverConfig};
+//! use simnet::{LinkSpec, SimTime};
+//!
+//! let mut b = CollaboratoryBuilder::new(7);
+//! let rutgers = b.server("rutgers");
+//! let utexas = b.server("utexas");
+//! b.link_servers(rutgers, utexas, LinkSpec::wan());
+//! b.application(utexas, synthetic_app(2, 1000), DriverConfig::default());
+//! let mut collab = b.build();
+//! collab.engine.run_until(SimTime::from_secs(5));
+//! assert_eq!(collab.server_core(utexas).unwrap().local_app_count(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use appsim::{AppDriver, DriverConfig, Kernel, SteerableApp};
+use orb::{AddressBook, Directory, DirectoryCosts};
+use simnet::{Actor, Engine, LinkSpec, NodeId, SimDuration};
+use wire::{AppId, Envelope, ServerAddr};
+
+use discover_server::{ServerConfig, ServerCore};
+
+use crate::node::DiscoverNode;
+use crate::substrate::{CollabMode, Substrate, SubstrateConfig};
+
+/// Handle to a server created by the builder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ServerHandle {
+    /// The server's network address.
+    pub addr: ServerAddr,
+    /// The server's simulation node.
+    pub node: NodeId,
+}
+
+/// A built collaboratory network, ready to run.
+pub struct Collaboratory {
+    /// The simulation engine.
+    pub engine: Engine<Envelope>,
+    /// The directory (naming + trader) node.
+    pub directory: NodeId,
+    /// All servers by address.
+    pub servers: HashMap<ServerAddr, ServerHandle>,
+    /// Shared address book.
+    pub book: AddressBook,
+    pub(crate) substrate_config: SubstrateConfig,
+    pub(crate) directory_link: LinkSpec,
+    pub(crate) next_addr: u32,
+}
+
+impl Collaboratory {
+    /// Borrow a server's core state.
+    pub fn server_core(&self, server: ServerHandle) -> Option<&ServerCore> {
+        self.engine.actor_ref::<DiscoverNode>(server.node).map(|n| &n.core)
+    }
+
+    /// Borrow a server node (core + substrate).
+    pub fn node(&self, server: ServerHandle) -> Option<&DiscoverNode> {
+        self.engine.actor_ref::<DiscoverNode>(server.node)
+    }
+
+    /// Add a server to the *running* network: it publishes itself to the
+    /// trader and existing peers discover it on their next refresh — the
+    /// paper's "availability of these servers is not guaranteed and must
+    /// be determined at runtime".
+    pub fn add_server(&mut self, name: &str, peer_link: LinkSpec) -> ServerHandle {
+        let addr = ServerAddr(self.next_addr);
+        self.next_addr += 1;
+        let config = ServerConfig::new(addr, name);
+        let substrate =
+            Substrate::new(self.substrate_config, addr, name, self.directory, self.book.clone());
+        let node = self.engine.add_node(name, DiscoverNode::new(config, substrate));
+        self.engine.link(node, self.directory, self.directory_link);
+        for handle in self.servers.values() {
+            self.engine.link(node, handle.node, peer_link);
+        }
+        self.book.register(addr, node);
+        let handle = ServerHandle { addr, node };
+        self.servers.insert(addr, handle);
+        handle
+    }
+
+    /// Attach an actor (client portal, application driver) to a server of
+    /// the running network.
+    pub fn attach(
+        &mut self,
+        server: ServerHandle,
+        name: &str,
+        actor: impl Actor<Envelope>,
+        spec: LinkSpec,
+    ) -> NodeId {
+        let node = self.engine.add_node(name, actor);
+        self.engine.link(node, server.node, spec);
+        node
+    }
+}
+
+/// Builder for a collaboratory network. Creates the directory node up
+/// front; servers, applications, clients and links are added before
+/// [`CollaboratoryBuilder::build`].
+pub struct CollaboratoryBuilder {
+    engine: Engine<Envelope>,
+    directory: NodeId,
+    book: AddressBook,
+    servers: HashMap<ServerAddr, ServerHandle>,
+    next_addr: u32,
+    /// Substrate configuration applied to servers created afterwards.
+    pub substrate_config: SubstrateConfig,
+    /// Link used between servers and the directory.
+    pub directory_link: LinkSpec,
+    /// Link used between applications/clients and their server.
+    pub edge_link: LinkSpec,
+    /// Customize the server config of subsequently created servers.
+    server_tweak: Option<Box<dyn FnMut(&mut ServerConfig)>>,
+    app_counts: HashMap<ServerAddr, u32>,
+}
+
+impl CollaboratoryBuilder {
+    /// Start a builder with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        let mut engine = Engine::new(seed);
+        let directory = engine.add_node("directory", Directory::new(DirectoryCosts::default()));
+        CollaboratoryBuilder {
+            engine,
+            directory,
+            book: AddressBook::new(),
+            servers: HashMap::new(),
+            next_addr: 1,
+            substrate_config: SubstrateConfig::default(),
+            directory_link: LinkSpec::campus(),
+            edge_link: LinkSpec::lan(),
+            server_tweak: None,
+            app_counts: HashMap::new(),
+        }
+    }
+
+    /// Set the collaboration transport mode for servers created after
+    /// this call.
+    pub fn collab_mode(&mut self, mode: CollabMode) -> &mut Self {
+        self.substrate_config.collab_mode = mode;
+        self
+    }
+
+    /// Install a hook that customizes every subsequently created server's
+    /// configuration (cost models, FIFO capacity, ...).
+    pub fn tweak_servers(&mut self, f: impl FnMut(&mut ServerConfig) + 'static) -> &mut Self {
+        self.server_tweak = Some(Box::new(f));
+        self
+    }
+
+    /// Create a DISCOVER server (one collaboratory domain) and link it to
+    /// the directory.
+    pub fn server(&mut self, name: &str) -> ServerHandle {
+        let addr = ServerAddr(self.next_addr);
+        self.next_addr += 1;
+        let mut config = ServerConfig::new(addr, name);
+        if let Some(tweak) = &mut self.server_tweak {
+            tweak(&mut config);
+        }
+        let substrate =
+            Substrate::new(self.substrate_config, addr, name, self.directory, self.book.clone());
+        let node = self.engine.add_node(name, DiscoverNode::new(config, substrate));
+        self.engine.link(node, self.directory, self.directory_link);
+        self.book.register(addr, node);
+        let handle = ServerHandle { addr, node };
+        self.servers.insert(addr, handle);
+        handle
+    }
+
+    /// Link two servers (peer-to-peer path).
+    pub fn link_servers(&mut self, a: ServerHandle, b: ServerHandle, spec: LinkSpec) {
+        self.engine.link(a.node, b.node, spec);
+    }
+
+    /// Fully mesh all servers created so far with `spec` (skipping pairs
+    /// already linked).
+    pub fn mesh_servers(&mut self, spec: LinkSpec) {
+        let handles: Vec<ServerHandle> = self.servers.values().copied().collect();
+        for (i, &a) in handles.iter().enumerate() {
+            for &b in handles.iter().skip(i + 1) {
+                if !self.engine.has_link(a.node, b.node) {
+                    self.engine.link(a.node, b.node, spec);
+                }
+            }
+        }
+    }
+
+    /// Attach an application (kernel + control network) to a server. The
+    /// returned [`AppId`] is predictable: it uses the server's next
+    /// registration sequence.
+    pub fn application<S: Kernel>(
+        &mut self,
+        server: ServerHandle,
+        app: SteerableApp<S>,
+        config: DriverConfig,
+    ) -> (NodeId, AppId) {
+        let name = config.name.clone();
+        let mut driver = AppDriver::new(app, config);
+        driver.server = Some(server.node);
+        let node = self.engine.add_node(format!("app:{name}"), driver);
+        self.engine.link(node, server.node, self.edge_link);
+        // The daemon assigns sequence numbers in registration order, which
+        // equals creation order per server under deterministic simulation.
+        let seq = self.app_counter(server);
+        (node, AppId { server: server.addr, seq })
+    }
+
+    fn app_counter(&mut self, server: ServerHandle) -> u32 {
+        // Count existing app links to this server by tracking in a map.
+        let counter = self.app_counts.entry(server.addr).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        seq
+    }
+
+    /// The directory (naming + trader) node, e.g. for grid-overlay actors
+    /// that share the same directory.
+    pub fn directory_node(&self) -> NodeId {
+        self.directory
+    }
+
+    /// A handle to the shared address book (grid sites register their
+    /// addresses here so launchers can resolve trader offers).
+    pub fn address_book(&self) -> AddressBook {
+        self.book.clone()
+    }
+
+    /// Add an arbitrary actor linked to an arbitrary existing node (used
+    /// by the CoG grid overlay, monitoring probes, etc.).
+    pub fn add_actor(
+        &mut self,
+        name: &str,
+        actor: impl Actor<Envelope>,
+        link_to: NodeId,
+        spec: LinkSpec,
+    ) -> NodeId {
+        let node = self.engine.add_node(name, actor);
+        self.engine.link(node, link_to, spec);
+        node
+    }
+
+    /// Put an application driver behind a launch gate (CoG/GRAM staged
+    /// launch): it stays dormant until the gate opens.
+    pub fn set_launch_gate<S: Kernel>(&mut self, app_node: NodeId, gate: appsim::LaunchGate) {
+        self.engine
+            .actor_mut::<AppDriver<S>>(app_node)
+            .expect("node is not an AppDriver of this kernel type")
+            .gate = Some(gate);
+    }
+
+    /// Link two arbitrary nodes (grid overlays, probe paths, ...).
+    pub fn link_nodes(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.engine.link(a, b, spec);
+    }
+
+    /// Attach an arbitrary actor (e.g. a client portal) to a server.
+    pub fn attach(&mut self, server: ServerHandle, name: &str, actor: impl Actor<Envelope>) -> NodeId {
+        let node = self.engine.add_node(name, actor);
+        self.engine.link(node, server.node, self.edge_link);
+        node
+    }
+
+    /// Attach an actor with a custom link (e.g. a slow modem client).
+    pub fn attach_with_link(
+        &mut self,
+        server: ServerHandle,
+        name: &str,
+        actor: impl Actor<Envelope>,
+        spec: LinkSpec,
+    ) -> NodeId {
+        let node = self.engine.add_node(name, actor);
+        self.engine.link(node, server.node, spec);
+        node
+    }
+
+    /// Finalize the network. Runs a brief settling window so servers
+    /// publish/discover each other and applications register before the
+    /// caller's own workload starts.
+    pub fn build(self) -> Collaboratory {
+        let CollaboratoryBuilder {
+            mut engine,
+            directory,
+            book,
+            servers,
+            substrate_config,
+            directory_link,
+            next_addr,
+            ..
+        } = self;
+        engine.run_for(SimDuration::from_millis(10));
+        Collaboratory {
+            engine,
+            directory,
+            servers,
+            book,
+            substrate_config,
+            directory_link,
+            next_addr,
+        }
+    }
+}

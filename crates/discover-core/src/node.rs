@@ -1,0 +1,94 @@
+//! The peer-enabled DISCOVER server node: server core + middleware
+//! substrate in one simulation actor.
+
+use simnet::{Actor, Ctx, NodeId, SimDuration};
+use wire::giop::GiopKind;
+use wire::{Content, Envelope};
+
+use discover_server::{ServerConfig, ServerCore};
+
+use crate::substrate::{Substrate, SubstrateConfig};
+
+const TAG_DISCOVERY: u64 = 1;
+const TAG_POLL: u64 = 2;
+const TAG_SWEEP: u64 = 3;
+
+/// A full DISCOVER server participating in the peer-to-peer network.
+pub struct DiscoverNode {
+    /// The §4 server core.
+    pub core: ServerCore,
+    /// The §5 middleware substrate.
+    pub substrate: Substrate,
+}
+
+impl DiscoverNode {
+    /// Assemble a node from a configured core and substrate.
+    pub fn new(server_config: ServerConfig, substrate: Substrate) -> Self {
+        DiscoverNode { core: ServerCore::new(server_config), substrate }
+    }
+
+    /// Substrate configuration shortcut.
+    pub fn substrate_config(&self) -> &SubstrateConfig {
+        &self.substrate.config
+    }
+}
+
+impl Actor<Envelope> for DiscoverNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        self.substrate.publish_self(ctx);
+        // First discovery runs quickly after start; later refreshes use
+        // the configured interval.
+        ctx.schedule(SimDuration::from_millis(20), TAG_DISCOVERY);
+        ctx.schedule(self.substrate.config.sweep_interval, TAG_SWEEP);
+        if let Some(interval) = self.substrate.poll_interval() {
+            ctx.schedule(interval, TAG_POLL);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
+        match msg.content {
+            Content::HttpRequest(req) => {
+                let effects = self.core.handle_http(ctx, from, req);
+                self.substrate.perform_all(ctx, &mut self.core, effects);
+            }
+            Content::Tcp(frame) => {
+                let effects = self.core.handle_tcp(ctx, from, frame);
+                self.substrate.perform_all(ctx, &mut self.core, effects);
+            }
+            Content::Giop(frame) => match frame.kind {
+                GiopKind::Reply | GiopKind::SystemException => {
+                    self.substrate.handle_reply(ctx, &mut self.core, frame);
+                }
+                GiopKind::Request { .. } => {
+                    let effects = self.core.handle_giop(ctx, from, frame);
+                    self.substrate.perform_all(ctx, &mut self.core, effects);
+                }
+            },
+            Content::HttpResponse(_) => {
+                ctx.stats().incr("node.unexpected.http_response");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Envelope>, tag: u64) {
+        match tag {
+            TAG_DISCOVERY => {
+                self.substrate.discover_peers(ctx);
+                ctx.schedule(self.substrate.config.discovery_interval, TAG_DISCOVERY);
+            }
+            TAG_POLL => {
+                self.substrate.poll_tick(ctx);
+                if let Some(interval) = self.substrate.poll_interval() {
+                    ctx.schedule(interval, TAG_POLL);
+                }
+            }
+            TAG_SWEEP => {
+                self.substrate.sweep_timeouts(ctx, &mut self.core);
+                let effects = self.core.reap_idle_sessions(ctx);
+                self.substrate.perform_all(ctx, &mut self.core, effects);
+                ctx.schedule(self.substrate.config.sweep_interval, TAG_SWEEP);
+            }
+            _ => {}
+        }
+    }
+}

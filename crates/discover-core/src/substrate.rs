@@ -1,0 +1,516 @@
+//! The middleware substrate: the client side of the peer-to-peer
+//! protocol (§5).
+//!
+//! Each DISCOVER server embeds one [`Substrate`]. It discovers peer
+//! servers through the trader (service id `"DISCOVER"`), binds local
+//! applications into the naming service, resolves the server core's
+//! [`Effect`]s into ORB calls, correlates the replies, and feeds results
+//! back into the core.
+
+use std::collections::HashMap;
+
+use orb::directory::calls;
+use orb::{AddressBook, Broker, DISCOVER_SERVICE};
+use simnet::{Ctx, NodeId, SimDuration, SimTime};
+use wire::giop::GiopFrame;
+use wire::{
+    AppId, ClientId, ControlEvent, ControlEventKind, Envelope, ErrorCode, ObjectKey, ObjectRef,
+    PeerMsg, PeerReply, ServerAddr, Value, WireError,
+};
+
+use discover_server::{Effect, ServerCore, CORBA_SERVER_KEY};
+
+/// Stub-side marshalling/dispatch CPU for one outgoing ORB message.
+fn charge_stub(ctx: &mut Ctx<'_, Envelope>, core: &ServerCore, msg: &PeerMsg) {
+    let bytes = wire::codec::encoded_len(msg);
+    ctx.consume(core.config.orb_costs.call_cost(bytes));
+}
+
+/// How collaboration updates travel between servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollabMode {
+    /// Hosts push one `CollabUpdate` per subscribed server (default).
+    Push,
+    /// Mirrors poll hosts periodically ("CorbaProxy objects poll each
+    /// other for updates and responses").
+    Poll {
+        /// Poll period.
+        interval: SimDuration,
+    },
+}
+
+/// Substrate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SubstrateConfig {
+    /// Collaboration transport mode.
+    pub collab_mode: CollabMode,
+    /// Period of trader-based peer discovery refresh.
+    pub discovery_interval: SimDuration,
+    /// Outstanding ORB calls older than this are failed.
+    pub call_timeout: SimDuration,
+    /// How often the timeout sweep runs.
+    pub sweep_interval: SimDuration,
+}
+
+impl Default for SubstrateConfig {
+    fn default() -> Self {
+        SubstrateConfig {
+            collab_mode: CollabMode::Push,
+            discovery_interval: SimDuration::from_secs(30),
+            call_timeout: SimDuration::from_secs(10),
+            sweep_interval: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Continuation context of an outstanding ORB call.
+#[derive(Debug)]
+pub enum CallCtx {
+    /// Level-1 auth fan-out for a local client.
+    Auth {
+        /// The client.
+        client: ClientId,
+    },
+    /// Remote operation for a local client.
+    Op {
+        /// The client.
+        client: ClientId,
+        /// Target app.
+        app: AppId,
+    },
+    /// Relayed lock request/release.
+    Lock {
+        /// The client.
+        client: ClientId,
+        /// Target app.
+        app: AppId,
+        /// Acquire or release.
+        acquire: bool,
+    },
+    /// Remote history fetch.
+    History {
+        /// The client.
+        client: ClientId,
+        /// Target app.
+        app: AppId,
+    },
+    /// Collaboration subscription handshake.
+    Subscribe {
+        /// Target app.
+        app: AppId,
+    },
+    /// Trader discovery query.
+    Discovery,
+    /// Directory mutation (export/bind); reply only acknowledged.
+    DirectoryWrite,
+    /// Poll-mode update fetch.
+    Poll {
+        /// Target app.
+        app: AppId,
+    },
+}
+
+/// The per-server middleware substrate.
+pub struct Substrate {
+    /// Configuration.
+    pub config: SubstrateConfig,
+    addr: ServerAddr,
+    name: String,
+    directory: NodeId,
+    book: AddressBook,
+    broker: Broker<CallCtx>,
+    /// Discovered peers (address → node), excluding self.
+    peers: HashMap<ServerAddr, NodeId>,
+    /// Poll-mode mirror state: app → next update sequence.
+    poll_state: HashMap<AppId, u64>,
+    /// Push-mode subscriptions established.
+    subscribed: HashMap<AppId, bool>,
+}
+
+impl Substrate {
+    /// Create a substrate for the server at `addr`.
+    pub fn new(
+        config: SubstrateConfig,
+        addr: ServerAddr,
+        name: impl Into<String>,
+        directory: NodeId,
+        book: AddressBook,
+    ) -> Self {
+        Substrate {
+            config,
+            addr,
+            name: name.into(),
+            directory,
+            book,
+            broker: Broker::new(),
+            peers: HashMap::new(),
+            poll_state: HashMap::new(),
+            subscribed: HashMap::new(),
+        }
+    }
+
+    /// Known peer addresses (diagnostics).
+    pub fn peer_addrs(&self) -> Vec<ServerAddr> {
+        let mut v: Vec<ServerAddr> = self.peers.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Outstanding ORB calls (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.broker.in_flight()
+    }
+
+    /// Publish this server to the trader and the naming service.
+    pub fn publish_self(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let object = ObjectRef { server: self.addr, key: ObjectKey::new(CORBA_SERVER_KEY) };
+        let offer = wire::ServiceOffer {
+            service_type: DISCOVER_SERVICE.to_string(),
+            object: object.clone(),
+            properties: vec![
+                ("addr".to_string(), Value::Int(self.addr.0 as i64)),
+                ("name".to_string(), Value::Text(self.name.clone())),
+            ],
+        };
+        let (key, op, msg) = calls::export(offer);
+        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+        let (key, op, msg) = calls::bind(format!("DISCOVER/servers/{}", self.name), object);
+        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+    }
+
+    /// Query the trader for the current peer set.
+    pub fn discover_peers(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        ctx.stats().incr("substrate.discovery.queries");
+        let (key, op, msg) = calls::query(DISCOVER_SERVICE, vec![]);
+        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::Discovery);
+    }
+
+    /// Resolve a server address to its node, via discovery or wiring.
+    fn node_of(&self, addr: ServerAddr) -> Option<NodeId> {
+        self.peers.get(&addr).copied().or_else(|| self.book.resolve(addr))
+    }
+
+    /// Bind/unbind an application in the naming service (the CorbaProxy
+    /// "binds itself to the CORBA naming service using the application's
+    /// unique identifier as the name").
+    fn naming_for_app(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId, register: bool) {
+        let name = format!("DISCOVER/apps/{app}");
+        let (key, op, msg) = if register {
+            calls::bind(name, ObjectRef { server: self.addr, key: ObjectKey::new(format!("apps/{app}")) })
+        } else {
+            calls::unbind(name)
+        };
+        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+    }
+
+    /// Resolve one core [`Effect`] into ORB traffic.
+    pub fn perform(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore, effect: Effect) {
+        match effect {
+            Effect::RemoteAuth { client, user, password } => {
+                for (&peer_addr, &node) in &self.peers {
+                    if peer_addr == self.addr {
+                        continue;
+                    }
+                    ctx.stats().incr("substrate.remote_auth.calls");
+                    let msg =
+                        PeerMsg::Authenticate { user: user.clone(), password: password.clone() };
+                    charge_stub(ctx, core, &msg);
+                    self.broker.call(
+                        ctx,
+                        node,
+                        ObjectKey::new(CORBA_SERVER_KEY),
+                        "authenticate",
+                        msg,
+                        CallCtx::Auth { client },
+                    );
+                }
+            }
+            Effect::RemoteOp { client, user, app, op } => match self.node_of(app.host()) {
+                Some(node) => {
+                    ctx.stats().incr("substrate.remote_ops");
+                    let msg = PeerMsg::ProxyOp { app, user, op };
+                    charge_stub(ctx, core, &msg);
+                    self.broker.call(
+                        ctx,
+                        node,
+                        ObjectKey::new(format!("apps/{app}")),
+                        "proxyOp",
+                        msg,
+                        CallCtx::Op { client, app },
+                    );
+                }
+                None => core.complete_remote_op(
+                    ctx,
+                    client,
+                    app,
+                    Err(WireError::new(ErrorCode::Unavailable, "host server unknown")),
+                ),
+            },
+            Effect::RemoteLock { client, user, app, acquire } => match self.node_of(app.host()) {
+                Some(node) => {
+                    let (operation, msg) = if acquire {
+                        ("lockRequest", PeerMsg::LockRequest { app, user })
+                    } else {
+                        ("lockRelease", PeerMsg::LockRelease { app, user })
+                    };
+                    ctx.stats().incr("substrate.remote_locks");
+                    self.broker.call(
+                        ctx,
+                        node,
+                        ObjectKey::new(CORBA_SERVER_KEY),
+                        operation,
+                        msg,
+                        CallCtx::Lock { client, app, acquire },
+                    );
+                }
+                None => core.complete_remote_lock(ctx, client, app, acquire, false, None),
+            },
+            Effect::RemoteHistory { client, app, since } => match self.node_of(app.host()) {
+                Some(node) => {
+                    self.broker.call(
+                        ctx,
+                        node,
+                        ObjectKey::new(CORBA_SERVER_KEY),
+                        "fetchHistory",
+                        PeerMsg::FetchHistory { app, since },
+                        CallCtx::History { client, app },
+                    );
+                }
+                None => core.complete_remote_history(ctx, client, app, Vec::new(), since),
+            },
+            Effect::Subscribe { app } => match self.config.collab_mode {
+                CollabMode::Push => {
+                    if let Some(node) = self.node_of(app.host()) {
+                        ctx.stats().incr("substrate.subscribes");
+                        self.broker.call(
+                            ctx,
+                            node,
+                            ObjectKey::new(CORBA_SERVER_KEY),
+                            "subscribeApp",
+                            PeerMsg::SubscribeApp { app, subscriber: self.addr },
+                            CallCtx::Subscribe { app },
+                        );
+                    }
+                }
+                CollabMode::Poll { .. } => {
+                    self.poll_state.entry(app).or_insert(0);
+                }
+            },
+            Effect::Unsubscribe { app } => match self.config.collab_mode {
+                CollabMode::Push => {
+                    self.subscribed.remove(&app);
+                    if let Some(node) = self.node_of(app.host()) {
+                        Broker::<CallCtx>::oneway(
+                            ctx,
+                            node,
+                            ObjectKey::new(CORBA_SERVER_KEY),
+                            "unsubscribeApp",
+                            PeerMsg::UnsubscribeApp { app, subscriber: self.addr },
+                        );
+                    }
+                }
+                CollabMode::Poll { .. } => {
+                    self.poll_state.remove(&app);
+                }
+            },
+            Effect::PushToPeers { update, peers } => {
+                for peer in peers {
+                    if let Some(node) = self.node_of(peer) {
+                            ctx.stats().incr("substrate.collab.pushes");
+                        let msg =
+                            PeerMsg::CollabUpdate { update: update.clone(), origin: self.addr };
+                        charge_stub(ctx, core, &msg);
+                        Broker::<CallCtx>::oneway(
+                            ctx,
+                            node,
+                            ObjectKey::new(CORBA_SERVER_KEY),
+                            "collabUpdate",
+                            msg,
+                        );
+                    }
+                }
+            }
+            Effect::ForwardToHost { update } => {
+                if let Some(node) = self.node_of(update.app().host()) {
+                    ctx.stats().incr("substrate.collab.forwards");
+                    Broker::<CallCtx>::oneway(
+                        ctx,
+                        node,
+                        ObjectKey::new(CORBA_SERVER_KEY),
+                        "collabUpdate",
+                        PeerMsg::CollabUpdate { update, origin: self.addr },
+                    );
+                }
+            }
+            Effect::Announce { kind, detail, app } => {
+                match (kind, app) {
+                    (ControlEventKind::AppRegistered, Some(app)) => {
+                        self.naming_for_app(ctx, app, true)
+                    }
+                    (ControlEventKind::AppClosed, Some(app)) => {
+                        self.naming_for_app(ctx, app, false)
+                    }
+                    _ => {}
+                }
+                let event = ControlEvent { origin: self.addr, kind, detail };
+                for (&peer_addr, &node) in &self.peers {
+                    if peer_addr == self.addr {
+                        continue;
+                    }
+                    ctx.stats().incr("substrate.control.events");
+                    Broker::<CallCtx>::oneway(
+                        ctx,
+                        node,
+                        ObjectKey::new(CORBA_SERVER_KEY),
+                        "control",
+                        PeerMsg::Control(event.clone()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resolve a batch of effects.
+    pub fn perform_all(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        core: &mut ServerCore,
+        effects: Vec<Effect>,
+    ) {
+        for e in effects {
+            self.perform(ctx, core, e);
+        }
+    }
+
+    /// Handle a GIOP *reply* frame addressed to this substrate's broker.
+    /// Returns false if the reply did not match an outstanding call.
+    pub fn handle_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        core: &mut ServerCore,
+        frame: GiopFrame,
+    ) -> bool {
+        let wire::giop::GiopBody::Return(reply) = frame.body else { return false };
+        let Some(pending) = self.broker.complete(frame.request_id) else {
+            ctx.stats().incr("substrate.replies.orphaned");
+            return false;
+        };
+        match (pending.user, reply) {
+            (CallCtx::Auth { client }, PeerReply::AuthOk { apps }) => {
+                core.complete_remote_auth(ctx, client, apps);
+            }
+            (CallCtx::Auth { .. }, PeerReply::AuthDenied) => {
+                ctx.stats().incr("substrate.remote_auth.denied");
+            }
+            (CallCtx::Op { client, app }, PeerReply::OpResult { result, .. }) => {
+                core.complete_remote_op(ctx, client, app, result);
+            }
+            (CallCtx::Op { client, app }, PeerReply::Exception(e)) => {
+                core.complete_remote_op(ctx, client, app, Err(e));
+            }
+            (
+                CallCtx::Lock { client, app, acquire },
+                PeerReply::LockDecision { granted, holder, .. },
+            ) => {
+                core.complete_remote_lock(ctx, client, app, acquire, granted, holder);
+            }
+            (CallCtx::Lock { client, app, acquire }, PeerReply::Exception(_)) => {
+                core.complete_remote_lock(ctx, client, app, acquire, false, None);
+            }
+            (CallCtx::History { client, app }, PeerReply::History { records, next_seq, .. }) => {
+                core.complete_remote_history(ctx, client, app, records, next_seq);
+            }
+            (CallCtx::Subscribe { app }, PeerReply::SubscribeOk { .. }) => {
+                self.subscribed.insert(app, true);
+            }
+            (CallCtx::Discovery, PeerReply::TraderOffers { offers }) => {
+                for offer in offers {
+                    let addr = offer.object.server;
+                    if addr == self.addr {
+                        continue;
+                    }
+                    if let Some(node) = self.book.resolve(addr) {
+                        if self.peers.insert(addr, node).is_none() {
+                            ctx.stats().incr("substrate.discovery.peers_found");
+                        }
+                    }
+                }
+            }
+            (CallCtx::Poll { app }, PeerReply::Updates { updates, next_seq, .. }) => {
+                let origin = app.host();
+                let mut effects = Vec::new();
+                for update in updates {
+                    core.apply_peer_update(ctx, update, origin, &mut effects);
+                }
+                self.poll_state.insert(app, next_seq);
+                self.perform_all(ctx, core, effects);
+            }
+            (CallCtx::DirectoryWrite, _) => {}
+            (_, PeerReply::Exception(e)) => {
+                ctx.stats().incr("substrate.replies.exceptions");
+                let _ = e;
+            }
+            _ => ctx.stats().incr("substrate.replies.mismatched"),
+        }
+        // Completion handlers may park effects (e.g. collaboration echoes
+        // of remote outcomes); resolve them now.
+        let deferred = core.drain_effects();
+        if !deferred.is_empty() {
+            self.perform_all(ctx, core, deferred);
+        }
+        true
+    }
+
+    /// Poll-mode tick: query every mirrored app's host for new updates.
+    pub fn poll_tick(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let apps: Vec<(AppId, u64)> = self.poll_state.iter().map(|(a, s)| (*a, *s)).collect();
+        for (app, since) in apps {
+            if let Some(node) = self.node_of(app.host()) {
+                ctx.stats().incr("substrate.polls");
+                self.broker.call(
+                    ctx,
+                    node,
+                    ObjectKey::new(CORBA_SERVER_KEY),
+                    "pollUpdates",
+                    PeerMsg::PollUpdates { app, since, requester: self.addr },
+                    CallCtx::Poll { app },
+                );
+            }
+        }
+    }
+
+    /// Fail calls that outlived the timeout.
+    pub fn sweep_timeouts(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore) {
+        let cutoff = ctx.now().since(SimTime::ZERO).saturating_sub(self.config.call_timeout);
+        let cutoff = SimTime::ZERO + cutoff;
+        if cutoff == SimTime::ZERO {
+            return;
+        }
+        for (_, pending) in self.broker.expire_issued_before(cutoff) {
+            ctx.stats().incr("substrate.timeouts");
+            match pending.user {
+                CallCtx::Op { client, app } => core.complete_remote_op(
+                    ctx,
+                    client,
+                    app,
+                    Err(WireError::new(ErrorCode::Unavailable, "remote call timed out")),
+                ),
+                CallCtx::Lock { client, app, acquire } => {
+                    core.complete_remote_lock(ctx, client, app, acquire, false, None)
+                }
+                CallCtx::History { client, app } => {
+                    core.complete_remote_history(ctx, client, app, Vec::new(), 0)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Whether poll mode is active.
+    pub fn poll_interval(&self) -> Option<SimDuration> {
+        match self.config.collab_mode {
+            CollabMode::Poll { interval } => Some(interval),
+            CollabMode::Push => None,
+        }
+    }
+}

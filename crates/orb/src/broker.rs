@@ -1,0 +1,208 @@
+//! Client-side request broker: issues GIOP requests, correlates replies,
+//! and expires calls whose target never answered.
+//!
+//! Each DISCOVER server embeds one [`Broker`] per simulation actor. The
+//! generic parameter `T` is the caller's continuation context — whatever
+//! it needs to resume processing when the reply (or timeout) arrives.
+
+use std::collections::HashMap;
+
+use simnet::{Ctx, NodeId, SimTime};
+use wire::{Envelope, ObjectKey, PeerMsg};
+
+/// An outstanding two-way call.
+#[derive(Debug)]
+pub struct Pending<T> {
+    /// Caller context to resume with.
+    pub user: T,
+    /// When the call was issued.
+    pub issued_at: SimTime,
+    /// Callee node.
+    pub to: NodeId,
+    /// Operation name (diagnostics).
+    pub operation: &'static str,
+}
+
+/// Request-id allocator plus pending-call table.
+pub struct Broker<T> {
+    next_id: u64,
+    pending: HashMap<u64, Pending<T>>,
+}
+
+impl<T> Default for Broker<T> {
+    fn default() -> Self {
+        Broker { next_id: 0, pending: HashMap::new() }
+    }
+}
+
+impl<T> Broker<T> {
+    /// Create an empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issue a two-way call to the servant `key` at node `to`; the reply
+    /// will carry the returned request id.
+    pub fn call(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        to: NodeId,
+        key: ObjectKey,
+        operation: &'static str,
+        msg: PeerMsg,
+        user: T,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.insert(id, Pending { user, issued_at: ctx.now(), to, operation });
+        ctx.send(to, Envelope::giop(wire::giop::GiopFrame::request(id, key, operation, msg)));
+        id
+    }
+
+    /// Issue a oneway call (no reply, nothing recorded).
+    pub fn oneway(
+        ctx: &mut Ctx<'_, Envelope>,
+        to: NodeId,
+        key: ObjectKey,
+        operation: &'static str,
+        msg: PeerMsg,
+    ) {
+        // Oneways share the id space conceptually but need no correlation;
+        // id 0 is fine because no reply will reference it.
+        ctx.send(to, Envelope::giop(wire::giop::GiopFrame::oneway(0, key, operation, msg)));
+    }
+
+    /// Take the pending record for a reply's request id. Returns `None`
+    /// for duplicate or expired replies.
+    pub fn complete(&mut self, request_id: u64) -> Option<Pending<T>> {
+        self.pending.remove(&request_id)
+    }
+
+    /// Remove and return every call issued before `cutoff` (timeout sweep).
+    pub fn expire_issued_before(&mut self, cutoff: SimTime) -> Vec<(u64, Pending<T>)> {
+        let ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.issued_at < cutoff)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out: Vec<(u64, Pending<T>)> =
+            ids.into_iter().filter_map(|id| self.pending.remove(&id).map(|p| (id, p))).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Number of outstanding calls.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Actor, Engine, LinkSpec, SimDuration};
+    use wire::{Content, PeerReply};
+
+    /// Echo servant: replies to every GIOP request with `Active`.
+    struct Servant;
+    impl Actor<Envelope> for Servant {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
+            if let Content::Giop(frame) = msg.content {
+                if frame.expects_reply() {
+                    ctx.send(
+                        from,
+                        Envelope::giop(wire::giop::GiopFrame::reply(
+                            frame.request_id,
+                            frame.target,
+                            "listActive",
+                            PeerReply::Active { apps: vec![], users: vec![] },
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Caller that issues `calls` requests at start and records completions.
+    struct Caller {
+        broker: Broker<u32>,
+        servant: Option<NodeId>,
+        calls: u32,
+        completed: Vec<u32>,
+    }
+    impl Actor<Envelope> for Caller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+            if let Some(to) = self.servant {
+                for k in 0..self.calls {
+                    self.broker.call(
+                        ctx,
+                        to,
+                        ObjectKey::new("DiscoverCorbaServer"),
+                        "listActive",
+                        PeerMsg::ListActive,
+                        k,
+                    );
+                }
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Envelope>, _from: NodeId, msg: Envelope) {
+            if let Content::Giop(frame) = msg.content {
+                if let Some(p) = self.broker.complete(frame.request_id) {
+                    self.completed.push(p.user);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calls_complete_with_matching_context() {
+        let mut eng = Engine::new(5);
+        let servant = eng.add_node("servant", Servant);
+        let caller = eng.add_node(
+            "caller",
+            Caller { broker: Broker::new(), servant: Some(servant), calls: 5, completed: vec![] },
+        );
+        // Jitter-free link so completion order is deterministic FIFO.
+        eng.link(caller, servant, LinkSpec::lan().with_jitter(SimDuration::ZERO));
+        eng.run_to_quiescence();
+        let c = eng.actor_ref::<Caller>(caller).unwrap();
+        assert_eq!(c.completed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.broker.in_flight(), 0);
+    }
+
+    #[test]
+    fn expiry_sweeps_only_old_calls() {
+        let mut eng = Engine::new(5);
+        // Servant exists but there is no link; we only exercise the table.
+        let mut broker: Broker<&'static str> = Broker::new();
+        let servant = eng.add_node("servant", Servant);
+        struct Noop;
+        impl Actor<Envelope> for Noop {
+            fn on_message(&mut self, _: &mut Ctx<'_, Envelope>, _: NodeId, _: Envelope) {}
+        }
+        let other = eng.add_node("noop", Noop);
+        eng.link(servant, other, LinkSpec::lan());
+        let _ = (servant, other);
+        // Simulate issue times directly.
+        broker.pending.insert(
+            0,
+            Pending { user: "old", issued_at: SimTime::ZERO, to: servant, operation: "x" },
+        );
+        broker.pending.insert(
+            1,
+            Pending {
+                user: "new",
+                issued_at: SimTime::ZERO + SimDuration::from_secs(10),
+                to: servant,
+                operation: "x",
+            },
+        );
+        let expired = broker.expire_issued_before(SimTime::from_secs(5));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].1.user, "old");
+        assert_eq!(broker.in_flight(), 1);
+        assert!(broker.complete(1).is_some());
+        assert!(broker.complete(1).is_none(), "duplicate completion must fail");
+    }
+}

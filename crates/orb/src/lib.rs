@@ -1,0 +1,24 @@
+//! # orb — the CORBA-analogue substrate
+//!
+//! The DISCOVER middleware of the paper "builds on CORBA/IIOP, which
+//! provides peer-to-peer connectivity between DISCOVER servers within and
+//! across domains", with "server/service discovery mechanisms ... built
+//! using the CORBA Trader Service". This crate is that slice of CORBA,
+//! rebuilt on the simulation substrate:
+//!
+//! * [`AddressBook`] — IOR host resolution (server address → node),
+//! * [`Broker`] — client-side request issue/correlate/expire,
+//! * [`Directory`] — a Naming service with a minimalist Trader layered on
+//!   top of it (exactly the paper's prototype arrangement), plus the
+//!   [`directory::calls`] helpers for building directory invocations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod broker;
+pub mod directory;
+
+pub use address::AddressBook;
+pub use broker::{Broker, Pending};
+pub use directory::{Directory, DirectoryCosts, DISCOVER_SERVICE, NAMING_KEY, TRADER_KEY};

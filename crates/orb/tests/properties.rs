@@ -1,0 +1,186 @@
+//! Property tests for the ORB: naming-service semantics under arbitrary
+//! bind/unbind/resolve sequences (checked against a model map), and
+//! broker correlation under random call/complete interleavings.
+
+use orb::{directory::calls, Broker, Directory, DirectoryCosts};
+use proptest::prelude::*;
+use simnet::{Actor, Ctx, Engine, LinkSpec, NodeId, SimDuration};
+use wire::{Content, Envelope, ObjectKey, ObjectRef, PeerMsg, PeerReply, ServerAddr};
+
+#[derive(Clone, Debug)]
+enum NamingOp {
+    Bind(u8, u8),
+    Unbind(u8),
+    Resolve(u8),
+}
+
+fn naming_op() -> impl Strategy<Value = NamingOp> {
+    prop_oneof![
+        (0u8..12, 0u8..8).prop_map(|(n, o)| NamingOp::Bind(n, o)),
+        (0u8..12).prop_map(NamingOp::Unbind),
+        (0u8..12).prop_map(NamingOp::Resolve),
+    ]
+}
+
+/// Driver that executes naming ops sequentially and records resolutions.
+struct NamingDriver {
+    directory: Option<NodeId>,
+    ops: Vec<NamingOp>,
+    broker: Broker<usize>,
+    step: usize,
+    resolutions: Vec<(u8, Option<ObjectRef>)>,
+}
+
+impl NamingDriver {
+    fn issue(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if self.step >= self.ops.len() {
+            return;
+        }
+        let dir = self.directory.expect("wired");
+        let op = self.ops[self.step].clone();
+        let (key, opname, msg) = match op {
+            NamingOp::Bind(n, o) => calls::bind(
+                format!("apps/{n}"),
+                ObjectRef { server: ServerAddr(o as u32), key: ObjectKey::new("x") },
+            ),
+            NamingOp::Unbind(n) => calls::unbind(format!("apps/{n}")),
+            NamingOp::Resolve(n) => calls::resolve(format!("apps/{n}")),
+        };
+        self.broker.call(ctx, dir, key, opname, msg, self.step);
+        self.step += 1;
+    }
+}
+
+impl Actor<Envelope> for NamingDriver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        self.issue(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, _from: NodeId, msg: Envelope) {
+        let Content::Giop(frame) = msg.content else { return };
+        let wire::giop::GiopBody::Return(reply) = frame.body else { return };
+        let Some(pending) = self.broker.complete(frame.request_id) else { return };
+        if let PeerReply::NamingResolved { object } = reply {
+            if let NamingOp::Resolve(n) = self.ops[pending.user] {
+                self.resolutions.push((n, object));
+            }
+        }
+        self.issue(ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The naming service behaves exactly like a map: each Resolve
+    /// returns the latest surviving Bind for that name.
+    #[test]
+    fn naming_matches_model(ops in prop::collection::vec(naming_op(), 1..40)) {
+        let mut eng = Engine::new(3);
+        let dir = eng.add_node("dir", Directory::new(DirectoryCosts::default()));
+        let drv = eng.add_node(
+            "drv",
+            NamingDriver {
+                directory: Some(dir),
+                ops: ops.clone(),
+                broker: Broker::new(),
+                step: 0,
+                resolutions: vec![],
+            },
+        );
+        eng.link(dir, drv, LinkSpec::lan().with_jitter(SimDuration::ZERO));
+        eng.run_to_quiescence();
+
+        // Replay against a model map.
+        let mut model: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+        let mut expected = Vec::new();
+        for op in &ops {
+            match op {
+                NamingOp::Bind(n, o) => {
+                    model.insert(*n, *o);
+                }
+                NamingOp::Unbind(n) => {
+                    model.remove(n);
+                }
+                NamingOp::Resolve(n) => expected.push((*n, model.get(n).copied())),
+            }
+        }
+        let driver = eng.actor_ref::<NamingDriver>(drv).unwrap();
+        prop_assert_eq!(driver.resolutions.len(), expected.len());
+        for ((n1, got), (n2, want)) in driver.resolutions.iter().zip(expected.iter()) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(got.as_ref().map(|o| o.server.0 as u8), *want);
+        }
+    }
+
+    /// Broker correlation is exact under arbitrary interleavings: every
+    /// completion returns the context of the matching call, never twice.
+    #[test]
+    fn broker_correlation_model(ops in prop::collection::vec(any::<bool>(), 1..80)) {
+        // true = "issue a call id", false = "complete the oldest open".
+        // We drive the table directly (no engine needed for this model).
+        let mut eng = Engine::new(4);
+        struct Sink;
+        impl Actor<Envelope> for Sink {
+            fn on_message(&mut self, _: &mut Ctx<'_, Envelope>, _: NodeId, _: Envelope) {}
+        }
+        let a = eng.add_node("a", Sink);
+        let b = eng.add_node("b", Sink);
+        eng.link(a, b, LinkSpec::lan());
+        let mut broker: Broker<u64> = Broker::new();
+        let mut open: Vec<u64> = Vec::new();
+        let mut issued = 0u64;
+        // Use inject-like direct table manipulation through the public API
+        // is impossible without a ctx; so emulate via expire/complete only:
+        // issue through a tiny engine run.
+        struct Issuer {
+            broker: Broker<u64>,
+            to: NodeId,
+            n: u64,
+            ids: Vec<u64>,
+        }
+        impl Actor<Envelope> for Issuer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+                for k in 0..self.n {
+                    let id = self.broker.call(
+                        ctx,
+                        self.to,
+                        ObjectKey::new("k"),
+                        "op",
+                        PeerMsg::ListActive,
+                        k,
+                    );
+                    self.ids.push(id);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Envelope>, _: NodeId, _: Envelope) {}
+        }
+        let n_calls = ops.iter().filter(|&&x| x).count() as u64;
+        let issuer = eng.add_node("issuer", Issuer {
+            broker: Broker::new(),
+            to: b,
+            n: n_calls,
+            ids: vec![],
+        });
+        eng.link(issuer, b, LinkSpec::lan());
+        eng.run_to_quiescence();
+        // Extract the populated broker.
+        let issuer_ref = eng.actor_mut::<Issuer>(issuer).unwrap();
+        std::mem::swap(&mut broker, &mut issuer_ref.broker);
+        let ids = issuer_ref.ids.clone();
+
+        for &op in &ops {
+            if op {
+                open.push(ids[issued as usize]);
+                issued += 1;
+            } else if let Some(id) = open.pop() {
+                let pending = broker.complete(id);
+                prop_assert!(pending.is_some(), "open call must complete exactly once");
+                prop_assert!(broker.complete(id).is_none(), "double completion must fail");
+            } else {
+                // Nothing open: completing a bogus id fails.
+                prop_assert!(broker.complete(u64::MAX).is_none());
+            }
+        }
+        prop_assert_eq!(broker.in_flight(), open.len());
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests: every parallel primitive agrees with its sequential
+//! counterpart for arbitrary inputs, grains and thread counts.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_equals_seq_map(input in prop::collection::vec(any::<i64>(), 0..300)) {
+        let f = |&x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        prop_assert_eq!(parkit::par_map(&input, f), input.iter().map(f).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_reduce_equals_seq_sum(n in 0usize..5000, grain in 1usize..512) {
+        let par = parkit::par_reduce(0..n, grain, 0u64, |i| (i as u64).wrapping_mul(17), |a, b| a.wrapping_add(b));
+        let seq: u64 = (0..n as u64).map(|i| i.wrapping_mul(17)).fold(0, |a, b| a.wrapping_add(b));
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_mut_equals_seq(len in 0usize..2000, chunk in 1usize..300) {
+        let mut par_data = vec![0u32; len];
+        let mut seq_data = vec![0u32; len];
+        parkit::par_chunks_mut(&mut par_data, chunk, |offset, c| {
+            for (k, v) in c.iter_mut().enumerate() {
+                *v = ((offset + k) as u32).wrapping_mul(3);
+            }
+        });
+        for (i, v) in seq_data.iter_mut().enumerate() {
+            *v = (i as u32).wrapping_mul(3);
+        }
+        prop_assert_eq!(par_data, seq_data);
+    }
+
+    #[test]
+    fn par_for_touches_each_exactly_once(n in 0usize..3000, grain in 1usize..200) {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        let hits: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+        parkit::par_for(0..n, grain, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,210 @@
+//! The collaboration handler's group state (§4.1, §5.2.3).
+//!
+//! "All clients connected to a particular application form a collaboration
+//! group by default. ... Clients can form or join (or leave) collaboration
+//! sub-groups within the application group. Clients can also disable all
+//! collaboration so that their requests/responses are not broadcast to the
+//! entire collaboration group. Individual views can still be explicitly
+//! shared in this mode."
+//!
+//! This module tracks only *local* membership; cross-server fan-out (one
+//! message per remote server) is the middleware substrate's job.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wire::{AppId, ClientId};
+
+/// Local collaboration-group membership for one server.
+#[derive(Debug, Default)]
+pub struct CollabGroups {
+    /// Default application groups: app → local member clients.
+    members: BTreeMap<AppId, BTreeSet<ClientId>>,
+    /// Named subgroups within an application group.
+    subgroups: BTreeMap<(AppId, String), BTreeSet<ClientId>>,
+    /// Clients that disabled collaboration broadcast for an app.
+    muted: BTreeSet<(ClientId, AppId)>,
+}
+
+impl CollabGroups {
+    /// Create empty group state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Client joins the default group of `app` (on SelectApp).
+    pub fn join(&mut self, app: AppId, client: ClientId) -> bool {
+        self.members.entry(app).or_default().insert(client)
+    }
+
+    /// Client leaves `app` entirely (DeselectApp/logout): default group,
+    /// all subgroups, mute flag.
+    pub fn leave(&mut self, app: AppId, client: ClientId) -> bool {
+        let was = self.members.get_mut(&app).map(|s| s.remove(&client)).unwrap_or(false);
+        self.subgroups.iter_mut().filter(|((a, _), _)| *a == app).for_each(|(_, s)| {
+            s.remove(&client);
+        });
+        self.muted.remove(&(client, app));
+        if let Some(s) = self.members.get(&app) {
+            if s.is_empty() {
+                self.members.remove(&app);
+            }
+        }
+        was
+    }
+
+    /// Drop an application group entirely (app closed). Returns members.
+    pub fn drop_app(&mut self, app: AppId) -> Vec<ClientId> {
+        let members = self.members.remove(&app).unwrap_or_default().into_iter().collect();
+        self.subgroups.retain(|(a, _), _| *a != app);
+        self.muted.retain(|(_, a)| *a != app);
+        members
+    }
+
+    /// Remove a client from every group (logout). Returns affected apps.
+    pub fn drop_client(&mut self, client: ClientId) -> Vec<AppId> {
+        let mut affected = Vec::new();
+        self.members.retain(|app, set| {
+            if set.remove(&client) {
+                affected.push(*app);
+            }
+            !set.is_empty()
+        });
+        self.subgroups.iter_mut().for_each(|(_, s)| {
+            s.remove(&client);
+        });
+        self.muted.retain(|(c, _)| *c != client);
+        affected
+    }
+
+    /// Join a named subgroup.
+    pub fn join_subgroup(&mut self, app: AppId, group: &str, client: ClientId) -> bool {
+        self.subgroups.entry((app, group.to_string())).or_default().insert(client)
+    }
+
+    /// Leave a named subgroup.
+    pub fn leave_subgroup(&mut self, app: AppId, group: &str, client: ClientId) -> bool {
+        self.subgroups.get_mut(&(app, group.to_string())).map(|s| s.remove(&client)).unwrap_or(false)
+    }
+
+    /// Set the collaboration-broadcast mode for (client, app).
+    pub fn set_broadcast(&mut self, app: AppId, client: ClientId, broadcast: bool) {
+        if broadcast {
+            self.muted.remove(&(client, app));
+        } else {
+            self.muted.insert((client, app));
+        }
+    }
+
+    /// True if the client receives/contributes group broadcast for `app`.
+    pub fn broadcast_enabled(&self, app: AppId, client: ClientId) -> bool {
+        !self.muted.contains(&(client, app))
+    }
+
+    /// Local members of the default group of `app`.
+    pub fn members(&self, app: AppId) -> Vec<ClientId> {
+        self.members.get(&app).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Local recipients of a group broadcast for `app`: members minus the
+    /// originator (if local) minus muted clients.
+    pub fn broadcast_targets(&self, app: AppId, exclude: Option<ClientId>) -> Vec<ClientId> {
+        self.members
+            .get(&app)
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|c| Some(*c) != exclude)
+                    .filter(|c| !self.muted.contains(&(*c, app)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Members of a named subgroup.
+    pub fn subgroup_members(&self, app: AppId, group: &str) -> Vec<ClientId> {
+        self.subgroups
+            .get(&(app, group.to_string()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// True if the client is in the default group of `app`.
+    pub fn is_member(&self, app: AppId, client: ClientId) -> bool {
+        self.members.get(&app).map(|s| s.contains(&client)).unwrap_or(false)
+    }
+
+    /// Number of local members across all groups (diagnostics).
+    pub fn total_memberships(&self) -> usize {
+        self.members.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::ServerAddr;
+
+    fn app(seq: u32) -> AppId {
+        AppId { server: ServerAddr(1), seq }
+    }
+    fn client(seq: u32) -> ClientId {
+        ClientId { server: ServerAddr(1), seq }
+    }
+
+    #[test]
+    fn default_group_membership() {
+        let mut g = CollabGroups::new();
+        assert!(g.join(app(1), client(1)));
+        assert!(!g.join(app(1), client(1)), "double join is idempotent");
+        g.join(app(1), client(2));
+        assert_eq!(g.members(app(1)).len(), 2);
+        assert!(g.is_member(app(1), client(1)));
+        assert!(g.leave(app(1), client(1)));
+        assert!(!g.is_member(app(1), client(1)));
+    }
+
+    #[test]
+    fn broadcast_excludes_origin_and_muted() {
+        let mut g = CollabGroups::new();
+        for c in 1..=4 {
+            g.join(app(1), client(c));
+        }
+        g.set_broadcast(app(1), client(3), false);
+        let targets = g.broadcast_targets(app(1), Some(client(1)));
+        assert_eq!(targets, vec![client(2), client(4)]);
+        // Re-enable restores delivery.
+        g.set_broadcast(app(1), client(3), true);
+        assert_eq!(g.broadcast_targets(app(1), Some(client(1))).len(), 3);
+    }
+
+    #[test]
+    fn subgroups_are_independent() {
+        let mut g = CollabGroups::new();
+        g.join(app(1), client(1));
+        g.join(app(1), client(2));
+        g.join_subgroup(app(1), "vis", client(1));
+        assert_eq!(g.subgroup_members(app(1), "vis"), vec![client(1)]);
+        assert!(g.leave_subgroup(app(1), "vis", client(1)));
+        assert!(!g.leave_subgroup(app(1), "vis", client(1)));
+        assert!(g.is_member(app(1), client(1)), "subgroup leave keeps default membership");
+    }
+
+    #[test]
+    fn drop_app_and_client_cleanup() {
+        let mut g = CollabGroups::new();
+        g.join(app(1), client(1));
+        g.join(app(2), client(1));
+        g.join(app(1), client(2));
+        g.join_subgroup(app(1), "x", client(1));
+        g.set_broadcast(app(1), client(1), false);
+
+        let affected = g.drop_client(client(1));
+        assert_eq!(affected, vec![app(1), app(2)]);
+        assert!(g.subgroup_members(app(1), "x").is_empty());
+        assert!(g.broadcast_enabled(app(1), client(1)), "mute cleared on drop");
+
+        let members = g.drop_app(app(1));
+        assert_eq!(members, vec![client(2)]);
+        assert!(g.members(app(1)).is_empty());
+    }
+}

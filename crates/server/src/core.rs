@@ -1,0 +1,1683 @@
+//! The DISCOVER interaction/collaboration server core.
+//!
+//! One [`ServerCore`] holds every handler the paper describes for the
+//! middle tier (§4.1): the **master handler** (client sessions), the
+//! **command handler** (operation routing to `ApplicationProxy`s), the
+//! **collaboration handler** (group broadcast, chat, whiteboard), the
+//! **security/authentication handler** (two-level auth + ACLs), the
+//! **Daemon servlet** (application registration, request buffering during
+//! compute phases) and the auxiliary **session archival** and **database**
+//! handlers.
+//!
+//! The core is transport-complete for local traffic (HTTP clients, custom
+//! TCP applications, and *serving* GIOP peer requests). Anything that
+//! requires *calling out* to a peer server is returned as an [`Effect`];
+//! the middleware substrate (crate `discover-core`) resolves effects via
+//! the ORB and feeds results back through the `complete_remote_*`
+//! methods. A standalone server simply drops effects (there are no
+//! peers), which is exactly the paper's pre-substrate §4 system.
+
+use std::collections::{BTreeSet, HashMap};
+
+use simnet::{Ctx, NodeId};
+use webserv::{FifoBuffer, HttpCosts, OrbCosts, SessionTable, TcpCosts};
+use wire::giop::{GiopBody, GiopFrame, GiopKind};
+use wire::http::{HttpRequest, HttpResponse};
+use wire::tcp::TcpFrame;
+use wire::{
+    AppDescriptor, AppId, AppMsg, AppOp, AppPhase, AppStatus, AppToken, Channel, ClientId,
+    ClientMessage, ClientRequest, ControlEvent, ControlEventKind, Envelope, ErrorCode,
+    InteractionSpec, LogEntry, ObjectKey, OpOutcome, PeerMsg, PeerReply, Privilege, RequestId,
+    ResponseBody, ServerAddr, UpdateBody, UserId, Value, WireError,
+};
+
+use crate::archive::ArchiveStore;
+use crate::collab::CollabGroups;
+use crate::locks::LockOutcome;
+use crate::proxy::ApplicationProxy;
+use crate::security;
+use crate::store::RecordStore;
+
+/// Object key under which each server's level-1 servant is reachable.
+pub const CORBA_SERVER_KEY: &str = "DiscoverCorbaServer";
+
+/// Marshalled size of a peer call body (drives the ORB cost model).
+fn codec_len_hint(msg: &PeerMsg) -> usize {
+    wire::codec::encoded_len(msg)
+}
+
+/// Static configuration of one DISCOVER server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// This server's network address.
+    pub addr: ServerAddr,
+    /// Human name (e.g. `"rutgers"`).
+    pub name: String,
+    /// HTTP/servlet cost model.
+    pub http_costs: HttpCosts,
+    /// Custom-TCP cost model.
+    pub tcp_costs: TcpCosts,
+    /// ORB cost model.
+    pub orb_costs: OrbCosts,
+    /// Whether client sessions run over the simulated SSL server.
+    pub ssl: bool,
+    /// Per-client FIFO poll-buffer capacity.
+    pub fifo_capacity: usize,
+    /// Maximum messages returned by one poll.
+    pub poll_batch_max: usize,
+    /// Recent-update log capacity per application (poll-mode peers).
+    pub update_log_capacity: usize,
+    /// Application tokens accepted by the Daemon servlet; `None` accepts
+    /// any token.
+    pub accepted_tokens: Option<Vec<AppToken>>,
+    /// Create a database record every N application updates.
+    pub record_every: u64,
+    /// Steering-lock lease: a holder silent for longer may be evicted on
+    /// the next contending request (lazy expiry). `None` = hold forever,
+    /// the paper's plain protocol.
+    pub lock_lease: Option<simnet::SimDuration>,
+    /// Per-peer resource policy (§6.3 "Resource utilization"): maximum
+    /// served GIOP requests per peer per second, enforced over one-second
+    /// accounting windows. `None` = unlimited.
+    pub peer_rate_limit: Option<u32>,
+    /// Idle client sessions older than this are reaped (their locks
+    /// released and groups left, like a logout). `None` = never.
+    pub session_idle_timeout: Option<simnet::SimDuration>,
+}
+
+impl ServerConfig {
+    /// Defaults for a server at `addr`.
+    pub fn new(addr: ServerAddr, name: impl Into<String>) -> Self {
+        ServerConfig {
+            addr,
+            name: name.into(),
+            http_costs: HttpCosts::default(),
+            tcp_costs: TcpCosts::default(),
+            orb_costs: OrbCosts::default(),
+            ssl: true,
+            fifo_capacity: 256,
+            poll_batch_max: 32,
+            update_log_capacity: 512,
+            accepted_tokens: None,
+            record_every: 16,
+            lock_lease: None,
+            peer_rate_limit: None,
+            session_idle_timeout: Some(simnet::SimDuration::from_secs(600)),
+        }
+    }
+}
+
+/// Out-calls the core needs the middleware substrate to perform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// Fan level-1 authentication out to every known peer server.
+    RemoteAuth {
+        /// Requesting local client.
+        client: ClientId,
+        /// Credentials to present.
+        user: UserId,
+        /// Password (shared-secret convention).
+        password: String,
+    },
+    /// Invoke an operation on a remote application via its `CorbaProxy`.
+    RemoteOp {
+        /// Requesting local client.
+        client: ClientId,
+        /// Acting user.
+        user: UserId,
+        /// Remote application.
+        app: AppId,
+        /// The operation.
+        op: AppOp,
+    },
+    /// Relay a steering-lock request/release to the app's host server.
+    RemoteLock {
+        /// Requesting local client.
+        client: ClientId,
+        /// Acting user.
+        user: UserId,
+        /// Remote application.
+        app: AppId,
+        /// True = acquire, false = release.
+        acquire: bool,
+    },
+    /// Fetch archived history from the app's host server.
+    RemoteHistory {
+        /// Requesting local client.
+        client: ClientId,
+        /// Remote application.
+        app: AppId,
+        /// First sequence wanted.
+        since: u64,
+    },
+    /// Subscribe this server to collaboration updates for a remote app.
+    Subscribe {
+        /// The remote application.
+        app: AppId,
+    },
+    /// Unsubscribe (last local client left the app's group).
+    Unsubscribe {
+        /// The remote application.
+        app: AppId,
+    },
+    /// Push an update to these subscribed peer servers (one message per
+    /// server — the §5.2.3 traffic-reduction mechanism).
+    PushToPeers {
+        /// The update.
+        update: UpdateBody,
+        /// Target servers.
+        peers: Vec<ServerAddr>,
+    },
+    /// Forward a locally generated update for a REMOTE app to its host
+    /// server, which owns fan-out.
+    ForwardToHost {
+        /// The update.
+        update: UpdateBody,
+    },
+    /// Announce a control-channel event to all peers.
+    Announce {
+        /// Event class.
+        kind: ControlEventKind,
+        /// Human-readable detail.
+        detail: String,
+        /// The application concerned (registration/closure events), so
+        /// the substrate can maintain the naming service bindings.
+        app: Option<AppId>,
+    },
+}
+
+/// Cached knowledge about an application hosted at a peer server.
+#[derive(Clone, Debug)]
+pub struct RemoteApp {
+    /// Human name.
+    pub name: String,
+    /// Kind tag.
+    pub kind: String,
+    /// Published interface.
+    pub interface: InteractionSpec,
+    /// Last known status (from collaboration updates).
+    pub last_status: AppStatus,
+}
+
+/// Where a forwarded operation came from (for response routing).
+enum OpOrigin {
+    /// A local HTTP client.
+    Local { client: ClientId, user: UserId, app: AppId },
+    /// A peer server's `CorbaProxy` call.
+    Peer { node: NodeId, giop_id: u64, operation: String, app: AppId, user: UserId },
+}
+
+/// The server core. See module docs.
+pub struct ServerCore {
+    /// Configuration (public for inspection in tests/benches).
+    pub config: ServerConfig,
+    sessions: SessionTable,
+    cookie_of_client: HashMap<ClientId, u64>,
+    fifos: HashMap<ClientId, FifoBuffer>,
+    apps: HashMap<AppId, ApplicationProxy>,
+    app_by_node: HashMap<NodeId, AppId>,
+    next_app_seq: u32,
+    next_client_seq: u32,
+    next_request: u64,
+    origins: HashMap<RequestId, OpOrigin>,
+    collab: CollabGroups,
+    archive: ArchiveStore,
+    records: RecordStore,
+    /// Peers subscribed to each local app's updates (push mode).
+    subscribers: HashMap<AppId, BTreeSet<ServerAddr>>,
+    /// Remote application mirror cache.
+    remote_apps: HashMap<AppId, RemoteApp>,
+    /// Privileges learned from peer authentication, per (user, app).
+    remote_privs: HashMap<(UserId, AppId), Privilege>,
+    update_counter: HashMap<AppId, u64>,
+    deferred: Vec<Effect>,
+    /// Per-peer request accounting: (window start micros, count in window,
+    /// lifetime total, lifetime throttled).
+    peer_accounting: HashMap<NodeId, (u64, u32, u64, u64)>,
+}
+
+impl ServerCore {
+    /// Create a server core.
+    pub fn new(config: ServerConfig) -> Self {
+        ServerCore {
+            config,
+            sessions: SessionTable::new(),
+            cookie_of_client: HashMap::new(),
+            fifos: HashMap::new(),
+            apps: HashMap::new(),
+            app_by_node: HashMap::new(),
+            next_app_seq: 0,
+            next_client_seq: 0,
+            next_request: 0,
+            origins: HashMap::new(),
+            collab: CollabGroups::new(),
+            archive: ArchiveStore::new(),
+            records: RecordStore::new(),
+            subscribers: HashMap::new(),
+            remote_apps: HashMap::new(),
+            remote_privs: HashMap::new(),
+            update_counter: HashMap::new(),
+            deferred: Vec::new(),
+            peer_accounting: HashMap::new(),
+        }
+    }
+
+    /// This server's address.
+    pub fn addr(&self) -> ServerAddr {
+        self.config.addr
+    }
+
+    /// Number of registered local applications.
+    pub fn local_app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Number of live client sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Borrow a local application proxy (tests).
+    pub fn proxy(&self, app: AppId) -> Option<&ApplicationProxy> {
+        self.apps.get(&app)
+    }
+
+    /// Borrow the archive (tests).
+    pub fn archive(&self) -> &ArchiveStore {
+        &self.archive
+    }
+
+    /// Borrow the record store (tests).
+    pub fn records(&self) -> &RecordStore {
+        &self.records
+    }
+
+    /// Borrow the collaboration groups (tests).
+    pub fn collab(&self) -> &CollabGroups {
+        &self.collab
+    }
+
+    /// Total messages dropped across all client FIFOs.
+    pub fn fifo_dropped_total(&self) -> u64 {
+        self.fifos.values().map(FifoBuffer::dropped).sum()
+    }
+
+    /// Peak FIFO occupancy across all clients.
+    pub fn fifo_peak_max(&self) -> usize {
+        self.fifos.values().map(FifoBuffer::peak).max().unwrap_or(0)
+    }
+
+    /// Lifetime served / throttled GIOP request counts per peer node.
+    pub fn peer_accounting(&self) -> Vec<(NodeId, u64, u64)> {
+        let mut v: Vec<_> =
+            self.peer_accounting.iter().map(|(n, (_, _, total, thr))| (*n, *total, *thr)).collect();
+        v.sort_by_key(|(n, ..)| n.index());
+        v
+    }
+
+    /// Per-client FIFO statistics: (client, queued, peak, dropped,
+    /// enqueued) — the §6.2 slow-client memory-overhead observables.
+    pub fn fifo_snapshot(&self) -> Vec<(ClientId, usize, usize, u64, u64)> {
+        let mut v: Vec<_> = self
+            .fifos
+            .iter()
+            .map(|(c, f)| (*c, f.len(), f.peak(), f.dropped(), f.enqueued()))
+            .collect();
+        v.sort_by_key(|(c, ..)| *c);
+        v
+    }
+
+    /// All local app ids (tests/benches).
+    pub fn local_app_ids(&self) -> Vec<AppId> {
+        let mut ids: Vec<AppId> = self.apps.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    // -----------------------------------------------------------------
+    // Internal helpers
+    // -----------------------------------------------------------------
+
+    fn alloc_request(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    fn fifo_push(&mut self, client: ClientId, msg: ClientMessage) {
+        if let Some(fifo) = self.fifos.get_mut(&client) {
+            fifo.push(msg);
+        }
+    }
+
+    fn error(code: ErrorCode, detail: impl Into<String>) -> ClientMessage {
+        ClientMessage::Error(WireError::new(code, detail))
+    }
+
+    /// Send the single HTTP response for a request.
+    fn respond(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        to: NodeId,
+        status: u16,
+        set_session: Option<u64>,
+        body: Vec<ClientMessage>,
+    ) {
+        let resp = HttpResponse { status, set_session, body };
+        let cost = self.config.http_costs.response_cost(resp.wire_size(), self.config.ssl);
+        ctx.consume(cost);
+        ctx.stats().incr("server.http.responses");
+        ctx.send(to, Envelope::http_response(resp));
+    }
+
+    /// Deliver `update` to local group members (except `exclude`), and if
+    /// this server hosts the app, log it and return the peer push set.
+    fn route_update(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        update: UpdateBody,
+        exclude: Option<ClientId>,
+        origin_peer: Option<ServerAddr>,
+        effects: &mut Vec<Effect>,
+    ) {
+        let app = update.app();
+        let targets = self.collab.broadcast_targets(app, exclude);
+        ctx.stats().add("server.collab.local_fanout", targets.len() as u64);
+        for c in targets {
+            self.fifo_push(c, ClientMessage::Update(update.clone()));
+        }
+        if app.host() == self.config.addr {
+            // We are the host: record and fan out to subscribed peers.
+            if let Some(proxy) = self.apps.get_mut(&app) {
+                proxy.push_update(update.clone(), origin_peer);
+            }
+            self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
+            let peers: Vec<ServerAddr> = self
+                .subscribers
+                .get(&app)
+                .map(|s| s.iter().copied().filter(|p| Some(*p) != origin_peer).collect())
+                .unwrap_or_default();
+            if !peers.is_empty() {
+                effects.push(Effect::PushToPeers { update, peers });
+            }
+        } else if origin_peer.is_none() {
+            // Locally generated update about a remote app: the host owns
+            // global fan-out.
+            effects.push(Effect::ForwardToHost { update });
+        }
+    }
+
+    /// The global application list visible to `user` (local + cached
+    /// remote knowledge).
+    fn visible_apps(&self, user: &UserId) -> Vec<AppDescriptor> {
+        let mut out: Vec<AppDescriptor> =
+            self.apps.values().filter_map(|p| p.descriptor_for(user)).collect();
+        for ((u, app), privilege) in &self.remote_privs {
+            if u != user {
+                continue;
+            }
+            if let Some(remote) = self.remote_apps.get(app) {
+                out.push(AppDescriptor {
+                    app: *app,
+                    name: remote.name.clone(),
+                    kind: remote.kind.clone(),
+                    status: remote.last_status.clone(),
+                    privilege: *privilege,
+                    interface: remote.interface.clone(),
+                });
+            }
+        }
+        out.sort_by_key(|d| d.app);
+        out
+    }
+
+    /// Forward `op` toward a local application, honouring the Daemon
+    /// servlet's compute-phase buffering.
+    fn dispatch_to_app(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        app: AppId,
+        req: RequestId,
+        op: AppOp,
+    ) {
+        let Some(proxy) = self.apps.get_mut(&app) else { return };
+        match proxy.phase {
+            AppPhase::Interacting | AppPhase::Paused => {
+                let node = proxy.node;
+                let frame = TcpFrame::new(Channel::Command, AppMsg::Command { req, op });
+                ctx.consume(self.config.tcp_costs.frame_cost(frame.wire_size()));
+                ctx.send(node, Envelope::tcp(frame));
+            }
+            AppPhase::Computing => {
+                proxy.buffered.push_back((req, op));
+                ctx.stats().incr("server.daemon.buffered");
+            }
+            AppPhase::Terminated => {
+                let origin = self.origins.remove(&req);
+                if let Some(origin) = origin {
+                    self.finish_op(
+                        ctx,
+                        origin,
+                        Err(WireError::new(ErrorCode::Unavailable, "application terminated")),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Route a completed operation result back to its origin.
+    fn finish_op(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        origin: OpOrigin,
+        result: Result<OpOutcome, WireError>,
+    ) {
+        match origin {
+            OpOrigin::Local { client, user, app } => {
+                let entry = match &result {
+                    Ok(outcome) => LogEntry::Response(outcome.clone()),
+                    Err(e) => LogEntry::Error(e.clone()),
+                };
+                self.archive.log_client(client, app, ctx.now(), Some(user.clone()), entry.clone());
+                self.archive.log_app(app, ctx.now(), Some(user.clone()), entry);
+                match result {
+                    Ok(outcome) => {
+                        self.fifo_push(
+                            client,
+                            ClientMessage::Response(ResponseBody::OpDone {
+                                app,
+                                outcome: outcome.clone(),
+                            }),
+                        );
+                        self.after_outcome(ctx, client, user, app, outcome);
+                    }
+                    Err(e) => self.fifo_push(client, ClientMessage::Error(e)),
+                }
+            }
+            OpOrigin::Peer { node, giop_id, operation, app, user } => {
+                let entry = match &result {
+                    Ok(outcome) => LogEntry::Response(outcome.clone()),
+                    Err(e) => LogEntry::Error(e.clone()),
+                };
+                self.archive.log_app(app, ctx.now(), Some(user.clone()), entry);
+                let reply = GiopFrame::reply(
+                    giop_id,
+                    ObjectKey::new(CORBA_SERVER_KEY),
+                    &operation,
+                    PeerReply::OpResult { app, result: result.clone() },
+                );
+                ctx.consume(self.config.orb_costs.call_cost(reply.wire_size()));
+                ctx.send(node, Envelope::giop(reply));
+                // The host owns global fan-out of state changes caused by
+                // remote steerers.
+                if let Ok(outcome) = result {
+                    let update = match outcome {
+                        OpOutcome::ParamSet(name, value) => Some(UpdateBody::ParamChanged {
+                            app,
+                            name,
+                            value,
+                            by: user,
+                        }),
+                        OpOutcome::CommandDone(cmd) => {
+                            Some(UpdateBody::CommandApplied { app, command: cmd, by: user })
+                        }
+                        _ => None,
+                    };
+                    if let Some(update) = update {
+                        let mut effects = Vec::new();
+                        self.route_update(ctx, update, None, None, &mut effects);
+                        self.deferred.extend(effects);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-processing of a successful outcome for a local client:
+    /// mutating outcomes broadcast state-change updates; non-mutating
+    /// outcomes echo to the group when the client collaborates; §6.3
+    /// records are created under the requesting user.
+    fn after_outcome(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        user: UserId,
+        app: AppId,
+        outcome: OpOutcome,
+    ) {
+        let mut effects = Vec::new();
+        match &outcome {
+            OpOutcome::ParamSet(name, value) => {
+                let update = UpdateBody::ParamChanged {
+                    app,
+                    name: name.clone(),
+                    value: value.clone(),
+                    by: user.clone(),
+                };
+                self.route_update(ctx, update, Some(client), None, &mut effects);
+            }
+            OpOutcome::CommandDone(cmd) => {
+                let update = UpdateBody::CommandApplied { app, command: *cmd, by: user.clone() };
+                self.route_update(ctx, update, Some(client), None, &mut effects);
+            }
+            other => {
+                if self.collab.broadcast_enabled(app, client) {
+                    let update = UpdateBody::InteractionEcho {
+                        app,
+                        by: user.clone(),
+                        outcome: other.clone(),
+                    };
+                    self.route_update(ctx, update, Some(client), None, &mut effects);
+                }
+            }
+        }
+        self.records.create(
+            app,
+            user,
+            [],
+            ctx.now(),
+            vec![("outcome".to_string(), Value::Text(format!("{outcome:?}")))],
+        );
+        // Effects produced here are deferred through the pending queue.
+        self.deferred.extend(effects);
+    }
+
+    // -----------------------------------------------------------------
+    // HTTP (clients)
+    // -----------------------------------------------------------------
+
+    /// Handle one HTTP request from a client portal. Returns out-call
+    /// effects for the substrate.
+    pub fn handle_http(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        from: NodeId,
+        req: HttpRequest,
+    ) -> Vec<Effect> {
+        ctx.stats().incr("server.http.requests");
+        ctx.consume(self.config.http_costs.request_cost(req.wire_size(), self.config.ssl));
+        let mut effects = Vec::new();
+
+        // Login is the only request valid without a session.
+        if let Some(ClientRequest::Login { user, password }) = &req.body {
+            let (status, cookie, body) = self.do_login(ctx, user.clone(), password, &mut effects);
+            self.respond(ctx, from, status, cookie, body);
+            effects.extend(self.take_deferred());
+            return effects;
+        }
+
+        let session = req.session.and_then(|c| self.sessions.touch(c, ctx.now()));
+        let Some(session) = session else {
+            self.respond(
+                ctx,
+                from,
+                401,
+                None,
+                vec![Self::error(ErrorCode::AuthFailed, "no valid session")],
+            );
+            return effects;
+        };
+        let client = session.client;
+        let user = session.user.clone();
+        let cookie = session.cookie;
+
+        let body = match req.body {
+            None | Some(ClientRequest::Poll) => {
+                let batch = self
+                    .fifos
+                    .get_mut(&client)
+                    .map(|f| f.drain(self.config.poll_batch_max))
+                    .unwrap_or_default();
+                ctx.stats().incr("server.poll.requests");
+                ctx.stats().add("server.poll.delivered", batch.len() as u64);
+                vec![ClientMessage::Response(ResponseBody::Batch(batch))]
+            }
+            Some(ClientRequest::Logout) => {
+                self.do_logout(ctx, cookie, client, &user, &mut effects);
+                vec![ClientMessage::Response(ResponseBody::LogoutOk)]
+            }
+            Some(ClientRequest::ListApplications) => {
+                // Refresh remote knowledge in the background.
+                effects.push(Effect::RemoteAuth {
+                    client,
+                    user: user.clone(),
+                    password: security::expected_password(&user),
+                });
+                vec![ClientMessage::Response(ResponseBody::Apps(self.visible_apps(&user)))]
+            }
+            Some(ClientRequest::SelectApp { app }) => {
+                self.do_select(ctx, client, &user, app, &mut effects)
+            }
+            Some(ClientRequest::DeselectApp { app }) => {
+                self.do_deselect(ctx, client, &user, app, &mut effects);
+                vec![ClientMessage::Response(ResponseBody::AppDeselected { app })]
+            }
+            Some(ClientRequest::Op { app, op }) => {
+                self.do_op(ctx, client, &user, app, op, &mut effects)
+            }
+            Some(ClientRequest::RequestLock { app }) => {
+                self.do_lock(ctx, client, &user, app, true, &mut effects)
+            }
+            Some(ClientRequest::ReleaseLock { app }) => {
+                self.do_lock(ctx, client, &user, app, false, &mut effects)
+            }
+            Some(ClientRequest::JoinSubgroup { app, group }) => {
+                self.collab.join_subgroup(app, &group, client);
+                vec![ClientMessage::Response(ResponseBody::SubgroupOk { app, group, joined: true })]
+            }
+            Some(ClientRequest::LeaveSubgroup { app, group }) => {
+                self.collab.leave_subgroup(app, &group, client);
+                vec![ClientMessage::Response(ResponseBody::SubgroupOk {
+                    app,
+                    group,
+                    joined: false,
+                })]
+            }
+            Some(ClientRequest::SetCollabMode { app, broadcast }) => {
+                self.collab.set_broadcast(app, client, broadcast);
+                vec![ClientMessage::Response(ResponseBody::CollabModeOk { app, broadcast })]
+            }
+            Some(ClientRequest::Chat { app, text }) => {
+                let update = UpdateBody::Chat { app, from: user.clone(), text };
+                self.client_update(ctx, client, app, update, &mut effects)
+            }
+            Some(ClientRequest::Whiteboard { app, stroke }) => {
+                let update = UpdateBody::Whiteboard { app, from: user.clone(), stroke };
+                self.client_update(ctx, client, app, update, &mut effects)
+            }
+            Some(ClientRequest::ShareView { app, view }) => {
+                // Explicit shares bypass the client's broadcast-disabled
+                // mode by definition.
+                let update = UpdateBody::ViewShared { app, from: user.clone(), view };
+                self.client_update(ctx, client, app, update, &mut effects)
+            }
+            Some(ClientRequest::GetHistory { app, since }) => {
+                if app.host() == self.config.addr {
+                    let (records, next_seq) = self.archive.fetch_app(app, since);
+                    vec![ClientMessage::Response(ResponseBody::History { app, records, next_seq })]
+                } else if self.collab.is_member(app, client) {
+                    effects.push(Effect::RemoteHistory { client, app, since });
+                    vec![ClientMessage::Response(ResponseBody::Accepted)]
+                } else {
+                    vec![Self::error(ErrorCode::AccessDenied, "select the application first")]
+                }
+            }
+            Some(ClientRequest::GetMyLog { app, since }) => {
+                // Client logs live at the client's local server regardless
+                // of where the application is hosted (§5.2.5).
+                let (records, next_seq) = self.archive.fetch_client(client, app, since);
+                vec![ClientMessage::Response(ResponseBody::ClientLog { app, records, next_seq })]
+            }
+            Some(ClientRequest::Login { .. }) => unreachable!("handled above"),
+        };
+        self.respond(ctx, from, 200, None, body);
+        effects.extend(self.take_deferred());
+        effects
+    }
+
+    fn do_login(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        user: UserId,
+        password: &str,
+        effects: &mut Vec<Effect>,
+    ) -> (u16, Option<u64>, Vec<ClientMessage>) {
+        ctx.stats().incr("server.logins");
+        if !security::credentials_valid(&user, password) {
+            return (401, None, vec![Self::error(ErrorCode::AuthFailed, "bad credentials")]);
+        }
+        // Level 1 (paper): the user must be on the authorized list of at
+        // least one application registered with THIS server.
+        let local_apps: Vec<AppDescriptor> =
+            self.apps.values().filter_map(|p| p.descriptor_for(&user)).collect();
+        if local_apps.is_empty() {
+            return (
+                401,
+                None,
+                vec![Self::error(
+                    ErrorCode::AuthFailed,
+                    "user is not registered with any application at this server",
+                )],
+            );
+        }
+        if self.config.ssl {
+            ctx.consume(self.config.http_costs.ssl_handshake);
+        }
+        let client = ClientId { server: self.config.addr, seq: self.next_client_seq };
+        self.next_client_seq += 1;
+        let now = ctx.now();
+        let cookie = self.sessions.create(ctx.rng(), user.clone(), client, now);
+        self.cookie_of_client.insert(client, cookie);
+        self.fifos.insert(client, FifoBuffer::new(self.config.fifo_capacity));
+        // Fan out level-1 authentication to the peer network for the
+        // user's global application list.
+        effects.push(Effect::RemoteAuth {
+            client,
+            user: user.clone(),
+            password: password.to_string(),
+        });
+        let apps = self.visible_apps(&user);
+        (200, Some(cookie), vec![ClientMessage::Response(ResponseBody::LoginOk { client, apps })])
+    }
+
+    fn do_logout(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        cookie: u64,
+        client: ClientId,
+        user: &UserId,
+        effects: &mut Vec<Effect>,
+    ) {
+        self.sessions.remove(cookie);
+        self.cookie_of_client.remove(&client);
+        self.fifos.remove(&client);
+        let affected = self.collab.drop_client(client);
+        let last_session = !self.sessions.iter().any(|s| s.user == *user);
+        for app in affected {
+            let update = UpdateBody::MemberLeft { app, user: user.clone() };
+            self.route_update(ctx, update, None, None, effects);
+            self.maybe_unsubscribe(app, effects);
+            self.release_lock_if_last_session(ctx, app, user, effects);
+            // A lock held on a REMOTE application must be released at its
+            // host server via the relay (otherwise the host would strand
+            // the lock until lease expiry).
+            if last_session && app.host() != self.config.addr {
+                effects.push(Effect::RemoteLock {
+                    client,
+                    user: user.clone(),
+                    app,
+                    acquire: false,
+                });
+            }
+        }
+    }
+
+    /// If no other session of `user` remains, force-release their lock on
+    /// a local app (disconnect cleanup).
+    fn release_lock_if_last_session(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        app: AppId,
+        user: &UserId,
+        effects: &mut Vec<Effect>,
+    ) {
+        let still_here = self.sessions.iter().any(|s| s.user == *user);
+        if still_here {
+            return;
+        }
+        if let Some(proxy) = self.apps.get_mut(&app) {
+            if proxy.lock.is_held_by(user) {
+                proxy.lock.force_release();
+                let update = UpdateBody::LockChanged { app, holder: None };
+                self.route_update(ctx, update, None, None, effects);
+            }
+        }
+    }
+
+    fn do_select(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        user: &UserId,
+        app: AppId,
+        effects: &mut Vec<Effect>,
+    ) -> Vec<ClientMessage> {
+        // Level-2 authentication: resolve the user's privilege.
+        let (privilege, interface, snapshot) = if app.host() == self.config.addr {
+            match self.apps.get(&app) {
+                None => return vec![Self::error(ErrorCode::NoSuchApp, format!("{app}"))],
+                Some(proxy) => match proxy.privilege_of(user) {
+                    None => {
+                        ctx.stats().incr("server.acl.denied");
+                        return vec![Self::error(ErrorCode::AccessDenied, "not on the ACL")];
+                    }
+                    Some(p) => (
+                        p,
+                        proxy.interface.clone(),
+                        Some(UpdateBody::AppStatus {
+                            app,
+                            status: proxy.last_status.clone(),
+                            readings: proxy.last_readings.clone(),
+                        }),
+                    ),
+                },
+            }
+        } else {
+            match (self.remote_privs.get(&(user.clone(), app)), self.remote_apps.get(&app)) {
+                (Some(p), Some(remote)) => (*p, remote.interface.clone(), None),
+                _ => {
+                    return vec![Self::error(
+                        ErrorCode::AccessDenied,
+                        "unknown remote application for this user (list applications first)",
+                    )]
+                }
+            }
+        };
+        let first_member = self.collab.members(app).is_empty();
+        self.collab.join(app, client);
+        if let Some(s) = self.sessions.touch(self.cookie_of_client[&client], ctx.now()) {
+            if !s.selected.contains(&app) {
+                s.selected.push(app);
+            }
+        }
+        if app.host() != self.config.addr && first_member {
+            effects.push(Effect::Subscribe { app });
+        }
+        let update = UpdateBody::MemberJoined { app, user: user.clone() };
+        self.route_update(ctx, update, Some(client), None, effects);
+        let mut out = vec![ClientMessage::Response(ResponseBody::AppSelected {
+            app,
+            interface: security::filter_interface(&interface, privilege),
+            privilege,
+        })];
+        if let Some(snapshot) = snapshot {
+            out.push(ClientMessage::Update(snapshot));
+        }
+        out
+    }
+
+    fn do_deselect(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        user: &UserId,
+        app: AppId,
+        effects: &mut Vec<Effect>,
+    ) {
+        self.collab.leave(app, client);
+        if let Some(cookie) = self.cookie_of_client.get(&client) {
+            if let Some(s) = self.sessions.touch(*cookie, ctx.now()) {
+                s.selected.retain(|a| *a != app);
+            }
+        }
+        let update = UpdateBody::MemberLeft { app, user: user.clone() };
+        self.route_update(ctx, update, Some(client), None, effects);
+        self.maybe_unsubscribe(app, effects);
+        self.release_lock_if_last_session(ctx, app, user, effects);
+    }
+
+    fn maybe_unsubscribe(&mut self, app: AppId, effects: &mut Vec<Effect>) {
+        if app.host() != self.config.addr && self.collab.members(app).is_empty() {
+            effects.push(Effect::Unsubscribe { app });
+        }
+    }
+
+    fn do_op(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        user: &UserId,
+        app: AppId,
+        op: AppOp,
+        effects: &mut Vec<Effect>,
+    ) -> Vec<ClientMessage> {
+        ctx.stats().incr("server.ops");
+        if app.host() == self.config.addr {
+            let Some(proxy) = self.apps.get(&app) else {
+                return vec![Self::error(ErrorCode::NoSuchApp, format!("{app}"))];
+            };
+            let Some(privilege) = proxy.privilege_of(user) else {
+                ctx.stats().incr("server.acl.denied");
+                return vec![Self::error(ErrorCode::AccessDenied, "not on the ACL")];
+            };
+            if let Err(e) = security::authorize_op(privilege, &op) {
+                ctx.stats().incr("server.acl.denied");
+                return vec![ClientMessage::Error(e)];
+            }
+            if op.is_mutating() && !proxy.lock.is_held_by(user) {
+                return vec![Self::error(
+                    ErrorCode::LockRequired,
+                    "acquire the steering lock first",
+                )];
+            }
+            if matches!(op, AppOp::GetStatus) {
+                // Served from the proxy's cached context.
+                return vec![ClientMessage::Response(ResponseBody::OpDone {
+                    app,
+                    outcome: OpOutcome::Status(proxy.last_status.clone()),
+                })];
+            }
+            let req = self.alloc_request();
+            self.archive.log_client(
+                client,
+                app,
+                ctx.now(),
+                Some(user.clone()),
+                LogEntry::Request(op.clone()),
+            );
+            self.archive.log_app(
+                app,
+                ctx.now(),
+                Some(user.clone()),
+                LogEntry::Request(op.clone()),
+            );
+            self.origins
+                .insert(req, OpOrigin::Local { client, user: user.clone(), app });
+            self.dispatch_to_app(ctx, app, req, op);
+            vec![ClientMessage::Response(ResponseBody::Accepted)]
+        } else {
+            let Some(privilege) = self.remote_privs.get(&(user.clone(), app)).copied() else {
+                return vec![Self::error(ErrorCode::AccessDenied, "unknown remote application")];
+            };
+            if let Err(e) = security::authorize_op(privilege, &op) {
+                return vec![ClientMessage::Error(e)];
+            }
+            if matches!(op, AppOp::GetStatus) {
+                if let Some(remote) = self.remote_apps.get(&app) {
+                    return vec![ClientMessage::Response(ResponseBody::OpDone {
+                        app,
+                        outcome: OpOutcome::Status(remote.last_status.clone()),
+                    })];
+                }
+            }
+            self.archive.log_client(
+                client,
+                app,
+                ctx.now(),
+                Some(user.clone()),
+                LogEntry::Request(op.clone()),
+            );
+            effects.push(Effect::RemoteOp { client, user: user.clone(), app, op });
+            vec![ClientMessage::Response(ResponseBody::Accepted)]
+        }
+    }
+
+    fn do_lock(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        user: &UserId,
+        app: AppId,
+        acquire: bool,
+        effects: &mut Vec<Effect>,
+    ) -> Vec<ClientMessage> {
+        if app.host() == self.config.addr {
+            let now = ctx.now();
+            let Some(proxy) = self.apps.get_mut(&app) else {
+                return vec![Self::error(ErrorCode::NoSuchApp, format!("{app}"))];
+            };
+            if acquire {
+                match proxy.lock.try_acquire_leased(user, now, self.config.lock_lease) {
+                    LockOutcome::Granted => {
+                        let update =
+                            UpdateBody::LockChanged { app, holder: Some(user.clone()) };
+                        self.route_update(ctx, update, Some(client), None, effects);
+                        vec![ClientMessage::Response(ResponseBody::LockGranted { app })]
+                    }
+                    LockOutcome::Denied { holder } => {
+                        ctx.stats().incr("server.lock.denied");
+                        vec![ClientMessage::Response(ResponseBody::LockDenied {
+                            app,
+                            holder: Some(holder),
+                        })]
+                    }
+                }
+            } else if proxy.lock.release(user) {
+                let update = UpdateBody::LockChanged { app, holder: None };
+                self.route_update(ctx, update, Some(client), None, effects);
+                vec![ClientMessage::Response(ResponseBody::LockReleased { app })]
+            } else {
+                vec![Self::error(ErrorCode::BadRequest, "not the lock holder")]
+            }
+        } else {
+            if !self.remote_privs.contains_key(&(user.clone(), app)) {
+                return vec![Self::error(ErrorCode::AccessDenied, "unknown remote application")];
+            }
+            effects.push(Effect::RemoteLock { client, user: user.clone(), app, acquire });
+            vec![ClientMessage::Response(ResponseBody::Accepted)]
+        }
+    }
+
+    /// Collaboration content generated by a local client (chat,
+    /// whiteboard, shared view).
+    fn client_update(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        app: AppId,
+        update: UpdateBody,
+        effects: &mut Vec<Effect>,
+    ) -> Vec<ClientMessage> {
+        if !self.collab.is_member(app, client) {
+            return vec![Self::error(ErrorCode::AccessDenied, "select the application first")];
+        }
+        self.route_update(ctx, update, Some(client), None, effects);
+        vec![ClientMessage::Response(ResponseBody::Accepted)]
+    }
+}
+
+// Deferred-effect plumbing: `after_outcome` runs deep inside the TCP path
+// where the effects vector is not threaded through; it parks effects here
+// and the public entry points drain them.
+impl ServerCore {
+    fn take_deferred(&mut self) -> Vec<Effect> {
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// Drain effects parked by completion paths (used by the substrate
+    /// after invoking `complete_remote_*`).
+    pub fn drain_effects(&mut self) -> Vec<Effect> {
+        self.take_deferred()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Custom TCP (applications / Daemon servlet)
+// ---------------------------------------------------------------------------
+
+impl ServerCore {
+    /// Handle one frame from an application driver.
+    pub fn handle_tcp(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        from: NodeId,
+        frame: TcpFrame,
+    ) -> Vec<Effect> {
+        ctx.stats().incr("server.tcp.frames");
+        ctx.consume(self.config.tcp_costs.frame_cost(frame.wire_size()));
+        let mut effects = Vec::new();
+        match frame.msg {
+            AppMsg::Register { token, name, kind, acl, interface } => {
+                let accepted = match &self.config.accepted_tokens {
+                    None => true,
+                    Some(list) => list.contains(&token),
+                };
+                if !accepted {
+                    ctx.stats().incr("server.daemon.register_rejected");
+                    ctx.send(
+                        from,
+                        Envelope::tcp(TcpFrame::new(
+                            Channel::Main,
+                            AppMsg::RegisterNak {
+                                error: WireError::new(ErrorCode::AuthFailed, "unknown app token"),
+                            },
+                        )),
+                    );
+                    return effects;
+                }
+                let app = AppId { server: self.config.addr, seq: self.next_app_seq };
+                self.next_app_seq += 1;
+                let proxy = ApplicationProxy::new(
+                    app,
+                    name.clone(),
+                    kind,
+                    from,
+                    interface,
+                    acl,
+                    self.config.update_log_capacity,
+                );
+                self.apps.insert(app, proxy);
+                self.app_by_node.insert(from, app);
+                ctx.stats().incr("server.daemon.registered");
+                ctx.send(
+                    from,
+                    Envelope::tcp(TcpFrame::new(Channel::Main, AppMsg::RegisterAck { app })),
+                );
+                effects.push(Effect::Announce {
+                    kind: ControlEventKind::AppRegistered,
+                    detail: format!("{name} as {app}"),
+                    app: Some(app),
+                });
+            }
+            AppMsg::Update { app, status, readings } => {
+                if let Some(proxy) = self.apps.get_mut(&app) {
+                    proxy.apply_status(status.clone(), readings.clone());
+                    self.archive.log_app(app, ctx.now(), None, LogEntry::Status(status.clone()));
+                    // Periodic data records owned by the app's owner, with
+                    // read-only grants for the ACL users (§6.3).
+                    let counter = self.update_counter.entry(app).or_insert(0);
+                    *counter += 1;
+                    if *counter % self.config.record_every == 0 {
+                        let proxy = &self.apps[&app];
+                        let owner = proxy.owner.clone();
+                        let readers = proxy.acl_users();
+                        let data = readings
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect::<Vec<_>>();
+                        self.records.create(app, owner, readers, ctx.now(), data);
+                    }
+                    let update = UpdateBody::AppStatus { app, status, readings };
+                    self.route_update(ctx, update, None, None, &mut effects);
+                }
+            }
+            AppMsg::PhaseChange { app, phase } => {
+                let mut to_flush = Vec::new();
+                if let Some(proxy) = self.apps.get_mut(&app) {
+                    proxy.phase = phase;
+                    proxy.last_status.phase = phase;
+                    if matches!(phase, AppPhase::Interacting | AppPhase::Paused) {
+                        // Daemon servlet: flush the buffered requests now
+                        // that the application can interact.
+                        to_flush = proxy.buffered.drain(..).collect();
+                    }
+                }
+                for (req, op) in to_flush {
+                    ctx.stats().incr("server.daemon.flushed");
+                    self.dispatch_to_app(ctx, app, req, op);
+                }
+            }
+            AppMsg::Response { req, result } => {
+                if let Some(origin) = self.origins.remove(&req) {
+                    self.finish_op(ctx, origin, result);
+                }
+            }
+            AppMsg::Deregister { app } => {
+                self.close_app(ctx, app, &mut effects);
+            }
+            // Server-to-app messages arriving here would be a wiring bug.
+            AppMsg::RegisterAck { .. } | AppMsg::RegisterNak { .. } | AppMsg::Command { .. } => {
+                ctx.stats().incr("server.tcp.unexpected");
+            }
+        }
+        effects.extend(self.take_deferred());
+        effects
+    }
+
+    /// Remove a local application: notify groups, fail buffered requests,
+    /// announce on the control channel.
+    fn close_app(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId, effects: &mut Vec<Effect>) {
+        let Some(mut proxy) = self.apps.remove(&app) else { return };
+        self.app_by_node.remove(&proxy.node);
+        ctx.stats().incr("server.daemon.deregistered");
+        // Fail anything still buffered.
+        for (req, _) in proxy.buffered.drain(..) {
+            if let Some(origin) = self.origins.remove(&req) {
+                self.finish_op(
+                    ctx,
+                    origin,
+                    Err(WireError::new(ErrorCode::Unavailable, "application closed")),
+                );
+            }
+        }
+        let update = UpdateBody::AppClosed { app };
+        // Push directly (route_update would try the removed proxy).
+        let targets = self.collab.broadcast_targets(app, None);
+        for c in targets {
+            self.fifo_push(c, ClientMessage::Update(update.clone()));
+        }
+        self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
+        let peers: Vec<ServerAddr> =
+            self.subscribers.remove(&app).map(|s| s.into_iter().collect()).unwrap_or_default();
+        if !peers.is_empty() {
+            effects.push(Effect::PushToPeers { update, peers });
+        }
+        self.collab.drop_app(app);
+        effects.push(Effect::Announce {
+            kind: ControlEventKind::AppClosed,
+            detail: format!("{app}"),
+            app: Some(app),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GIOP (serving peer requests)
+// ---------------------------------------------------------------------------
+
+impl ServerCore {
+    /// Serve one GIOP *request* frame from a peer server. Reply frames
+    /// must be routed to the substrate's broker instead.
+    pub fn handle_giop(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        from: NodeId,
+        frame: GiopFrame,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let GiopFrame { kind, request_id, target, operation, body } = frame;
+        let GiopBody::Call(call) = body else {
+            ctx.stats().incr("server.giop.stray_reply");
+            return effects;
+        };
+        ctx.stats().incr("server.giop.calls");
+        // §6.3 resource accounting: meter each peer's request rate and
+        // enforce the configured access policy.
+        let expects_reply = matches!(kind, GiopKind::Request { response_expected: true });
+        {
+            let now_us = ctx.now().as_micros();
+            let entry = self.peer_accounting.entry(from).or_insert((now_us, 0, 0, 0));
+            if now_us.saturating_sub(entry.0) >= 1_000_000 {
+                entry.0 = now_us;
+                entry.1 = 0;
+            }
+            entry.1 += 1;
+            entry.2 += 1;
+            if let Some(limit) = self.config.peer_rate_limit {
+                if entry.1 > limit {
+                    entry.3 += 1;
+                    ctx.stats().incr("server.peer.throttled");
+                    if expects_reply {
+                        let frame = GiopFrame::reply(
+                            request_id,
+                            target.clone(),
+                            &operation,
+                            PeerReply::Exception(WireError::new(
+                                ErrorCode::Unavailable,
+                                "peer request rate exceeds access policy",
+                            )),
+                        );
+                        ctx.send(from, Envelope::giop(frame));
+                    }
+                    return effects;
+                }
+            }
+        }
+        // Skeleton-side unmarshalling/dispatch cost for every incoming call.
+        let incoming_bytes = codec_len_hint(&call);
+        ctx.consume(self.config.orb_costs.call_cost(incoming_bytes));
+        let reply = |core: &mut Self, ctx: &mut Ctx<'_, Envelope>, r: PeerReply| {
+            if expects_reply {
+                let frame = GiopFrame::reply(request_id, target.clone(), &operation, r);
+                ctx.consume(core.config.orb_costs.call_cost(frame.wire_size()));
+                ctx.send(from, Envelope::giop(frame));
+            }
+        };
+        match call {
+            PeerMsg::Authenticate { user, password } => {
+                ctx.stats().incr("server.peer.auth");
+                if !security::credentials_valid(&user, &password) {
+                    reply(self, ctx, PeerReply::AuthDenied);
+                    return effects;
+                }
+                let apps: Vec<AppDescriptor> =
+                    self.apps.values().filter_map(|p| p.descriptor_for(&user)).collect();
+                if apps.is_empty() {
+                    reply(self, ctx, PeerReply::AuthDenied);
+                } else {
+                    reply(self, ctx, PeerReply::AuthOk { apps });
+                }
+            }
+            PeerMsg::ListActive => {
+                let apps: Vec<AppDescriptor> = self
+                    .apps
+                    .values()
+                    .map(|p| AppDescriptor {
+                        app: p.app,
+                        name: p.name.clone(),
+                        kind: p.kind.clone(),
+                        status: p.last_status.clone(),
+                        privilege: Privilege::ReadOnly,
+                        interface: p.interface.clone(),
+                    })
+                    .collect();
+                reply(self, ctx, PeerReply::Active { apps, users: self.sessions.users() });
+            }
+            PeerMsg::ProxyOp { app, user, op } => {
+                ctx.stats().incr("server.peer.proxy_ops");
+                let Some(proxy) = self.apps.get(&app) else {
+                    reply(
+                        self,
+                        ctx,
+                        PeerReply::OpResult {
+                            app,
+                            result: Err(WireError::new(ErrorCode::NoSuchApp, format!("{app}"))),
+                        },
+                    );
+                    return effects;
+                };
+                let Some(privilege) = proxy.privilege_of(&user) else {
+                    reply(
+                        self,
+                        ctx,
+                        PeerReply::OpResult {
+                            app,
+                            result: Err(WireError::new(ErrorCode::AccessDenied, "not on ACL")),
+                        },
+                    );
+                    return effects;
+                };
+                if let Err(e) = security::authorize_op(privilege, &op) {
+                    reply(self, ctx, PeerReply::OpResult { app, result: Err(e) });
+                    return effects;
+                }
+                if op.is_mutating() && !proxy.lock.is_held_by(&user) {
+                    reply(
+                        self,
+                        ctx,
+                        PeerReply::OpResult {
+                            app,
+                            result: Err(WireError::new(
+                                ErrorCode::LockRequired,
+                                "steering lock not held",
+                            )),
+                        },
+                    );
+                    return effects;
+                }
+                if matches!(op, AppOp::GetStatus) {
+                    let status = proxy.last_status.clone();
+                    reply(
+                        self,
+                        ctx,
+                        PeerReply::OpResult { app, result: Ok(OpOutcome::Status(status)) },
+                    );
+                    return effects;
+                }
+                let req = self.alloc_request();
+                self.archive.log_app(
+                    app,
+                    ctx.now(),
+                    Some(user.clone()),
+                    LogEntry::Request(op.clone()),
+                );
+                self.origins.insert(
+                    req,
+                    OpOrigin::Peer { node: from, giop_id: request_id, operation, app, user },
+                );
+                self.dispatch_to_app(ctx, app, req, op);
+                // Reply is sent when the application responds.
+            }
+            PeerMsg::LockRequest { app, user } => {
+                let now = ctx.now();
+                ctx.stats().incr("server.peer.lock_requests");
+                match self.apps.get_mut(&app) {
+                    None => reply(
+                        self,
+                        ctx,
+                        PeerReply::Exception(WireError::new(ErrorCode::NoSuchApp, format!("{app}"))),
+                    ),
+                    Some(proxy) => match proxy.lock.try_acquire_leased(
+                        &user,
+                        now,
+                        self.config.lock_lease,
+                    ) {
+                        LockOutcome::Granted => {
+                            reply(
+                                self,
+                                ctx,
+                                PeerReply::LockDecision {
+                                    app,
+                                    granted: true,
+                                    holder: Some(user.clone()),
+                                },
+                            );
+                            let update =
+                                UpdateBody::LockChanged { app, holder: Some(user.clone()) };
+                            self.route_update(ctx, update, None, None, &mut effects);
+                        }
+                        LockOutcome::Denied { holder } => {
+                            ctx.stats().incr("server.lock.denied");
+                            reply(
+                                self,
+                                ctx,
+                                PeerReply::LockDecision { app, granted: false, holder: Some(holder) },
+                            );
+                        }
+                    },
+                }
+            }
+            PeerMsg::LockRelease { app, user } => match self.apps.get_mut(&app) {
+                None => reply(
+                    self,
+                    ctx,
+                    PeerReply::Exception(WireError::new(ErrorCode::NoSuchApp, format!("{app}"))),
+                ),
+                Some(proxy) => {
+                    if proxy.lock.release(&user) {
+                        reply(self, ctx, PeerReply::LockDecision { app, granted: true, holder: None });
+                        let update = UpdateBody::LockChanged { app, holder: None };
+                        self.route_update(ctx, update, None, None, &mut effects);
+                    } else {
+                        let holder = proxy.lock.holder().cloned();
+                        reply(self, ctx, PeerReply::LockDecision { app, granted: false, holder });
+                    }
+                }
+            },
+            PeerMsg::SubscribeApp { app, subscriber } => {
+                ctx.stats().incr("server.peer.subscribes");
+                if self.apps.contains_key(&app) {
+                    self.subscribers.entry(app).or_default().insert(subscriber);
+                    reply(self, ctx, PeerReply::SubscribeOk { app });
+                    // Seed the subscriber with the current status.
+                    if let Some(proxy) = self.apps.get(&app) {
+                        effects.push(Effect::PushToPeers {
+                            update: UpdateBody::AppStatus {
+                                app,
+                                status: proxy.last_status.clone(),
+                                readings: proxy.last_readings.clone(),
+                            },
+                            peers: vec![subscriber],
+                        });
+                    }
+                } else {
+                    reply(
+                        self,
+                        ctx,
+                        PeerReply::Exception(WireError::new(ErrorCode::NoSuchApp, format!("{app}"))),
+                    );
+                }
+            }
+            PeerMsg::UnsubscribeApp { app, subscriber } => {
+                if let Some(set) = self.subscribers.get_mut(&app) {
+                    set.remove(&subscriber);
+                }
+                reply(self, ctx, PeerReply::SubscribeOk { app });
+            }
+            PeerMsg::CollabUpdate { update, origin } => {
+                ctx.stats().incr("server.peer.collab_updates");
+                self.apply_peer_update(ctx, update, origin, &mut effects);
+            }
+            PeerMsg::PollUpdates { app, since, requester } => {
+                match self.apps.get(&app) {
+                    Some(proxy) => {
+                        let (updates, next_seq) = proxy.updates_since(since, Some(requester));
+                        reply(self, ctx, PeerReply::Updates { app, updates, next_seq });
+                    }
+                    None => reply(
+                        self,
+                        ctx,
+                        PeerReply::Exception(WireError::new(ErrorCode::NoSuchApp, format!("{app}"))),
+                    ),
+                }
+            }
+            PeerMsg::FetchHistory { app, since } => {
+                let (records, next_seq) = self.archive.fetch_app(app, since);
+                reply(self, ctx, PeerReply::History { app, records, next_seq });
+            }
+            PeerMsg::Control(event) => {
+                ctx.stats().incr(&format!("server.control.{:?}", event.kind));
+                let _ = event;
+            }
+            // Directory operations belong to the directory node.
+            other => {
+                reply(
+                    self,
+                    ctx,
+                    PeerReply::Exception(WireError::new(
+                        ErrorCode::BadRequest,
+                        format!("not served here: {other:?}"),
+                    )),
+                );
+            }
+        }
+        effects.extend(self.take_deferred());
+        effects
+    }
+
+    /// Ingest an update that arrived from a peer (push or poll). If this
+    /// server hosts the app, it re-fans to locals and subscribers (minus
+    /// the origin); otherwise it only reaches local clients.
+    pub fn apply_peer_update(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        update: UpdateBody,
+        origin: ServerAddr,
+        effects: &mut Vec<Effect>,
+    ) {
+        // Maintain the remote mirror's status cache.
+        if let UpdateBody::AppStatus { app, status, .. } = &update {
+            if let Some(remote) = self.remote_apps.get_mut(app) {
+                remote.last_status = status.clone();
+            }
+        }
+        if let UpdateBody::AppClosed { app } = &update {
+            self.remote_apps.remove(app);
+            self.remote_privs.retain(|(_, a), _| a != app);
+        }
+        self.route_update(ctx, update, None, Some(origin), effects);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completions (called by the middleware substrate)
+// ---------------------------------------------------------------------------
+
+impl ServerCore {
+    /// A peer answered the level-1 authentication fan-out for `client`.
+    pub fn complete_remote_auth(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        apps: Vec<AppDescriptor>,
+    ) {
+        let Some(cookie) = self.cookie_of_client.get(&client) else { return };
+        let Some(session) = self.sessions.get(*cookie) else { return };
+        let user = session.user.clone();
+        for d in apps {
+            self.remote_privs.insert((user.clone(), d.app), d.privilege);
+            self.remote_apps.insert(
+                d.app,
+                RemoteApp {
+                    name: d.name,
+                    kind: d.kind,
+                    interface: d.interface,
+                    last_status: d.status,
+                },
+            );
+        }
+        ctx.stats().incr("server.remote.auth_completions");
+        let list = self.visible_apps(&user);
+        self.fifo_push(client, ClientMessage::Response(ResponseBody::Apps(list)));
+    }
+
+    /// A remote operation completed (or failed terminally).
+    pub fn complete_remote_op(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        app: AppId,
+        result: Result<OpOutcome, WireError>,
+    ) {
+        let user = self
+            .cookie_of_client
+            .get(&client)
+            .and_then(|c| self.sessions.get(*c))
+            .map(|s| s.user.clone());
+        let Some(user) = user else { return };
+        let entry = match &result {
+            Ok(o) => LogEntry::Response(o.clone()),
+            Err(e) => LogEntry::Error(e.clone()),
+        };
+        self.archive.log_client(client, app, ctx.now(), Some(user.clone()), entry);
+        match result {
+            Ok(outcome) => {
+                self.fifo_push(
+                    client,
+                    ClientMessage::Response(ResponseBody::OpDone { app, outcome: outcome.clone() }),
+                );
+                // Collaborative response sharing: echo non-mutating
+                // outcomes to the group (mutating ones are broadcast by
+                // the host itself).
+                let mutating = matches!(
+                    outcome,
+                    OpOutcome::ParamSet(..) | OpOutcome::CommandDone(_)
+                );
+                if !mutating && self.collab.broadcast_enabled(app, client) {
+                    let update = UpdateBody::InteractionEcho {
+                        app,
+                        by: user.clone(),
+                        outcome: outcome.clone(),
+                    };
+                    let mut effects = Vec::new();
+                    self.route_update(ctx, update, Some(client), None, &mut effects);
+                    self.deferred.extend(effects);
+                }
+                // §6.3: the response record is created at the CLIENT's
+                // local server, owned by the requesting user.
+                self.records.create(
+                    app,
+                    user,
+                    [],
+                    ctx.now(),
+                    vec![("outcome".to_string(), Value::Text(format!("{outcome:?}")))],
+                );
+            }
+            Err(e) => self.fifo_push(client, ClientMessage::Error(e)),
+        }
+    }
+
+    /// A relayed lock request/release was decided by the host server.
+    pub fn complete_remote_lock(
+        &mut self,
+        _ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        app: AppId,
+        acquire: bool,
+        granted: bool,
+        holder: Option<UserId>,
+    ) {
+        let msg = match (acquire, granted) {
+            (true, true) => ClientMessage::Response(ResponseBody::LockGranted { app }),
+            (true, false) => ClientMessage::Response(ResponseBody::LockDenied { app, holder }),
+            (false, true) => ClientMessage::Response(ResponseBody::LockReleased { app }),
+            (false, false) => Self::error(ErrorCode::BadRequest, "not the lock holder"),
+        };
+        self.fifo_push(client, msg);
+    }
+
+    /// Remote history fetch completed.
+    pub fn complete_remote_history(
+        &mut self,
+        _ctx: &mut Ctx<'_, Envelope>,
+        client: ClientId,
+        app: AppId,
+        records: Vec<wire::LogRecord>,
+        next_seq: u64,
+    ) {
+        self.fifo_push(
+            client,
+            ClientMessage::Response(ResponseBody::History { app, records, next_seq }),
+        );
+    }
+
+    /// A control event arrived from the peer network.
+    pub fn note_control_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: &ControlEvent) {
+        ctx.stats().incr(&format!("server.control.{:?}", event.kind));
+    }
+
+    /// Reap sessions idle past the configured timeout, treating each like
+    /// a logout (master-handler housekeeping). Returns resulting effects.
+    pub fn reap_idle_sessions(&mut self, ctx: &mut Ctx<'_, Envelope>) -> Vec<Effect> {
+        let Some(timeout) = self.config.session_idle_timeout else { return Vec::new() };
+        let now = ctx.now();
+        let cutoff_us = now.as_micros().saturating_sub(timeout.as_micros());
+        let cutoff = simnet::SimTime::from_micros(cutoff_us);
+        let mut effects = Vec::new();
+        for session in self.sessions.reap_idle(cutoff) {
+            ctx.stats().incr("server.sessions.reaped");
+            let client = session.client;
+            let user = session.user.clone();
+            self.cookie_of_client.remove(&client);
+            self.fifos.remove(&client);
+            let affected = self.collab.drop_client(client);
+            let last_session = !self.sessions.iter().any(|s| s.user == user);
+            for app in affected {
+                let update = UpdateBody::MemberLeft { app, user: user.clone() };
+                self.route_update(ctx, update, None, None, &mut effects);
+                self.maybe_unsubscribe(app, &mut effects);
+                self.release_lock_if_last_session(ctx, app, &user, &mut effects);
+                if last_session && app.host() != self.config.addr {
+                    effects.push(Effect::RemoteLock {
+                        client,
+                        user: user.clone(),
+                        app,
+                        acquire: false,
+                    });
+                }
+            }
+        }
+        effects.extend(self.take_deferred());
+        effects
+    }
+}

@@ -1,0 +1,44 @@
+//! # discover-server — the DISCOVER interaction and collaboration server
+//!
+//! The paper's middle tier (§4): a commodity web server extended with
+//! servlet handlers for real-time application interaction, steering, and
+//! client collaboration. This crate contains every handler:
+//!
+//! * master handler — client sessions and ids ([`core`] + `webserv`),
+//! * command handler — operation routing to [`ApplicationProxy`]s,
+//! * collaboration handler — groups, subgroups, chat, whiteboard
+//!   ([`CollabGroups`]),
+//! * security/authentication handler — two-level auth with per
+//!   user-application ACLs ([`security`]),
+//! * Daemon servlet — application registration and compute-phase request
+//!   buffering ([`core`]),
+//! * session archival handler — client and application logs, replay and
+//!   latecomer catch-up ([`ArchiveStore`]),
+//! * database handler — record ownership rules of §6.3 ([`RecordStore`]),
+//! * the steering lock — host-server authority ([`SteeringLock`]).
+//!
+//! [`ServerCore`] is transport-complete for local traffic and *serves*
+//! peer (GIOP) requests; out-calls to peers are returned as [`Effect`]s
+//! for the middleware substrate in `discover-core` to perform.
+//! [`StandaloneServer`] wraps the core as the paper's pre-substrate,
+//! single-server system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod archive;
+mod collab;
+pub mod core;
+mod locks;
+mod proxy;
+pub mod security;
+mod standalone;
+mod store;
+
+pub use archive::{ArchiveStore, Log};
+pub use collab::CollabGroups;
+pub use core::{Effect, RemoteApp, ServerConfig, ServerCore, CORBA_SERVER_KEY};
+pub use locks::{LockOutcome, SteeringLock};
+pub use proxy::ApplicationProxy;
+pub use standalone::StandaloneServer;
+pub use store::{Record, RecordAccess, RecordStore};

@@ -1,0 +1,200 @@
+//! The steering lock: "A simple locking mechanism is used to ensure that
+//! the application remains in a consistent state during collaborative
+//! interactions. This ensures that only one client 'drives' (issues
+//! commands) the application at any time."
+//!
+//! In the distributed-server network, lock state is ONLY kept here, at
+//! the application's host server; remote servers relay requests
+//! (§5.2.4). A request while the lock is held is denied (the requester
+//! retries), matching the paper's minimal protocol.
+
+use simnet::{SimDuration, SimTime};
+use wire::UserId;
+
+/// Steering-lock state for one application.
+#[derive(Debug, Default)]
+pub struct SteeringLock {
+    holder: Option<UserId>,
+    acquired_at: Option<SimTime>,
+    /// Total successful acquisitions.
+    pub acquisitions: u64,
+    /// Total denials.
+    pub denials: u64,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The requester now holds the lock.
+    Granted,
+    /// Someone else holds it.
+    Denied {
+        /// The current holder.
+        holder: UserId,
+    },
+}
+
+impl SteeringLock {
+    /// Create a free lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current holder, if any.
+    pub fn holder(&self) -> Option<&UserId> {
+        self.holder.as_ref()
+    }
+
+    /// When the current holder acquired it.
+    pub fn held_since(&self) -> Option<SimTime> {
+        self.acquired_at
+    }
+
+    /// Request the lock for `user`, stealing it if the current holder's
+    /// lease (if any) has expired — a lazy-expiry guard against
+    /// disconnected or crashed holders. Re-acquisition by the holder is
+    /// idempotent and granted.
+    pub fn try_acquire_leased(
+        &mut self,
+        user: &UserId,
+        now: SimTime,
+        lease: Option<SimDuration>,
+    ) -> LockOutcome {
+        if let (Some(lease), Some(acquired)) = (lease, self.acquired_at) {
+            if self.holder.as_ref() != Some(user) && now.since(acquired) > lease {
+                self.force_release();
+            }
+        }
+        self.try_acquire(user, now)
+    }
+
+    /// Request the lock for `user`. Re-acquisition by the holder is
+    /// idempotent and granted.
+    pub fn try_acquire(&mut self, user: &UserId, now: SimTime) -> LockOutcome {
+        match &self.holder {
+            None => {
+                self.holder = Some(user.clone());
+                self.acquired_at = Some(now);
+                self.acquisitions += 1;
+                LockOutcome::Granted
+            }
+            Some(h) if h == user => {
+                self.acquisitions += 1;
+                LockOutcome::Granted
+            }
+            Some(h) => {
+                self.denials += 1;
+                LockOutcome::Denied { holder: h.clone() }
+            }
+        }
+    }
+
+    /// Release by `user`; only the holder may release. Returns true if
+    /// the lock was released.
+    pub fn release(&mut self, user: &UserId) -> bool {
+        if self.holder.as_ref() == Some(user) {
+            self.holder = None;
+            self.acquired_at = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Force-release regardless of holder (logout/disconnect cleanup).
+    /// Returns the previous holder.
+    pub fn force_release(&mut self) -> Option<UserId> {
+        self.acquired_at = None;
+        self.holder.take()
+    }
+
+    /// True if `user` currently drives the application.
+    pub fn is_held_by(&self, user: &UserId) -> bool {
+        self.holder.as_ref() == Some(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    #[test]
+    fn exclusive_acquisition() {
+        let mut lock = SteeringLock::new();
+        assert_eq!(lock.try_acquire(&u("a"), SimTime::ZERO), LockOutcome::Granted);
+        assert_eq!(
+            lock.try_acquire(&u("b"), SimTime::ZERO),
+            LockOutcome::Denied { holder: u("a") }
+        );
+        assert!(lock.is_held_by(&u("a")));
+        assert!(!lock.is_held_by(&u("b")));
+        assert_eq!(lock.acquisitions, 1);
+        assert_eq!(lock.denials, 1);
+    }
+
+    #[test]
+    fn reacquisition_is_idempotent() {
+        let mut lock = SteeringLock::new();
+        lock.try_acquire(&u("a"), SimTime::ZERO);
+        assert_eq!(lock.try_acquire(&u("a"), SimTime::from_secs(1)), LockOutcome::Granted);
+        assert_eq!(lock.held_since(), Some(SimTime::ZERO), "original acquisition time kept");
+    }
+
+    #[test]
+    fn only_holder_releases() {
+        let mut lock = SteeringLock::new();
+        lock.try_acquire(&u("a"), SimTime::ZERO);
+        assert!(!lock.release(&u("b")));
+        assert!(lock.is_held_by(&u("a")));
+        assert!(lock.release(&u("a")));
+        assert_eq!(lock.holder(), None);
+        assert!(!lock.release(&u("a")), "double release is a no-op");
+    }
+
+    #[test]
+    fn handoff_after_release() {
+        let mut lock = SteeringLock::new();
+        lock.try_acquire(&u("a"), SimTime::ZERO);
+        lock.release(&u("a"));
+        assert_eq!(lock.try_acquire(&u("b"), SimTime::from_secs(2)), LockOutcome::Granted);
+        assert_eq!(lock.held_since(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn lease_expiry_allows_stealing() {
+        let mut lock = SteeringLock::new();
+        let lease = Some(SimDuration::from_secs(30));
+        assert_eq!(lock.try_acquire_leased(&u("a"), SimTime::ZERO, lease), LockOutcome::Granted);
+        // Within the lease: denied.
+        assert_eq!(
+            lock.try_acquire_leased(&u("b"), SimTime::from_secs(10), lease),
+            LockOutcome::Denied { holder: u("a") }
+        );
+        // Past the lease: the stale holder is evicted.
+        assert_eq!(
+            lock.try_acquire_leased(&u("b"), SimTime::from_secs(31), lease),
+            LockOutcome::Granted
+        );
+        assert!(lock.is_held_by(&u("b")));
+        // Without a lease, holders are never evicted.
+        let mut lock = SteeringLock::new();
+        lock.try_acquire_leased(&u("a"), SimTime::ZERO, None);
+        assert_eq!(
+            lock.try_acquire_leased(&u("b"), SimTime::from_secs(3600), None),
+            LockOutcome::Denied { holder: u("a") }
+        );
+    }
+
+    #[test]
+    fn force_release_reports_previous_holder() {
+        let mut lock = SteeringLock::new();
+        assert_eq!(lock.force_release(), None);
+        lock.try_acquire(&u("a"), SimTime::ZERO);
+        assert_eq!(lock.force_release(), Some(u("a")));
+        assert_eq!(lock.holder(), None);
+    }
+}

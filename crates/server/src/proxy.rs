@@ -1,0 +1,231 @@
+//! The `ApplicationProxy`: "An ApplicationProxy object is created at the
+//! server for each active application ... This object encapsulates the
+//! entire context for the application" (§4.1) — identity, published
+//! interface, ACL, cached status, the Daemon servlet's request buffer for
+//! compute phases, the steering lock (host authority), and the recent
+//! update log that poll-mode peers read.
+
+use std::collections::{HashMap, VecDeque};
+
+use simnet::NodeId;
+use wire::{
+    AppDescriptor, AppId, AppOp, AppPhase, AppStatus, InteractionSpec, Privilege, RequestId,
+    ServerAddr, UpdateBody, UserId, Value,
+};
+
+use crate::locks::SteeringLock;
+
+/// Server-side context of one locally hosted application.
+pub struct ApplicationProxy {
+    /// Globally unique id.
+    pub app: AppId,
+    /// Human name from registration.
+    pub name: String,
+    /// Kind tag from registration.
+    pub kind: String,
+    /// Simulation node of the application driver.
+    pub node: NodeId,
+    /// Published interaction interface.
+    pub interface: InteractionSpec,
+    /// Access-control list.
+    pub acl: HashMap<UserId, Privilege>,
+    /// Owner (record ownership per §6.3): the first Steer-privileged ACL
+    /// entry, else a synthetic `"system"` user.
+    pub owner: UserId,
+    /// Current phase, maintained from PhaseChange messages.
+    pub phase: AppPhase,
+    /// Latest status update.
+    pub last_status: AppStatus,
+    /// Latest sensor readings.
+    pub last_readings: Vec<(String, Value)>,
+    /// Requests buffered while the application computes (Daemon servlet:
+    /// "buffers all client requests and sends them to the application when
+    /// the application is in the interaction phase").
+    pub buffered: VecDeque<(RequestId, AppOp)>,
+    /// The steering lock — authoritative only here, at the host server.
+    pub lock: SteeringLock,
+    update_log: VecDeque<(u64, UpdateBody, Option<ServerAddr>)>,
+    update_next_seq: u64,
+    update_log_capacity: usize,
+}
+
+impl ApplicationProxy {
+    /// Create a proxy at registration time.
+    pub fn new(
+        app: AppId,
+        name: String,
+        kind: String,
+        node: NodeId,
+        interface: InteractionSpec,
+        acl_list: Vec<(UserId, Privilege)>,
+        update_log_capacity: usize,
+    ) -> Self {
+        let owner = acl_list
+            .iter()
+            .find(|(_, p)| *p == Privilege::Steer)
+            .map(|(u, _)| u.clone())
+            .unwrap_or_else(|| UserId::new("system"));
+        ApplicationProxy {
+            app,
+            name,
+            kind,
+            node,
+            interface,
+            acl: acl_list.into_iter().collect(),
+            owner,
+            phase: AppPhase::Computing,
+            last_status: AppStatus { phase: AppPhase::Computing, iteration: 0, progress: 0.0 },
+            last_readings: Vec::new(),
+            buffered: VecDeque::new(),
+            lock: SteeringLock::new(),
+            update_log: VecDeque::new(),
+            update_next_seq: 0,
+            update_log_capacity: update_log_capacity.max(1),
+        }
+    }
+
+    /// The privilege `user` holds on this application, if any.
+    pub fn privilege_of(&self, user: &UserId) -> Option<Privilege> {
+        self.acl.get(user).copied()
+    }
+
+    /// Directory descriptor as seen by `user` (None if not on the ACL).
+    pub fn descriptor_for(&self, user: &UserId) -> Option<AppDescriptor> {
+        let privilege = self.privilege_of(user)?;
+        Some(AppDescriptor {
+            app: self.app,
+            name: self.name.clone(),
+            kind: self.kind.clone(),
+            status: self.last_status.clone(),
+            privilege,
+            interface: self.interface.clone(),
+        })
+    }
+
+    /// Append an update to the bounded recent-update log (read by
+    /// poll-mode peers via `PollUpdates`). `origin` is the peer server the
+    /// update came from, if any; pollers from that server skip it.
+    /// Returns the update's sequence number.
+    pub fn push_update(&mut self, update: UpdateBody, origin: Option<ServerAddr>) -> u64 {
+        let seq = self.update_next_seq;
+        self.update_next_seq += 1;
+        if self.update_log.len() == self.update_log_capacity {
+            self.update_log.pop_front();
+        }
+        self.update_log.push_back((seq, update, origin));
+        seq
+    }
+
+    /// Updates with sequence `>= since` not originated by `exclude`, plus
+    /// the next sequence to poll from. Entries evicted from the bounded
+    /// log are silently skipped (slow pollers lose the oldest updates,
+    /// like slow HTTP clients).
+    pub fn updates_since(&self, since: u64, exclude: Option<ServerAddr>) -> (Vec<UpdateBody>, u64) {
+        let updates = self
+            .update_log
+            .iter()
+            .filter(|(seq, _, origin)| *seq >= since && (origin.is_none() || *origin != exclude))
+            .map(|(_, u, _)| u.clone())
+            .collect();
+        (updates, self.update_next_seq)
+    }
+
+    /// Keep the cached state in sync with a Main-channel update.
+    pub fn apply_status(&mut self, status: AppStatus, readings: Vec<(String, Value)>) {
+        self.phase = status.phase;
+        self.last_status = status;
+        self.last_readings = readings;
+    }
+
+    /// ACL users other than the owner (read grant targets for records).
+    pub fn acl_users(&self) -> Vec<UserId> {
+        self.acl.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::ServerAddr;
+
+    fn proxy() -> ApplicationProxy {
+        ApplicationProxy::new(
+            AppId { server: ServerAddr(1), seq: 1 },
+            "ipars".into(),
+            "oilres".into(),
+            NodeId(7),
+            InteractionSpec::default(),
+            vec![
+                (UserId::new("viewer"), Privilege::ReadOnly),
+                (UserId::new("driver"), Privilege::Steer),
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn owner_is_first_steer_user() {
+        let p = proxy();
+        assert_eq!(p.owner, UserId::new("driver"));
+        let q = ApplicationProxy::new(
+            p.app,
+            "x".into(),
+            "y".into(),
+            NodeId(1),
+            InteractionSpec::default(),
+            vec![(UserId::new("viewer"), Privilege::ReadOnly)],
+            4,
+        );
+        assert_eq!(q.owner, UserId::new("system"));
+    }
+
+    #[test]
+    fn descriptor_respects_acl() {
+        let p = proxy();
+        let d = p.descriptor_for(&UserId::new("viewer")).unwrap();
+        assert_eq!(d.privilege, Privilege::ReadOnly);
+        assert!(p.descriptor_for(&UserId::new("stranger")).is_none());
+    }
+
+    #[test]
+    fn update_log_is_bounded_and_sequenced() {
+        let mut p = proxy();
+        for i in 0..6 {
+            let seq = p.push_update(UpdateBody::AppClosed { app: p.app }, None);
+            assert_eq!(seq, i);
+        }
+        // Capacity 4: sequences 0 and 1 were evicted.
+        let (updates, next) = p.updates_since(0, None);
+        assert_eq!(updates.len(), 4);
+        assert_eq!(next, 6);
+        let (updates, next) = p.updates_since(5, None);
+        assert_eq!(updates.len(), 1);
+        assert_eq!(next, 6);
+        let (updates, _) = p.updates_since(6, None);
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn poll_excludes_origin_server() {
+        let mut p = proxy();
+        p.push_update(UpdateBody::AppClosed { app: p.app }, Some(ServerAddr(9)));
+        p.push_update(UpdateBody::AppClosed { app: p.app }, None);
+        let (for_origin, next) = p.updates_since(0, Some(ServerAddr(9)));
+        assert_eq!(for_origin.len(), 1, "own update filtered out for its origin");
+        assert_eq!(next, 2);
+        let (for_other, _) = p.updates_since(0, Some(ServerAddr(8)));
+        assert_eq!(for_other.len(), 2);
+    }
+
+    #[test]
+    fn status_cache_tracks_updates() {
+        let mut p = proxy();
+        p.apply_status(
+            AppStatus { phase: AppPhase::Interacting, iteration: 42, progress: 0.5 },
+            vec![("t".into(), Value::Int(1))],
+        );
+        assert_eq!(p.phase, AppPhase::Interacting);
+        assert_eq!(p.last_status.iteration, 42);
+        assert_eq!(p.last_readings.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! The record store: stands in for the paper's relational databases and
+//! implements the §6.3 data-management/ownership rules:
+//!
+//! * records created in response to a *client's* request are owned by the
+//!   requesting user, at the client's local server;
+//! * records of *periodic application data* are owned by the
+//!   application's owner, at the application's home server;
+//! * other users with access privileges on the application get read-only
+//!   access;
+//! * clients can never create records at a remote server.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simnet::SimTime;
+use wire::{AppId, UserId, Value};
+
+/// A stored record with ownership metadata.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Record id within the store.
+    pub id: u64,
+    /// The application the data came from.
+    pub app: AppId,
+    /// Owning user (full access).
+    pub owner: UserId,
+    /// Users granted read-only access.
+    pub readers: BTreeSet<UserId>,
+    /// When the record was created.
+    pub created: SimTime,
+    /// Payload (named values).
+    pub data: Vec<(String, Value)>,
+}
+
+/// Access level a user has on a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordAccess {
+    /// No access.
+    None,
+    /// May read only.
+    Read,
+    /// Owner: read, update, delete, grant.
+    Full,
+}
+
+/// An in-memory table of owned records.
+#[derive(Debug, Default)]
+pub struct RecordStore {
+    records: BTreeMap<u64, Record>,
+    next_id: u64,
+}
+
+impl RecordStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a record owned by `owner`, readable by `readers`.
+    pub fn create(
+        &mut self,
+        app: AppId,
+        owner: UserId,
+        readers: impl IntoIterator<Item = UserId>,
+        created: SimTime,
+        data: Vec<(String, Value)>,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut reader_set: BTreeSet<UserId> = readers.into_iter().collect();
+        reader_set.remove(&owner); // the owner is not merely a reader
+        self.records.insert(id, Record { id, app, owner, readers: reader_set, created, data });
+        id
+    }
+
+    /// Access level of `user` on record `id`.
+    pub fn access(&self, id: u64, user: &UserId) -> RecordAccess {
+        match self.records.get(&id) {
+            None => RecordAccess::None,
+            Some(r) if r.owner == *user => RecordAccess::Full,
+            Some(r) if r.readers.contains(user) => RecordAccess::Read,
+            Some(_) => RecordAccess::None,
+        }
+    }
+
+    /// Read a record if `user` has at least read access.
+    pub fn read(&self, id: u64, user: &UserId) -> Option<&Record> {
+        match self.access(id, user) {
+            RecordAccess::None => None,
+            _ => self.records.get(&id),
+        }
+    }
+
+    /// Grant `reader` read-only access; only the owner may grant.
+    pub fn grant_read(&mut self, id: u64, owner: &UserId, reader: UserId) -> bool {
+        match self.records.get_mut(&id) {
+            Some(r) if r.owner == *owner => {
+                if r.owner != reader {
+                    r.readers.insert(reader);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Delete a record; only the owner may delete.
+    pub fn delete(&mut self, id: u64, user: &UserId) -> bool {
+        if self.access(id, user) == RecordAccess::Full {
+            self.records.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All records of `app` readable by `user`, in id order.
+    pub fn query_app(&self, app: AppId, user: &UserId) -> Vec<&Record> {
+        self.records
+            .values()
+            .filter(|r| r.app == app && self.access(r.id, user) != RecordAccess::None)
+            .collect()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::ServerAddr;
+
+    fn app() -> AppId {
+        AppId { server: ServerAddr(1), seq: 1 }
+    }
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    #[test]
+    fn owner_has_full_access_readers_read_only() {
+        let mut store = RecordStore::new();
+        let id = store.create(app(), u("owner"), [u("peer")], SimTime::ZERO, vec![]);
+        assert_eq!(store.access(id, &u("owner")), RecordAccess::Full);
+        assert_eq!(store.access(id, &u("peer")), RecordAccess::Read);
+        assert_eq!(store.access(id, &u("stranger")), RecordAccess::None);
+        assert!(store.read(id, &u("peer")).is_some());
+        assert!(store.read(id, &u("stranger")).is_none());
+    }
+
+    #[test]
+    fn only_owner_deletes_and_grants() {
+        let mut store = RecordStore::new();
+        let id = store.create(app(), u("owner"), [], SimTime::ZERO, vec![]);
+        assert!(!store.delete(id, &u("peer")));
+        assert!(!store.grant_read(id, &u("peer"), u("x")));
+        assert!(store.grant_read(id, &u("owner"), u("x")));
+        assert_eq!(store.access(id, &u("x")), RecordAccess::Read);
+        assert!(store.delete(id, &u("owner")));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn query_filters_by_app_and_access() {
+        let mut store = RecordStore::new();
+        let other_app = AppId { server: ServerAddr(1), seq: 2 };
+        store.create(app(), u("a"), [u("b")], SimTime::ZERO, vec![]);
+        store.create(app(), u("c"), [], SimTime::ZERO, vec![]);
+        store.create(other_app, u("a"), [], SimTime::ZERO, vec![]);
+        assert_eq!(store.query_app(app(), &u("a")).len(), 1);
+        assert_eq!(store.query_app(app(), &u("b")).len(), 1);
+        assert_eq!(store.query_app(app(), &u("c")).len(), 1);
+        assert_eq!(store.query_app(other_app, &u("a")).len(), 1);
+        assert_eq!(store.query_app(app(), &u("z")).len(), 0);
+    }
+
+    #[test]
+    fn owner_not_downgraded_by_grant() {
+        let mut store = RecordStore::new();
+        let id = store.create(app(), u("a"), [u("a")], SimTime::ZERO, vec![]);
+        // Listing the owner among readers must not demote them.
+        assert_eq!(store.access(id, &u("a")), RecordAccess::Full);
+        store.grant_read(id, &u("a"), u("a"));
+        assert_eq!(store.access(id, &u("a")), RecordAccess::Full);
+    }
+}

@@ -1,0 +1,35 @@
+//! The actor abstraction: everything that lives on a simulated node —
+//! DISCOVER servers, applications, clients, naming/trader services —
+//! implements [`Actor`].
+
+use std::any::Any;
+
+use crate::engine::Ctx;
+use crate::NodeId;
+
+/// A message that can travel over simulated links.
+///
+/// `size_bytes` feeds the bandwidth model; it should approximate the
+/// encoded wire size of the message.
+pub trait Payload: 'static {
+    /// Approximate encoded size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+/// A state machine bound to one simulated node.
+///
+/// Handlers run to completion at a virtual instant; CPU work is modelled
+/// explicitly by calling [`Ctx::consume`], which advances the node's local
+/// clock and keeps the node busy (queueing subsequent arrivals).
+pub trait Actor<M: Payload>: Any {
+    /// Called once when the node is added to a running engine (or when the
+    /// engine first starts).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called for each message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer scheduled via [`Ctx::schedule`] fires. `tag` is
+    /// the caller-chosen discriminator passed at scheduling time.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _tag: u64) {}
+}

@@ -1,0 +1,660 @@
+//! The discrete-event engine: event queue, node scheduling, message routing.
+//!
+//! Execution model:
+//!
+//! * Every event (message delivery, timer, node start) fires at a virtual
+//!   instant. Events with equal instants fire in creation order.
+//! * A node that consumed CPU (via [`Ctx::consume`]) is *busy* until its
+//!   local clock catches up; deliveries and timers that arrive while it is
+//!   busy are deferred to the instant it frees up, preserving order. This
+//!   yields M/G/1-style queueing at saturated servers — the mechanism
+//!   behind every knee in the reproduced experiments.
+//! * Links add transmit time (size/bandwidth, with a per-direction
+//!   transmitter that serializes back-to-back sends), propagation latency,
+//!   optional jitter and loss.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::{Actor, Payload};
+use crate::link::{LinkSpec, LinkState, LinkStats};
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated node (an actor placement).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// Minimum delivery delay for a node sending to itself with no explicit
+/// loopback link. Non-zero so that self-messaging always advances time.
+const SELF_SEND_LATENCY: SimDuration = SimDuration::from_micros(1);
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64, id: u64 },
+    Start { node: NodeId },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeState {
+    name: String,
+    busy_until: SimTime,
+    busy_micros: u64,
+}
+
+/// Everything the engine owns *except* the actors themselves; handlers get
+/// `&mut Core` through [`Ctx`] while their actor is temporarily detached.
+struct Core<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    nodes: Vec<NodeState>,
+    links: HashMap<(u32, u32), LinkState>,
+    rng: StdRng,
+    stats: Stats,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl<M: Payload> Core<M> {
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Route `msg` from `from` to `to`, departing at `depart`.
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M, depart: SimTime) {
+        assert!(to.index() < self.nodes.len(), "send to unknown node {to:?}");
+        let size = msg.size_bytes();
+        let arrival = match self.links.get_mut(&(from.0, to.0)) {
+            None if from == to => depart + SELF_SEND_LATENCY,
+            None => panic!(
+                "no link {:?} ({}) -> {:?} ({}); call Engine::link first",
+                from,
+                self.nodes[from.index()].name,
+                to,
+                self.nodes[to.index()].name
+            ),
+            Some(link) => {
+                if link.spec.loss > 0.0 && self.rng.gen::<f64>() < link.spec.loss {
+                    link.dropped += 1;
+                    let label = link.spec.label;
+                    self.stats.incr(&format!("link.{label}.dropped"));
+                    return;
+                }
+                let transmit = link.spec.transmit_time(size);
+                let start_tx = if link.busy_until > depart { link.busy_until } else { depart };
+                link.busy_until = start_tx + transmit;
+                link.msgs += 1;
+                link.bytes += size as u64;
+                let jitter_max = link.spec.jitter.as_micros();
+                let jitter = if jitter_max == 0 {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_micros(self.rng.gen_range(0..=jitter_max))
+                };
+                let label = link.spec.label;
+                let arrival = link.busy_until + link.spec.latency + jitter;
+                self.stats.incr(&format!("link.{label}.msgs"));
+                self.stats.add(&format!("link.{label}.bytes"), size as u64);
+                arrival
+            }
+        };
+        self.push(arrival, EventKind::Deliver { from, to, msg });
+    }
+}
+
+/// Handler-side view of the engine: clock, messaging, timers, RNG, stats.
+pub struct Ctx<'a, M: Payload> {
+    core: &'a mut Core<M>,
+    me: NodeId,
+    /// Local clock: event arrival time plus CPU consumed so far.
+    local_now: SimTime,
+}
+
+impl<'a, M: Payload> Ctx<'a, M> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's local clock (arrival instant plus CPU consumed so far).
+    pub fn now(&self) -> SimTime {
+        self.local_now
+    }
+
+    /// Model `d` of CPU work: advances the local clock and keeps this node
+    /// busy, deferring concurrent arrivals.
+    pub fn consume(&mut self, d: SimDuration) {
+        self.local_now += d;
+    }
+
+    /// Send `msg` to `to`, departing at the current local clock.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.core.route(self.me, to, msg, self.local_now);
+    }
+
+    /// Send `msg` to `to` after an additional local delay (does not occupy
+    /// the CPU).
+    pub fn send_after(&mut self, to: NodeId, msg: M, delay: SimDuration) {
+        let depart = self.local_now + delay;
+        self.core.route(self.me, to, msg, depart);
+    }
+
+    /// Schedule `on_timer(tag)` on this node after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        let time = self.local_now + delay;
+        self.core.push(time, EventKind::Timer { node: self.me, tag, id });
+        TimerId(id)
+    }
+
+    /// Cancel a previously scheduled timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled_timers.insert(id.0);
+    }
+
+    /// Deterministic simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// The shared measurement sink.
+    pub fn stats(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+
+    /// Name of any node (for diagnostics).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.nodes[id.index()].name
+    }
+}
+
+/// The simulation engine. Generic over the message type `M` carried on
+/// every link (the DISCOVER stack instantiates it with `wire::Envelope`).
+pub struct Engine<M: Payload> {
+    core: Core<M>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+}
+
+impl<M: Payload> Engine<M> {
+    /// Create an engine with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                nodes: Vec::new(),
+                links: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                stats: Stats::new(),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+                events_processed: 0,
+                event_limit: u64::MAX,
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Add a node hosting `actor`; its `on_start` fires at the current
+    /// instant (so nodes may join a running simulation, e.g. a DISCOVER
+    /// server joining the peer network mid-experiment).
+    pub fn add_node(&mut self, name: impl Into<String>, actor: impl Actor<M>) -> NodeId {
+        let id = NodeId(self.core.nodes.len() as u32);
+        self.core.nodes.push(NodeState {
+            name: name.into(),
+            busy_until: SimTime::ZERO,
+            busy_micros: 0,
+        });
+        self.actors.push(Some(Box::new(actor)));
+        self.core.push(self.core.now, EventKind::Start { node: id });
+        id
+    }
+
+    /// Install a bidirectional link (two independent directions, full
+    /// duplex) between `a` and `b`.
+    pub fn link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        assert_ne!(a, b, "loopback links are implicit");
+        self.core.links.insert((a.0, b.0), LinkState::new(spec));
+        self.core.links.insert((b.0, a.0), LinkState::new(spec));
+    }
+
+    /// Install a single directed link (rarely needed; tests use it to make
+    /// asymmetric paths).
+    pub fn link_directed(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.core.links.insert((from.0, to.0), LinkState::new(spec));
+    }
+
+    /// True if a directed link exists.
+    pub fn has_link(&self, from: NodeId, to: NodeId) -> bool {
+        self.core.links.contains_key(&(from.0, to.0))
+    }
+
+    /// Inject a message from outside the simulation (tests, harnesses).
+    /// It departs `from` after `delay` and traverses the normal link path.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M, delay: SimDuration) {
+        let depart = self.core.now + delay;
+        self.core.route(from, to, msg, depart);
+    }
+
+    /// Cap the total number of events processed (live-lock guard in
+    /// tests); the engine panics if exceeded.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.core.event_limit = limit;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// The measurement sink.
+    pub fn stats(&self) -> &Stats {
+        &self.core.stats
+    }
+
+    /// Mutable access to the measurement sink.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+
+    /// Traffic accounting for the directed link `from -> to`.
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
+        self.core
+            .links
+            .get(&(from.0, to.0))
+            .map(|l| LinkStats { msgs: l.msgs, bytes: l.bytes, dropped: l.dropped })
+    }
+
+    /// Name given to a node at `add_node` time.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.nodes[id.index()].name
+    }
+
+    /// Total CPU time the node has consumed (via [`Ctx::consume`]).
+    pub fn node_busy(&self, id: NodeId) -> SimDuration {
+        SimDuration::from_micros(self.core.nodes[id.index()].busy_micros)
+    }
+
+    /// Fraction of elapsed virtual time the node spent busy.
+    pub fn node_utilization(&self, id: NodeId) -> f64 {
+        let elapsed = self.core.now.as_micros();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.core.nodes[id.index()].busy_micros as f64 / elapsed as f64
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
+
+    /// Borrow the actor at `id`, downcast to its concrete type.
+    pub fn actor_ref<T: Actor<M>>(&self, id: NodeId) -> Option<&T> {
+        let boxed = self.actors.get(id.index())?.as_deref()?;
+        (boxed as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrow the actor at `id`, downcast to its concrete type.
+    pub fn actor_mut<T: Actor<M>>(&mut self, id: NodeId) -> Option<&mut T> {
+        let boxed = self.actors.get_mut(id.index())?.as_deref_mut()?;
+        (boxed as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Run until the queue is empty or the next event is after `limit`.
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        let mut processed = 0u64;
+        loop {
+            let Some(Reverse(head)) = self.core.queue.peek() else { break };
+            if head.time > limit {
+                break;
+            }
+            let Reverse(ev) = self.core.queue.pop().expect("peeked");
+            if ev.time > self.core.now {
+                self.core.now = ev.time;
+            }
+            self.core.events_processed += 1;
+            processed += 1;
+            assert!(
+                self.core.events_processed <= self.core.event_limit,
+                "event limit exceeded at {:?}: possible live-lock",
+                self.core.now
+            );
+            match ev.kind {
+                EventKind::Start { node } => self.dispatch(node, ev.time, |actor, ctx| {
+                    actor.on_start(ctx);
+                }),
+                EventKind::Deliver { from, to, msg } => {
+                    let busy = self.core.nodes[to.index()].busy_until;
+                    if busy > ev.time {
+                        self.core.push(busy, EventKind::Deliver { from, to, msg });
+                    } else {
+                        self.dispatch(to, ev.time, |actor, ctx| {
+                            actor.on_message(ctx, from, msg);
+                        });
+                    }
+                }
+                EventKind::Timer { node, tag, id } => {
+                    if self.core.cancelled_timers.remove(&id) {
+                        continue;
+                    }
+                    let busy = self.core.nodes[node.index()].busy_until;
+                    if busy > ev.time {
+                        self.core.push(busy, EventKind::Timer { node, tag, id });
+                    } else {
+                        self.dispatch(node, ev.time, |actor, ctx| {
+                            actor.on_timer(ctx, tag);
+                        });
+                    }
+                }
+            }
+        }
+        // Clock advances to the horizon even if the queue drained earlier,
+        // so successive run_until calls observe monotonic time.
+        if limit > self.core.now && limit != SimTime::MAX {
+            self.core.now = limit;
+        }
+        processed
+    }
+
+    /// Run for an additional span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let limit = self.core.now + d;
+        self.run_until(limit)
+    }
+
+    /// Run until the event queue is exhausted.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        f: impl FnOnce(&mut dyn Actor<M>, &mut Ctx<'_, M>),
+    ) {
+        let mut actor = self.actors[node.index()].take().unwrap_or_else(|| {
+            panic!("re-entrant dispatch on node {node:?}");
+        });
+        let mut ctx = Ctx { core: &mut self.core, me: node, local_now: at };
+        f(actor.as_mut(), &mut ctx);
+        let end = ctx.local_now;
+        let state = &mut self.core.nodes[node.index()];
+        state.busy_until = end;
+        state.busy_micros += (end - at).as_micros();
+        self.actors[node.index()] = Some(actor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(usize);
+    impl Payload for Ping {
+        fn size_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// Echoes every message back to its sender, consuming fixed CPU.
+    struct Echo {
+        cpu: SimDuration,
+        seen: Vec<SimTime>,
+    }
+    impl Actor<Ping> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: NodeId, msg: Ping) {
+            self.seen.push(ctx.now());
+            ctx.consume(self.cpu);
+            ctx.send(from, msg);
+        }
+    }
+
+    struct Collector {
+        arrivals: Vec<(SimTime, usize)>,
+    }
+    impl Actor<Ping> for Collector {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, _from: NodeId, msg: Ping) {
+            self.arrivals.push((ctx.now(), msg.0));
+        }
+    }
+
+    fn fixed_link(latency_us: u64) -> LinkSpec {
+        LinkSpec::loopback().with_latency(SimDuration::from_micros(latency_us))
+    }
+
+    #[test]
+    fn round_trip_latency_is_twice_one_way() {
+        let mut eng = Engine::new(1);
+        let echo = eng.add_node("echo", Echo { cpu: SimDuration::ZERO, seen: vec![] });
+        let coll = eng.add_node("collector", Collector { arrivals: vec![] });
+        eng.link(echo, coll, fixed_link(500));
+        eng.inject(coll, echo, Ping(0), SimDuration::ZERO);
+        eng.run_to_quiescence();
+        let c = eng.actor_ref::<Collector>(coll).unwrap();
+        assert_eq!(c.arrivals.len(), 1);
+        assert_eq!(c.arrivals[0].0, SimTime::from_micros(1000));
+    }
+
+    #[test]
+    fn busy_node_queues_arrivals() {
+        // Two messages arrive together; the second is processed only after
+        // the first's CPU cost elapses.
+        let mut eng = Engine::new(1);
+        let echo = eng.add_node("echo", Echo { cpu: SimDuration::from_millis(10), seen: vec![] });
+        let src = eng.add_node("src", Collector { arrivals: vec![] });
+        eng.link(echo, src, fixed_link(100));
+        eng.inject(src, echo, Ping(0), SimDuration::ZERO);
+        eng.inject(src, echo, Ping(0), SimDuration::ZERO);
+        eng.run_to_quiescence();
+        let e = eng.actor_ref::<Echo>(echo).unwrap();
+        assert_eq!(e.seen.len(), 2);
+        assert_eq!(e.seen[0], SimTime::from_micros(100));
+        assert_eq!(e.seen[1], SimTime::from_micros(10_100));
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_sends() {
+        // 1000-byte messages over a 1 MB/s link take 1 ms each to clock out;
+        // two sent at once arrive 1 ms apart (plus shared latency).
+        let mut eng = Engine::new(1);
+        let a = eng.add_node("a", Collector { arrivals: vec![] });
+        let b = eng.add_node("b", Collector { arrivals: vec![] });
+        eng.link(a, b, fixed_link(0).with_bandwidth_bps(1_000_000));
+        eng.inject(a, b, Ping(1000), SimDuration::ZERO);
+        eng.inject(a, b, Ping(1000), SimDuration::ZERO);
+        eng.run_to_quiescence();
+        let c = eng.actor_ref::<Collector>(b).unwrap();
+        assert_eq!(c.arrivals[0].0, SimTime::from_millis(1));
+        assert_eq!(c.arrivals[1].0, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn fifo_order_preserved_under_backlog() {
+        let mut eng = Engine::new(1);
+        let echo = eng.add_node("echo", Echo { cpu: SimDuration::from_millis(1), seen: vec![] });
+        let sink = eng.add_node("sink", Collector { arrivals: vec![] });
+        eng.link(echo, sink, fixed_link(10));
+        for i in 0..8 {
+            eng.inject(sink, echo, Ping(i), SimDuration::from_micros(i as u64));
+        }
+        eng.run_to_quiescence();
+        let got: Vec<usize> =
+            eng.actor_ref::<Collector>(sink).unwrap().arrivals.iter().map(|a| a.1).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerUser {
+            fired: Vec<u64>,
+        }
+        impl Actor<Ping> for TimerUser {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+                ctx.schedule(SimDuration::from_millis(5), 1);
+                let t = ctx.schedule(SimDuration::from_millis(6), 2);
+                ctx.cancel_timer(t);
+                ctx.schedule(SimDuration::from_millis(7), 3);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Ping>, _: NodeId, _: Ping) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, Ping>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut eng = Engine::new(1);
+        let n = eng.add_node("t", TimerUser { fired: vec![] });
+        eng.run_to_quiescence();
+        assert_eq!(eng.actor_ref::<TimerUser>(n).unwrap().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn lossy_link_drops_and_counts() {
+        let mut eng = Engine::new(42);
+        let a = eng.add_node("a", Collector { arrivals: vec![] });
+        let b = eng.add_node("b", Collector { arrivals: vec![] });
+        eng.link(a, b, fixed_link(10).with_loss(0.5).with_label("lossy"));
+        for _ in 0..200 {
+            eng.inject(a, b, Ping(1), SimDuration::ZERO);
+        }
+        eng.run_to_quiescence();
+        let delivered = eng.actor_ref::<Collector>(b).unwrap().arrivals.len() as u64;
+        let ls = eng.link_stats(a, b).unwrap();
+        assert_eq!(delivered, ls.msgs);
+        assert_eq!(ls.msgs + ls.dropped, 200);
+        assert!(ls.dropped > 50 && ls.dropped < 150, "loss far from 50%: {}", ls.dropped);
+        assert_eq!(eng.stats().counter("link.lossy.dropped"), ls.dropped);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> (u64, u64, Vec<(SimTime, usize)>) {
+            let mut eng = Engine::new(seed);
+            let echo =
+                eng.add_node("echo", Echo { cpu: SimDuration::from_micros(37), seen: vec![] });
+            let coll = eng.add_node("c", Collector { arrivals: vec![] });
+            eng.link(
+                echo,
+                coll,
+                LinkSpec::lan().with_jitter(SimDuration::from_micros(500)).with_loss(0.05),
+            );
+            for i in 0..100 {
+                eng.inject(coll, echo, Ping(64 + i), SimDuration::from_micros(13 * i as u64));
+            }
+            eng.run_to_quiescence();
+            let arr = eng.actor_ref::<Collector>(coll).unwrap().arrivals.clone();
+            (eng.events_processed(), eng.stats().counter("link.lan.msgs"), arr)
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut eng = Engine::new(1);
+        let echo = eng.add_node("echo", Echo { cpu: SimDuration::ZERO, seen: vec![] });
+        let coll = eng.add_node("c", Collector { arrivals: vec![] });
+        eng.link(echo, coll, fixed_link(1000));
+        eng.inject(coll, echo, Ping(0), SimDuration::ZERO);
+        eng.run_until(SimTime::from_micros(500));
+        assert_eq!(eng.actor_ref::<Echo>(echo).unwrap().seen.len(), 0);
+        assert_eq!(eng.now(), SimTime::from_micros(500));
+        eng.run_until(SimTime::from_micros(2500));
+        assert_eq!(eng.actor_ref::<Echo>(echo).unwrap().seen.len(), 1);
+        assert_eq!(eng.actor_ref::<Collector>(coll).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn sending_without_link_panics() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_node("a", Collector { arrivals: vec![] });
+        let b = eng.add_node("b", Collector { arrivals: vec![] });
+        eng.inject(a, b, Ping(0), SimDuration::ZERO);
+        eng.run_to_quiescence();
+    }
+
+    #[test]
+    fn self_send_advances_time() {
+        struct SelfTalker {
+            count: u32,
+        }
+        impl Actor<Ping> for SelfTalker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+                let me = ctx.me();
+                ctx.send(me, Ping(0));
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, _: NodeId, msg: Ping) {
+                self.count += 1;
+                if self.count < 10 {
+                    let me = ctx.me();
+                    ctx.send(me, msg);
+                }
+            }
+        }
+        let mut eng = Engine::new(1);
+        let n = eng.add_node("s", SelfTalker { count: 0 });
+        eng.set_event_limit(1_000);
+        eng.run_to_quiescence();
+        assert_eq!(eng.actor_ref::<SelfTalker>(n).unwrap().count, 10);
+        assert!(eng.now() >= SimTime::from_micros(10));
+    }
+}

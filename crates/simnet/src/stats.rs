@@ -1,0 +1,234 @@
+//! Simulation-wide measurement: counters, latency histograms, gauges.
+//!
+//! Every experiment in the benchmark harness reads its results from a
+//! [`Stats`] collected during a run. Samples are stored exactly (the scales
+//! involved are small enough that exact quantiles are affordable and make
+//! the harness output reproducible bit-for-bit).
+
+use std::collections::BTreeMap;
+
+use crate::time::SimDuration;
+
+/// Exact-sample histogram of durations.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_micros((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Exact quantile (`q` in [0, 1]) by nearest-rank, or zero if empty.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: idx = ceil(q * n) - 1, clamped to valid range.
+        let idx = ((q * self.samples.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.samples.len() - 1);
+        SimDuration::from_micros(self.samples[idx])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> SimDuration {
+        self.quantile(0.5)
+    }
+
+    /// Maximum sample, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Minimum sample, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_micros(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// All raw samples in insertion order is not preserved after quantile
+    /// queries; this returns them in whatever order they are stored.
+    pub fn raw(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Central measurement sink for one simulation run.
+///
+/// Keys are free-form strings; the DISCOVER stack uses dotted names like
+/// `"server.http.requests"` or `"client.response_latency"`. `BTreeMap`
+/// keeps report output deterministically ordered.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `key` (creating it at zero).
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increment counter `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Read counter `key` (zero if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Set gauge `key` to `v`.
+    pub fn set_gauge(&mut self, key: &str, v: f64) {
+        self.gauges.insert(key.to_owned(), v);
+    }
+
+    /// Read gauge `key` (zero if absent).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Record a duration into histogram `key`.
+    pub fn record(&mut self, key: &str, d: SimDuration) {
+        self.histograms.entry(key.to_owned()).or_default().record(d);
+    }
+
+    /// Mutable access to histogram `key`, creating it if absent.
+    pub fn histogram_mut(&mut self, key: &str) -> &mut Histogram {
+        self.histograms.entry(key.to_owned()).or_default()
+    }
+
+    /// Read-only access to histogram `key`, if present.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate all histogram names in key order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(|k| k.as_str())
+    }
+
+    /// Merge another stats sink into this one (counters add, gauges take
+    /// the other's value, histograms merge samples).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a.b");
+        s.add("a.b", 4);
+        s.incr("a.c");
+        assert_eq!(s.counter("a.b"), 5);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.counter_prefix_sum("a."), 6);
+        assert_eq!(s.counter_prefix_sum("a.b"), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.median().as_micros(), 50);
+        assert_eq!(h.quantile(0.0).as_micros(), 10);
+        assert_eq!(h.quantile(1.0).as_micros(), 100);
+        assert_eq!(h.mean().as_micros(), 55);
+        assert_eq!(h.max().as_micros(), 100);
+        assert_eq!(h.min().as_micros(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        a.add("x", 1);
+        b.add("x", 2);
+        b.record("h", SimDuration::from_micros(7));
+        b.set_gauge("g", 3.5);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+        assert_eq!(a.gauge("g"), 3.5);
+    }
+}

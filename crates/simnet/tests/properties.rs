@@ -1,0 +1,125 @@
+//! Property-based tests for the simulation substrate: determinism,
+//! conservation of messages, FIFO per-link ordering, and histogram sanity.
+
+use proptest::prelude::*;
+use simnet::{Actor, Ctx, Engine, Histogram, LinkSpec, NodeId, Payload, SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+struct Packet {
+    size: usize,
+    seq: u64,
+}
+
+impl Payload for Packet {
+    fn size_bytes(&self) -> usize {
+        self.size
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    got: Vec<(u64, SimTime)>,
+}
+
+impl Actor<Packet> for Sink {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, _from: NodeId, msg: Packet) {
+        self.got.push((msg.seq, ctx.now()));
+    }
+}
+
+/// A star topology: `n` senders fire bursts at one sink through identical
+/// links. Returns (delivered seqs in arrival order, final time, events).
+fn run_star(
+    seed: u64,
+    senders: usize,
+    msgs_per_sender: usize,
+    loss: f64,
+    jitter_us: u64,
+) -> (Vec<u64>, SimTime, u64) {
+    let mut eng = Engine::new(seed);
+    let sink = eng.add_node("sink", Sink::default());
+    let mut ids = Vec::new();
+    for i in 0..senders {
+        let id = eng.add_node(format!("s{i}"), Sink::default());
+        eng.link(
+            id,
+            sink,
+            LinkSpec::lan().with_loss(loss).with_jitter(SimDuration::from_micros(jitter_us)),
+        );
+        ids.push(id);
+    }
+    let mut seq = 0;
+    for (i, &id) in ids.iter().enumerate() {
+        for k in 0..msgs_per_sender {
+            eng.inject(
+                id,
+                sink,
+                Packet { size: 100 + k, seq },
+                SimDuration::from_micros((i * 17 + k * 31) as u64),
+            );
+            seq += 1;
+        }
+    }
+    eng.run_to_quiescence();
+    let got = eng.actor_ref::<Sink>(sink).unwrap().got.iter().map(|g| g.0).collect();
+    (got, eng.now(), eng.events_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical seeds yield identical arrival orders, clocks and event counts.
+    #[test]
+    fn determinism(seed in 0u64..1000, senders in 1usize..6, msgs in 1usize..20) {
+        let a = run_star(seed, senders, msgs, 0.1, 300);
+        let b = run_star(seed, senders, msgs, 0.1, 300);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// With no loss, every injected message is delivered exactly once.
+    #[test]
+    fn conservation_without_loss(seed in 0u64..1000, senders in 1usize..6, msgs in 1usize..20) {
+        let (got, _, _) = run_star(seed, senders, msgs, 0.0, 500);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u64> = (0..(senders * msgs) as u64).collect();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// Per-sender sequence order is preserved end-to-end when jitter is zero
+    /// (links are FIFO; the sink processes in arrival order).
+    #[test]
+    fn fifo_per_sender(seed in 0u64..1000, senders in 1usize..5, msgs in 2usize..20) {
+        let (got, _, _) = run_star(seed, senders, msgs, 0.0, 0);
+        // seq numbers are assigned sender-major, so messages of sender i are
+        // the contiguous range [i*msgs, (i+1)*msgs). Check relative order.
+        for i in 0..senders as u64 {
+            let lo = i * msgs as u64;
+            let hi = lo + msgs as u64;
+            let mine: Vec<u64> = got.iter().copied().filter(|s| *s >= lo && *s < hi).collect();
+            let mut sorted = mine.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(mine, sorted);
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn histogram_quantile_monotone(samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_micros(s));
+        }
+        let mut last = SimDuration::ZERO;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+        prop_assert!(h.mean() >= h.min() && h.mean() <= h.max());
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-client FIFO poll buffers.
+//!
+//! Because HTTP is request-response, the server cannot push updates; it
+//! parks them in a per-client FIFO until the client's next poll (the
+//! paper: "The poll and pull mechanism makes it necessary to maintain
+//! FIFO buffers at the server for each client to support slow clients",
+//! §6.2, with explicit memory/performance overhead concerns). Buffers are
+//! bounded; overflow drops the *oldest* entries (a slow client loses
+//! stale updates first) and counts the loss.
+
+use std::collections::VecDeque;
+
+use wire::ClientMessage;
+
+/// Bounded FIFO of undelivered [`ClientMessage`]s for one client.
+#[derive(Debug)]
+pub struct FifoBuffer {
+    queue: VecDeque<ClientMessage>,
+    capacity: usize,
+    /// Messages dropped due to overflow since creation.
+    dropped: u64,
+    /// High-water mark of queue occupancy.
+    peak: usize,
+    /// Total messages ever enqueued.
+    enqueued: u64,
+}
+
+impl FifoBuffer {
+    /// Create a buffer holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FifoBuffer { queue: VecDeque::new(), capacity, dropped: 0, peak: 0, enqueued: 0 }
+    }
+
+    /// Enqueue a message, evicting the oldest on overflow.
+    pub fn push(&mut self, msg: ClientMessage) {
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.dropped += 1;
+        }
+        self.queue.push_back(msg);
+        self.enqueued += 1;
+        self.peak = self.peak.max(self.queue.len());
+    }
+
+    /// Dequeue up to `max` messages (one poll's worth).
+    pub fn drain(&mut self, max: usize) -> Vec<ClientMessage> {
+        let n = max.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Messages currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Messages lost to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total messages ever enqueued (delivered + waiting + dropped).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{ClientMessage, ResponseBody};
+
+    fn msg() -> ClientMessage {
+        ClientMessage::Response(ResponseBody::LogoutOk)
+    }
+
+    #[test]
+    fn fifo_order_and_drain_cap() {
+        let mut buf = FifoBuffer::new(10);
+        for _ in 0..5 {
+            buf.push(msg());
+        }
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.drain(3).len(), 3);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.drain(10).len(), 2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        use wire::{UpdateBody, AppId, ServerAddr};
+        let mut buf = FifoBuffer::new(3);
+        for i in 0..5u32 {
+            buf.push(ClientMessage::Update(UpdateBody::AppClosed {
+                app: AppId { server: ServerAddr(0), seq: i },
+            }));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.enqueued(), 5);
+        let drained = buf.drain(3);
+        // The two oldest (seq 0, 1) were evicted; 2, 3, 4 remain in order.
+        let seqs: Vec<u32> = drained
+            .iter()
+            .map(|m| match m {
+                ClientMessage::Update(UpdateBody::AppClosed { app }) => app.seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut buf = FifoBuffer::new(100);
+        for _ in 0..7 {
+            buf.push(msg());
+        }
+        buf.drain(7);
+        for _ in 0..3 {
+            buf.push(msg());
+        }
+        assert_eq!(buf.peak(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        FifoBuffer::new(0);
+    }
+}

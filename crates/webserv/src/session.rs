@@ -1,0 +1,179 @@
+//! HTTP session management for the servlet container.
+//!
+//! The master handler "creates a session object for each connecting
+//! client and uses it to maintain information about
+//! client-server-application sessions". Sessions are keyed by the
+//! `JSESSIONID` cookie; idle sessions are reaped.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use simnet::SimTime;
+use wire::{AppId, ClientId, UserId};
+
+/// Server-side state of one logged-in client.
+#[derive(Debug, Clone)]
+pub struct HttpSession {
+    /// The session cookie.
+    pub cookie: u64,
+    /// Authenticated user (set by a successful login).
+    pub user: UserId,
+    /// Client id issued by the master handler.
+    pub client: ClientId,
+    /// Applications this client currently has selected (level-2 sessions).
+    pub selected: Vec<AppId>,
+    /// Creation instant.
+    pub created: SimTime,
+    /// Last request instant (for idle reaping).
+    pub last_active: SimTime,
+}
+
+/// Cookie-keyed session table.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    sessions: HashMap<u64, HttpSession>,
+}
+
+impl SessionTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a session for an authenticated user; returns the cookie.
+    pub fn create(
+        &mut self,
+        rng: &mut impl Rng,
+        user: UserId,
+        client: ClientId,
+        now: SimTime,
+    ) -> u64 {
+        // Cookies must be unpredictable and unique.
+        let mut cookie: u64 = rng.gen();
+        while cookie == 0 || self.sessions.contains_key(&cookie) {
+            cookie = rng.gen();
+        }
+        self.sessions.insert(
+            cookie,
+            HttpSession { cookie, user, client, selected: Vec::new(), created: now, last_active: now },
+        );
+        cookie
+    }
+
+    /// Look up and touch a session.
+    pub fn touch(&mut self, cookie: u64, now: SimTime) -> Option<&mut HttpSession> {
+        let s = self.sessions.get_mut(&cookie)?;
+        s.last_active = now;
+        Some(s)
+    }
+
+    /// Read-only lookup.
+    pub fn get(&self, cookie: u64) -> Option<&HttpSession> {
+        self.sessions.get(&cookie)
+    }
+
+    /// End a session, returning its final state.
+    pub fn remove(&mut self, cookie: u64) -> Option<HttpSession> {
+        self.sessions.remove(&cookie)
+    }
+
+    /// Drop sessions idle since before `cutoff`; returns the reaped ones.
+    pub fn reap_idle(&mut self, cutoff: SimTime) -> Vec<HttpSession> {
+        let dead: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.last_active < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        dead.into_iter().filter_map(|k| self.sessions.remove(&k)).collect()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True if no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Iterate over live sessions (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &HttpSession> {
+        self.sessions.values()
+    }
+
+    /// Logged-in users (may contain duplicates if a user has two portals).
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.sessions.values().map(|s| s.user.clone()).collect();
+        users.sort();
+        users.dedup();
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simnet::SimDuration;
+    use wire::ServerAddr;
+
+    fn client(seq: u32) -> ClientId {
+        ClientId { server: ServerAddr(1), seq }
+    }
+
+    #[test]
+    fn create_touch_remove() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut table = SessionTable::new();
+        let t0 = SimTime::ZERO;
+        let cookie = table.create(&mut rng, UserId::new("vijay"), client(0), t0);
+        assert_ne!(cookie, 0);
+        assert_eq!(table.len(), 1);
+        let t1 = t0 + SimDuration::from_secs(5);
+        let s = table.touch(cookie, t1).unwrap();
+        assert_eq!(s.last_active, t1);
+        assert_eq!(s.user, UserId::new("vijay"));
+        assert!(table.touch(cookie ^ 1, t1).is_none());
+        let s = table.remove(cookie).unwrap();
+        assert_eq!(s.client, client(0));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn reap_idle_sessions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut table = SessionTable::new();
+        let c1 = table.create(&mut rng, UserId::new("a"), client(0), SimTime::ZERO);
+        let c2 = table.create(&mut rng, UserId::new("b"), client(1), SimTime::ZERO);
+        table.touch(c2, SimTime::from_secs(100));
+        let reaped = table.reap_idle(SimTime::from_secs(50));
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].user, UserId::new("a"));
+        assert!(table.get(c1).is_none());
+        assert!(table.get(c2).is_some());
+    }
+
+    #[test]
+    fn users_deduplicated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut table = SessionTable::new();
+        table.create(&mut rng, UserId::new("a"), client(0), SimTime::ZERO);
+        table.create(&mut rng, UserId::new("a"), client(1), SimTime::ZERO);
+        table.create(&mut rng, UserId::new("b"), client(2), SimTime::ZERO);
+        assert_eq!(table.users().len(), 2);
+    }
+
+    #[test]
+    fn cookies_are_unique() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut table = SessionTable::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = table.create(&mut rng, UserId::new("u"), client(i), SimTime::ZERO);
+            assert!(seen.insert(c), "duplicate cookie");
+        }
+    }
+}

@@ -1,0 +1,914 @@
+//! DBP — the "Discover Binary Protocol" codec.
+//!
+//! The paper's optimized application↔server path uses "a more optimized,
+//! custom protocol using TCP sockets", and its other paths serialize Java
+//! objects. This module is our equivalent: a compact, non-self-describing
+//! binary serde format. Integers are fixed-width little-endian; strings,
+//! byte arrays, sequences and maps are length-prefixed with a `u32`; enum
+//! variants are encoded as a `u32` variant index followed by the variant
+//! payload; `Option` is a single presence byte.
+//!
+//! Three entry points:
+//! * [`encode`] — serialize a value to bytes,
+//! * [`decode`] — deserialize a value from bytes (rejecting trailing garbage),
+//! * [`encoded_len`] — byte length without materializing the buffer
+//!   (drives the simulator's bandwidth model).
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+/// Errors produced by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    Eof,
+    /// Trailing bytes remained after decoding the value.
+    TrailingBytes(usize),
+    /// A length prefix or variant index was out of range.
+    Invalid(String),
+    /// Error bubbled up from a `Serialize`/`Deserialize` impl.
+    Custom(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::Invalid(s) => write!(f, "invalid encoding: {s}"),
+            CodecError::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Custom(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Custom(msg.to_string())
+    }
+}
+
+/// Serialize `value` into a fresh byte buffer.
+pub fn encode<T: Serialize>(value: &T) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    value
+        .serialize(&mut DbpSerializer { out: &mut buf })
+        .expect("DBP serialization is infallible for wire types");
+    buf.freeze()
+}
+
+/// Byte length `encode(value)` would produce, without allocating it.
+pub fn encoded_len<T: Serialize>(value: &T) -> usize {
+    let mut counter = SizeCounter { len: 0 };
+    value.serialize(&mut counter).expect("DBP size counting is infallible for wire types");
+    counter.len
+}
+
+/// Deserialize a value of type `T` from `bytes`, requiring full consumption.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = DbpDeserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CodecError::TrailingBytes(de.input.len()));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct DbpSerializer<'a> {
+    out: &'a mut BytesMut,
+}
+
+impl<'a> DbpSerializer<'a> {
+    fn put_len(&mut self, len: usize) -> Result<(), CodecError> {
+        let len32 =
+            u32::try_from(len).map_err(|_| CodecError::Invalid("length > u32::MAX".into()))?;
+        self.out.put_u32_le(len32);
+        Ok(())
+    }
+}
+
+macro_rules! ser_fixed {
+    ($name:ident, $ty:ty, $put:ident) => {
+        fn $name(self, v: $ty) -> Result<(), CodecError> {
+            self.out.$put(v);
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut DbpSerializer<'a> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.put_u8(v as u8);
+        Ok(())
+    }
+
+    ser_fixed!(serialize_i8, i8, put_i8);
+    ser_fixed!(serialize_i16, i16, put_i16_le);
+    ser_fixed!(serialize_i32, i32, put_i32_le);
+    ser_fixed!(serialize_i64, i64, put_i64_le);
+    ser_fixed!(serialize_u8, u8, put_u8);
+    ser_fixed!(serialize_u16, u16, put_u16_le);
+    ser_fixed!(serialize_u32, u32, put_u32_le);
+    ser_fixed!(serialize_u64, u64, put_u64_le);
+    ser_fixed!(serialize_f32, f32, put_f32_le);
+    ser_fixed!(serialize_f64, f64, put_f64_le);
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.out.put_u32_le(v as u32);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len())?;
+        self.out.put_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len())?;
+        self.out.put_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.put_u8(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.put_u8(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.out.put_u32_le(variant_index);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.out.put_u32_le(variant_index);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError::Invalid("seq without length".into()))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError::Invalid("map without length".into()))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+}
+
+macro_rules! ser_compound {
+    ($tr:path, $func:ident) => {
+        impl<'a, 'b> $tr for &'b mut DbpSerializer<'a> {
+            type Ok = ();
+            type Error = CodecError;
+            fn $func<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+ser_compound!(ser::SerializeSeq, serialize_element);
+ser_compound!(ser::SerializeTuple, serialize_element);
+ser_compound!(ser::SerializeTupleStruct, serialize_field);
+ser_compound!(ser::SerializeTupleVariant, serialize_field);
+
+impl<'a, 'b> ser::SerializeMap for &'b mut DbpSerializer<'a> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStruct for &'b mut DbpSerializer<'a> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for &'b mut DbpSerializer<'a> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Size counter (same traversal, no buffer)
+// ---------------------------------------------------------------------------
+
+struct SizeCounter {
+    len: usize,
+}
+
+macro_rules! count_fixed {
+    ($name:ident, $ty:ty, $n:expr) => {
+        fn $name(self, _v: $ty) -> Result<(), CodecError> {
+            self.len += $n;
+            Ok(())
+        }
+    };
+}
+
+impl<'b> ser::Serializer for &'b mut SizeCounter {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    count_fixed!(serialize_bool, bool, 1);
+    count_fixed!(serialize_i8, i8, 1);
+    count_fixed!(serialize_i16, i16, 2);
+    count_fixed!(serialize_i32, i32, 4);
+    count_fixed!(serialize_i64, i64, 8);
+    count_fixed!(serialize_u8, u8, 1);
+    count_fixed!(serialize_u16, u16, 2);
+    count_fixed!(serialize_u32, u32, 4);
+    count_fixed!(serialize_u64, u64, 8);
+    count_fixed!(serialize_f32, f32, 4);
+    count_fixed!(serialize_f64, f64, 8);
+    count_fixed!(serialize_char, char, 4);
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.len += 4 + v.len();
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.len += 4 + v.len();
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.len += 1;
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.len += 1;
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.len += 4;
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.len += 4;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self, CodecError> {
+        self.len += 4;
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.len += 4;
+        Ok(self)
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self, CodecError> {
+        self.len += 4;
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.len += 4;
+        Ok(self)
+    }
+}
+
+macro_rules! count_compound {
+    ($tr:path, $func:ident) => {
+        impl<'b> $tr for &'b mut SizeCounter {
+            type Ok = ();
+            type Error = CodecError;
+            fn $func<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+count_compound!(ser::SerializeSeq, serialize_element);
+count_compound!(ser::SerializeTuple, serialize_element);
+count_compound!(ser::SerializeTupleStruct, serialize_field);
+count_compound!(ser::SerializeTupleVariant, serialize_field);
+
+impl<'b> ser::SerializeMap for &'b mut SizeCounter {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'b> ser::SerializeStruct for &'b mut SizeCounter {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'b> ser::SerializeStructVariant for &'b mut SizeCounter {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+struct DbpDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> DbpDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::Eof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32_le())
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > self.input.len() {
+            // A length prefix can never exceed the remaining input; this
+            // catches corruption early instead of over-allocating.
+            return Err(CodecError::Invalid(format!(
+                "length prefix {len} exceeds remaining {} bytes",
+                self.input.len()
+            )));
+        }
+        Ok(len)
+    }
+}
+
+macro_rules! de_fixed {
+    ($name:ident, $visit:ident, $n:expr, $get:ident) => {
+        fn $name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let mut b = self.take($n)?;
+            visitor.$visit(b.$get())
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut DbpDeserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Invalid("DBP is not self-describing".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.get_u8()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(CodecError::Invalid(format!("bool byte {b}"))),
+        }
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, 1, get_i8);
+    de_fixed!(deserialize_i16, visit_i16, 2, get_i16_le);
+    de_fixed!(deserialize_i32, visit_i32, 4, get_i32_le);
+    de_fixed!(deserialize_i64, visit_i64, 8, get_i64_le);
+    de_fixed!(deserialize_u8, visit_u8, 1, get_u8);
+    de_fixed!(deserialize_u16, visit_u16, 2, get_u16_le);
+    de_fixed!(deserialize_u32, visit_u32, 4, get_u32_le);
+    de_fixed!(deserialize_u64, visit_u64, 8, get_u64_le);
+    de_fixed!(deserialize_f32, visit_f32, 4, get_f32_le);
+    de_fixed!(deserialize_f64, visit_f64, 8, get_f64_le);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let raw = self.get_u32()?;
+        let c = char::from_u32(raw)
+            .ok_or_else(|| CodecError::Invalid(format!("char scalar {raw:#x}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| CodecError::Invalid(format!("utf8: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.get_u8()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError::Invalid(format!("option byte {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Invalid("DBP does not encode identifiers".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Invalid("cannot skip values in a non-self-describing format".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'de, 'a> {
+    de: &'a mut DbpDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for Counted<'de, 'a> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for Counted<'de, 'a> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'de, 'a> {
+    de: &'a mut DbpDeserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'de, 'a> {
+    type Error = CodecError;
+    type Variant = VariantAccess<'de, 'a>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let index = self.de.get_u32()?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'de, 'a> {
+    de: &'a mut DbpDeserializer<'de>,
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'de, 'a> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    enum Sample {
+        Unit,
+        New(u32),
+        Tup(u8, String),
+        Struct { a: i64, b: Option<f64>, c: Vec<bool> },
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Nested {
+        name: String,
+        items: Vec<Sample>,
+        table: BTreeMap<String, u64>,
+        blob: Vec<u8>,
+    }
+
+    fn roundtrip<T: Serialize + de::DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = encode(v);
+        assert_eq!(bytes.len(), encoded_len(v), "encoded_len disagrees with encode");
+        let back: T = decode(&bytes).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&-42i64);
+        roundtrip(&3.25f64);
+        roundtrip(&"hello — ünïcode".to_string());
+        roundtrip(&Some(7u16));
+        roundtrip(&Option::<u16>::None);
+        roundtrip(&'λ');
+        roundtrip(&(1u8, "two".to_string(), 3.0f32));
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(&Sample::Unit);
+        roundtrip(&Sample::New(99));
+        roundtrip(&Sample::Tup(1, "x".into()));
+        roundtrip(&Sample::Struct { a: -5, b: Some(0.5), c: vec![true, false] });
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let mut table = BTreeMap::new();
+        table.insert("alpha".to_string(), 1u64);
+        table.insert("beta".to_string(), 2u64);
+        roundtrip(&Nested {
+            name: "discover".into(),
+            items: vec![Sample::Unit, Sample::New(4), Sample::Tup(9, "q".into())],
+            table,
+            blob: (0..=255u8).collect(),
+        });
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&5u32).to_vec();
+        bytes.push(0);
+        let err = decode::<u32>(&bytes).unwrap_err();
+        assert_eq!(err, CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode(&"hello".to_string());
+        // Truncating the payload makes the length prefix exceed the input.
+        assert!(matches!(
+            decode::<String>(&bytes[..bytes.len() - 1]).unwrap_err(),
+            CodecError::Invalid(_)
+        ));
+        // Truncating inside the length prefix itself is a plain EOF.
+        assert_eq!(decode::<String>(&bytes[..2]).unwrap_err(), CodecError::Eof);
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // A u32::MAX length prefix must not cause a huge allocation.
+        let bytes = [0xff, 0xff, 0xff, 0xff];
+        let err = decode::<String>(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Invalid(_)));
+    }
+
+    #[test]
+    fn bad_variant_index_rejected() {
+        let bytes = encode(&17u32); // variant index 17 does not exist
+        assert!(decode::<Sample>(&bytes).is_err());
+    }
+
+    #[test]
+    fn compactness() {
+        // A unit variant is exactly 4 bytes; a u64 exactly 8.
+        assert_eq!(encode(&Sample::Unit).len(), 4);
+        assert_eq!(encode(&7u64).len(), 8);
+        assert_eq!(encode(&"abc".to_string()).len(), 7);
+    }
+}

@@ -1,0 +1,272 @@
+//! Minimal HTTP/1.0 model for the client ↔ server path.
+//!
+//! The paper's clients are thin web portals speaking "a series of HTTP GET
+//! and POST requests"; because HTTP is request-response only, the server
+//! cannot push and the client must poll-and-pull. We model the protocol
+//! with typed request/response structs whose *rendered head* is real HTTP
+//! text (exercised by `render`/`parse` below) and whose body is a
+//! DBP-encoded payload; the simulated wire size is head + body, so HTTP's
+//! textual overhead is part of the bandwidth model — one half of the
+//! paper's "more apps than clients" asymmetry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec;
+use crate::messages::{ClientMessage, ClientRequest};
+
+/// HTTP request methods used by DISCOVER portals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HttpMethod {
+    /// Used for polls.
+    Get,
+    /// Used for commands and logins.
+    Post,
+}
+
+impl HttpMethod {
+    /// Wire form of the method token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Post => "POST",
+        }
+    }
+}
+
+/// An HTTP request from a client portal.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// GET or POST.
+    pub method: HttpMethod,
+    /// Servlet path, e.g. `/discover/master`.
+    pub path: String,
+    /// Session cookie issued by the master servlet at login.
+    pub session: Option<u64>,
+    /// Typed body (absent for bare GET polls without parameters).
+    pub body: Option<ClientRequest>,
+}
+
+impl HttpRequest {
+    /// POST a request to a servlet path.
+    pub fn post(path: impl Into<String>, session: Option<u64>, body: ClientRequest) -> Self {
+        HttpRequest { method: HttpMethod::Post, path: path.into(), session, body: Some(body) }
+    }
+
+    /// GET poll against a servlet path.
+    pub fn get(path: impl Into<String>, session: Option<u64>) -> Self {
+        HttpRequest { method: HttpMethod::Get, path: path.into(), session, body: None }
+    }
+
+    /// Render the textual request head exactly as it would appear on the
+    /// wire (HTTP/1.0 with keep-alive, as era-appropriate).
+    pub fn render_head(&self, body_len: usize) -> String {
+        let mut head = format!(
+            "{} {} HTTP/1.0\r\nHost: discover\r\nConnection: keep-alive\r\n",
+            self.method.as_str(),
+            self.path
+        );
+        if let Some(sid) = self.session {
+            head.push_str(&format!("Cookie: JSESSIONID={sid:016x}\r\n"));
+        }
+        if body_len > 0 {
+            head.push_str(&format!(
+                "Content-Type: application/x-discover\r\nContent-Length: {body_len}\r\n"
+            ));
+        }
+        head.push_str("\r\n");
+        head
+    }
+
+    /// Total bytes on the wire: textual head plus DBP-encoded body.
+    pub fn wire_size(&self) -> usize {
+        let body_len = self.body.as_ref().map(codec::encoded_len).unwrap_or(0);
+        self.render_head(body_len).len() + body_len
+    }
+
+    /// Parse a rendered head back into (method, path, session cookie,
+    /// content length). Round-trip partner of [`HttpRequest::render_head`].
+    pub fn parse_head(text: &str) -> Result<(HttpMethod, String, Option<u64>, usize), String> {
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next().ok_or("empty head")?;
+        let mut parts = request_line.split(' ');
+        let method = match parts.next().ok_or("missing method")? {
+            "GET" => HttpMethod::Get,
+            "POST" => HttpMethod::Post,
+            other => return Err(format!("unsupported method {other}")),
+        };
+        let path = parts.next().ok_or("missing path")?.to_string();
+        match parts.next() {
+            Some("HTTP/1.0") | Some("HTTP/1.1") => {}
+            other => return Err(format!("bad version {other:?}")),
+        }
+        let mut session = None;
+        let mut content_length = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("Cookie: JSESSIONID=") {
+                session =
+                    Some(u64::from_str_radix(rest, 16).map_err(|e| format!("bad cookie: {e}"))?);
+            } else if let Some(rest) = line.strip_prefix("Content-Length: ") {
+                content_length = rest.parse().map_err(|e| format!("bad length: {e}"))?;
+            }
+        }
+        Ok((method, path, session, content_length))
+    }
+}
+
+/// An HTTP response to a client portal.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code (200, 401, 403, 404, 500, ...).
+    pub status: u16,
+    /// Session cookie set at login.
+    pub set_session: Option<u64>,
+    /// Typed payload: the messages delivered by this response.
+    pub body: Vec<ClientMessage>,
+}
+
+impl HttpResponse {
+    /// A 200 response carrying `body`.
+    pub fn ok(body: Vec<ClientMessage>) -> Self {
+        HttpResponse { status: 200, set_session: None, body }
+    }
+
+    /// Reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Render the textual response head.
+    pub fn render_head(&self, body_len: usize) -> String {
+        let mut head = format!("HTTP/1.0 {} {}\r\nServer: discover\r\n", self.status, self.reason());
+        if let Some(sid) = self.set_session {
+            head.push_str(&format!("Set-Cookie: JSESSIONID={sid:016x}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Type: application/x-discover\r\nContent-Length: {body_len}\r\n\r\n"
+        ));
+        head
+    }
+
+    /// Total bytes on the wire: textual head plus DBP-encoded body.
+    pub fn wire_size(&self) -> usize {
+        let body_len = codec::encoded_len(&self.body);
+        self.render_head(body_len).len() + body_len
+    }
+
+    /// Parse a rendered response head back into (status, set-cookie,
+    /// content length). Round-trip partner of
+    /// [`HttpResponse::render_head`].
+    pub fn parse_head(text: &str) -> Result<(u16, Option<u64>, usize), String> {
+        let mut lines = text.split("\r\n");
+        let status_line = lines.next().ok_or("empty head")?;
+        let mut parts = status_line.split(' ');
+        match parts.next() {
+            Some("HTTP/1.0") | Some("HTTP/1.1") => {}
+            other => return Err(format!("bad version {other:?}")),
+        }
+        let status: u16 = parts
+            .next()
+            .ok_or("missing status")?
+            .parse()
+            .map_err(|e| format!("bad status: {e}"))?;
+        let mut set_session = None;
+        let mut content_length = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("Set-Cookie: JSESSIONID=") {
+                set_session =
+                    Some(u64::from_str_radix(rest, 16).map_err(|e| format!("bad cookie: {e}"))?);
+            } else if let Some(rest) = line.strip_prefix("Content-Length: ") {
+                content_length = rest.parse().map_err(|e| format!("bad length: {e}"))?;
+            }
+        }
+        Ok((status, set_session, content_length))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::messages::ResponseBody;
+
+    #[test]
+    fn head_roundtrip_post() {
+        let req = HttpRequest::post(
+            "/discover/master",
+            Some(0xabcd),
+            ClientRequest::Login { user: UserId::new("vijay"), password: "pw".into() },
+        );
+        let body_len = codec::encoded_len(req.body.as_ref().unwrap());
+        let head = req.render_head(body_len);
+        let (method, path, session, len) = HttpRequest::parse_head(&head).unwrap();
+        assert_eq!(method, HttpMethod::Post);
+        assert_eq!(path, "/discover/master");
+        assert_eq!(session, Some(0xabcd));
+        assert_eq!(len, body_len);
+    }
+
+    #[test]
+    fn head_roundtrip_get_without_cookie() {
+        let req = HttpRequest::get("/discover/poll", None);
+        let head = req.render_head(0);
+        let (method, path, session, len) = HttpRequest::parse_head(&head).unwrap();
+        assert_eq!(method, HttpMethod::Get);
+        assert_eq!(path, "/discover/poll");
+        assert_eq!(session, None);
+        assert_eq!(len, 0);
+    }
+
+    #[test]
+    fn bad_heads_rejected() {
+        assert!(HttpRequest::parse_head("PATCH /x HTTP/1.0\r\n\r\n").is_err());
+        assert!(HttpRequest::parse_head("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(HttpRequest::parse_head("").is_err());
+    }
+
+    #[test]
+    fn wire_size_includes_textual_overhead() {
+        let poll = HttpRequest::get("/discover/poll", Some(1));
+        // An empty-body poll still costs a full textual head.
+        assert!(poll.wire_size() > 60, "poll head should dominate: {}", poll.wire_size());
+
+        let resp = HttpResponse::ok(vec![ClientMessage::Response(ResponseBody::LogoutOk)]);
+        assert!(resp.wire_size() > resp.render_head(0).len());
+    }
+
+    #[test]
+    fn response_head_roundtrip() {
+        let resp = HttpResponse {
+            status: 200,
+            set_session: Some(0xbeef),
+            body: vec![ClientMessage::Response(ResponseBody::LogoutOk)],
+        };
+        let body_len = codec::encoded_len(&resp.body);
+        let head = resp.render_head(body_len);
+        let (status, cookie, len) = HttpResponse::parse_head(&head).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(cookie, Some(0xbeef));
+        assert_eq!(len, body_len);
+        assert!(HttpResponse::parse_head("SPDY 200 OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_reasons() {
+        assert_eq!(HttpResponse { status: 401, set_session: None, body: vec![] }.reason(),
+            "Unauthorized");
+        assert_eq!(HttpResponse::ok(vec![]).reason(), "OK");
+    }
+}

@@ -1,0 +1,242 @@
+//! Identifiers used across the DISCOVER middleware.
+//!
+//! The paper's scheme: application identifiers are "a combination of the
+//! server's IP address and a local count of the applications on each
+//! server", so uniqueness is global, and "the server's IP address can be
+//! extracted from this application identifier" to decide local vs remote —
+//! [`AppId::host`] is exactly that extraction. Client ids are issued by the
+//! master handler; session ids pair a client with an application.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! fmt_via_debug {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(self, f)
+        }
+    };
+}
+
+/// Simulated network address of a DISCOVER server (stands in for the IP
+/// address in the paper's identifier scheme).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerAddr(pub u32);
+
+impl fmt::Debug for ServerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render like a private IPv4 address for familiarity.
+        write!(f, "10.0.{}.{}", self.0 >> 8 & 0xff, self.0 & 0xff)
+    }
+}
+
+impl fmt::Display for ServerAddr {
+    fmt_via_debug!();
+}
+
+/// Globally unique application identifier: host server address plus a
+/// per-server registration counter (assigned by the Daemon servlet).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId {
+    /// Address of the application's *host* server (the server it connected
+    /// to directly).
+    pub server: ServerAddr,
+    /// Per-server registration sequence number.
+    pub seq: u32,
+}
+
+impl AppId {
+    /// Extract the host server's address — the paper's "is this local or
+    /// remote?" test.
+    pub fn host(&self) -> ServerAddr {
+        self.server
+    }
+}
+
+impl fmt::Debug for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app:{}#{}", self.server, self.seq)
+    }
+}
+
+impl fmt::Display for AppId {
+    fmt_via_debug!();
+}
+
+/// Client identifier issued by the master handler at login.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId {
+    /// Address of the server the client logged into (its "local" server).
+    pub server: ServerAddr,
+    /// Per-server client sequence number.
+    pub seq: u32,
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client:{}#{}", self.server, self.seq)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fmt_via_debug!();
+}
+
+/// A client-server-application interaction session (client id + app id per
+/// the paper's master-handler description).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SessionId {
+    /// The client side of the session.
+    pub client: ClientId,
+    /// The application side of the session.
+    pub app: AppId,
+}
+
+/// Correlation id for request/response matching on any channel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fmt_via_debug!();
+}
+
+/// A user identity. Per the paper, "user-IDs do not belong to a server but
+/// to an application/service", and are assumed consistent across servers.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub String);
+
+impl UserId {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>) -> Self {
+        UserId(name.into())
+    }
+    /// The raw user name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user:{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for UserId {
+    fn from(s: &str) -> Self {
+        UserId(s.to_string())
+    }
+}
+
+/// Access privilege for a (user, application) pair, from the application's
+/// registered ACL. Ordered: each level includes the ones below it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Privilege {
+    /// May view status, parameters and updates only.
+    ReadOnly,
+    /// May additionally change parameters while holding the steering lock.
+    ReadWrite,
+    /// May additionally issue application commands (pause/resume/...).
+    Steer,
+}
+
+impl Privilege {
+    /// True if this privilege grants at least `required`.
+    pub fn allows(self, required: Privilege) -> bool {
+        self >= required
+    }
+}
+
+/// Pre-assigned token an application presents when registering with its
+/// server (the paper: "each application is authenticated at the server
+/// using a pre-assigned unique identifier").
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct AppToken(pub String);
+
+impl AppToken {
+    /// Convenience constructor.
+    pub fn new(tok: impl Into<String>) -> Self {
+        AppToken(tok.into())
+    }
+}
+
+/// Keys object implementations register under with the ORB's object
+/// adapter; naming and trader entries resolve to (server address, key).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectKey(pub String);
+
+impl ObjectKey {
+    /// Convenience constructor.
+    pub fn new(key: impl Into<String>) -> Self {
+        ObjectKey(key.into())
+    }
+}
+
+impl fmt::Debug for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key:{}", self.0)
+    }
+}
+
+/// An interoperable object reference: where the object lives and which
+/// servant it is — the CORBA IOR analogue.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ObjectRef {
+    /// The server hosting the servant.
+    pub server: ServerAddr,
+    /// The servant's key within that server's object adapter.
+    pub key: ObjectKey,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_id_host_extraction() {
+        let id = AppId { server: ServerAddr(7), seq: 3 };
+        assert_eq!(id.host(), ServerAddr(7));
+        assert_ne!(id, AppId { server: ServerAddr(7), seq: 4 });
+        assert_ne!(id, AppId { server: ServerAddr(8), seq: 3 });
+    }
+
+    #[test]
+    fn privilege_ordering() {
+        assert!(Privilege::Steer.allows(Privilege::ReadOnly));
+        assert!(Privilege::Steer.allows(Privilege::ReadWrite));
+        assert!(Privilege::ReadWrite.allows(Privilege::ReadOnly));
+        assert!(!Privilege::ReadOnly.allows(Privilege::ReadWrite));
+        assert!(!Privilege::ReadWrite.allows(Privilege::Steer));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ServerAddr(258)), "10.0.1.2");
+        let id = AppId { server: ServerAddr(1), seq: 2 };
+        assert_eq!(format!("{id}"), "app:10.0.0.1#2");
+        assert_eq!(format!("{}", UserId::new("vijay")), "vijay");
+    }
+
+    #[test]
+    fn ids_roundtrip_through_codec() {
+        let id = AppId { server: ServerAddr(300), seq: 12 };
+        let bytes = crate::codec::encode(&id);
+        assert_eq!(crate::codec::decode::<AppId>(&bytes).unwrap(), id);
+        let or = ObjectRef { server: ServerAddr(2), key: ObjectKey::new("DISCOVER/apps/3") };
+        let bytes = crate::codec::encode(&or);
+        assert_eq!(crate::codec::decode::<ObjectRef>(&bytes).unwrap(), or);
+    }
+}

@@ -1,0 +1,39 @@
+//! # wire — the DISCOVER protocol suite
+//!
+//! Message model for the reproduction of the HPDC 2001 DISCOVER
+//! middleware, covering all three protocol domains the paper describes:
+//!
+//! * **HTTP** ([`http`]) for thin web clients (poll-and-pull),
+//! * the **custom TCP protocol** ([`tcp`]) for application ↔ server
+//!   channels (Main / Command / Response),
+//! * **GIOP/IIOP-like frames** ([`giop`]) for the CORBA-analogue server ↔
+//!   server substrate (plus the Control channel).
+//!
+//! All payloads are marshalled by the DBP binary codec ([`codec`]), a
+//! compact non-self-describing serde format; wire sizes computed from real
+//! framing rules feed the simulator's bandwidth model via [`Envelope`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod envelope;
+pub mod giop;
+pub mod http;
+mod ids;
+mod messages;
+pub mod tcp;
+mod value;
+
+pub use envelope::{Content, Envelope};
+pub use ids::{
+    AppId, AppToken, ClientId, ObjectKey, ObjectRef, Privilege, RequestId, ServerAddr, SessionId,
+    UserId,
+};
+pub use messages::{
+    AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, Channel, ClientMessage,
+    ClientRequest, ControlEvent, ControlEventKind, ErrorCode, InteractionSpec, LogEntry,
+    JobSpec, LogRecord, MessageKind, OpOutcome, PeerMsg, PeerReply, ResponseBody, ServiceOffer,
+    UpdateBody, WhiteboardStroke, WireError,
+};
+pub use value::Value;

@@ -1,0 +1,1033 @@
+//! Every message type spoken in the DISCOVER system.
+//!
+//! Three protocol domains, mirroring the paper:
+//!
+//! * **client ↔ server** — [`ClientRequest`] / [`ClientMessage`], carried in
+//!   HTTP requests/responses (see [`crate::http`]). Clients discriminate
+//!   replies by [`ClientMessage::kind`] — the stand-in for the paper's
+//!   "querying the received object for its class name" via Java reflection.
+//! * **application ↔ server** — [`AppMsg`], carried on the custom TCP
+//!   protocol (see [`crate::tcp`]) over the Main / Command / Response
+//!   channels.
+//! * **server ↔ server** — [`PeerMsg`] / [`PeerReply`], carried in
+//!   GIOP-like frames (see [`crate::giop`]) between `DiscoverCorbaServer`
+//!   and `CorbaProxy` servants, plus the Control channel events and the
+//!   Naming/Trader directory operations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, AppToken, ClientId, ObjectRef, Privilege, RequestId, ServerAddr, UserId};
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Shared vocabulary
+// ---------------------------------------------------------------------------
+
+/// Application lifecycle phase. The Daemon servlet buffers client requests
+/// while the application is `Computing` and flushes them in `Interacting`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AppPhase {
+    /// Busy in a compute phase; interaction requests are buffered.
+    Computing,
+    /// In its interaction phase; requests are processed.
+    Interacting,
+    /// Paused by a steering command.
+    Paused,
+    /// Finished or terminated.
+    Terminated,
+}
+
+/// Coarse application status shipped in updates and directory listings.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AppStatus {
+    /// Current phase.
+    pub phase: AppPhase,
+    /// Completed iterations of the main loop.
+    pub iteration: u64,
+    /// Solver progress metric (residual, simulated time, ...) for display.
+    pub progress: f64,
+}
+
+/// Steering commands a client may issue to an application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AppCommand {
+    /// Suspend at the next interaction point.
+    Pause,
+    /// Resume computation.
+    Resume,
+    /// Snapshot state for later rollback.
+    Checkpoint,
+    /// Restore the last checkpoint.
+    Rollback,
+    /// Shut the application down.
+    Terminate,
+}
+
+/// One operation against an application's interaction interface; used both
+/// on the Command channel (server → app) and inside `CorbaProxy` calls
+/// (server → remote server).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum AppOp {
+    /// Read the current status.
+    GetStatus,
+    /// Read one steerable parameter.
+    GetParam(String),
+    /// Write one steerable parameter (requires the steering lock).
+    SetParam(String, Value),
+    /// Read all current sensor readings ("views" in the paper).
+    GetSensors,
+    /// Issue a lifecycle command (requires the steering lock).
+    Command(AppCommand),
+}
+
+impl AppOp {
+    /// Minimum privilege needed to issue this operation.
+    pub fn required_privilege(&self) -> Privilege {
+        match self {
+            AppOp::GetStatus | AppOp::GetParam(_) | AppOp::GetSensors => Privilege::ReadOnly,
+            AppOp::SetParam(..) => Privilege::ReadWrite,
+            AppOp::Command(_) => Privilege::Steer,
+        }
+    }
+
+    /// True if the operation mutates the application (and therefore needs
+    /// the steering lock).
+    pub fn is_mutating(&self) -> bool {
+        matches!(self, AppOp::SetParam(..) | AppOp::Command(_))
+    }
+}
+
+/// Successful result of an [`AppOp`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum OpOutcome {
+    /// Status snapshot.
+    Status(AppStatus),
+    /// Parameter read result.
+    Param(String, Value),
+    /// Parameter write acknowledgement (echoes the applied value).
+    ParamSet(String, Value),
+    /// Current sensor readings.
+    Sensors(Vec<(String, Value)>),
+    /// Command acknowledgement.
+    CommandDone(AppCommand),
+}
+
+/// Error vocabulary shared by all layers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// Bad credentials at level-1 authentication.
+    AuthFailed,
+    /// Application id did not resolve.
+    NoSuchApp,
+    /// ACL denies the operation at level-2 authorization.
+    AccessDenied,
+    /// A mutating operation was issued without holding the steering lock.
+    LockRequired,
+    /// Lock request denied because another client holds it.
+    LockHeld,
+    /// Parameter name unknown or value of the wrong type.
+    BadParameter,
+    /// Target server or application is unreachable.
+    Unavailable,
+    /// Malformed or out-of-sequence request.
+    BadRequest,
+}
+
+/// An error payload (code plus human-readable detail).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, detail: impl Into<String>) -> Self {
+        WireError { code, detail: detail.into() }
+    }
+}
+
+/// The steering interface an application publishes at registration: the
+/// paper's "customized interaction/steering interface ... based on the
+/// client's access privileges" is derived from this by ACL filtering.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct InteractionSpec {
+    /// Steerable parameters: (name, type name, current value).
+    pub params: Vec<(String, String, Value)>,
+    /// Sensor names exposed as read-only views.
+    pub sensors: Vec<String>,
+    /// Commands the application accepts.
+    pub commands: Vec<AppCommand>,
+}
+
+/// Directory entry describing an active application, as returned by
+/// level-1 authentication and `ListApplications`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AppDescriptor {
+    /// Globally unique id (host server address + sequence).
+    pub app: AppId,
+    /// Human name, e.g. `"ipars-oil-reservoir"`.
+    pub name: String,
+    /// Application kind tag, e.g. `"oilres"`, `"cfd"`.
+    pub kind: String,
+    /// Current status snapshot.
+    pub status: AppStatus,
+    /// The privilege the *requesting* user holds on this application.
+    pub privilege: Privilege,
+    /// The application's full published interaction interface (filtered
+    /// per privilege when handed to clients).
+    pub interface: InteractionSpec,
+}
+
+/// A whiteboard stroke (collaboration tool payload).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WhiteboardStroke {
+    /// Polyline points in normalized [0,1] canvas coordinates.
+    pub points: Vec<(f32, f32)>,
+    /// RGBA color.
+    pub color: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Client <-> Server (HTTP)
+// ---------------------------------------------------------------------------
+
+/// Requests a client portal sends its local server (HTTP POST bodies; the
+/// poll is an HTTP GET).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ClientRequest {
+    /// Level-1 authentication with the local server (which fans out to
+    /// peer servers for the global application list).
+    Login {
+        /// The user logging in.
+        user: UserId,
+        /// Shared-secret password.
+        password: String,
+    },
+    /// End the session.
+    Logout,
+    /// Refresh the "repository of services" view.
+    ListApplications,
+    /// Level-2 authentication: open an interaction session with an
+    /// application, receiving the privilege-filtered interface.
+    SelectApp {
+        /// Target application.
+        app: AppId,
+    },
+    /// Close an interaction session.
+    DeselectApp {
+        /// Target application.
+        app: AppId,
+    },
+    /// Issue an interaction/steering operation.
+    Op {
+        /// Target application.
+        app: AppId,
+        /// The operation.
+        op: AppOp,
+    },
+    /// Request the steering lock.
+    RequestLock {
+        /// Target application.
+        app: AppId,
+    },
+    /// Release the steering lock.
+    ReleaseLock {
+        /// Target application.
+        app: AppId,
+    },
+    /// Poll-and-pull fetch of buffered updates (HTTP GET in spirit).
+    Poll,
+    /// Join a named collaboration subgroup within the application group.
+    JoinSubgroup {
+        /// Target application.
+        app: AppId,
+        /// Subgroup name.
+        group: String,
+    },
+    /// Leave a subgroup.
+    LeaveSubgroup {
+        /// Target application.
+        app: AppId,
+        /// Subgroup name.
+        group: String,
+    },
+    /// Enable/disable collaboration broadcast of this client's
+    /// requests/responses (the paper's "disable all collaboration" mode).
+    SetCollabMode {
+        /// Target application.
+        app: AppId,
+        /// Whether this client's interactions are broadcast to the group.
+        broadcast: bool,
+    },
+    /// Explicitly share a view with the group (allowed even with
+    /// collaboration disabled).
+    ShareView {
+        /// Target application.
+        app: AppId,
+        /// Opaque rendered view description.
+        view: String,
+    },
+    /// Chat message to the application's collaboration group.
+    Chat {
+        /// Target application.
+        app: AppId,
+        /// Message text.
+        text: String,
+    },
+    /// Whiteboard stroke to the application's collaboration group.
+    Whiteboard {
+        /// Target application.
+        app: AppId,
+        /// The stroke.
+        stroke: WhiteboardStroke,
+    },
+    /// Fetch the archived interaction history (replay / latecomer
+    /// catch-up), starting from log sequence `since`.
+    GetHistory {
+        /// Target application.
+        app: AppId,
+        /// First log sequence number wanted.
+        since: u64,
+    },
+    /// Fetch this client's own interaction log with an application ("this
+    /// log enables clients to replay their interactions"), kept at the
+    /// client's local server.
+    GetMyLog {
+        /// Target application.
+        app: AppId,
+        /// First log sequence number wanted.
+        since: u64,
+    },
+}
+
+/// Discriminator for [`ClientMessage`] — the reproduction of the paper's
+/// class-name dispatch at the client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Reply to a specific request.
+    Response,
+    /// Failure notice.
+    Error,
+    /// Asynchronous collaboration/status update.
+    Update,
+}
+
+/// Everything a server delivers to a client.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ClientMessage {
+    /// Reply to a specific request.
+    Response(ResponseBody),
+    /// Failure notice.
+    Error(WireError),
+    /// Asynchronous update fanned out to the collaboration group.
+    Update(UpdateBody),
+}
+
+impl ClientMessage {
+    /// The message's kind — clients dispatch on this.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            ClientMessage::Response(_) => MessageKind::Response,
+            ClientMessage::Error(_) => MessageKind::Error,
+            ClientMessage::Update(_) => MessageKind::Update,
+        }
+    }
+}
+
+/// Bodies of [`ClientMessage::Response`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// Login succeeded; the global application list reflects this user's
+    /// privileges across the whole server network.
+    LoginOk {
+        /// Assigned client id.
+        client: ClientId,
+        /// Applications visible to this user, local and remote.
+        apps: Vec<AppDescriptor>,
+    },
+    /// Logout acknowledged.
+    LogoutOk,
+    /// Request accepted; the result will arrive asynchronously via the
+    /// poll channel (HTTP cannot push).
+    Accepted,
+    /// Fresh application list.
+    Apps(Vec<AppDescriptor>),
+    /// Interaction session opened; interface filtered by privilege.
+    AppSelected {
+        /// The application.
+        app: AppId,
+        /// Privilege-filtered interaction interface.
+        interface: InteractionSpec,
+        /// The privilege this user holds.
+        privilege: Privilege,
+    },
+    /// Interaction session closed.
+    AppDeselected {
+        /// The application.
+        app: AppId,
+    },
+    /// An operation completed.
+    OpDone {
+        /// The application.
+        app: AppId,
+        /// Operation result.
+        outcome: OpOutcome,
+    },
+    /// Steering lock granted.
+    LockGranted {
+        /// The application.
+        app: AppId,
+    },
+    /// Steering lock denied; `holder` currently drives the application.
+    LockDenied {
+        /// The application.
+        app: AppId,
+        /// Current lock holder, if known.
+        holder: Option<UserId>,
+    },
+    /// Steering lock released.
+    LockReleased {
+        /// The application.
+        app: AppId,
+    },
+    /// Poll result: everything buffered since the last poll.
+    Batch(Vec<ClientMessage>),
+    /// Subgroup membership change acknowledged.
+    SubgroupOk {
+        /// The application.
+        app: AppId,
+        /// Subgroup name.
+        group: String,
+        /// True if now a member.
+        joined: bool,
+    },
+    /// Collaboration mode change acknowledged.
+    CollabModeOk {
+        /// The application.
+        app: AppId,
+        /// New broadcast setting.
+        broadcast: bool,
+    },
+    /// This client's own interaction log (replay).
+    ClientLog {
+        /// The application.
+        app: AppId,
+        /// The client's own records from `since` onward.
+        records: Vec<LogRecord>,
+        /// Sequence to pass as `since` next time.
+        next_seq: u64,
+    },
+    /// Archived history records (replay / latecomer catch-up).
+    History {
+        /// The application.
+        app: AppId,
+        /// Records from the requested sequence onward.
+        records: Vec<LogRecord>,
+        /// Sequence number to pass as `since` next time.
+        next_seq: u64,
+    },
+}
+
+/// Bodies of [`ClientMessage::Update`] — fanned out to collaboration
+/// groups (and across servers, one message per remote server).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum UpdateBody {
+    /// Periodic application status broadcast (the paper's "global
+    /// updates ... automatically broadcast to this group").
+    AppStatus {
+        /// The application.
+        app: AppId,
+        /// Status snapshot.
+        status: AppStatus,
+        /// Current sensor readings.
+        readings: Vec<(String, Value)>,
+    },
+    /// A steered parameter changed.
+    ParamChanged {
+        /// The application.
+        app: AppId,
+        /// Parameter name.
+        name: String,
+        /// New value.
+        value: Value,
+        /// Who changed it.
+        by: UserId,
+    },
+    /// A lifecycle command was applied.
+    CommandApplied {
+        /// The application.
+        app: AppId,
+        /// The command.
+        command: AppCommand,
+        /// Who issued it.
+        by: UserId,
+    },
+    /// Steering lock ownership changed.
+    LockChanged {
+        /// The application.
+        app: AppId,
+        /// New holder (`None` = free).
+        holder: Option<UserId>,
+    },
+    /// Chat line.
+    Chat {
+        /// The application group.
+        app: AppId,
+        /// Sender.
+        from: UserId,
+        /// Text.
+        text: String,
+    },
+    /// Whiteboard stroke.
+    Whiteboard {
+        /// The application group.
+        app: AppId,
+        /// Sender.
+        from: UserId,
+        /// Stroke payload.
+        stroke: WhiteboardStroke,
+    },
+    /// Explicitly shared view.
+    ViewShared {
+        /// The application group.
+        app: AppId,
+        /// Sender.
+        from: UserId,
+        /// Opaque view description.
+        view: String,
+    },
+    /// A user joined the application's collaboration group.
+    MemberJoined {
+        /// The application group.
+        app: AppId,
+        /// Who joined.
+        user: UserId,
+    },
+    /// A user left the application's collaboration group.
+    MemberLeft {
+        /// The application group.
+        app: AppId,
+        /// Who left.
+        user: UserId,
+    },
+    /// The application disconnected or terminated.
+    AppClosed {
+        /// The application.
+        app: AppId,
+    },
+    /// A collaborating client's interaction response, echoed to the group
+    /// (the paper's shared request/response streams; suppressed for
+    /// clients that disabled collaboration).
+    InteractionEcho {
+        /// The application.
+        app: AppId,
+        /// Whose interaction this echoes.
+        by: UserId,
+        /// The outcome being shared.
+        outcome: OpOutcome,
+    },
+}
+
+impl UpdateBody {
+    /// The application this update concerns.
+    pub fn app(&self) -> AppId {
+        match self {
+            UpdateBody::AppStatus { app, .. }
+            | UpdateBody::ParamChanged { app, .. }
+            | UpdateBody::CommandApplied { app, .. }
+            | UpdateBody::LockChanged { app, .. }
+            | UpdateBody::Chat { app, .. }
+            | UpdateBody::Whiteboard { app, .. }
+            | UpdateBody::ViewShared { app, .. }
+            | UpdateBody::MemberJoined { app, .. }
+            | UpdateBody::MemberLeft { app, .. }
+            | UpdateBody::AppClosed { app }
+            | UpdateBody::InteractionEcho { app, .. } => *app,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Application <-> Server (custom TCP protocol)
+// ---------------------------------------------------------------------------
+
+/// Channels of the DISCOVER wire protocol. Between a server and an
+/// application three channels exist (Main / Command / Response); between
+/// two servers a fourth Control channel carries errors and system events.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Channel {
+    /// Registration and periodic updates.
+    Main,
+    /// Interaction requests toward the application.
+    Command,
+    /// Application responses to interaction requests.
+    Response,
+    /// Server-to-server errors and system events (Salamander-style
+    /// notification service).
+    Control,
+}
+
+/// Messages on the application ↔ server custom TCP protocol.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum AppMsg {
+    /// Main channel, app → server: register with the Daemon servlet.
+    Register {
+        /// Pre-assigned authentication token.
+        token: AppToken,
+        /// Human name.
+        name: String,
+        /// Kind tag (`"oilres"`, `"cfd"`, ...).
+        kind: String,
+        /// Access-control list: users authorized on this application.
+        acl: Vec<(UserId, Privilege)>,
+        /// Published interaction interface.
+        interface: InteractionSpec,
+    },
+    /// Main channel, server → app: registration accepted.
+    RegisterAck {
+        /// Assigned globally unique id.
+        app: AppId,
+    },
+    /// Main channel, server → app: registration rejected.
+    RegisterNak {
+        /// Why.
+        error: WireError,
+    },
+    /// Main channel, app → server: periodic status/sensor update.
+    Update {
+        /// The application.
+        app: AppId,
+        /// Status snapshot.
+        status: AppStatus,
+        /// Current sensor readings.
+        readings: Vec<(String, Value)>,
+    },
+    /// Main channel, app → server: phase transition (drives the Daemon
+    /// servlet's request buffering).
+    PhaseChange {
+        /// The application.
+        app: AppId,
+        /// New phase.
+        phase: AppPhase,
+    },
+    /// Main channel, app → server: clean shutdown.
+    Deregister {
+        /// The application.
+        app: AppId,
+    },
+    /// Command channel, server → app: perform an operation.
+    Command {
+        /// Correlation id (matched by the Response).
+        req: RequestId,
+        /// The operation.
+        op: AppOp,
+    },
+    /// Response channel, app → server: operation result.
+    Response {
+        /// Correlation id.
+        req: RequestId,
+        /// Outcome.
+        result: Result<OpOutcome, WireError>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Server <-> Server (GIOP / CORBA analogue)
+// ---------------------------------------------------------------------------
+
+/// Control-channel events (errors and system events forwarded between
+/// servers; the paper likens this to Salamander's notification service).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ControlEvent {
+    /// Originating server.
+    pub origin: ServerAddr,
+    /// Event class.
+    pub kind: ControlEventKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Classes of control-channel events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ControlEventKind {
+    /// A server joined the peer network.
+    ServerUp,
+    /// A server is leaving the peer network.
+    ServerDown,
+    /// An application registered.
+    AppRegistered,
+    /// An application deregistered or died.
+    AppClosed,
+    /// An error was raised on behalf of a remote interaction.
+    RemoteError,
+}
+
+/// Requests between DISCOVER servers: the level-1 `DiscoverCorbaServer`
+/// interface, the level-2 `CorbaProxy` interface, collaboration fan-out,
+/// distributed locking relay, archival fetch, and control events.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum PeerMsg {
+    /// Level 1: authenticate a user and learn their visible applications.
+    Authenticate {
+        /// The user.
+        user: UserId,
+        /// Shared-secret password.
+        password: String,
+    },
+    /// Level 1: list active applications and logged-in users.
+    ListActive,
+    /// Level 2: operation against an application hosted at the target
+    /// server, on behalf of a user at the calling server.
+    ProxyOp {
+        /// Target application (hosted at the callee).
+        app: AppId,
+        /// Acting user.
+        user: UserId,
+        /// The operation.
+        op: AppOp,
+    },
+    /// Relay a steering-lock request to the application's host server.
+    LockRequest {
+        /// Target application.
+        app: AppId,
+        /// Requesting user.
+        user: UserId,
+    },
+    /// Relay a steering-lock release to the application's host server.
+    LockRelease {
+        /// Target application.
+        app: AppId,
+        /// Releasing user.
+        user: UserId,
+    },
+    /// Subscribe the calling server to collaboration updates for `app`
+    /// (sent when its first local client selects the remote app).
+    SubscribeApp {
+        /// Target application.
+        app: AppId,
+        /// The subscribing server.
+        subscriber: ServerAddr,
+    },
+    /// Unsubscribe (last local client deselected the app).
+    UnsubscribeApp {
+        /// Target application.
+        app: AppId,
+        /// The unsubscribing server.
+        subscriber: ServerAddr,
+    },
+    /// Collaboration fan-out: ONE message per remote server carrying an
+    /// update; the receiving server re-broadcasts to its local clients.
+    CollabUpdate {
+        /// The update.
+        update: UpdateBody,
+        /// The server where the update originated (excluded from the
+        /// host's re-fan-out to avoid echo).
+        origin: ServerAddr,
+    },
+    /// Poll-mode alternative to `CollabUpdate` push (the paper's
+    /// "CorbaProxy objects poll each other for updates and responses").
+    PollUpdates {
+        /// Target application.
+        app: AppId,
+        /// First update sequence wanted.
+        since: u64,
+        /// The polling server (its own updates are filtered out).
+        requester: ServerAddr,
+    },
+    /// Fetch archived application history from its host server.
+    FetchHistory {
+        /// Target application.
+        app: AppId,
+        /// First log sequence wanted.
+        since: u64,
+    },
+    /// Control-channel event (oneway).
+    Control(ControlEvent),
+    /// Naming service: bind (or rebind) `name` to an object reference.
+    NamingBind {
+        /// Compound name, e.g. `"DISCOVER/apps/10.0.0.1#2"`.
+        name: String,
+        /// The reference.
+        object: ObjectRef,
+    },
+    /// Naming service: resolve `name`.
+    NamingResolve {
+        /// Compound name.
+        name: String,
+    },
+    /// Naming service: remove a binding.
+    NamingUnbind {
+        /// Compound name.
+        name: String,
+    },
+    /// Naming service: list bindings under a prefix.
+    NamingList {
+        /// Name prefix (`""` lists everything).
+        prefix: String,
+    },
+    /// Trader service: export a service offer (the paper's service-offer
+    /// pairs; all DISCOVER servers export under service id `"DISCOVER"`).
+    TraderExport {
+        /// The offer.
+        offer: ServiceOffer,
+    },
+    /// Trader service: withdraw all offers for an object reference.
+    TraderWithdraw {
+        /// The exporting object.
+        object: ObjectRef,
+    },
+    /// CoG/GRAM: submit a job to a grid site for staging and launch.
+    GramSubmit {
+        /// What to run.
+        job: JobSpec,
+    },
+    /// CoG/GRAM: query a site's slot availability.
+    GramQuery,
+    /// Trader service: query offers of a service type matching all given
+    /// property constraints (name/value equality).
+    TraderQuery {
+        /// Service type, e.g. `"DISCOVER"`.
+        service_type: String,
+        /// Property constraints; empty matches every offer of the type.
+        constraints: Vec<(String, Value)>,
+    },
+}
+
+/// Specification of a grid job submitted through the CoG kit's
+/// GRAM-analogue: which application to launch, how much input data must
+/// be staged, and roughly how long it will run.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human name (becomes the application name at registration).
+    pub name: String,
+    /// Application kind tag (`"oilres"`, `"cfd"`, ...).
+    pub kind: String,
+    /// Bytes of input data to stage to the site before launch.
+    pub stage_bytes: u64,
+    /// Estimated run time (slot occupancy), microseconds.
+    pub est_duration_us: u64,
+}
+
+/// A trader service offer: a CosTrading-style (service type, reference,
+/// properties) triple.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ServiceOffer {
+    /// Service type, e.g. `"DISCOVER"`.
+    pub service_type: String,
+    /// The object implementing the service.
+    pub object: ObjectRef,
+    /// Name/value property list used in query constraints.
+    pub properties: Vec<(String, Value)>,
+}
+
+/// Replies to [`PeerMsg`] requests.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum PeerReply {
+    /// Level-1 authentication result: applications at the callee visible
+    /// to the user.
+    AuthOk {
+        /// Visible applications with the user's privilege filled in.
+        apps: Vec<AppDescriptor>,
+    },
+    /// Level-1 authentication failed (user unknown at the callee).
+    AuthDenied,
+    /// Active applications and users at the callee.
+    Active {
+        /// All registered applications (unfiltered).
+        apps: Vec<AppDescriptor>,
+        /// Users currently logged in.
+        users: Vec<UserId>,
+    },
+    /// Result of a proxied operation.
+    OpResult {
+        /// The application.
+        app: AppId,
+        /// Outcome.
+        result: Result<OpOutcome, WireError>,
+    },
+    /// Lock decision from the host server.
+    LockDecision {
+        /// The application.
+        app: AppId,
+        /// Granted to the requester?
+        granted: bool,
+        /// Current holder after the decision.
+        holder: Option<UserId>,
+    },
+    /// Subscription acknowledged.
+    SubscribeOk {
+        /// The application.
+        app: AppId,
+    },
+    /// Updates since the polled sequence.
+    Updates {
+        /// The application.
+        app: AppId,
+        /// Buffered updates.
+        updates: Vec<UpdateBody>,
+        /// Sequence to poll from next.
+        next_seq: u64,
+    },
+    /// Archived history records.
+    History {
+        /// The application.
+        app: AppId,
+        /// Records.
+        records: Vec<LogRecord>,
+        /// Sequence to fetch from next.
+        next_seq: u64,
+    },
+    /// Naming/trader mutation acknowledged.
+    DirectoryOk,
+    /// Naming resolution result.
+    NamingResolved {
+        /// The binding, if present.
+        object: Option<ObjectRef>,
+    },
+    /// Naming listing result.
+    NamingNames {
+        /// Bindings under the requested prefix.
+        bindings: Vec<(String, ObjectRef)>,
+    },
+    /// CoG/GRAM: job accepted.
+    GramAccepted {
+        /// Site-local job id.
+        job: u64,
+        /// Predicted delay until the application comes up (staging +
+        /// queue wait), microseconds.
+        eta_us: u64,
+    },
+    /// CoG/GRAM: site status.
+    GramStatus {
+        /// Free execution slots.
+        free_slots: u32,
+        /// Jobs waiting in the queue.
+        queued: u32,
+        /// Relative CPU speed of the site (1.0 = baseline).
+        speed: f64,
+    },
+    /// Trader query result.
+    TraderOffers {
+        /// Matching offers.
+        offers: Vec<ServiceOffer>,
+    },
+    /// The request failed.
+    Exception(WireError),
+}
+
+// ---------------------------------------------------------------------------
+// Archival
+// ---------------------------------------------------------------------------
+
+/// One archived record in a session/application log.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Monotonic per-log sequence number.
+    pub seq: u64,
+    /// Virtual timestamp (microseconds since simulation start).
+    pub at_us: u64,
+    /// Acting user (if the entry is client-initiated).
+    pub user: Option<UserId>,
+    /// What happened.
+    pub entry: LogEntry,
+}
+
+/// Payload of a [`LogRecord`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum LogEntry {
+    /// A client-issued interaction request.
+    Request(AppOp),
+    /// The application's response.
+    Response(OpOutcome),
+    /// An error outcome.
+    Error(WireError),
+    /// A periodic status/sensor message.
+    Status(AppStatus),
+    /// A collaboration update (chat/whiteboard/view/membership).
+    Update(UpdateBody),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode};
+    use crate::ids::ServerAddr;
+
+    fn sample_app() -> AppId {
+        AppId { server: ServerAddr(1), seq: 1 }
+    }
+
+    #[test]
+    fn client_message_kind_dispatch() {
+        let r = ClientMessage::Response(ResponseBody::LogoutOk);
+        let e = ClientMessage::Error(WireError::new(ErrorCode::BadRequest, "x"));
+        let u = ClientMessage::Update(UpdateBody::AppClosed { app: sample_app() });
+        assert_eq!(r.kind(), MessageKind::Response);
+        assert_eq!(e.kind(), MessageKind::Error);
+        assert_eq!(u.kind(), MessageKind::Update);
+    }
+
+    #[test]
+    fn op_privileges() {
+        assert_eq!(AppOp::GetStatus.required_privilege(), Privilege::ReadOnly);
+        assert_eq!(
+            AppOp::SetParam("x".into(), Value::Int(1)).required_privilege(),
+            Privilege::ReadWrite
+        );
+        assert_eq!(AppOp::Command(AppCommand::Pause).required_privilege(), Privilege::Steer);
+        assert!(AppOp::Command(AppCommand::Pause).is_mutating());
+        assert!(!AppOp::GetSensors.is_mutating());
+    }
+
+    #[test]
+    fn update_body_app_extraction() {
+        let app = sample_app();
+        let updates = [
+            UpdateBody::AppClosed { app },
+            UpdateBody::Chat { app, from: UserId::new("u"), text: "hi".into() },
+            UpdateBody::LockChanged { app, holder: None },
+            UpdateBody::MemberJoined { app, user: UserId::new("u") },
+        ];
+        assert!(updates.iter().all(|u| u.app() == app));
+    }
+
+    #[test]
+    fn peer_and_app_messages_roundtrip() {
+        let m = PeerMsg::ProxyOp {
+            app: sample_app(),
+            user: UserId::new("vijay"),
+            op: AppOp::SetParam("injection_rate".into(), Value::Float(2.5)),
+        };
+        assert_eq!(decode::<PeerMsg>(&encode(&m)).unwrap(), m);
+
+        let a = AppMsg::Response {
+            req: RequestId(9),
+            result: Err(WireError::new(ErrorCode::BadParameter, "no such param")),
+        };
+        assert_eq!(decode::<AppMsg>(&encode(&a)).unwrap(), a);
+
+        let reply = PeerReply::Updates {
+            app: sample_app(),
+            updates: vec![UpdateBody::ParamChanged {
+                app: sample_app(),
+                name: "dt".into(),
+                value: Value::Float(0.01),
+                by: UserId::new("manish"),
+            }],
+            next_seq: 17,
+        };
+        assert_eq!(decode::<PeerReply>(&encode(&reply)).unwrap(), reply);
+    }
+
+    #[test]
+    fn batch_response_nests() {
+        let batch = ClientMessage::Response(ResponseBody::Batch(vec![
+            ClientMessage::Update(UpdateBody::AppClosed { app: sample_app() }),
+            ClientMessage::Error(WireError::new(ErrorCode::Unavailable, "gone")),
+        ]));
+        assert_eq!(decode::<ClientMessage>(&encode(&batch)).unwrap(), batch);
+    }
+}

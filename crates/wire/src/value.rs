@@ -1,0 +1,159 @@
+//! Dynamically typed values: steerable parameters, sensor readings, and
+//! trader service properties all carry [`Value`]s.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed value (the CORBA `Any` / Java `Object` analogue in
+//  the original system).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Dense vector of doubles (field slices, probe traces, ...).
+    Vector(Vec<f64>),
+}
+
+impl Value {
+    /// Human-readable type name, used in error messages and the trader's
+    /// property constraints.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Vector(_) => "vector",
+        }
+    }
+
+    /// As a float if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// As an integer if the value is `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// As a bool if the value is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As text if the value is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if `self` and `other` are the same runtime type.
+    pub fn same_type(&self, other: &Value) -> bool {
+        self.type_name() == other.type_name()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Vector(v) => write!(f, "vector[{}]", v.len()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Vector(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(Value::Int(9).as_i64(), Some(9));
+    }
+
+    #[test]
+    fn type_names_and_compat() {
+        assert!(Value::Int(1).same_type(&Value::Int(9)));
+        assert!(!Value::Int(1).same_type(&Value::Float(1.0)));
+        assert_eq!(Value::Vector(vec![1.0]).type_name(), "vector");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Value::Int(-3)), "-3");
+        assert_eq!(format!("{}", Value::Vector(vec![0.0; 5])), "vector[5]");
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for v in [
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Float(0.125),
+            Value::Text("steer".into()),
+            Value::Vector(vec![1.0, 2.0, 3.0]),
+        ] {
+            let bytes = crate::codec::encode(&v);
+            assert_eq!(crate::codec::decode::<Value>(&bytes).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests: arbitrary protocol messages survive encode → decode,
+//! and `encoded_len` always equals the actual encoding length.
+
+use proptest::prelude::*;
+use wire::codec::{decode, encode, encoded_len};
+use wire::{
+    AppCommand, AppId, AppOp, AppPhase, AppStatus, ClientMessage, ClientRequest, ErrorCode,
+    Privilege, ResponseBody, ServerAddr, UpdateBody, UserId, Value, WhiteboardStroke, WireError,
+};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Avoid NaN: PartialEq comparison after roundtrip must hold.
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        "[a-z0-9_ ]{0,24}".prop_map(Value::Text),
+        prop::collection::vec(prop::num::f64::NORMAL, 0..16).prop_map(Value::Vector),
+    ]
+}
+
+fn app_id_strategy() -> impl Strategy<Value = AppId> {
+    (0u32..1000, 0u32..1000).prop_map(|(s, q)| AppId { server: ServerAddr(s), seq: q })
+}
+
+fn user_strategy() -> impl Strategy<Value = UserId> {
+    "[a-z]{1,12}".prop_map(UserId::new)
+}
+
+fn command_strategy() -> impl Strategy<Value = AppCommand> {
+    prop_oneof![
+        Just(AppCommand::Pause),
+        Just(AppCommand::Resume),
+        Just(AppCommand::Checkpoint),
+        Just(AppCommand::Rollback),
+        Just(AppCommand::Terminate),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = AppOp> {
+    prop_oneof![
+        Just(AppOp::GetStatus),
+        Just(AppOp::GetSensors),
+        "[a-z_]{1,16}".prop_map(AppOp::GetParam),
+        ("[a-z_]{1,16}", value_strategy()).prop_map(|(n, v)| AppOp::SetParam(n, v)),
+        command_strategy().prop_map(AppOp::Command),
+    ]
+}
+
+fn status_strategy() -> impl Strategy<Value = AppStatus> {
+    (any::<u64>(), prop::num::f64::NORMAL, 0u8..4).prop_map(|(it, p, ph)| AppStatus {
+        phase: match ph {
+            0 => AppPhase::Computing,
+            1 => AppPhase::Interacting,
+            2 => AppPhase::Paused,
+            _ => AppPhase::Terminated,
+        },
+        iteration: it,
+        progress: p,
+    })
+}
+
+fn update_strategy() -> impl Strategy<Value = UpdateBody> {
+    prop_oneof![
+        (app_id_strategy(), status_strategy(), prop::collection::vec(("[a-z]{1,8}", value_strategy()), 0..4))
+            .prop_map(|(app, status, readings)| UpdateBody::AppStatus { app, status, readings }),
+        (app_id_strategy(), "[a-z_]{1,12}", value_strategy(), user_strategy())
+            .prop_map(|(app, name, value, by)| UpdateBody::ParamChanged { app, name, value, by }),
+        (app_id_strategy(), user_strategy(), "[ -~]{0,40}")
+            .prop_map(|(app, from, text)| UpdateBody::Chat { app, from, text }),
+        (app_id_strategy(), user_strategy(), prop::collection::vec((any::<f32>(), any::<f32>()), 0..12), any::<u32>())
+            .prop_map(|(app, from, points, color)| UpdateBody::Whiteboard {
+                app,
+                from,
+                stroke: WhiteboardStroke { points, color },
+            }),
+        (app_id_strategy(), prop::option::of(user_strategy()))
+            .prop_map(|(app, holder)| UpdateBody::LockChanged { app, holder }),
+        app_id_strategy().prop_map(|app| UpdateBody::AppClosed { app }),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = ClientRequest> {
+    prop_oneof![
+        (user_strategy(), "[a-z0-9]{0,16}")
+            .prop_map(|(user, password)| ClientRequest::Login { user, password }),
+        Just(ClientRequest::Logout),
+        Just(ClientRequest::ListApplications),
+        Just(ClientRequest::Poll),
+        app_id_strategy().prop_map(|app| ClientRequest::SelectApp { app }),
+        (app_id_strategy(), op_strategy()).prop_map(|(app, op)| ClientRequest::Op { app, op }),
+        app_id_strategy().prop_map(|app| ClientRequest::RequestLock { app }),
+        (app_id_strategy(), any::<u64>()).prop_map(|(app, since)| ClientRequest::GetHistory { app, since }),
+    ]
+}
+
+fn client_message_strategy() -> impl Strategy<Value = ClientMessage> {
+    let leaf = prop_oneof![
+        update_strategy().prop_map(ClientMessage::Update),
+        (0u8..8, "[ -~]{0,30}").prop_map(|(c, detail)| {
+            let code = match c {
+                0 => ErrorCode::AuthFailed,
+                1 => ErrorCode::NoSuchApp,
+                2 => ErrorCode::AccessDenied,
+                3 => ErrorCode::LockRequired,
+                4 => ErrorCode::LockHeld,
+                5 => ErrorCode::BadParameter,
+                6 => ErrorCode::Unavailable,
+                _ => ErrorCode::BadRequest,
+            };
+            ClientMessage::Error(WireError::new(code, detail))
+        }),
+        Just(ClientMessage::Response(ResponseBody::LogoutOk)),
+    ];
+    // One level of Batch nesting exercises recursive encoding.
+    prop_oneof![
+        leaf.clone(),
+        prop::collection::vec(leaf, 0..6)
+            .prop_map(|batch| ClientMessage::Response(ResponseBody::Batch(batch))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn values_roundtrip(v in value_strategy()) {
+        let bytes = encode(&v);
+        prop_assert_eq!(bytes.len(), encoded_len(&v));
+        prop_assert_eq!(decode::<Value>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn ops_roundtrip(op in op_strategy()) {
+        let bytes = encode(&op);
+        prop_assert_eq!(bytes.len(), encoded_len(&op));
+        prop_assert_eq!(decode::<AppOp>(&bytes).unwrap(), op);
+    }
+
+    #[test]
+    fn updates_roundtrip(u in update_strategy()) {
+        let bytes = encode(&u);
+        prop_assert_eq!(bytes.len(), encoded_len(&u));
+        prop_assert_eq!(decode::<UpdateBody>(&bytes).unwrap(), u);
+    }
+
+    #[test]
+    fn requests_roundtrip(r in request_strategy()) {
+        let bytes = encode(&r);
+        prop_assert_eq!(bytes.len(), encoded_len(&r));
+        prop_assert_eq!(decode::<ClientRequest>(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn client_messages_roundtrip(m in client_message_strategy()) {
+        let bytes = encode(&m);
+        prop_assert_eq!(bytes.len(), encoded_len(&m));
+        prop_assert_eq!(decode::<ClientMessage>(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Result may be Ok (if bytes happen to parse) or Err; must not panic.
+        let _ = decode::<ClientMessage>(&bytes);
+        let _ = decode::<UpdateBody>(&bytes);
+        let _ = decode::<Value>(&bytes);
+    }
+
+    #[test]
+    fn privilege_ordering_is_total(a in 0u8..3, b in 0u8..3) {
+        fn p(x: u8) -> Privilege {
+            match x {
+                0 => Privilege::ReadOnly,
+                1 => Privilege::ReadWrite,
+                _ => Privilege::Steer,
+            }
+        }
+        let (pa, pb) = (p(a), p(b));
+        // allows() agrees with the declared ordering.
+        prop_assert_eq!(pa.allows(pb), pa >= pb);
+    }
+}

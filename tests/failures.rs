@@ -1,0 +1,273 @@
+//! Failure injection and dynamics: lossy WAN links, call timeouts,
+//! application shutdown propagation, servers joining a running network,
+//! and the §6.3 resource-accounting policy.
+
+use appsim::{synthetic_app, DriverConfig};
+use discover::prelude::*;
+use wire::{AppToken, ClientMessage, ErrorCode, ResponseBody};
+
+use discover_client::Portal;
+
+fn steer_acl() -> Vec<(UserId, Privilege)> {
+    vec![(UserId::new("vijay"), Privilege::Steer)]
+}
+
+#[test]
+fn lossy_wan_link_degrades_gracefully() {
+    // 30% loss on the WAN: oneway collaboration pushes vanish sometimes,
+    // two-way calls retry at the timeout sweep. Local work is unaffected.
+    let mut b = CollaboratoryBuilder::new(31);
+    b.substrate_config.call_timeout = SimDuration::from_secs(3);
+    b.substrate_config.sweep_interval = SimDuration::from_secs(1);
+    let home = b.server("home");
+    let far = b.server("far");
+    b.link_servers(home, far, LinkSpec::wan().with_loss(0.3));
+    let mut dc = DriverConfig::default();
+    dc.name = "ipars".into();
+    dc.acl = steer_acl();
+    dc.batch_time = SimDuration::from_millis(200);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_millis(500);
+    let (_, remote_app) = b.application(far, synthetic_app(2, u64::MAX), dc.clone());
+    let mut local_dc = dc.clone();
+    local_dc.name = "local".into();
+    let (_, local_app) = b.application(home, synthetic_app(2, u64::MAX), local_dc);
+
+    // The client watches the remote app and steers the local one.
+    let cfg = discover_client::PortalConfig::new("vijay")
+        .select_app(remote_app)
+        .at(SimDuration::from_secs(2), ClientRequest::SelectApp { app: local_app })
+        .at(SimDuration::from_secs(3), ClientRequest::RequestLock { app: local_app })
+        .at(
+            SimDuration::from_secs(4),
+            ClientRequest::Op {
+                app: local_app,
+                op: AppOp::SetParam("knob0".into(), Value::Float(2.0)),
+            },
+        );
+    let node = b.attach(home, "vijay", Portal::new(cfg));
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(node).unwrap().server = Some(home.node);
+    c.engine.run_until(SimTime::from_secs(30));
+
+    let p = c.engine.actor_ref::<Portal>(node).unwrap();
+    // Local steering still works under WAN loss.
+    assert!(p.received.iter().any(|(_, m)| matches!(
+        m,
+        ClientMessage::Response(ResponseBody::OpDone { app, .. }) if *app == local_app
+    )));
+    // Losses actually happened.
+    let dropped = c.engine.stats().counter("link.wan.dropped");
+    assert!(dropped > 0, "the lossy link should have dropped messages");
+    // Remote status updates still flow (subscription survives or renews);
+    // at 30% loss over 30 s some must get through.
+    let remote_updates = p
+        .updates()
+        .iter()
+        .filter(|u| matches!(u, UpdateBody::AppStatus { app, .. } if *app == remote_app))
+        .count();
+    assert!(remote_updates > 0, "some remote updates should survive 30% loss");
+}
+
+#[test]
+fn severed_wan_times_out_remote_ops() {
+    // The WAN drops everything: remote ops must fail with Unavailable via
+    // the substrate's timeout sweep instead of hanging forever.
+    let mut b = CollaboratoryBuilder::new(32);
+    b.substrate_config.call_timeout = SimDuration::from_secs(2);
+    b.substrate_config.sweep_interval = SimDuration::from_millis(500);
+    let home = b.server("home");
+    let far = b.server("far");
+    // Let discovery + auth succeed first, then sever: we emulate severing
+    // with a 100% lossy link from the start EXCEPT that discovery happens
+    // via the directory (campus link), so the remote app is still listed.
+    b.link_servers(home, far, LinkSpec::wan().with_loss(1.0));
+    let mut dc = DriverConfig::default();
+    dc.name = "ipars".into();
+    dc.acl = steer_acl();
+    let (_, remote_app) = b.application(far, synthetic_app(2, u64::MAX), dc.clone());
+    let mut anchor = dc.clone();
+    anchor.name = "anchor".into();
+    b.application(home, synthetic_app(1, u64::MAX), anchor);
+
+    // The client cannot learn of the remote app via peer auth (the WAN is
+    // dead), so op it blindly by scripting the op — the server rejects
+    // unknown remote apps, which is also a correct failure mode. To reach
+    // the timeout path instead, the mirror must exist: so this test
+    // asserts EITHER the early AccessDenied or a timeout Unavailable.
+    let cfg = discover_client::PortalConfig::new("vijay").at(
+        SimDuration::from_secs(2),
+        ClientRequest::Op { app: remote_app, op: AppOp::GetSensors },
+    );
+    let node = b.attach(home, "vijay", Portal::new(cfg));
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(node).unwrap().server = Some(home.node);
+    c.engine.run_until(SimTime::from_secs(10));
+    let p = c.engine.actor_ref::<Portal>(node).unwrap();
+    let failed = p.received.iter().any(|(_, m)| matches!(
+        m,
+        ClientMessage::Error(e)
+            if e.code == ErrorCode::AccessDenied || e.code == ErrorCode::Unavailable
+    ));
+    assert!(failed, "a dead WAN must produce a terminal error, not a hang");
+    // And the auth fan-out calls to the dead peer eventually expired.
+    assert!(
+        c.engine.stats().counter("substrate.timeouts") > 0,
+        "timed-out peer calls should be swept"
+    );
+}
+
+#[test]
+fn app_termination_propagates_to_remote_watchers() {
+    let mut b = CollaboratoryBuilder::new(33);
+    let home = b.server("home");
+    let far = b.server("far");
+    b.link_servers(home, far, LinkSpec::wan());
+    let mut dc = DriverConfig::default();
+    dc.name = "shortlived".into();
+    dc.acl = steer_acl();
+    dc.batch_time = SimDuration::from_millis(200);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_millis(300);
+    let (_, app) = b.application(far, synthetic_app(2, u64::MAX), dc.clone());
+    let mut anchor = dc.clone();
+    anchor.name = "anchor".into();
+    b.application(home, synthetic_app(1, u64::MAX), anchor);
+
+    let cfg = discover_client::PortalConfig::new("vijay")
+        .select_app(app)
+        .at(SimDuration::from_secs(3), ClientRequest::RequestLock { app })
+        .at(
+            SimDuration::from_secs(5),
+            ClientRequest::Op { app, op: AppOp::Command(AppCommand::Terminate) },
+        );
+    let node = b.attach(home, "vijay", Portal::new(cfg));
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(node).unwrap().server = Some(home.node);
+    c.engine.run_until(SimTime::from_secs(12));
+
+    let p = c.engine.actor_ref::<Portal>(node).unwrap();
+    assert!(
+        p.updates().iter().any(|u| matches!(u, UpdateBody::AppClosed { app: a } if *a == app)),
+        "the remote watcher must learn the app closed"
+    );
+    // The host no longer lists the app.
+    let far_core = c.server_core(*c.servers.get(&app.host()).unwrap()).unwrap();
+    assert_eq!(far_core.local_app_count(), 0, "the host deregisters the terminated app");
+}
+
+#[test]
+fn late_joining_server_is_discovered_and_usable() {
+    let mut b = CollaboratoryBuilder::new(34);
+    let first = b.server("first");
+    let mut dc = DriverConfig::default();
+    dc.name = "anchor".into();
+    dc.acl = steer_acl();
+    b.application(first, synthetic_app(1, u64::MAX), dc.clone());
+    let mut c = b.build();
+    c.engine.run_until(SimTime::from_secs(2));
+    assert!(c.node(first).unwrap().substrate.peer_addrs().is_empty());
+
+    // A new domain comes online mid-run.
+    let second = c.add_server("second", LinkSpec::wan());
+    c.engine.run_until(SimTime::from_secs(40));
+    // Default discovery refresh is 30 s: by t=40 both sides know each other.
+    assert_eq!(
+        c.node(first).unwrap().substrate.peer_addrs(),
+        vec![second.addr],
+        "the old server discovers the newcomer via the trader"
+    );
+    assert_eq!(c.node(second).unwrap().substrate.peer_addrs(), vec![first.addr]);
+}
+
+#[test]
+fn peer_rate_policy_throttles_excessive_peers() {
+    // Server with a strict 5 req/s per-peer policy; a remote client's
+    // sensor workload is fast enough to trip it.
+    let mut b = CollaboratoryBuilder::new(35);
+    b.tweak_servers(|cfg| cfg.peer_rate_limit = Some(5));
+    let host = b.server("host");
+    let gateway = b.server("gateway");
+    b.link_servers(host, gateway, LinkSpec::wan());
+    let mut dc = DriverConfig::default();
+    dc.name = "app0".into();
+    dc.token = AppToken::new("app0");
+    dc.acl = steer_acl();
+    dc.batch_time = SimDuration::from_millis(50);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_secs(1);
+    let (_, app) = b.application(host, synthetic_app(2, u64::MAX), dc.clone());
+    let mut anchor = dc.clone();
+    anchor.name = "anchor".into();
+    anchor.token = AppToken::new("anchor");
+    b.application(gateway, synthetic_app(1, u64::MAX), anchor);
+
+    let cfg = discover_client::PortalConfig::new("vijay")
+        .select_app(app)
+        .poll_every(SimDuration::from_millis(100))
+        .workload(discover_client::Workload::new(
+            app,
+            discover_client::OpMix::sensors_only(),
+            SimDuration::from_millis(50),
+        ));
+    let node = b.attach(gateway, "vijay", Portal::new(cfg));
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(node).unwrap().server = Some(gateway.node);
+    c.engine.run_until(SimTime::from_secs(30));
+
+    let throttled = c.engine.stats().counter("server.peer.throttled");
+    assert!(throttled > 0, "the access policy should have throttled the peer");
+    let host_node = c.node(*c.servers.get(&app.host()).unwrap()).unwrap();
+    let accounting = host_node.core.peer_accounting();
+    assert!(accounting.iter().any(|(_, total, thr)| *total > 0 && *thr > 0));
+    // The client still made progress within the allowed budget.
+    let p = c.engine.actor_ref::<Portal>(node).unwrap();
+    assert!(!p.op_latencies_us.is_empty());
+}
+
+#[test]
+fn idle_sessions_are_reaped_and_locks_freed() {
+    let mut b = CollaboratoryBuilder::new(36);
+    b.substrate_config.sweep_interval = SimDuration::from_secs(2);
+    b.tweak_servers(|cfg| cfg.session_idle_timeout = Some(SimDuration::from_secs(10)));
+    let server = b.server("server0");
+    let mut dc = DriverConfig::default();
+    dc.name = "app0".into();
+    dc.acl = vec![
+        (UserId::new("vijay"), Privilege::Steer),
+        (UserId::new("manish"), Privilege::Steer),
+    ];
+    dc.batch_time = SimDuration::from_millis(100);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_millis(500);
+    let (_, app) = b.application(server, synthetic_app(2, u64::MAX), dc);
+
+    // vijay grabs the lock, then his portal goes silent (poll period far
+    // beyond the idle timeout) — a vanished browser.
+    let mut vanishing = discover_client::PortalConfig::new("vijay")
+        .select_app(app)
+        .at(SimDuration::from_secs(1), ClientRequest::RequestLock { app });
+    vanishing.poll_every = SimDuration::from_secs(3600);
+    let vijay_node = b.attach(server, "vijay", Portal::new(vanishing));
+
+    // manish keeps polling and tries for the lock later.
+    let manish = discover_client::PortalConfig::new("manish")
+        .select_app(app)
+        .at(SimDuration::from_secs(30), ClientRequest::RequestLock { app });
+    let manish_node = b.attach(server, "manish", Portal::new(manish));
+
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(vijay_node).unwrap().server = Some(server.node);
+    c.engine.actor_mut::<Portal>(manish_node).unwrap().server = Some(server.node);
+    c.engine.run_until(SimTime::from_secs(40));
+
+    assert!(c.engine.stats().counter("server.sessions.reaped") >= 1, "idle session reaped");
+    let core = c.server_core(server).unwrap();
+    assert_eq!(core.session_count(), 1, "only manish's fresh session remains");
+    // The reap force-released vijay's lock, so manish's request succeeded.
+    let m = c.engine.actor_ref::<Portal>(manish_node).unwrap();
+    assert!(m.received.iter().any(|(_, msg)| matches!(
+        msg,
+        ClientMessage::Response(ResponseBody::LockGranted { .. })
+    )));
+}
