@@ -96,6 +96,7 @@ impl Cavity {
                     if i == 0 || i == n - 1 {
                         return; // walls: psi = 0
                     }
+                    #[allow(clippy::needless_range_loop)] // stencil indexing
                     for j in 1..n - 1 {
                         let c = i * n + j;
                         row[j] = 0.25

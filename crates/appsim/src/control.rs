@@ -170,7 +170,7 @@ impl<S: Kernel> SteerableApp<S> {
         self.kernel.advance();
         let it = self.kernel.iteration();
         for agent in &mut self.net.agents {
-            if it % agent.period == 0 {
+            if it.is_multiple_of(agent.period) {
                 (agent.act)(&mut self.kernel);
             }
         }

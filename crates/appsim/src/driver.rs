@@ -249,14 +249,13 @@ impl<S: Kernel> Actor<Envelope> for AppDriver<S> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, _from: NodeId, msg: Envelope) {
         let wire::Content::Tcp(frame) = msg.content else { return };
         match frame.msg {
-            AppMsg::RegisterAck { app } => {
-                if self.state == DriverState::AwaitingAck {
+            AppMsg::RegisterAck { app }
+                if self.state == DriverState::AwaitingAck => {
                     self.assigned = Some(app);
                     // First status update announces the app, then compute.
                     self.send_update(ctx);
                     self.enter_computing(ctx);
                 }
-            }
             AppMsg::RegisterNak { error } => {
                 ctx.stats().incr("driver.register_nak");
                 let _ = error;

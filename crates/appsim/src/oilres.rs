@@ -119,6 +119,7 @@ impl OilReservoir {
                 let lam = &lam;
                 parkit::par_chunks_mut(&mut next[..], n, |offset, row| {
                     let i = offset / n;
+                    #[allow(clippy::needless_range_loop)] // stencil indexing
                     for j in 0..n {
                         let c = i * n + j;
                         let mut num = 0.0;

@@ -123,6 +123,7 @@ impl Kernel for Seismic {
                 if i == 0 || i == n - 1 {
                     return;
                 }
+                #[allow(clippy::needless_range_loop)] // stencil indexing
                 for j in 1..n - 1 {
                     let k = i * n + j;
                     let lap = (u[k - n] + u[k + n] + u[k - 1] + u[k + 1] - 4.0 * u[k]) / (h * h);

@@ -3,6 +3,8 @@
 //! always clamps into the declared range, and the interface echoes the
 //! kernel's state.
 
+#![cfg(feature = "proptest")]
+
 use appsim::{cfd_app, oil_reservoir_app, relativity_app, seismic_app, SteerableApp, Kernel};
 use proptest::prelude::*;
 use wire::{AppCommand, AppOp, AppPhase, OpOutcome, Value};

@@ -14,6 +14,20 @@ fn main() {
     } else {
         args
     };
+    let known = experiments::all();
+    let unknown: Vec<&String> = wanted
+        .iter()
+        .filter(|w| !known.iter().any(|(id, _)| w.eq_ignore_ascii_case(id)))
+        .collect();
+    if !unknown.is_empty() {
+        let ids: Vec<&str> = known.iter().map(|(id, _)| *id).collect();
+        for w in &unknown {
+            eprintln!("warning: unknown experiment id '{}' (known: {})", w, ids.join(", "));
+        }
+        if unknown.len() == wanted.len() {
+            std::process::exit(2);
+        }
+    }
     println!("DISCOVER middleware reproduction — experiment harness");
     println!("(virtual-time simulation; see EXPERIMENTS.md for paper-vs-measured)");
     for (id, run) in experiments::all() {

@@ -7,6 +7,9 @@
 //! harness -- all`); criterion micro-benchmarks live under `benches/`.
 
 #![forbid(unsafe_code)]
+// Experiments configure workloads by mutating a default config; the
+// builder-struct rewrite clippy suggests would obscure the knobs.
+#![allow(clippy::field_reassign_with_default)]
 
 pub mod experiments;
 pub mod fixtures;

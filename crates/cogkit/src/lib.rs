@@ -162,7 +162,7 @@ impl Actor<Envelope> for GridSite {
             ],
         };
         let (key, op, msg) = calls::export(offer);
-        self.broker.call(ctx, self.directory, key, op, msg, ());
+        let _ = self.broker.call(ctx, self.directory, key, op, msg, ());
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
@@ -276,7 +276,7 @@ impl GridLauncher {
     fn discover(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         self.discovery_attempts += 1;
         let (key, op, msg) = calls::query(GRID_SERVICE, vec![]);
-        self.broker.call(ctx, self.directory, key, op, msg, LaunchStep::Discover);
+        let _ = self.broker.call(ctx, self.directory, key, op, msg, LaunchStep::Discover);
     }
 }
 
@@ -315,7 +315,7 @@ impl Actor<Envelope> for GridLauncher {
                 self.phase = LaunchPhase::Probing;
                 self.awaiting = self.candidates.len();
                 for (_, node) in self.candidates.clone() {
-                    self.broker.call(
+                    let _ = self.broker.call(
                         ctx,
                         node,
                         ObjectKey::new(GRAM_KEY),
@@ -342,7 +342,7 @@ impl Actor<Envelope> for GridLauncher {
                         Some(node) => {
                             self.phase = LaunchPhase::Submitting;
                             self.chosen_site = Some(node);
-                            self.broker.call(
+                            let _ = self.broker.call(
                                 ctx,
                                 node,
                                 ObjectKey::new(GRAM_KEY),

@@ -116,6 +116,7 @@ pub struct CollaboratoryBuilder {
     /// Link used between applications/clients and their server.
     pub edge_link: LinkSpec,
     /// Customize the server config of subsequently created servers.
+    #[allow(clippy::type_complexity)]
     server_tweak: Option<Box<dyn FnMut(&mut ServerConfig)>>,
     app_counts: HashMap<ServerAddr, u32>,
 }

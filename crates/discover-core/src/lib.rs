@@ -27,7 +27,7 @@ mod substrate;
 
 pub use builder::{Collaboratory, CollaboratoryBuilder, ServerHandle};
 pub use node::DiscoverNode;
-pub use substrate::{CallCtx, CollabMode, Substrate, SubstrateConfig};
+pub use substrate::{CallCtx, CollabMode, PeerHealth, Substrate, SubstrateConfig};
 
 // Convenience re-exports so downstream users need only this crate.
 pub use discover_server::{Effect, ServerConfig, ServerCore, StandaloneServer};

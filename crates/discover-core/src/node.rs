@@ -70,6 +70,21 @@ impl Actor<Envelope> for DiscoverNode {
         }
     }
 
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        ctx.stats().incr("node.restarts");
+        // The crashed incarnation's outstanding calls and subscriptions
+        // are gone; re-register like the paper's daemon would on reboot.
+        self.substrate.on_restart();
+        self.substrate.publish_self(ctx);
+        let local = self.core.local_app_ids();
+        self.substrate.rebind_local_apps(ctx, local);
+        ctx.schedule(SimDuration::from_millis(20), TAG_DISCOVERY);
+        ctx.schedule(self.substrate.config.sweep_interval, TAG_SWEEP);
+        if let Some(interval) = self.substrate.poll_interval() {
+            ctx.schedule(interval, TAG_POLL);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Envelope>, tag: u64) {
         match tag {
             TAG_DISCOVERY => {

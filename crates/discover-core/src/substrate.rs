@@ -6,11 +6,20 @@
 //! applications into the naming service, resolves the server core's
 //! [`Effect`]s into ORB calls, correlates the replies, and feeds results
 //! back into the core.
+//!
+//! Fault tolerance: expired calls are retried with backoff by the broker
+//! ([`orb::RetryPolicy`]); call outcomes drive a per-peer health state
+//! ([`PeerHealth`]) — a reply marks the peer `Up`, a retried timeout
+//! `Suspect`, an exhausted call `Down`. When a peer goes down the
+//! substrate re-queries the trader, re-resolves every mirrored app of
+//! that host through naming (failover), fails requests for the host fast
+//! with a redirect hint instead of letting them time out, and keeps
+//! serving the cached peer directory flagged stale rather than erroring.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use orb::directory::calls;
-use orb::{AddressBook, Broker, DISCOVER_SERVICE};
+use orb::{AddressBook, Broker, RetryPolicy, DISCOVER_SERVICE};
 use simnet::{Ctx, NodeId, SimDuration, SimTime};
 use wire::giop::GiopFrame;
 use wire::{
@@ -50,6 +59,9 @@ pub struct SubstrateConfig {
     pub call_timeout: SimDuration,
     /// How often the timeout sweep runs.
     pub sweep_interval: SimDuration,
+    /// Retry policy for expired peer calls ([`RetryPolicy::none`] gives
+    /// the original fail-on-first-timeout behaviour).
+    pub retry: RetryPolicy,
 }
 
 impl Default for SubstrateConfig {
@@ -59,6 +71,7 @@ impl Default for SubstrateConfig {
             discovery_interval: SimDuration::from_secs(30),
             call_timeout: SimDuration::from_secs(10),
             sweep_interval: SimDuration::from_secs(5),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -108,6 +121,23 @@ pub enum CallCtx {
         /// Target app.
         app: AppId,
     },
+    /// Naming re-resolution of a mirrored app after its host went down.
+    Failover {
+        /// The app being re-routed.
+        app: AppId,
+    },
+}
+
+/// Substrate-level view of one peer server's health.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Replying normally.
+    Up,
+    /// At least one call to it is being retried.
+    Suspect,
+    /// A call exhausted its retries (or the breaker opened); requests
+    /// fail fast until the peer reappears.
+    Down,
 }
 
 /// The per-server middleware substrate.
@@ -120,11 +150,20 @@ pub struct Substrate {
     book: AddressBook,
     broker: Broker<CallCtx>,
     /// Discovered peers (address → node), excluding self.
-    peers: HashMap<ServerAddr, NodeId>,
+    peers: BTreeMap<ServerAddr, NodeId>,
     /// Poll-mode mirror state: app → next update sequence.
-    poll_state: HashMap<AppId, u64>,
-    /// Push-mode subscriptions established.
-    subscribed: HashMap<AppId, bool>,
+    poll_state: BTreeMap<AppId, u64>,
+    /// Push-mode subscriptions: app → confirmed by `SubscribeOk`.
+    /// Unconfirmed entries are re-subscribed at each discovery refresh.
+    subscribed: BTreeMap<AppId, bool>,
+    /// Peer health derived from call outcomes and discovery refreshes.
+    health: BTreeMap<ServerAddr, PeerHealth>,
+    /// Failover routes: mirrored app → host currently serving it, when
+    /// naming re-resolution moved it off `app.host()`.
+    routes: BTreeMap<AppId, ServerAddr>,
+    /// True while the peer directory is served from cache because the
+    /// last trader refresh failed.
+    peers_stale: bool,
 }
 
 impl Substrate {
@@ -142,10 +181,13 @@ impl Substrate {
             name: name.into(),
             directory,
             book,
-            broker: Broker::new(),
-            peers: HashMap::new(),
-            poll_state: HashMap::new(),
-            subscribed: HashMap::new(),
+            broker: Broker::with_retry(config.retry),
+            peers: BTreeMap::new(),
+            poll_state: BTreeMap::new(),
+            subscribed: BTreeMap::new(),
+            health: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            peers_stale: false,
         }
     }
 
@@ -161,6 +203,43 @@ impl Substrate {
         self.broker.in_flight()
     }
 
+    /// Health of a peer (`Up` until proven otherwise).
+    pub fn peer_health(&self, addr: ServerAddr) -> PeerHealth {
+        self.health.get(&addr).copied().unwrap_or(PeerHealth::Up)
+    }
+
+    /// True while the peer directory is a stale cache (last trader
+    /// refresh failed); listings keep being served from it regardless.
+    pub fn peers_stale(&self) -> bool {
+        self.peers_stale
+    }
+
+    /// The host currently serving `app` (failover route if one exists,
+    /// else the app's home server).
+    pub fn route_of(&self, app: AppId) -> ServerAddr {
+        self.routes.get(&app).copied().unwrap_or_else(|| app.host())
+    }
+
+    /// Reverse lookup: peer address of a node (None for the directory).
+    fn addr_of_node(&self, node: NodeId) -> Option<ServerAddr> {
+        self.peers.iter().find(|(_, &n)| n == node).map(|(&a, _)| a)
+    }
+
+    /// Effective target of `app`: routed address plus its node.
+    fn route_for(&self, app: AppId) -> Option<(ServerAddr, NodeId)> {
+        let addr = self.route_of(app);
+        self.node_of(addr).map(|n| (addr, n))
+    }
+
+    /// The `Unavailable` error for a down host, carrying a redirect hint
+    /// (the naming path clients can re-resolve to find the new host).
+    fn down_error(addr: ServerAddr, app: AppId) -> WireError {
+        WireError::new(
+            ErrorCode::Unavailable,
+            format!("host {addr} down; redirect: DISCOVER/apps/{app}"),
+        )
+    }
+
     /// Publish this server to the trader and the naming service.
     pub fn publish_self(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         let object = ObjectRef { server: self.addr, key: ObjectKey::new(CORBA_SERVER_KEY) };
@@ -173,16 +252,85 @@ impl Substrate {
             ],
         };
         let (key, op, msg) = calls::export(offer);
-        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+        let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
         let (key, op, msg) = calls::bind(format!("DISCOVER/servers/{}", self.name), object);
-        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+        let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
     }
 
     /// Query the trader for the current peer set.
     pub fn discover_peers(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         ctx.stats().incr("substrate.discovery.queries");
         let (key, op, msg) = calls::query(DISCOVER_SERVICE, vec![]);
-        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::Discovery);
+        if self.broker.call(ctx, self.directory, key, op, msg, CallCtx::Discovery).is_err() {
+            self.peers_stale = true;
+        }
+    }
+
+    /// A peer answered: mark it healthy again.
+    fn mark_up(&mut self, addr: ServerAddr) {
+        self.health.insert(addr, PeerHealth::Up);
+    }
+
+    /// Daemon re-registration after a process restart: re-publish this
+    /// server to the trader/naming and re-bind every local application
+    /// under its `DISCOVER/apps/<id>` name.
+    pub fn rebind_local_apps(&mut self, ctx: &mut Ctx<'_, Envelope>, apps: Vec<AppId>) {
+        for app in apps {
+            ctx.stats().incr("substrate.rebinds");
+            self.naming_for_app(ctx, app, true);
+        }
+    }
+
+    /// Process-restart housekeeping: outstanding calls and breaker state
+    /// died with the old incarnation, and push subscriptions must be
+    /// re-confirmed with their hosts.
+    pub fn on_restart(&mut self) {
+        let retry = self.broker.retry;
+        let breaker = self.broker.breaker;
+        self.broker = Broker::with_retry(retry);
+        self.broker.breaker = breaker;
+        for confirmed in self.subscribed.values_mut() {
+            *confirmed = false;
+        }
+    }
+
+    /// A peer exhausted its retries: mark it down, re-query the trader,
+    /// and re-resolve every mirrored app of that host through naming so
+    /// traffic can fail over to wherever the app is now registered.
+    fn mark_down(&mut self, ctx: &mut Ctx<'_, Envelope>, addr: ServerAddr) {
+        if self.health.insert(addr, PeerHealth::Down) == Some(PeerHealth::Down) {
+            return;
+        }
+        self.discover_peers(ctx);
+        let mirrored: Vec<AppId> = self
+            .poll_state
+            .keys()
+            .chain(self.subscribed.keys())
+            .copied()
+            .filter(|&app| self.route_of(app) == addr)
+            .collect();
+        for app in mirrored {
+            let (key, op, msg) = calls::resolve(format!("DISCOVER/apps/{app}"));
+            let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::Failover { app });
+        }
+    }
+
+    /// Issue (or re-issue) a push-mode collaboration subscription.
+    fn subscribe_app(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId) {
+        let Some((addr, node)) = self.route_for(app) else { return };
+        if self.peer_health(addr) == PeerHealth::Down {
+            return;
+        }
+        ctx.stats().incr("substrate.subscribes");
+        self.subscribed.entry(app).or_insert(false);
+        let _ = self.broker.call(
+            ctx,
+            node,
+            ObjectKey::new(CORBA_SERVER_KEY),
+            "subscribeApp",
+            PeerMsg::SubscribeApp { app, subscriber: self.addr },
+            CallCtx::Subscribe { app },
+        );
     }
 
     /// Resolve a server address to its node, via discovery or wiring.
@@ -200,22 +348,25 @@ impl Substrate {
         } else {
             calls::unbind(name)
         };
-        self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+        let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
     }
 
     /// Resolve one core [`Effect`] into ORB traffic.
     pub fn perform(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore, effect: Effect) {
         match effect {
             Effect::RemoteAuth { client, user, password } => {
-                for (&peer_addr, &node) in &self.peers {
-                    if peer_addr == self.addr {
-                        continue;
-                    }
+                let targets: Vec<(ServerAddr, NodeId)> = self
+                    .peers
+                    .iter()
+                    .filter(|(&a, _)| a != self.addr && self.peer_health(a) != PeerHealth::Down)
+                    .map(|(&a, &n)| (a, n))
+                    .collect();
+                for (_, node) in targets {
                     ctx.stats().incr("substrate.remote_auth.calls");
                     let msg =
                         PeerMsg::Authenticate { user: user.clone(), password: password.clone() };
                     charge_stub(ctx, core, &msg);
-                    self.broker.call(
+                    let _ = self.broker.call(
                         ctx,
                         node,
                         ObjectKey::new(CORBA_SERVER_KEY),
@@ -225,19 +376,30 @@ impl Substrate {
                     );
                 }
             }
-            Effect::RemoteOp { client, user, app, op } => match self.node_of(app.host()) {
-                Some(node) => {
+            Effect::RemoteOp { client, user, app, op } => match self.route_for(app) {
+                Some((addr, _)) if self.peer_health(addr) == PeerHealth::Down => {
+                    ctx.stats().incr("substrate.fastfails");
+                    core.complete_remote_op(ctx, client, app, Err(Self::down_error(addr, app)));
+                }
+                Some((addr, node)) => {
                     ctx.stats().incr("substrate.remote_ops");
                     let msg = PeerMsg::ProxyOp { app, user, op };
                     charge_stub(ctx, core, &msg);
-                    self.broker.call(
-                        ctx,
-                        node,
-                        ObjectKey::new(format!("apps/{app}")),
-                        "proxyOp",
-                        msg,
-                        CallCtx::Op { client, app },
-                    );
+                    if self
+                        .broker
+                        .call(
+                            ctx,
+                            node,
+                            ObjectKey::new(format!("apps/{app}")),
+                            "proxyOp",
+                            msg,
+                            CallCtx::Op { client, app },
+                        )
+                        .is_err()
+                    {
+                        ctx.stats().incr("substrate.fastfails");
+                        core.complete_remote_op(ctx, client, app, Err(Self::down_error(addr, app)));
+                    }
                 }
                 None => core.complete_remote_op(
                     ctx,
@@ -246,52 +408,53 @@ impl Substrate {
                     Err(WireError::new(ErrorCode::Unavailable, "host server unknown")),
                 ),
             },
-            Effect::RemoteLock { client, user, app, acquire } => match self.node_of(app.host()) {
-                Some(node) => {
+            Effect::RemoteLock { client, user, app, acquire } => match self.route_for(app) {
+                Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
                     let (operation, msg) = if acquire {
                         ("lockRequest", PeerMsg::LockRequest { app, user })
                     } else {
                         ("lockRelease", PeerMsg::LockRelease { app, user })
                     };
                     ctx.stats().incr("substrate.remote_locks");
-                    self.broker.call(
-                        ctx,
-                        node,
-                        ObjectKey::new(CORBA_SERVER_KEY),
-                        operation,
-                        msg,
-                        CallCtx::Lock { client, app, acquire },
-                    );
-                }
-                None => core.complete_remote_lock(ctx, client, app, acquire, false, None),
-            },
-            Effect::RemoteHistory { client, app, since } => match self.node_of(app.host()) {
-                Some(node) => {
-                    self.broker.call(
-                        ctx,
-                        node,
-                        ObjectKey::new(CORBA_SERVER_KEY),
-                        "fetchHistory",
-                        PeerMsg::FetchHistory { app, since },
-                        CallCtx::History { client, app },
-                    );
-                }
-                None => core.complete_remote_history(ctx, client, app, Vec::new(), since),
-            },
-            Effect::Subscribe { app } => match self.config.collab_mode {
-                CollabMode::Push => {
-                    if let Some(node) = self.node_of(app.host()) {
-                        ctx.stats().incr("substrate.subscribes");
-                        self.broker.call(
+                    if self
+                        .broker
+                        .call(
                             ctx,
                             node,
                             ObjectKey::new(CORBA_SERVER_KEY),
-                            "subscribeApp",
-                            PeerMsg::SubscribeApp { app, subscriber: self.addr },
-                            CallCtx::Subscribe { app },
-                        );
+                            operation,
+                            msg,
+                            CallCtx::Lock { client, app, acquire },
+                        )
+                        .is_err()
+                    {
+                        ctx.stats().incr("substrate.fastfails");
+                        core.complete_remote_lock(ctx, client, app, acquire, false, None);
                     }
                 }
+                _ => core.complete_remote_lock(ctx, client, app, acquire, false, None),
+            },
+            Effect::RemoteHistory { client, app, since } => match self.route_for(app) {
+                Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
+                    if self
+                        .broker
+                        .call(
+                            ctx,
+                            node,
+                            ObjectKey::new(CORBA_SERVER_KEY),
+                            "fetchHistory",
+                            PeerMsg::FetchHistory { app, since },
+                            CallCtx::History { client, app },
+                        )
+                        .is_err()
+                    {
+                        core.complete_remote_history(ctx, client, app, Vec::new(), since);
+                    }
+                }
+                _ => core.complete_remote_history(ctx, client, app, Vec::new(), since),
+            },
+            Effect::Subscribe { app } => match self.config.collab_mode {
+                CollabMode::Push => self.subscribe_app(ctx, app),
                 CollabMode::Poll { .. } => {
                     self.poll_state.entry(app).or_insert(0);
                 }
@@ -395,6 +558,9 @@ impl Substrate {
             ctx.stats().incr("substrate.replies.orphaned");
             return false;
         };
+        if let Some(addr) = self.addr_of_node(pending.to) {
+            self.mark_up(addr);
+        }
         match (pending.user, reply) {
             (CallCtx::Auth { client }, PeerReply::AuthOk { apps }) => {
                 core.complete_remote_auth(ctx, client, apps);
@@ -424,6 +590,7 @@ impl Substrate {
                 self.subscribed.insert(app, true);
             }
             (CallCtx::Discovery, PeerReply::TraderOffers { offers }) => {
+                self.peers_stale = false;
                 for offer in offers {
                     let addr = offer.object.server;
                     if addr == self.addr {
@@ -433,6 +600,38 @@ impl Substrate {
                         if self.peers.insert(addr, node).is_none() {
                             ctx.stats().incr("substrate.discovery.peers_found");
                         }
+                        // An offer in the trader means the peer is serving
+                        // (a restarted host re-exports itself on the way up).
+                        self.mark_up(addr);
+                    }
+                }
+                // Failed-over apps return to their home host once it is
+                // healthy again.
+                let health = &self.health;
+                self.routes
+                    .retain(|&app, _| health.get(&app.host()) != Some(&PeerHealth::Up));
+                // Re-issue push subscriptions that never got confirmed
+                // (lost subscribe, or host was down when we tried).
+                let unconfirmed: Vec<AppId> = self
+                    .subscribed
+                    .iter()
+                    .filter(|(_, &ok)| !ok)
+                    .map(|(&app, _)| app)
+                    .collect();
+                for app in unconfirmed {
+                    self.subscribe_app(ctx, app);
+                }
+            }
+            (CallCtx::Failover { app }, PeerReply::NamingResolved { object }) => {
+                if let Some(object) = object {
+                    let previous = self.route_of(app);
+                    if object.server != previous {
+                        ctx.stats().incr("substrate.failovers");
+                    }
+                    if object.server == app.host() {
+                        self.routes.remove(&app);
+                    } else {
+                        self.routes.insert(app, object.server);
                     }
                 }
             }
@@ -462,46 +661,88 @@ impl Substrate {
     }
 
     /// Poll-mode tick: query every mirrored app's host for new updates.
+    /// Hosts currently marked down are skipped; polling resumes when they
+    /// come back up via a discovery refresh.
     pub fn poll_tick(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         let apps: Vec<(AppId, u64)> = self.poll_state.iter().map(|(a, s)| (*a, *s)).collect();
         for (app, since) in apps {
-            if let Some(node) = self.node_of(app.host()) {
-                ctx.stats().incr("substrate.polls");
-                self.broker.call(
-                    ctx,
-                    node,
-                    ObjectKey::new(CORBA_SERVER_KEY),
-                    "pollUpdates",
-                    PeerMsg::PollUpdates { app, since, requester: self.addr },
-                    CallCtx::Poll { app },
-                );
+            let Some((addr, node)) = self.route_for(app) else { continue };
+            if self.peer_health(addr) == PeerHealth::Down {
+                continue;
             }
+            ctx.stats().incr("substrate.polls");
+            let _ = self.broker.call(
+                ctx,
+                node,
+                ObjectKey::new(CORBA_SERVER_KEY),
+                "pollUpdates",
+                PeerMsg::PollUpdates { app, since, requester: self.addr },
+                CallCtx::Poll { app },
+            );
         }
     }
 
-    /// Fail calls that outlived the timeout.
+    /// Timeout sweep. Expired calls are retried with backoff by the
+    /// broker; callers of calls that exhausted their attempts are failed,
+    /// and the callee is marked [`PeerHealth::Down`] (triggering trader
+    /// re-resolution and mirrored-app failover). Retried calls mark their
+    /// callee [`PeerHealth::Suspect`].
     pub fn sweep_timeouts(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore) {
-        let cutoff = ctx.now().since(SimTime::ZERO).saturating_sub(self.config.call_timeout);
-        let cutoff = SimTime::ZERO + cutoff;
+        let Some(cutoff) = ctx.now().checked_sub(self.config.call_timeout) else { return };
         if cutoff == SimTime::ZERO {
             return;
         }
-        for (_, pending) in self.broker.expire_issued_before(cutoff) {
+        let report = self.broker.sweep_expired(ctx, cutoff);
+        if report.retried > 0 {
+            ctx.stats().add("substrate.retries", report.retried as u64);
+        }
+        if report.opened > 0 {
+            ctx.stats().add("substrate.breaker_open", report.opened as u64);
+        }
+        for node in report.retried_to {
+            if let Some(addr) = self.addr_of_node(node) {
+                self.health.entry(addr).or_insert(PeerHealth::Up);
+                if self.health[&addr] == PeerHealth::Up {
+                    self.health.insert(addr, PeerHealth::Suspect);
+                }
+            }
+        }
+        for (_, pending) in report.gave_up {
             ctx.stats().incr("substrate.timeouts");
+            let failed_addr = self.addr_of_node(pending.to);
             match pending.user {
-                CallCtx::Op { client, app } => core.complete_remote_op(
-                    ctx,
-                    client,
-                    app,
-                    Err(WireError::new(ErrorCode::Unavailable, "remote call timed out")),
-                ),
+                CallCtx::Op { client, app } => {
+                    let err = match failed_addr {
+                        Some(addr) => Self::down_error(addr, app),
+                        None => WireError::new(ErrorCode::Unavailable, "remote call timed out"),
+                    };
+                    core.complete_remote_op(ctx, client, app, Err(err));
+                }
                 CallCtx::Lock { client, app, acquire } => {
                     core.complete_remote_lock(ctx, client, app, acquire, false, None)
                 }
                 CallCtx::History { client, app } => {
                     core.complete_remote_history(ctx, client, app, Vec::new(), 0)
                 }
-                _ => {}
+                CallCtx::Subscribe { app } => {
+                    // Leave the intent recorded; the next discovery
+                    // refresh re-issues the subscription.
+                    self.subscribed.insert(app, false);
+                }
+                CallCtx::Discovery => {
+                    // Trader unreachable: keep serving the cached peer
+                    // set, flagged stale. The discovery timer re-queries.
+                    self.peers_stale = true;
+                    ctx.stats().incr("substrate.directory.stale");
+                }
+                CallCtx::Poll { .. } => {
+                    // Poll state is untouched: the next poll tick re-polls
+                    // from the same sequence once the host is back up.
+                }
+                CallCtx::Auth { .. } | CallCtx::DirectoryWrite | CallCtx::Failover { .. } => {}
+            }
+            if let Some(addr) = failed_addr {
+                self.mark_down(ctx, addr);
             }
         }
     }

@@ -1,14 +1,116 @@
 //! Client-side request broker: issues GIOP requests, correlates replies,
-//! and expires calls whose target never answered.
+//! retries calls whose target never answered (exponential backoff with
+//! deterministic jitter), and trips a per-peer circuit breaker when a
+//! callee keeps failing.
 //!
 //! Each DISCOVER server embeds one [`Broker`] per simulation actor. The
 //! generic parameter `T` is the caller's continuation context — whatever
 //! it needs to resume processing when the reply (or timeout) arrives.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use simnet::{Ctx, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simnet::{Ctx, NodeId, SimDuration, SimTime};
 use wire::{Envelope, ObjectKey, PeerMsg};
+
+/// Retry discipline for expired two-way calls.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total send attempts per logical call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub base_backoff: SimDuration,
+    /// Backoff ceiling.
+    pub max_backoff: SimDuration,
+    /// Fraction of the backoff added as random jitter (`0.0..=1.0`),
+    /// drawn from the simulation RNG so runs stay deterministic.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: expired calls fail immediately (the seed behaviour).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// The deterministic (pre-jitter) backoff before retry number
+    /// `attempt` (the first retry is attempt 2): `base * 2^(attempt-2)`,
+    /// capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let doublings = attempt.saturating_sub(2).min(32);
+        let raw = self.base_backoff * (1u64 << doublings);
+        raw.min(self.max_backoff)
+    }
+
+    /// Backoff plus jitter drawn from `rng`.
+    pub fn backoff_jittered(&self, attempt: u32, rng: &mut StdRng) -> SimDuration {
+        let base = self.backoff(attempt);
+        let spread = (base.as_micros() as f64 * self.jitter_frac) as u64;
+        if spread == 0 {
+            return base;
+        }
+        base + SimDuration::from_micros(rng.gen_range(0..=spread))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 200 ms base backoff capped at 2 s, 25% jitter.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(200),
+            max_backoff: SimDuration::from_secs(2),
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+/// Circuit-breaker configuration (per callee node).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects calls before allowing a probe.
+    pub open_for: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 4, open_for: SimDuration::from_secs(15) }
+    }
+}
+
+/// Observable circuit-breaker state for one callee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected until the embedded deadline.
+    Open {
+        /// When the breaker next admits a probe call.
+        until: SimTime,
+    },
+    /// One probe window: the next outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker { state: BreakerState::Closed, consecutive_failures: 0 }
+    }
+}
 
 /// An outstanding two-way call.
 #[derive(Debug)]
@@ -21,28 +123,109 @@ pub struct Pending<T> {
     pub to: NodeId,
     /// Operation name (diagnostics).
     pub operation: &'static str,
+    /// Servant the request targets (kept so the call can be re-issued).
+    pub key: ObjectKey,
+    /// The request body (kept so the call can be re-issued).
+    pub msg: PeerMsg,
+    /// Send attempts made so far (1 for the initial send).
+    pub attempt: u32,
 }
 
-/// Request-id allocator plus pending-call table.
+/// Outcome of a [`Broker::sweep_expired`] pass.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// Calls re-issued with backoff.
+    pub retried: u32,
+    /// Callee of each re-issued call (peer-health bookkeeping).
+    pub retried_to: Vec<NodeId>,
+    /// Breakers that tripped open during this sweep.
+    pub opened: u32,
+    /// Calls that exhausted their attempts (or hit an open breaker);
+    /// the caller must fail these.
+    pub gave_up: Vec<(u64, Pending<T>)>,
+}
+
+/// Request-id allocator plus pending-call table, retry engine, and
+/// per-peer circuit breakers.
 pub struct Broker<T> {
     next_id: u64,
-    pending: HashMap<u64, Pending<T>>,
+    pending: BTreeMap<u64, Pending<T>>,
+    breakers: BTreeMap<NodeId, Breaker>,
+    /// Retry discipline applied by [`Broker::sweep_expired`].
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl<T> Default for Broker<T> {
     fn default() -> Self {
-        Broker { next_id: 0, pending: HashMap::new() }
+        Broker {
+            next_id: 0,
+            pending: BTreeMap::new(),
+            breakers: BTreeMap::new(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
     }
 }
 
 impl<T> Broker<T> {
-    /// Create an empty broker.
+    /// Create an empty broker with the default retry/breaker discipline.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Create a broker with an explicit retry policy.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
+        Broker { retry, ..Self::default() }
+    }
+
+    /// Current breaker state for `to` (Closed if never failed).
+    pub fn breaker_state(&self, to: NodeId) -> BreakerState {
+        self.breakers.get(&to).map(|b| b.state).unwrap_or(BreakerState::Closed)
+    }
+
+    /// Whether the breaker admits a call to `to` at `now`. An expired
+    /// open breaker transitions to half-open and admits one probe.
+    fn admits(&mut self, now: SimTime, to: NodeId) -> bool {
+        let Some(b) = self.breakers.get_mut(&to) else { return true };
+        match b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    b.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a call outcome against the breaker; returns true if this
+    /// failure tripped the breaker open.
+    fn record_outcome(&mut self, now: SimTime, to: NodeId, ok: bool) -> bool {
+        let b = self.breakers.entry(to).or_default();
+        if ok {
+            b.consecutive_failures = 0;
+            b.state = BreakerState::Closed;
+            return false;
+        }
+        b.consecutive_failures += 1;
+        let trip = match b.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => b.consecutive_failures >= self.breaker.failure_threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            b.state = BreakerState::Open { until: now + self.breaker.open_for };
+        }
+        trip
+    }
+
     /// Issue a two-way call to the servant `key` at node `to`; the reply
-    /// will carry the returned request id.
+    /// will carry the returned request id. Fails fast with `Err(user)`
+    /// when the circuit breaker for `to` is open.
     pub fn call(
         &mut self,
         ctx: &mut Ctx<'_, Envelope>,
@@ -51,12 +234,19 @@ impl<T> Broker<T> {
         operation: &'static str,
         msg: PeerMsg,
         user: T,
-    ) -> u64 {
+    ) -> Result<u64, T> {
+        if !self.admits(ctx.now(), to) {
+            return Err(user);
+        }
         let id = self.next_id;
         self.next_id += 1;
-        self.pending.insert(id, Pending { user, issued_at: ctx.now(), to, operation });
-        ctx.send(to, Envelope::giop(wire::giop::GiopFrame::request(id, key, operation, msg)));
-        id
+        ctx.send(
+            to,
+            Envelope::giop(wire::giop::GiopFrame::request(id, key.clone(), operation, msg.clone())),
+        );
+        self.pending
+            .insert(id, Pending { user, issued_at: ctx.now(), to, operation, key, msg, attempt: 1 });
+        Ok(id)
     }
 
     /// Issue a oneway call (no reply, nothing recorded).
@@ -72,10 +262,15 @@ impl<T> Broker<T> {
         ctx.send(to, Envelope::giop(wire::giop::GiopFrame::oneway(0, key, operation, msg)));
     }
 
-    /// Take the pending record for a reply's request id. Returns `None`
-    /// for duplicate or expired replies.
+    /// Take the pending record for a reply's request id, crediting the
+    /// callee's breaker with a success. Returns `None` for duplicate or
+    /// expired replies.
     pub fn complete(&mut self, request_id: u64) -> Option<Pending<T>> {
-        self.pending.remove(&request_id)
+        let p = self.pending.remove(&request_id)?;
+        let b = self.breakers.entry(p.to).or_default();
+        b.consecutive_failures = 0;
+        b.state = BreakerState::Closed;
+        Some(p)
     }
 
     /// Remove and return every call issued before `cutoff` (timeout sweep).
@@ -90,6 +285,49 @@ impl<T> Broker<T> {
             ids.into_iter().filter_map(|id| self.pending.remove(&id).map(|p| (id, p))).collect();
         out.sort_by_key(|(id, _)| *id);
         out
+    }
+
+    /// Timeout sweep with retries: every call issued before `cutoff` is
+    /// counted as a failure against its callee's breaker, then either
+    /// re-issued after an exponential backoff (if attempts remain and the
+    /// breaker admits it) or returned in `gave_up` for the caller to fail.
+    pub fn sweep_expired(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        cutoff: SimTime,
+    ) -> SweepReport<T> {
+        let now = ctx.now();
+        let mut report =
+            SweepReport { retried: 0, retried_to: Vec::new(), opened: 0, gave_up: Vec::new() };
+        for (id, p) in self.expire_issued_before(cutoff) {
+            if self.record_outcome(now, p.to, false) {
+                report.opened += 1;
+            }
+            if p.attempt < self.retry.max_attempts && self.admits(now, p.to) {
+                let delay = self.retry.backoff_jittered(p.attempt + 1, ctx.rng());
+                let new_id = self.next_id;
+                self.next_id += 1;
+                ctx.send_after(
+                    p.to,
+                    Envelope::giop(wire::giop::GiopFrame::request(
+                        new_id,
+                        p.key.clone(),
+                        p.operation,
+                        p.msg.clone(),
+                    )),
+                    delay,
+                );
+                report.retried_to.push(p.to);
+                self.pending.insert(
+                    new_id,
+                    Pending { issued_at: now + delay, attempt: p.attempt + 1, ..p },
+                );
+                report.retried += 1;
+            } else {
+                report.gave_up.push((id, p));
+            }
+        }
+        report
     }
 
     /// Number of outstanding calls.
@@ -135,7 +373,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
             if let Some(to) = self.servant {
                 for k in 0..self.calls {
-                    self.broker.call(
+                    let _ = self.broker.call(
                         ctx,
                         to,
                         ObjectKey::new("DiscoverCorbaServer"),
@@ -187,7 +425,15 @@ mod tests {
         // Simulate issue times directly.
         broker.pending.insert(
             0,
-            Pending { user: "old", issued_at: SimTime::ZERO, to: servant, operation: "x" },
+            Pending {
+                user: "old",
+                issued_at: SimTime::ZERO,
+                to: servant,
+                operation: "x",
+                key: ObjectKey::new("k"),
+                msg: PeerMsg::ListActive,
+                attempt: 1,
+            },
         );
         broker.pending.insert(
             1,
@@ -196,6 +442,9 @@ mod tests {
                 issued_at: SimTime::ZERO + SimDuration::from_secs(10),
                 to: servant,
                 operation: "x",
+                key: ObjectKey::new("k"),
+                msg: PeerMsg::ListActive,
+                attempt: 1,
             },
         );
         let expired = broker.expire_issued_before(SimTime::from_secs(5));
@@ -204,5 +453,145 @@ mod tests {
         assert_eq!(broker.in_flight(), 1);
         assert!(broker.complete(1).is_some());
         assert!(broker.complete(1).is_none(), "duplicate completion must fail");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_millis(350),
+            jitter_frac: 0.0,
+        };
+        // Attempt 2 is the first retry.
+        assert_eq!(policy.backoff(2), SimDuration::from_millis(100));
+        assert_eq!(policy.backoff(3), SimDuration::from_millis(200));
+        assert_eq!(policy.backoff(4), SimDuration::from_millis(350), "capped");
+        assert_eq!(policy.backoff(5), SimDuration::from_millis(350));
+    }
+
+    #[test]
+    fn jitter_stays_within_fraction_and_is_deterministic() {
+        use rand::SeedableRng;
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(1),
+            jitter_frac: 0.5,
+        };
+        let sample = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..32).map(|_| policy.backoff_jittered(2, &mut rng)).collect::<Vec<_>>()
+        };
+        for &d in &sample(9) {
+            assert!(d >= SimDuration::from_millis(100) && d <= SimDuration::from_millis(150));
+        }
+        assert_eq!(sample(9), sample(9), "same seed, same jitter");
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recovers() {
+        let mut broker: Broker<u32> = Broker::new();
+        broker.breaker = BreakerConfig {
+            failure_threshold: 3,
+            open_for: SimDuration::from_secs(10),
+        };
+        let peer = NodeId(7);
+        let t0 = SimTime::from_secs(1);
+        assert_eq!(broker.breaker_state(peer), BreakerState::Closed);
+        assert!(!broker.record_outcome(t0, peer, false));
+        assert!(!broker.record_outcome(t0, peer, false));
+        assert!(broker.record_outcome(t0, peer, false), "third failure trips");
+        assert_eq!(
+            broker.breaker_state(peer),
+            BreakerState::Open { until: t0 + SimDuration::from_secs(10) }
+        );
+        // While open, calls are rejected.
+        assert!(!broker.admits(t0 + SimDuration::from_secs(5), peer));
+        // After the window, one probe is admitted (half-open).
+        assert!(broker.admits(t0 + SimDuration::from_secs(11), peer));
+        assert_eq!(broker.breaker_state(peer), BreakerState::HalfOpen);
+        // A half-open failure re-opens immediately.
+        let t1 = t0 + SimDuration::from_secs(11);
+        assert!(broker.record_outcome(t1, peer, true).eq(&false));
+        assert_eq!(broker.breaker_state(peer), BreakerState::Closed, "probe success closes");
+        // Trip again, probe, and fail the probe this time.
+        for _ in 0..3 {
+            broker.record_outcome(t1, peer, false);
+        }
+        assert!(broker.admits(t1 + SimDuration::from_secs(11), peer));
+        assert!(
+            broker.record_outcome(t1 + SimDuration::from_secs(11), peer, false),
+            "half-open failure re-opens"
+        );
+    }
+
+    /// Caller whose servant never answers; retries must re-issue the
+    /// request and eventually give up through `sweep_expired`.
+    struct RetryCaller {
+        broker: Broker<u32>,
+        servant: Option<NodeId>,
+        timeout: SimDuration,
+        retried: u32,
+        failed: u32,
+    }
+    impl Actor<Envelope> for RetryCaller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+            if let Some(to) = self.servant {
+                let _ = self.broker.call(
+                    ctx,
+                    to,
+                    ObjectKey::new("DiscoverCorbaServer"),
+                    "listActive",
+                    PeerMsg::ListActive,
+                    1,
+                );
+            }
+            ctx.schedule(SimDuration::from_secs(1), 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Envelope>, _from: NodeId, _msg: Envelope) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Envelope>, _tag: u64) {
+            if let Some(cutoff) = ctx.now().checked_sub(self.timeout) {
+                let report = self.broker.sweep_expired(ctx, cutoff);
+                self.retried += report.retried;
+                self.failed += report.gave_up.len() as u32;
+            }
+            ctx.schedule(SimDuration::from_secs(1), 0);
+        }
+    }
+
+    /// Swallows every request without replying.
+    struct BlackHole;
+    impl Actor<Envelope> for BlackHole {
+        fn on_message(&mut self, _: &mut Ctx<'_, Envelope>, _: NodeId, _: Envelope) {}
+    }
+
+    #[test]
+    fn sweep_retries_then_gives_up() {
+        let mut eng = Engine::new(11);
+        let hole = eng.add_node("hole", BlackHole);
+        let caller = eng.add_node(
+            "caller",
+            RetryCaller {
+                broker: Broker::with_retry(RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: SimDuration::from_millis(100),
+                    max_backoff: SimDuration::from_secs(1),
+                    jitter_frac: 0.0,
+                }),
+                servant: Some(hole),
+                timeout: SimDuration::from_secs(2),
+                retried: 0,
+                failed: 0,
+            },
+        );
+        eng.link(caller, hole, LinkSpec::lan().with_jitter(SimDuration::ZERO));
+        eng.run_until(SimTime::from_secs(30));
+        let c = eng.actor_ref::<RetryCaller>(caller).unwrap();
+        assert_eq!(c.retried, 2, "attempts 2 and 3 re-issued");
+        assert_eq!(c.failed, 1, "gave up after max_attempts");
+        assert_eq!(c.broker.in_flight(), 0);
+        // Three identical requests must actually have hit the wire.
+        assert_eq!(eng.link_stats(caller, hole).unwrap().msgs, 3);
     }
 }

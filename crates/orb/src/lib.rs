@@ -7,7 +7,9 @@
 //! rebuilt on the simulation substrate:
 //!
 //! * [`AddressBook`] — IOR host resolution (server address → node),
-//! * [`Broker`] — client-side request issue/correlate/expire,
+//! * [`Broker`] — client-side request issue/correlate/expire, with a
+//!   [`RetryPolicy`] (exponential backoff, deterministic jitter) and a
+//!   per-peer circuit breaker ([`BreakerState`]) for fault tolerance,
 //! * [`Directory`] — a Naming service with a minimalist Trader layered on
 //!   top of it (exactly the paper's prototype arrangement), plus the
 //!   [`directory::calls`] helpers for building directory invocations.
@@ -20,5 +22,5 @@ mod broker;
 pub mod directory;
 
 pub use address::AddressBook;
-pub use broker::{Broker, Pending};
+pub use broker::{Broker, BreakerConfig, BreakerState, Pending, RetryPolicy, SweepReport};
 pub use directory::{Directory, DirectoryCosts, DISCOVER_SERVICE, NAMING_KEY, TRADER_KEY};

@@ -26,7 +26,7 @@ impl Driver {
         if self.step < self.script.len() {
             let (key, op, msg) = self.script[self.step].clone();
             let to = self.directory.expect("directory node set");
-            self.broker.call(ctx, to, key, op, msg, self.step);
+            let _ = self.broker.call(ctx, to, key, op, msg, self.step);
             self.step += 1;
         }
     }

@@ -2,6 +2,8 @@
 //! bind/unbind/resolve sequences (checked against a model map), and
 //! broker correlation under random call/complete interleavings.
 
+#![cfg(feature = "proptest")]
+
 use orb::{directory::calls, Broker, Directory, DirectoryCosts};
 use proptest::prelude::*;
 use simnet::{Actor, Ctx, Engine, LinkSpec, NodeId, SimDuration};
@@ -46,7 +48,7 @@ impl NamingDriver {
             NamingOp::Unbind(n) => calls::unbind(format!("apps/{n}")),
             NamingOp::Resolve(n) => calls::resolve(format!("apps/{n}")),
         };
-        self.broker.call(ctx, dir, key, opname, msg, self.step);
+        let _ = self.broker.call(ctx, dir, key, opname, msg, self.step);
         self.step += 1;
     }
 }
@@ -141,14 +143,10 @@ proptest! {
         impl Actor<Envelope> for Issuer {
             fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
                 for k in 0..self.n {
-                    let id = self.broker.call(
-                        ctx,
-                        self.to,
-                        ObjectKey::new("k"),
-                        "op",
-                        PeerMsg::ListActive,
-                        k,
-                    );
+                    let id = self
+                        .broker
+                        .call(ctx, self.to, ObjectKey::new("k"), "op", PeerMsg::ListActive, k)
+                        .expect("breaker starts closed");
                     self.ids.push(id);
                 }
             }

@@ -1,6 +1,8 @@
 //! Property tests: every parallel primitive agrees with its sequential
 //! counterpart for arbitrary inputs, grains and thread counts.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 proptest! {

@@ -1127,7 +1127,7 @@ impl ServerCore {
                     // read-only grants for the ACL users (§6.3).
                     let counter = self.update_counter.entry(app).or_insert(0);
                     *counter += 1;
-                    if *counter % self.config.record_every == 0 {
+                    if (*counter).is_multiple_of(self.config.record_every) {
                         let proxy = &self.apps[&app];
                         let owner = proxy.owner.clone();
                         let readers = proxy.acl_users();

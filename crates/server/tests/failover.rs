@@ -1,0 +1,126 @@
+//! Host crash and recovery, end to end: a client steering a remote
+//! application through its local server sees fast `Unavailable` failures
+//! (with a redirect hint) while the host is down, and working operations
+//! again after the host restarts and re-registers its applications.
+//!
+//! Uses `discover-core`/`discover-client` as dev-dependencies (cargo
+//! permits the dev-only cycle) because the failure path spans the whole
+//! stack: portal → gateway server → substrate → crashed host.
+
+use appsim::{synthetic_app, DriverConfig};
+use discover_client::{OpMix, Portal, PortalConfig, Workload};
+use discover_core::CollaboratoryBuilder;
+use simnet::{LinkSpec, SimDuration, SimTime};
+use wire::{ClientMessage, ErrorCode, Privilege, ResponseBody, UserId};
+
+#[test]
+fn host_crash_fails_fast_then_recovers_after_restart() {
+    let mut b = CollaboratoryBuilder::new(91);
+    // Tight failure-detection settings so the 60 s run covers several
+    // detect → fast-fail → recover cycles.
+    b.substrate_config.call_timeout = SimDuration::from_secs(2);
+    b.substrate_config.sweep_interval = SimDuration::from_millis(500);
+    b.substrate_config.discovery_interval = SimDuration::from_secs(5);
+
+    let gateway = b.server("gateway");
+    let host = b.server("host");
+    b.link_servers(gateway, host, LinkSpec::wan());
+
+    let acl = vec![(UserId::new("vijay"), Privilege::Steer)];
+    let mut dc = DriverConfig::default();
+    dc.name = "ipars".into();
+    dc.acl = acl.clone();
+    dc.batch_time = SimDuration::from_millis(50);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_secs(1);
+    let (_, app) = b.application(host, synthetic_app(2, u64::MAX), dc.clone());
+    let mut anchor = dc.clone();
+    anchor.name = "anchor".into();
+    b.application(gateway, synthetic_app(1, u64::MAX), anchor);
+
+    // Closed-loop sensor workload against the remote app.
+    let cfg = PortalConfig::new("vijay")
+        .select_app(app)
+        .poll_every(SimDuration::from_millis(200))
+        .workload(Workload::new(app, OpMix::sensors_only(), SimDuration::from_millis(500)));
+    let node = b.attach(gateway, "vijay", Portal::new(cfg));
+
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(node).unwrap().server = Some(gateway.node);
+
+    // The host dies mid-session and comes back 10 s later.
+    let crash_at = SimTime::from_secs(15);
+    let restart_at = SimTime::from_secs(25);
+    c.engine.crash_at(host.node, crash_at);
+    c.engine.restart_at(host.node, restart_at);
+
+    c.engine.run_until(SimTime::from_secs(60));
+
+    let p = c.engine.actor_ref::<Portal>(node).unwrap();
+
+    // Ops succeeded before the crash.
+    let ok_before = p.received.iter().any(|(t, m)| {
+        *t < crash_at
+            && matches!(m, ClientMessage::Response(ResponseBody::OpDone { app: a, .. }) if *a == app)
+    });
+    assert!(ok_before, "the remote session should work before the crash");
+
+    // While the host was down, requests failed with Unavailable and a
+    // redirect hint instead of hanging: either a swept timeout naming the
+    // down host or a breaker/health fast-fail.
+    let failed_fast = p.received.iter().any(|(t, m)| {
+        *t >= crash_at
+            && matches!(m, ClientMessage::Error(e)
+                if e.code == ErrorCode::Unavailable && e.detail.contains("redirect"))
+    });
+    assert!(failed_fast, "down-host ops must fail with Unavailable + redirect hint");
+    assert!(
+        c.engine.stats().counter("substrate.fastfails") > 0,
+        "the gateway should fast-fail ops while the host is marked Down"
+    );
+
+    // After restart + re-registration the same session works again.
+    let ok_after = p.received.iter().any(|(t, m)| {
+        *t > restart_at
+            && matches!(m, ClientMessage::Response(ResponseBody::OpDone { app: a, .. }) if *a == app)
+    });
+    assert!(ok_after, "ops must succeed again after the host restarts and re-registers");
+
+    // The fault machinery actually engaged.
+    assert_eq!(c.engine.stats().counter("engine.crashes"), 1);
+    assert_eq!(c.engine.stats().counter("node.restarts"), 1);
+    assert!(c.engine.stats().counter("substrate.retries") > 0, "expired calls were retried");
+}
+
+#[test]
+fn restarted_host_rebinds_local_apps_into_naming() {
+    // The host's daemon re-registers its applications on reboot: the
+    // app stays resolvable and its host server still lists it locally.
+    let mut b = CollaboratoryBuilder::new(92);
+    b.substrate_config.call_timeout = SimDuration::from_secs(2);
+    b.substrate_config.sweep_interval = SimDuration::from_millis(500);
+    b.substrate_config.discovery_interval = SimDuration::from_secs(5);
+    let host = b.server("host");
+    let peer = b.server("peer");
+    b.link_servers(host, peer, LinkSpec::wan());
+    let mut dc = DriverConfig::default();
+    dc.name = "ipars".into();
+    dc.acl = vec![(UserId::new("vijay"), Privilege::Steer)];
+    let (_, app) = b.application(host, synthetic_app(2, u64::MAX), dc);
+
+    let mut c = b.build();
+    c.engine.crash_at(host.node, SimTime::from_secs(5));
+    c.engine.restart_at(host.node, SimTime::from_secs(8));
+    c.engine.run_until(SimTime::from_secs(20));
+
+    assert_eq!(c.engine.stats().counter("node.restarts"), 1);
+    let host_core = c.server_core(host).unwrap();
+    assert_eq!(host_core.local_app_count(), 1, "the app survives the reboot");
+    assert!(
+        c.engine.stats().counter("substrate.rebinds") > 0,
+        "the daemon re-registered its local apps with the naming service"
+    );
+    // The peer still sees the host after its post-restart publish.
+    assert_eq!(c.node(peer).unwrap().substrate.peer_addrs(), vec![host.addr]);
+    let _ = app;
+}

@@ -32,4 +32,11 @@ pub trait Actor<M: Payload>: Any {
     /// Called when a timer scheduled via [`Ctx::schedule`] fires. `tag` is
     /// the caller-chosen discriminator passed at scheduling time.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _tag: u64) {}
+
+    /// Called when this node comes back up after a crash (see
+    /// [`crate::Engine::crash_at`]). All timers armed before the crash
+    /// are gone — a daemon actor must re-arm its periodic work and
+    /// re-register with any external services here, exactly like a
+    /// restarted process would.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }

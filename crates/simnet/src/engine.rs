@@ -52,9 +52,11 @@ pub struct TimerId(u64);
 const SELF_SEND_LATENCY: SimDuration = SimDuration::from_micros(1);
 
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64, id: u64 },
+    Deliver { from: NodeId, to: NodeId, msg: M, epoch: u64 },
+    Timer { node: NodeId, tag: u64, id: u64, epoch: u64 },
     Start { node: NodeId },
+    Crash { node: NodeId },
+    Restart { node: NodeId },
 }
 
 struct Event<M> {
@@ -84,6 +86,14 @@ struct NodeState {
     name: String,
     busy_until: SimTime,
     busy_micros: u64,
+    /// False while the node is crashed; down nodes drop every delivery
+    /// and timer addressed to them.
+    up: bool,
+    /// Incarnation counter, bumped at each crash. Deliveries and timers
+    /// are stamped with the epoch they were created under; a stale stamp
+    /// means the event straddled a crash and must be discarded (the
+    /// "connection" it rode on died with the process).
+    epoch: u64,
 }
 
 /// Everything the engine owns *except* the actors themselves; handlers get
@@ -94,6 +104,9 @@ struct Core<M> {
     queue: BinaryHeap<Reverse<Event<M>>>,
     nodes: Vec<NodeState>,
     links: HashMap<(u32, u32), LinkState>,
+    /// Timed partition windows keyed by unordered node pair; traffic in
+    /// either direction departing inside a window is dropped.
+    partitions: HashMap<(u32, u32), Vec<(SimTime, SimTime)>>,
     rng: StdRng,
     stats: Stats,
     cancelled_timers: HashSet<u64>,
@@ -109,10 +122,21 @@ impl<M: Payload> Core<M> {
         self.queue.push(Reverse(Event { time, seq, kind }));
     }
 
+    /// True if the unordered pair `(a, b)` is inside a partition window
+    /// at instant `at`.
+    fn severed(&self, a: u32, b: u32, at: SimTime) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.partitions
+            .get(&key)
+            .is_some_and(|ws| ws.iter().any(|&(from, until)| at >= from && at < until))
+    }
+
     /// Route `msg` from `from` to `to`, departing at `depart`.
     fn route(&mut self, from: NodeId, to: NodeId, msg: M, depart: SimTime) {
         assert!(to.index() < self.nodes.len(), "send to unknown node {to:?}");
         let size = msg.size_bytes();
+        let epoch = self.nodes[to.index()].epoch;
+        let cut = from != to && self.severed(from.0, to.0, depart);
         let arrival = match self.links.get_mut(&(from.0, to.0)) {
             None if from == to => depart + SELF_SEND_LATENCY,
             None => panic!(
@@ -123,6 +147,12 @@ impl<M: Payload> Core<M> {
                 self.nodes[to.index()].name
             ),
             Some(link) => {
+                if cut {
+                    link.dropped += 1;
+                    let label = link.spec.label;
+                    self.stats.incr(&format!("link.{label}.partitioned"));
+                    return;
+                }
                 if link.spec.loss > 0.0 && self.rng.gen::<f64>() < link.spec.loss {
                     link.dropped += 1;
                     let label = link.spec.label;
@@ -147,7 +177,7 @@ impl<M: Payload> Core<M> {
                 arrival
             }
         };
-        self.push(arrival, EventKind::Deliver { from, to, msg });
+        self.push(arrival, EventKind::Deliver { from, to, msg, epoch });
     }
 }
 
@@ -188,12 +218,15 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.core.route(self.me, to, msg, depart);
     }
 
-    /// Schedule `on_timer(tag)` on this node after `delay`.
+    /// Schedule `on_timer(tag)` on this node after `delay`. The timer is
+    /// bound to the node's current incarnation: if the node crashes before
+    /// the timer fires, it never fires (even after a restart).
     pub fn schedule(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
         let time = self.local_now + delay;
-        self.core.push(time, EventKind::Timer { node: self.me, tag, id });
+        let epoch = self.core.nodes[self.me.index()].epoch;
+        self.core.push(time, EventKind::Timer { node: self.me, tag, id, epoch });
         TimerId(id)
     }
 
@@ -235,6 +268,7 @@ impl<M: Payload> Engine<M> {
                 queue: BinaryHeap::new(),
                 nodes: Vec::new(),
                 links: HashMap::new(),
+                partitions: HashMap::new(),
                 rng: StdRng::seed_from_u64(seed),
                 stats: Stats::new(),
                 cancelled_timers: HashSet::new(),
@@ -255,6 +289,8 @@ impl<M: Payload> Engine<M> {
             name: name.into(),
             busy_until: SimTime::ZERO,
             busy_micros: 0,
+            up: true,
+            epoch: 0,
         });
         self.actors.push(Some(Box::new(actor)));
         self.core.push(self.core.now, EventKind::Start { node: id });
@@ -285,6 +321,51 @@ impl<M: Payload> Engine<M> {
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M, delay: SimDuration) {
         let depart = self.core.now + delay;
         self.core.route(from, to, msg, depart);
+    }
+
+    /// Schedule a node crash at `at`. From that instant until a matching
+    /// [`Engine::restart_at`], every delivery and timer addressed to the
+    /// node is dropped, and timers armed before the crash never fire.
+    /// Counted under the `engine.crashes` stat.
+    pub fn crash_at(&mut self, node: NodeId, at: SimTime) {
+        assert!(node.index() < self.core.nodes.len(), "crash of unknown node {node:?}");
+        self.core.push(at, EventKind::Crash { node });
+    }
+
+    /// Schedule a node restart at `at`; the actor's
+    /// [`Actor::on_restart`](crate::Actor::on_restart) hook runs at that
+    /// instant so it can re-arm timers and re-register with peers. A
+    /// restart of a node that is already up is a no-op.
+    pub fn restart_at(&mut self, node: NodeId, at: SimTime) {
+        assert!(node.index() < self.core.nodes.len(), "restart of unknown node {node:?}");
+        self.core.push(at, EventKind::Restart { node });
+    }
+
+    /// Sever all traffic between `a` and `b` (both directions) for
+    /// departures in `[from, until)`. Messages already in flight when the
+    /// window opens still arrive — a partition cuts the wire, it does not
+    /// reach into the network and claw packets back.
+    pub fn partition(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
+        assert!(from < until, "empty partition window");
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.core.partitions.entry(key).or_default().push((from, until));
+    }
+
+    /// True unless the node is currently crashed.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.core.nodes[node.index()].up
+    }
+
+    /// Schedule every crash/restart cycle and partition window described
+    /// by `plan`.
+    pub fn apply_faults(&mut self, plan: &crate::FaultPlan) {
+        for &(node, at, restart) in plan.crashes() {
+            self.crash_at(node, at);
+            self.restart_at(node, restart);
+        }
+        for &(a, b, from, until) in plan.partitions() {
+            self.partition(a, b, from, until);
+        }
     }
 
     /// Cap the total number of events processed (live-lock guard in
@@ -361,8 +442,7 @@ impl<M: Payload> Engine<M> {
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, limit: SimTime) -> u64 {
         let mut processed = 0u64;
-        loop {
-            let Some(Reverse(head)) = self.core.queue.peek() else { break };
+        while let Some(Reverse(head)) = self.core.queue.peek() {
             if head.time > limit {
                 break;
             }
@@ -381,26 +461,57 @@ impl<M: Payload> Engine<M> {
                 EventKind::Start { node } => self.dispatch(node, ev.time, |actor, ctx| {
                     actor.on_start(ctx);
                 }),
-                EventKind::Deliver { from, to, msg } => {
-                    let busy = self.core.nodes[to.index()].busy_until;
+                EventKind::Deliver { from, to, msg, epoch } => {
+                    let state = &self.core.nodes[to.index()];
+                    if !state.up || state.epoch != epoch {
+                        self.core.stats.incr("engine.down_drops");
+                        continue;
+                    }
+                    let busy = state.busy_until;
                     if busy > ev.time {
-                        self.core.push(busy, EventKind::Deliver { from, to, msg });
+                        self.core.push(busy, EventKind::Deliver { from, to, msg, epoch });
                     } else {
                         self.dispatch(to, ev.time, |actor, ctx| {
                             actor.on_message(ctx, from, msg);
                         });
                     }
                 }
-                EventKind::Timer { node, tag, id } => {
+                EventKind::Timer { node, tag, id, epoch } => {
                     if self.core.cancelled_timers.remove(&id) {
                         continue;
                     }
-                    let busy = self.core.nodes[node.index()].busy_until;
+                    let state = &self.core.nodes[node.index()];
+                    if !state.up || state.epoch != epoch {
+                        continue;
+                    }
+                    let busy = state.busy_until;
                     if busy > ev.time {
-                        self.core.push(busy, EventKind::Timer { node, tag, id });
+                        self.core.push(busy, EventKind::Timer { node, tag, id, epoch });
                     } else {
                         self.dispatch(node, ev.time, |actor, ctx| {
                             actor.on_timer(ctx, tag);
+                        });
+                    }
+                }
+                EventKind::Crash { node } => {
+                    let state = &mut self.core.nodes[node.index()];
+                    if state.up {
+                        state.up = false;
+                        state.epoch += 1;
+                        // Whatever CPU work was in flight dies with the
+                        // process; deferred events re-fire at the crash
+                        // instant and are discarded by the epoch check.
+                        state.busy_until = ev.time;
+                        self.core.stats.incr("engine.crashes");
+                    }
+                }
+                EventKind::Restart { node } => {
+                    let state = &mut self.core.nodes[node.index()];
+                    if !state.up {
+                        state.up = true;
+                        state.busy_until = ev.time;
+                        self.dispatch(node, ev.time, |actor, ctx| {
+                            actor.on_restart(ctx);
                         });
                     }
                 }
@@ -630,6 +741,115 @@ mod tests {
         let b = eng.add_node("b", Collector { arrivals: vec![] });
         eng.inject(a, b, Ping(0), SimDuration::ZERO);
         eng.run_to_quiescence();
+    }
+
+    /// Pings a peer every millisecond; used by the crash/restart tests.
+    struct Beacon {
+        peer: NodeId,
+        restarts: u32,
+        ticks: u32,
+    }
+    impl Actor<Ping> for Beacon {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            ctx.schedule(SimDuration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Ping>, _: NodeId, _: Ping) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Ping>, _tag: u64) {
+            self.ticks += 1;
+            ctx.send(self.peer, Ping(1));
+            ctx.schedule(SimDuration::from_millis(1), 0);
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            self.restarts += 1;
+            ctx.schedule(SimDuration::from_millis(1), 0);
+        }
+    }
+
+    #[test]
+    fn crashed_node_drops_deliveries_and_timers() {
+        let mut eng = Engine::new(1);
+        let sink = eng.add_node("sink", Collector { arrivals: vec![] });
+        let beacon = eng.add_node("beacon", Beacon { peer: sink, restarts: 0, ticks: 0 });
+        eng.link(beacon, sink, fixed_link(10));
+        // Crash at 5.5 ms without restart: the periodic timer dies, so
+        // only ticks 1..=5 happen; messages sent *to* the beacon while it
+        // is down are dropped and counted.
+        eng.crash_at(beacon, SimTime::from_micros(5_500));
+        eng.inject(sink, beacon, Ping(1), SimDuration::from_millis(8));
+        eng.run_until(SimTime::from_millis(20));
+        assert_eq!(eng.actor_ref::<Beacon>(beacon).unwrap().ticks, 5);
+        assert_eq!(eng.actor_ref::<Collector>(sink).unwrap().arrivals.len(), 5);
+        assert!(!eng.is_up(beacon));
+        assert_eq!(eng.stats().counter("engine.crashes"), 1);
+        assert_eq!(eng.stats().counter("engine.down_drops"), 1);
+    }
+
+    #[test]
+    fn restart_fires_hook_and_new_timers_survive() {
+        let mut eng = Engine::new(1);
+        let sink = eng.add_node("sink", Collector { arrivals: vec![] });
+        let beacon = eng.add_node("beacon", Beacon { peer: sink, restarts: 0, ticks: 0 });
+        eng.link(beacon, sink, fixed_link(10));
+        eng.crash_at(beacon, SimTime::from_micros(3_500));
+        eng.restart_at(beacon, SimTime::from_millis(10));
+        eng.run_until(SimTime::from_millis(15));
+        let b = eng.actor_ref::<Beacon>(beacon).unwrap();
+        assert_eq!(b.restarts, 1);
+        // 3 ticks before the crash (1,2,3 ms) + 5 after (11..=15 ms).
+        assert_eq!(b.ticks, 8);
+        assert!(eng.is_up(beacon));
+    }
+
+    #[test]
+    fn partition_window_blocks_then_heals() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_node("a", Collector { arrivals: vec![] });
+        let b = eng.add_node("b", Collector { arrivals: vec![] });
+        eng.link(a, b, fixed_link(10).with_label("pair"));
+        eng.partition(a, b, SimTime::from_millis(2), SimTime::from_millis(4));
+        for ms in 0..6 {
+            eng.inject(a, b, Ping(1), SimDuration::from_millis(ms));
+            eng.inject(b, a, Ping(1), SimDuration::from_millis(ms));
+        }
+        eng.run_to_quiescence();
+        // Departures at 2 and 3 ms fall inside the window, both directions.
+        assert_eq!(eng.actor_ref::<Collector>(b).unwrap().arrivals.len(), 4);
+        assert_eq!(eng.actor_ref::<Collector>(a).unwrap().arrivals.len(), 4);
+        assert_eq!(eng.stats().counter("link.pair.partitioned"), 4);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        use crate::FaultPlan;
+        fn run(seed: u64) -> (u64, u64, u64) {
+            let mut eng = Engine::new(seed);
+            let sink = eng.add_node("sink", Collector { arrivals: vec![] });
+            let mut beacons = Vec::new();
+            for i in 0..3 {
+                let n = eng.add_node(
+                    format!("b{i}"),
+                    Beacon { peer: sink, restarts: 0, ticks: 0 },
+                );
+                eng.link(n, sink, fixed_link(10));
+                beacons.push(n);
+            }
+            let mut plan = FaultPlan::new(seed ^ 0xfau64);
+            plan.stagger_crashes(
+                &beacons,
+                SimTime::from_millis(2),
+                SimTime::from_millis(30),
+                SimDuration::from_millis(5),
+            );
+            eng.apply_faults(&plan);
+            eng.run_until(SimTime::from_millis(50));
+            (
+                eng.events_processed(),
+                eng.stats().counter("engine.crashes"),
+                eng.actor_ref::<Collector>(sink).unwrap().arrivals.len() as u64,
+            )
+        }
+        assert_eq!(run(3), run(3));
+        assert_eq!(run(3).1, 3, "every beacon crashes exactly once");
     }
 
     #[test]

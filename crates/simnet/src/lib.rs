@@ -57,12 +57,14 @@
 
 mod actor;
 mod engine;
+mod fault;
 mod link;
 mod stats;
 mod time;
 
 pub use actor::{Actor, Payload};
 pub use engine::{Ctx, Engine, NodeId, TimerId};
+pub use fault::FaultPlan;
 pub use link::{LinkSpec, LinkStats};
 pub use stats::{Histogram, Stats};
 pub use time::{SimDuration, SimTime};

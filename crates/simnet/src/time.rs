@@ -46,6 +46,15 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+    /// The instant `d` before this one, or `None` if that would precede
+    /// the simulation epoch. The timeout sweeps use this to compute
+    /// "issued before" cutoffs without wrap-around contortions.
+    pub const fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        match self.0.checked_sub(d.0) {
+            Some(us) => Some(SimTime(us)),
+            None => None,
+        }
+    }
 }
 
 impl SimDuration {

@@ -1,6 +1,8 @@
 //! Property-based tests for the simulation substrate: determinism,
 //! conservation of messages, FIFO per-link ordering, and histogram sanity.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use simnet::{Actor, Ctx, Engine, Histogram, LinkSpec, NodeId, Payload, SimDuration, SimTime};
 

@@ -2,6 +2,8 @@
 //! exactly-once, order-preserving, bounded-loss semantics, and session
 //! table consistency under random operation sequences.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -329,7 +329,7 @@ macro_rules! count_fixed {
     };
 }
 
-impl<'b> ser::Serializer for &'b mut SizeCounter {
+impl ser::Serializer for &mut SizeCounter {
     type Ok = ();
     type Error = CodecError;
     type SerializeSeq = Self;
@@ -475,7 +475,7 @@ count_compound!(ser::SerializeTuple, serialize_element);
 count_compound!(ser::SerializeTupleStruct, serialize_field);
 count_compound!(ser::SerializeTupleVariant, serialize_field);
 
-impl<'b> ser::SerializeMap for &'b mut SizeCounter {
+impl ser::SerializeMap for &mut SizeCounter {
     type Ok = ();
     type Error = CodecError;
     fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
@@ -489,7 +489,7 @@ impl<'b> ser::SerializeMap for &'b mut SizeCounter {
     }
 }
 
-impl<'b> ser::SerializeStruct for &'b mut SizeCounter {
+impl ser::SerializeStruct for &mut SizeCounter {
     type Ok = ();
     type Error = CodecError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -504,7 +504,7 @@ impl<'b> ser::SerializeStruct for &'b mut SizeCounter {
     }
 }
 
-impl<'b> ser::SerializeStructVariant for &'b mut SizeCounter {
+impl ser::SerializeStructVariant for &mut SizeCounter {
     type Ok = ();
     type Error = CodecError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -569,7 +569,7 @@ macro_rules! de_fixed {
     };
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut DbpDeserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut DbpDeserializer<'de> {
     type Error = CodecError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {

@@ -1,6 +1,8 @@
 //! Property tests: arbitrary protocol messages survive encode → decode,
 //! and `encoded_len` always equals the actual encoding length.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use wire::codec::{decode, encode, encoded_len};
 use wire::{

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the bench binaries use — `Criterion`,
+//! `benchmark_group` (`throughput`, `sample_size`, `bench_function`,
+//! `finish`), `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros —
+//! over a simple wall-clock measurement loop. No statistics engine,
+//! no HTML reports: each benchmark warms up briefly, then runs timed
+//! samples and prints mean/min per-iteration time (plus throughput
+//! when configured).
+
+// Stand-in crate: keep clippy focused on the real workspace code.
+#![allow(clippy::all)]
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(600);
+
+/// Workload size hint for batched iteration (ignored by this stub
+/// beyond API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { samples: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Benchmark `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample is ~1ms.
+        let mut n = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || warm_start.elapsed() >= WARMUP {
+                if elapsed < Duration::from_micros(100) {
+                    n = n.saturating_mul(8).max(8);
+                }
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        self.iters_per_sample = n;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            let t = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Benchmark `routine` with a fresh input from `setup` each
+    /// iteration; setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iters_per_sample = 1;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<50} no samples collected");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let fmt = |secs: f64| -> String {
+            if secs >= 1.0 {
+                format!("{secs:.3} s")
+            } else if secs >= 1e-3 {
+                format!("{:.3} ms", secs * 1e3)
+            } else if secs >= 1e-6 {
+                format!("{:.3} µs", secs * 1e6)
+            } else {
+                format!("{:.1} ns", secs * 1e9)
+            }
+        };
+        let extra = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:.1} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => format!("  {:.0} elem/s", e as f64 / mean),
+            None => String::new(),
+        };
+        println!(
+            "{id:<50} mean {:>12}  min {:>12}  ({} samples){extra}",
+            fmt(mean),
+            fmt(min),
+            per_iter.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build a driver, reading an optional substring filter from CLI
+    /// args (so `cargo bench -- pattern` narrows the run).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench" && !a.is_empty());
+        Criterion { filter }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        if !self.enabled(&id) {
+            return;
+        }
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id, None);
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this stub uses a fixed window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        if self.criterion.enabled(&id) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            b.report(&id, self.throughput);
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's public `black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's surface this workspace uses:
+//! `Strategy` (with `prop_map`), `Just`, `any::<T>()`, integer-range
+//! and tuple strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::num::f64::NORMAL`, single-character-class regex string
+//! strategies (`"[a-z0-9]{0,16}"`), `prop_oneof!`, and the `proptest!`
+//! / `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with the generated inputs via the normal assert message), and the
+//! per-test RNG seed is derived from the test name, so failures are
+//! reproducible run-to-run.
+
+// Stand-in crate: keep clippy focused on the real workspace code.
+#![allow(clippy::all)]
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Module alias so `prop::collection::vec(..)` works like upstream.
+    pub use crate as prop;
+}
+
+/// Types with a canonical default strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (like proptest's `any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for a primitive type.
+pub struct AnyPrimitive<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T> Default for AnyPrimitive<T> {
+    fn default() -> Self {
+        AnyPrimitive { _marker: core::marker::PhantomData }
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rand::Rng::gen::<$ty>(rng)
+            }
+        }
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrimitive<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! arbitrary_float {
+    ($($ty:ident: $bits:ty, $mant:expr, $max_exp:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                // Finite floats only (sign, bounded exponent, any
+                // mantissa) — like proptest's default float strategy,
+                // which excludes NaN and infinities.
+                let sign = (rand::Rng::gen::<$bits>(rng) & 1) << (<$bits>::BITS - 1);
+                let exp = rand::Rng::gen_range(rng, 0..$max_exp as $bits) << $mant;
+                let mantissa = rand::Rng::gen::<$bits>(rng) & (((1 as $bits) << $mant) - 1);
+                <$ty>::from_bits(sign | exp | mantissa)
+            }
+        }
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrimitive<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    )*};
+}
+arbitrary_float! {
+    f32: u32, 23u32, 255u32 - 1;
+    f64: u64, 52u64, 2047u64 - 1;
+}
+
+impl Strategy for AnyPrimitive<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut StdRng) -> char {
+        // Printable ASCII most of the time, occasional wider BMP chars.
+        if rand::Rng::gen_bool(rng, 0.9) {
+            rand::Rng::gen_range(rng, 0x20u32..0x7F) as u8 as char
+        } else {
+            char::from_u32(rand::Rng::gen_range(rng, 0xA0u32..0xD800)).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrimitive<char>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+/// The property-test driver macro.
+///
+/// Accepts the same shape as upstream:
+/// `proptest! { #![proptest_config(cfg)] #[test] fn name(x in strat, ..) { .. } }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::rng_for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // Bodies may use `?` with upstream's Result-style helpers;
+                // wrap in a closure so both styles compile.
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!("property failed: {}", __e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Choice among alternative strategies of one value type, uniform or
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

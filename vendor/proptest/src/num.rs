@@ -1,0 +1,28 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy over normal (non-zero, non-subnormal, finite) `f64`s.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalStrategy;
+
+    /// Normal `f64` values, either sign.
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            let sign = (rng.gen::<u64>() & 1) << 63;
+            // Exponent in [1, 2046]: excludes zero/subnormal (0) and
+            // inf/NaN (2047).
+            let exp = rng.gen_range(1u64..=2046) << 52;
+            let mantissa = rng.gen::<u64>() & ((1u64 << 52) - 1);
+            f64::from_bits(sign | exp | mantissa)
+        }
+    }
+}

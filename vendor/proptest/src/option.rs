@@ -1,0 +1,28 @@
+//! Option strategies (`prop::option::of`).
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `Some` three times out of four (matching
+/// upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

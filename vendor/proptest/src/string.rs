@@ -1,0 +1,103 @@
+//! String strategies from regex-like patterns.
+//!
+//! Supports the single pattern family this workspace uses:
+//! `[class]{m,n}` / `[class]{n}` — one character class with a counted
+//! repetition, where the class is a list of literal characters and
+//! `a-z` style ranges. Anything else panics with a clear message so a
+//! silent mis-parse can't produce junk test data.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let (chars, min, max) = parse_pattern(pattern);
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| chars[rng.gen_range(0..chars.len())]).collect()
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let bad = |why: &str| -> ! {
+        panic!("proptest stub supports only `[class]{{m,n}}` string patterns; `{pattern}` {why}")
+    };
+
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| bad("does not start with `[`"));
+    let close = rest.find(']').unwrap_or_else(|| bad("has no closing `]`"));
+    let class: Vec<char> = rest[..close].chars().collect();
+    let reps = &rest[close + 1..];
+
+    // Expand the character class.
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                bad("contains a descending character range");
+            }
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        bad("has an empty character class");
+    }
+
+    // Parse `{n}` or `{m,n}`.
+    let reps = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bad("lacks a `{m,n}` repetition"));
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().unwrap_or_else(|_| bad("has a malformed lower bound")),
+            n.trim().parse().unwrap_or_else(|_| bad("has a malformed upper bound")),
+        ),
+        None => {
+            let n = reps.trim().parse().unwrap_or_else(|_| bad("has a malformed count"));
+            (n, n)
+        }
+    };
+    if min > max {
+        bad("has min > max");
+    }
+    (chars, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn class_expansion() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn fixed_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = generate_from_pattern("[ab]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+}

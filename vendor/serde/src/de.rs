@@ -1,0 +1,549 @@
+//! Deserialization half of the data model.
+
+use core::fmt::{self, Display};
+use core::marker::PhantomData;
+
+/// Error constraint for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` that owns all its data.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stateful deserialization seed.
+pub trait DeserializeSeed<'de>: Sized {
+    /// Produced value.
+    type Value;
+    /// Deserialize using the captured state.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can drive the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Hint: format decides the shape (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect owned bytes.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a tuple of known length.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect an identifier (field or variant name).
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skip a value of any type.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether this format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! visit_default {
+    ($($(#[$doc:meta])* fn $name:ident($ty:ty);)*) => {
+        $(
+            $(#[$doc])*
+            fn $name<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+                let _ = v;
+                Err(E::custom(format_args!(
+                    "{}: unexpected {}", ExpectingDisplay(&self), stringify!($name)
+                )))
+            }
+        )*
+    };
+}
+
+struct ExpectingDisplay<'a, V: ?Sized>(&'a V);
+
+impl<'de, V: Visitor<'de> + ?Sized> Display for ExpectingDisplay<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Walks values produced by a [`Deserializer`].
+pub trait Visitor<'de>: Sized {
+    /// Produced value.
+    type Value;
+
+    /// Describe what this visitor expects (used in error messages).
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default! {
+        /// Visit a `bool`.
+        fn visit_bool(bool);
+        /// Visit an `i64` (narrow ints forward here by default).
+        fn visit_i64(i64);
+        /// Visit a `u64` (narrow uints forward here by default).
+        fn visit_u64(u64);
+        /// Visit an `f64` (`f32` forwards here by default).
+        fn visit_f64(f64);
+        /// Visit a `char`.
+        fn visit_char(char);
+    }
+
+    /// Visit an `i8` (forwards to [`Visitor::visit_i64`]).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visit an `i16` (forwards to [`Visitor::visit_i64`]).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visit an `i32` (forwards to [`Visitor::visit_i64`]).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visit a `u8` (forwards to [`Visitor::visit_u64`]).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visit a `u16` (forwards to [`Visitor::visit_u64`]).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visit a `u32` (forwards to [`Visitor::visit_u64`]).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visit an `f32` (forwards to [`Visitor::visit_f64`]).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+
+    /// Visit a borrowed string (default: forwards to transient).
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(format_args!("{}: unexpected string", ExpectingDisplay(&self))))
+    }
+    /// Visit a string borrowed from the input (forwards to [`Visitor::visit_str`]).
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visit an owned string (forwards to [`Visitor::visit_str`]).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visit transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(format_args!("{}: unexpected bytes", ExpectingDisplay(&self))))
+    }
+    /// Visit bytes borrowed from the input (forwards to [`Visitor::visit_bytes`]).
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Visit owned bytes (forwards to [`Visitor::visit_bytes`]).
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visit `None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("{}: unexpected none", ExpectingDisplay(&self))))
+    }
+    /// Visit `Some(_)`.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom(format_args!("{}: unexpected some", ExpectingDisplay(&self))))
+    }
+    /// Visit `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("{}: unexpected unit", ExpectingDisplay(&self))))
+    }
+    /// Visit a newtype struct payload.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom(format_args!(
+            "{}: unexpected newtype struct",
+            ExpectingDisplay(&self)
+        )))
+    }
+    /// Visit a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::custom(format_args!("{}: unexpected sequence", ExpectingDisplay(&self))))
+    }
+    /// Visit a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::custom(format_args!("{}: unexpected map", ExpectingDisplay(&self))))
+    }
+    /// Visit an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(A::Error::custom(format_args!("{}: unexpected enum", ExpectingDisplay(&self))))
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Next element through a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Next element of a known type.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Next key through a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Next value through a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+    /// Next key of a known type.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    /// Next value of a known type.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    /// Next entry of known types.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the discriminant of an enum value.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Accessor for the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Read the discriminant through a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Read the discriminant as a known type.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Expect a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Expect a newtype variant, through a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// Expect a newtype variant of a known type.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Expect a tuple variant with `len` fields.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    /// Expect a struct variant with the given fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Convert a plain value into a deserializer yielding it.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Perform the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Trivial deserializers over plain values.
+pub mod value {
+    use super::*;
+
+    macro_rules! forward_all_to {
+        ($visit:ident) => {
+            fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_unit_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_newtype_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_tuple<V: Visitor<'de>>(
+                self,
+                _len: usize,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_tuple_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _len: usize,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _fields: &'static [&'static str],
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_enum<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _variants: &'static [&'static str],
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+        };
+    }
+
+    macro_rules! primitive_value_deserializer {
+        ($($name:ident($ty:ty) via $visit:ident),* $(,)?) => {$(
+            /// Deserializer that yields one plain value.
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                /// Wrap `value`.
+                pub fn new(value: $ty) -> Self {
+                    $name { value, marker: PhantomData }
+                }
+            }
+
+            impl<'de, E: Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+                forward_all_to!($visit);
+            }
+
+            impl<'de, E: Error> IntoDeserializer<'de, E> for $ty {
+                type Deserializer = $name<E>;
+                fn into_deserializer(self) -> $name<E> {
+                    $name::new(self)
+                }
+            }
+        )*};
+    }
+
+    primitive_value_deserializer! {
+        U8Deserializer(u8) via visit_u8,
+        U16Deserializer(u16) via visit_u16,
+        U32Deserializer(u32) via visit_u32,
+        U64Deserializer(u64) via visit_u64,
+        UsizeDeserializer(usize) via visit_u64_from_usize,
+        I64Deserializer(i64) via visit_i64,
+    }
+
+    impl<'de, V: Visitor<'de>> VisitUsize<'de> for V {}
+
+    /// Helper so `usize` routes through `visit_u64`.
+    trait VisitUsize<'de>: Visitor<'de> {
+        fn visit_u64_from_usize<E: Error>(self, v: usize) -> Result<Self::Value, E> {
+            self.visit_u64(v as u64)
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! `Serialize`/`Deserialize` impls for the std types used in wire
+//! messages: primitives, `String`, `Option`, `Vec`, tuples, and the
+//! std map types.
+
+use core::fmt;
+use core::marker::PhantomData;
+
+use crate::de::{self, Deserialize, Deserializer, Error as DeError, Visitor};
+use crate::ser::{
+    Serialize, SerializeMap as _, SerializeSeq as _, SerializeTuple as _, Serializer,
+};
+
+macro_rules! primitive_impl {
+    ($ty:ty, $ser:ident, $deser:ident, $visit:ident, $visited:ty) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: DeError>(self, v: $visited) -> Result<$ty, E> {
+                        <$ty as TryFrom<$visited>>::try_from(v).map_err(|_| {
+                            E::custom(concat!("value out of range for ", stringify!($ty)))
+                        })
+                    }
+                }
+                deserializer.$deser(V)
+            }
+        }
+    };
+}
+
+primitive_impl!(bool, serialize_bool, deserialize_bool, visit_bool, bool);
+primitive_impl!(i8, serialize_i8, deserialize_i8, visit_i64, i64);
+primitive_impl!(i16, serialize_i16, deserialize_i16, visit_i64, i64);
+primitive_impl!(i32, serialize_i32, deserialize_i32, visit_i64, i64);
+primitive_impl!(i64, serialize_i64, deserialize_i64, visit_i64, i64);
+primitive_impl!(u8, serialize_u8, deserialize_u8, visit_u64, u64);
+primitive_impl!(u16, serialize_u16, deserialize_u16, visit_u64, u64);
+primitive_impl!(u32, serialize_u32, deserialize_u32, visit_u64, u64);
+primitive_impl!(u64, serialize_u64, deserialize_u64, visit_u64, u64);
+primitive_impl!(f64, serialize_f64, deserialize_f64, visit_f64, f64);
+primitive_impl!(char, serialize_char, deserialize_char, visit_char, char);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f32;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("f32")
+            }
+            fn visit_f64<E: DeError>(self, v: f64) -> Result<f32, E> {
+                Ok(v as f32)
+            }
+        }
+        deserializer.deserialize_f32(V)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| D::Error::custom("integer out of range for usize"))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(deserializer)?;
+        isize::try_from(v).map_err(|_| D::Error::custom("integer out of range for isize"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: DeError>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+macro_rules! map_impl {
+    ($map:ident, $($bound:path),*) => {
+        impl<K: Serialize $(+ $bound)*, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut map = serializer.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+
+        impl<'de, K: Deserialize<'de> $(+ $bound)*, V: Deserialize<'de>> Deserialize<'de>
+            for std::collections::$map<K, V>
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct MV<K, V>(PhantomData<(K, V)>);
+                impl<'de, K: Deserialize<'de> $(+ $bound)*, V: Deserialize<'de>> Visitor<'de>
+                    for MV<K, V>
+                {
+                    type Value = std::collections::$map<K, V>;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a map")
+                    }
+                    fn visit_map<A: de::MapAccess<'de>>(
+                        self,
+                        mut map: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut out = std::collections::$map::new();
+                        while let Some((k, v)) = map.next_entry()? {
+                            out.insert(k, v);
+                        }
+                        Ok(out)
+                    }
+                }
+                deserializer.deserialize_map(MV(PhantomData))
+            }
+        }
+    };
+}
+
+map_impl!(BTreeMap, Ord);
+map_impl!(HashMap, std::hash::Hash, Eq);
+
+macro_rules! tuple_impl {
+    ($len:expr => $(($ty:ident, $idx:tt)),+) => {
+        impl<$($ty: Serialize),+> Serialize for ($($ty,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+
+        impl<'de, $($ty: Deserialize<'de>),+> Deserialize<'de> for ($($ty,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct TV<$($ty),+>(PhantomData<($($ty,)+)>);
+                impl<'de, $($ty: Deserialize<'de>),+> Visitor<'de> for TV<$($ty),+> {
+                    type Value = ($($ty,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(concat!("a tuple of length ", $len))
+                    }
+                    fn visit_seq<A: de::SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        Ok(($(
+                            match seq.next_element::<$ty>()? {
+                                Some(v) => v,
+                                None => {
+                                    return Err(A::Error::custom("tuple is too short"));
+                                }
+                            },
+                        )+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TV(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => (T0, 0));
+tuple_impl!(2 => (T0, 0), (T1, 1));
+tuple_impl!(3 => (T0, 0), (T1, 1), (T2, 2));
+tuple_impl!(4 => (T0, 0), (T1, 1), (T2, 2), (T3, 3));
+tuple_impl!(5 => (T0, 0), (T1, 1), (T2, 2), (T3, 3), (T4, 4));
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Ok(v) => serializer.serialize_newtype_variant("Result", 0, "Ok", v),
+            Err(e) => serializer.serialize_newtype_variant("Result", 1, "Err", e),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, E>(PhantomData<(T, E)>);
+        impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Visitor<'de> for V<T, E> {
+            type Value = Result<T, E>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Result")
+            }
+            fn visit_enum<A: de::EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+                let (idx, variant): (u32, A::Variant) = data.variant()?;
+                match idx {
+                    0 => de::VariantAccess::newtype_variant(variant).map(Ok),
+                    1 => de::VariantAccess::newtype_variant(variant).map(Err),
+                    _ => Err(DeError::custom("invalid variant index for Result")),
+                }
+            }
+        }
+        deserializer.deserialize_enum("Result", &["Ok", "Err"], V(PhantomData))
+    }
+}

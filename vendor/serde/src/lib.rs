@@ -1,0 +1,39 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach a crate registry, so this crate
+//! re-implements the subset of serde's data model the workspace relies
+//! on: the `Serialize`/`Deserialize` traits, the full
+//! `Serializer`/`Deserializer` method surfaces (the DBP codec in
+//! `crates/wire` implements both in full), visitor/access traits, and
+//! impls for the primitive/std types that appear in wire messages.
+//! The `derive` feature re-exports a hand-rolled derive macro from the
+//! sibling `serde_derive` stub.
+//!
+//! Deliberate deviations from real serde: no `i128`/`u128`, no borrowed
+//! lifetimes in `Deserialize` beyond what the codec needs, no
+//! `#[serde(...)]` attribute support, and containers are limited to the
+//! std types this workspace serializes.
+
+// Stand-in crate: keep clippy focused on the real workspace code.
+#![allow(clippy::all)]
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker alias matching serde's `forward_to_deserialize_any` users.
+#[doc(hidden)]
+pub mod __private {
+    pub use core::fmt;
+    pub use core::marker::PhantomData;
+    pub use core::result::Result;
+}

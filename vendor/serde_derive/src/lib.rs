@@ -1,0 +1,528 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls without syn/quote by
+//! walking the raw `proc_macro::TokenStream`. Deliberately narrower
+//! than the real derive: no generic types, no `#[serde(...)]`
+//! attributes, no untagged/renamed anything — exactly the shapes the
+//! wire crate uses (plain structs, tuple/newtype structs, unit
+//! structs, and enums whose variants are unit/newtype/tuple/struct).
+//! Enum variants serialize by `u32` index, struct fields positionally,
+//! matching what the DBP codec expects.
+
+// Stand-in crate: keep clippy focused on the real workspace code.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a derive input.
+enum Shape {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` for non-generic, attribute-free types.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_serialize(&name, &shape).parse().expect("serde_derive stub emitted invalid Rust")
+}
+
+/// Derive `serde::Deserialize` for non-generic, attribute-free types.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_deserialize(&name, &shape).parse().expect("serde_derive stub emitted invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+
+    // Skip outer attributes and visibility until the item keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // pub(crate) etc: swallow the parenthesised scope
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" => break,
+                    "enum" => {
+                        is_enum = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum keyword in input"),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = if is_enum {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    0 => Shape::UnitStruct,
+                    1 => Shape::NewtypeStruct,
+                    n => Shape::TupleStruct(n),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            None => Shape::UnitStruct,
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        }
+    };
+
+    (name, shape)
+}
+
+/// Parse `name: Type, ...` out of a brace-delimited field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let ident = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde_derive stub: unexpected token in field list: {other:?}")
+                }
+                None => return fields,
+            }
+        };
+        fields.push(ident);
+        // Skip `: Type` up to the comma separating fields. Parens and
+        // brackets arrive as atomic groups, so only angle brackets need
+        // depth tracking.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Count the fields of a paren-delimited tuple field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde_derive stub: unexpected token in enum body: {other:?}")
+                }
+                None => return variants,
+            }
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(g.stream());
+                iter.next();
+                match fields {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Swallow everything (incl. unsupported `= discriminant`) up to
+        // the comma after this variant.
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// codegen: Serialize
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => {
+            format!("serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Shape::NewtypeStruct => format!(
+            "serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut __st = serde::ser::Serializer::serialize_tuple_struct(__serializer, \
+                 \"{name}\", {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("serde::ser::SerializeTupleStruct::end(__st)");
+            s
+        }
+        Shape::NamedStruct(fields) => {
+            let n = fields.len();
+            let mut s = format!(
+                "let mut __st = serde::ser::Serializer::serialize_struct(__serializer, \
+                 \"{name}\", {n}usize)?;\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => serde::ser::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vn}\"),\n"
+                    )),
+                    VariantKind::Newtype => s.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::ser::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vn}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        s.push_str(&format!("{name}::{vn}({pat}) => {{\n"));
+                        s.push_str(&format!(
+                            "let mut __sv = serde::ser::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vn}\", {n}usize)?;\n"
+                        ));
+                        for b in &binders {
+                            s.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut __sv, {b})?;\n"
+                            ));
+                        }
+                        s.push_str("serde::ser::SerializeTupleVariant::end(__sv)\n}\n");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let n = fields.len();
+                        let pat = fields.join(", ");
+                        s.push_str(&format!("{name}::{vn} {{ {pat} }} => {{\n"));
+                        s.push_str(&format!(
+                            "let mut __sv = serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vn}\", {n}usize)?;\n"
+                        ));
+                        for f in fields {
+                            s.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        s.push_str("serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+         -> core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// codegen: Deserialize
+
+/// `let __fN = seq.next_element()? else missing-field error;` lines.
+fn seq_field_lines(count: usize, context: &str) -> String {
+    let mut s = String::new();
+    for i in 0..count {
+        s.push_str(&format!(
+            "let __f{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             core::option::Option::Some(__v) => __v,\n\
+             core::option::Option::None => return core::result::Result::Err(\
+             serde::de::Error::custom(\"{context}: missing field {i}\")),\n}};\n"
+        ));
+    }
+    s
+}
+
+/// A visitor struct + impl with a `visit_seq` that builds `ctor`.
+fn seq_visitor(vis_name: &str, value_ty: &str, expecting: &str, count: usize, ctor: &str) -> String {
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> serde::de::Visitor<'de> for {vis_name} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+         __f.write_str(\"{expecting}\")\n}}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {{\n\
+         {}\
+         core::result::Result::Ok({ctor})\n}}\n}}\n",
+        seq_field_lines(count, expecting)
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "struct __V;\n\
+             impl<'de> serde::de::Visitor<'de> for __V {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+             __f.write_str(\"unit struct {name}\")\n}}\n\
+             fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<{name}, __E> {{\n\
+             core::result::Result::Ok({name})\n}}\n}}\n\
+             serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __V)"
+        ),
+        Shape::NewtypeStruct => format!(
+            "struct __V;\n\
+             impl<'de> serde::de::Visitor<'de> for __V {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+             __f.write_str(\"newtype struct {name}\")\n}}\n\
+             fn visit_newtype_struct<__D: serde::de::Deserializer<'de>>(self, __d: __D) \
+             -> core::result::Result<{name}, __D::Error> {{\n\
+             core::result::Result::Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n}}\n\
+             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+             -> core::result::Result<{name}, __A::Error> {{\n\
+             {}\
+             core::result::Result::Ok({name}(__f0))\n}}\n}}\n\
+             serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __V)",
+            seq_field_lines(1, name)
+        ),
+        Shape::TupleStruct(n) => {
+            let ctor = format!(
+                "{name}({})",
+                (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ")
+            );
+            format!(
+                "{}serde::de::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {n}usize, __V)",
+                seq_visitor("__V", name, &format!("tuple struct {name}"), *n, &ctor)
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let ctor = format!(
+                "{name} {{ {} }}",
+                fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let field_names = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{}const __FIELDS: &[&str] = &[{field_names}];\n\
+                 serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", __FIELDS, __V)",
+                seq_visitor("__V", name, &format!("struct {name}"), fields.len(), &ctor)
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         core::result::Result::Ok({name}::{vn})\n}}\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{idx}u32 => core::result::Result::Ok({name}::{vn}(\
+                         serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let ctor = format!(
+                            "{name}::{vn}({})",
+                            (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ")
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{}\
+                             serde::de::VariantAccess::tuple_variant(__variant, {n}usize, __V{idx})\n}}\n",
+                            seq_visitor(
+                                &format!("__V{idx}"),
+                                name,
+                                &format!("variant {name}::{vn}"),
+                                *n,
+                                &ctor
+                            )
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!(
+                            "{name}::{vn} {{ {} }}",
+                            fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| format!("{f}: __f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let field_names = fields
+                            .iter()
+                            .map(|f| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{}\
+                             serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{field_names}], __V{idx})\n}}\n",
+                            seq_visitor(
+                                &format!("__V{idx}"),
+                                name,
+                                &format!("variant {name}::{vn}"),
+                                fields.len(),
+                                &ctor
+                            )
+                        ));
+                    }
+                }
+            }
+            let variant_names = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "struct __V;\n\
+                 impl<'de> serde::de::Visitor<'de> for __V {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n}}\n\
+                 fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> core::result::Result<{name}, __A::Error> {{\n\
+                 let (__idx, __variant): (u32, __A::Variant) = \
+                 serde::de::EnumAccess::variant(__data)?;\n\
+                 match __idx {{\n{arms}\
+                 _ => core::result::Result::Err(serde::de::Error::custom(\
+                 \"invalid variant index for {name}\")),\n}}\n}}\n}}\n\
+                 const __VARIANTS: &[&str] = &[{variant_names}];\n\
+                 serde::de::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", __VARIANTS, __V)"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
