@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use simnet::{Actor, Ctx, NodeId, SimDuration};
+use simnet::{names, Actor, Ctx, NodeId, SimDuration};
 use wire::tcp::TcpFrame;
 use wire::{
     AppCommand, AppId, AppMsg, AppOp, AppPhase, AppToken, Channel, Envelope, ErrorCode,
@@ -257,7 +257,7 @@ impl<S: Kernel> Actor<Envelope> for AppDriver<S> {
                     self.enter_computing(ctx);
                 }
             AppMsg::RegisterNak { error } => {
-                ctx.stats().incr("driver.register_nak");
+                ctx.metrics().incr(names::DRIVER_REGISTER_NAK);
                 let _ = error;
                 self.state = DriverState::Terminated;
             }

@@ -13,7 +13,7 @@ use appsim::synthetic_app;
 use discover_client::{OpMix, Portal, PortalConfig, Workload};
 use discover_core::{Collaboratory, CollaboratoryBuilder};
 use orb::RetryPolicy;
-use simnet::{FaultPlan, NodeId, SimDuration, SimTime};
+use simnet::{names, FaultPlan, Histogram, NodeId, SimDuration, SimTime};
 use wire::{ClientMessage, Privilege, ResponseBody};
 
 use crate::fixtures;
@@ -48,16 +48,6 @@ impl ChaosOutcome {
             self.ok as f64 / total as f64
         }
     }
-}
-
-fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p * sorted_us.len() as f64).ceil() as usize)
-        .saturating_sub(1)
-        .min(sorted_us.len() - 1);
-    sorted_us[idx] as f64 / 1000.0
 }
 
 fn run_chaos(loss: f64, retry: RetryPolicy) -> ChaosOutcome {
@@ -124,7 +114,7 @@ fn run_chaos(loss: f64, retry: RetryPolicy) -> ChaosOutcome {
 fn collect_outcome(c: &Collaboratory, portals: &[NodeId]) -> ChaosOutcome {
     let mut ok = 0u64;
     let mut err = 0u64;
-    let mut latencies = Vec::new();
+    let mut latencies = Histogram::new();
     for &node in portals {
         let Some(p) = c.engine.actor_ref::<Portal>(node) else { continue };
         for (_, msg) in &p.received {
@@ -134,20 +124,22 @@ fn collect_outcome(c: &Collaboratory, portals: &[NodeId]) -> ChaosOutcome {
                 _ => {}
             }
         }
-        latencies.extend_from_slice(&p.op_latencies_us);
+        for &us in &p.op_latencies_us {
+            latencies.record(SimDuration::from_micros(us));
+        }
     }
-    latencies.sort_unstable();
+    let summary = latencies.summary();
     let stats = c.engine.stats();
     ChaosOutcome {
         ok,
         err,
-        p50_ms: percentile_ms(&latencies, 0.50),
-        p99_ms: percentile_ms(&latencies, 0.99),
-        crashes: stats.counter("engine.crashes"),
-        retries: stats.counter("substrate.retries"),
-        breaker_open: stats.counter("substrate.breaker_open"),
-        failovers: stats.counter("substrate.failovers"),
-        fastfails: stats.counter("substrate.fastfails"),
+        p50_ms: summary.p50.as_micros() as f64 / 1000.0,
+        p99_ms: summary.p99.as_micros() as f64 / 1000.0,
+        crashes: stats.counter(names::ENGINE_CRASHES.key()),
+        retries: stats.counter(names::SUBSTRATE_RETRIES.key()),
+        breaker_open: stats.counter(names::SUBSTRATE_BREAKER_OPEN.key()),
+        failovers: stats.counter(names::SUBSTRATE_FAILOVERS.key()),
+        fastfails: stats.counter(names::SUBSTRATE_FASTFAILS.key()),
     }
 }
 

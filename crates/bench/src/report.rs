@@ -5,6 +5,8 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use simnet::{Histogram, SimDuration};
+
 /// A result table: header row plus data rows of strings.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
@@ -108,24 +110,24 @@ pub struct LatencySummary {
     pub max_ms: f64,
 }
 
-/// Summarize a set of microsecond latencies.
+/// Summarize a set of microsecond latencies via [`Histogram::summary`].
 pub fn summarize_us(values: &[u64]) -> LatencySummary {
     if values.is_empty() {
         return LatencySummary::default();
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_unstable();
-    let q = |p: f64| -> f64 {
-        let idx = ((p * sorted.len() as f64).ceil() as usize).saturating_sub(1).min(sorted.len() - 1);
-        sorted[idx] as f64 / 1000.0
-    };
-    let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(SimDuration::from_micros(v));
+    }
+    let ms = |d: SimDuration| d.as_micros() as f64 / 1000.0;
+    let p95 = h.quantile(0.95);
+    let s = h.summary();
     LatencySummary {
-        count: sorted.len(),
-        mean_ms: sum as f64 / sorted.len() as f64 / 1000.0,
-        p50_ms: q(0.50),
-        p95_ms: q(0.95),
-        max_ms: *sorted.last().unwrap() as f64 / 1000.0,
+        count: s.count,
+        mean_ms: ms(s.mean),
+        p50_ms: ms(s.p50),
+        p95_ms: ms(p95),
+        max_ms: ms(s.max),
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use simnet::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use simnet::{names, Actor, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::http::HttpRequest;
 use wire::{
     AppId, AppOp, ClientMessage, ClientRequest, Content, Envelope, MessageKind, ResponseBody,
@@ -202,7 +202,9 @@ pub struct Portal {
     /// Lock acquisition latencies (first request → grant), microseconds.
     pub lock_latencies_us: Vec<u64>,
     lock_requested_at: Option<SimTime>,
-    outstanding: VecDeque<SimTime>,
+    /// Issue time and root span of each in-flight tracked operation
+    /// (completions arrive in FIFO order over the session channel).
+    outstanding: VecDeque<(SimTime, Option<TraceContext>)>,
     selected: bool,
     select_sent: bool,
     workload_started: bool,
@@ -258,13 +260,23 @@ impl Portal {
     }
 
     fn post(&mut self, ctx: &mut Ctx<'_, Envelope>, req: ClientRequest) {
+        self.post_traced(ctx, req, None);
+    }
+
+    fn post_traced(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        req: ClientRequest,
+        trace: Option<TraceContext>,
+    ) {
         if matches!(req, ClientRequest::RequestLock { .. }) && self.lock_requested_at.is_none() {
             self.lock_requested_at = Some(ctx.now());
         }
         let server = self.server.expect("portal not wired to a server");
         ctx.send(
             server,
-            Envelope::http_request(HttpRequest::post(webserv::paths::COMMAND, self.cookie, req)),
+            Envelope::http_request(HttpRequest::post(webserv::paths::COMMAND, self.cookie, req))
+                .with_trace(trace),
         );
     }
 
@@ -292,15 +304,19 @@ impl Portal {
         self.ops_since_lock += 1;
         // Chat is fire-and-forget (synchronous ack); ops complete via poll.
         let tracked = matches!(req, ClientRequest::Op { .. });
+        let mut trace = None;
         if tracked {
-            self.outstanding.push_back(ctx.now());
+            // Root span of the end-to-end request: covers everything from
+            // issue to the completion observed through polling.
+            trace = ctx.trace_root("client.request");
+            self.outstanding.push_back((ctx.now(), trace));
         }
-        self.post(ctx, req);
+        self.post_traced(ctx, req, trace);
         if !tracked {
             // Treat as immediately complete; think then continue.
             ctx.schedule(w.think, TAG_THINK);
         }
-        ctx.stats().incr("client.ops_issued");
+        ctx.metrics().incr(names::CLIENT_OPS_ISSUED);
     }
 
     fn maybe_start_workload(&mut self, ctx: &mut Ctx<'_, Envelope>) {
@@ -360,7 +376,7 @@ impl Portal {
                 if let Some(requested) = self.lock_requested_at.take() {
                     let latency = at.since(requested);
                     self.lock_latencies_us.push(latency.as_micros());
-                    ctx.stats().record("client.lock_latency", latency);
+                    ctx.metrics().record(names::CLIENT_LOCK_LATENCY, latency);
                 }
                 self.maybe_start_workload(ctx);
             }
@@ -369,7 +385,7 @@ impl Portal {
                 if let Some(w) = &self.config.workload {
                     if w.take_lock && !self.lock_held {
                         let app = w.app;
-                        ctx.stats().incr("client.lock_retries");
+                        ctx.metrics().incr(names::CLIENT_LOCK_RETRIES);
                         let cookie = self.cookie;
                         let server = self.server.expect("wired");
                         ctx.send_after(
@@ -385,10 +401,11 @@ impl Portal {
                 }
             }
             ClientMessage::Response(ResponseBody::OpDone { .. }) | ClientMessage::Error(_) => {
-                if let Some(issued) = self.outstanding.pop_front() {
+                if let Some((issued, trace)) = self.outstanding.pop_front() {
+                    ctx.trace_finish(trace);
                     let latency = at.since(issued);
                     self.op_latencies_us.push(latency.as_micros());
-                    ctx.stats().record("client.op_latency", latency);
+                    ctx.metrics().record(names::CLIENT_OP_LATENCY, latency);
                     if self.workload_started {
                         let think = self.config.workload.as_ref().map(|w| w.think);
                         if let Some(think) = think {

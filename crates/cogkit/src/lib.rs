@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use appsim::LaunchGate;
 use orb::directory::calls;
 use orb::Broker;
-use simnet::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use simnet::{names, Actor, Ctx, NodeId, SimDuration, SimTime};
 use wire::giop::{GiopBody, GiopFrame, GiopKind};
 use wire::{
     Content, Envelope, ErrorCode, JobSpec, ObjectKey, ObjectRef, PeerMsg, PeerReply, ServerAddr,
@@ -139,7 +139,7 @@ impl GridSite {
             let Some(slot) = slot else { break };
             slot.busy_until = Some(now + SimDuration::from_micros(spec.est_duration_us));
             slot.gate.open();
-            ctx.stats().incr("cog.jobs_launched");
+            ctx.metrics().incr(names::COG_JOBS_LAUNCHED);
             self.launched.push((job_id, spec.name.clone(), now));
             self.queue.pop_front();
         }
@@ -188,7 +188,7 @@ impl Actor<Envelope> for GridSite {
                     job.stage_bytes.saturating_mul(1_000_000)
                         / self.config.stage_bandwidth_bps.max(1),
                 );
-                ctx.stats().incr("cog.jobs_submitted");
+                ctx.metrics().incr(names::COG_JOBS_SUBMITTED);
                 let ready_at = ctx.now() + staging;
                 self.queue.push_back((id, job, ready_at));
                 ctx.schedule(staging, TAG_SCAN);
@@ -358,7 +358,7 @@ impl Actor<Envelope> for GridLauncher {
             (LaunchStep::Submit, PeerReply::GramAccepted { job, eta_us }) => {
                 self.phase = LaunchPhase::Accepted;
                 self.accepted = Some((job, SimDuration::from_micros(eta_us)));
-                ctx.stats().incr("cog.launches_accepted");
+                ctx.metrics().incr(names::COG_LAUNCHES_ACCEPTED);
             }
             (_, PeerReply::Exception(_)) => self.phase = LaunchPhase::Failed,
             _ => {}

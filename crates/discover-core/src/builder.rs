@@ -140,6 +140,16 @@ impl CollaboratoryBuilder {
         }
     }
 
+    /// Turn on end-to-end request tracing for this collaboratory. Off by
+    /// default: untraced runs stamp no contexts onto envelopes and their
+    /// event schedule is byte-identical to pre-tracing builds.
+    pub fn tracing(&mut self, enabled: bool) -> &mut Self {
+        if enabled {
+            self.engine.enable_tracing();
+        }
+        self
+    }
+
     /// Set the collaboration transport mode for servers created after
     /// this call.
     pub fn collab_mode(&mut self, mode: CollabMode) -> &mut Self {

@@ -1,7 +1,7 @@
 //! The peer-enabled DISCOVER server node: server core + middleware
 //! substrate in one simulation actor.
 
-use simnet::{Actor, Ctx, NodeId, SimDuration};
+use simnet::{names, Actor, Ctx, NodeId, SimDuration};
 use wire::giop::GiopKind;
 use wire::{Content, Envelope};
 
@@ -46,10 +46,20 @@ impl Actor<Envelope> for DiscoverNode {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
+        let trace = msg.trace;
         match msg.content {
             Content::HttpRequest(req) => {
+                // Session-handling span: covers servlet CPU plus effect
+                // resolution; downstream broker/app spans are its
+                // children and may outlive it.
+                let span = ctx.trace_child(trace, "server.http");
+                self.core.incoming_trace = span;
+                self.substrate.request_trace = span;
                 let effects = self.core.handle_http(ctx, from, req);
                 self.substrate.perform_all(ctx, &mut self.core, effects);
+                self.core.incoming_trace = None;
+                self.substrate.request_trace = None;
+                ctx.trace_finish(span);
             }
             Content::Tcp(frame) => {
                 let effects = self.core.handle_tcp(ctx, from, frame);
@@ -60,18 +70,26 @@ impl Actor<Envelope> for DiscoverNode {
                     self.substrate.handle_reply(ctx, &mut self.core, frame);
                 }
                 GiopKind::Request { .. } => {
+                    // Skeleton span on the callee: parented under the
+                    // caller's orb.call context carried by the envelope.
+                    let span = ctx.trace_child(trace, "server.giop");
+                    self.core.incoming_trace = span;
+                    self.substrate.request_trace = span;
                     let effects = self.core.handle_giop(ctx, from, frame);
                     self.substrate.perform_all(ctx, &mut self.core, effects);
+                    self.core.incoming_trace = None;
+                    self.substrate.request_trace = None;
+                    ctx.trace_finish(span);
                 }
             },
             Content::HttpResponse(_) => {
-                ctx.stats().incr("node.unexpected.http_response");
+                ctx.metrics().incr(names::NODE_UNEXPECTED_HTTP_RESPONSE);
             }
         }
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Envelope>) {
-        ctx.stats().incr("node.restarts");
+        ctx.metrics().incr(names::NODE_RESTARTS);
         // The crashed incarnation's outstanding calls and subscriptions
         // are gone; re-register like the paper's daemon would on reboot.
         self.substrate.on_restart();

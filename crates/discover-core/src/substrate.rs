@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use orb::directory::calls;
 use orb::{AddressBook, Broker, RetryPolicy, DISCOVER_SERVICE};
-use simnet::{Ctx, NodeId, SimDuration, SimTime};
+use simnet::{names, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::giop::GiopFrame;
 use wire::{
     AppId, ClientId, ControlEvent, ControlEventKind, Envelope, ErrorCode, ObjectKey, ObjectRef,
@@ -164,6 +164,11 @@ pub struct Substrate {
     /// True while the peer directory is served from cache because the
     /// last trader refresh failed.
     peers_stale: bool,
+    /// Ambient trace parent for the request currently being processed;
+    /// the node shell sets it around ingress handling so every ORB call
+    /// issued while resolving that request's effects is parented under
+    /// the request's span. `None` between requests (background work).
+    pub request_trace: Option<TraceContext>,
 }
 
 impl Substrate {
@@ -188,6 +193,7 @@ impl Substrate {
             health: BTreeMap::new(),
             routes: BTreeMap::new(),
             peers_stale: false,
+            request_trace: None,
         }
     }
 
@@ -259,9 +265,17 @@ impl Substrate {
 
     /// Query the trader for the current peer set.
     pub fn discover_peers(&mut self, ctx: &mut Ctx<'_, Envelope>) {
-        ctx.stats().incr("substrate.discovery.queries");
+        ctx.metrics().incr(names::SUBSTRATE_DISCOVERY_QUERIES);
+        // Background work: a trader query opens its own root span rather
+        // than riding any client request.
+        let span = ctx.trace_root("substrate.trader_query");
         let (key, op, msg) = calls::query(DISCOVER_SERVICE, vec![]);
-        if self.broker.call(ctx, self.directory, key, op, msg, CallCtx::Discovery).is_err() {
+        if self
+            .broker
+            .call_traced(ctx, self.directory, key, op, msg, CallCtx::Discovery, span)
+            .is_err()
+        {
+            ctx.trace_finish(span);
             self.peers_stale = true;
         }
     }
@@ -276,7 +290,7 @@ impl Substrate {
     /// under its `DISCOVER/apps/<id>` name.
     pub fn rebind_local_apps(&mut self, ctx: &mut Ctx<'_, Envelope>, apps: Vec<AppId>) {
         for app in apps {
-            ctx.stats().incr("substrate.rebinds");
+            ctx.metrics().incr(names::SUBSTRATE_REBINDS);
             self.naming_for_app(ctx, app, true);
         }
     }
@@ -310,8 +324,18 @@ impl Substrate {
             .filter(|&app| self.route_of(app) == addr)
             .collect();
         for app in mirrored {
+            // Failover re-resolution is background recovery work with its
+            // own root span; the redirect it installs serves later calls.
+            let span = ctx.trace_root("substrate.failover");
+            ctx.trace_annotate(span, "re-resolving mirrored app: host down");
             let (key, op, msg) = calls::resolve(format!("DISCOVER/apps/{app}"));
-            let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::Failover { app });
+            if self
+                .broker
+                .call_traced(ctx, self.directory, key, op, msg, CallCtx::Failover { app }, span)
+                .is_err()
+            {
+                ctx.trace_finish(span);
+            }
         }
     }
 
@@ -321,16 +345,24 @@ impl Substrate {
         if self.peer_health(addr) == PeerHealth::Down {
             return;
         }
-        ctx.stats().incr("substrate.subscribes");
+        ctx.metrics().incr(names::SUBSTRATE_SUBSCRIBES);
         self.subscribed.entry(app).or_insert(false);
-        let _ = self.broker.call(
-            ctx,
-            node,
-            ObjectKey::new(CORBA_SERVER_KEY),
-            "subscribeApp",
-            PeerMsg::SubscribeApp { app, subscriber: self.addr },
-            CallCtx::Subscribe { app },
-        );
+        let span = ctx.trace_child(self.request_trace, "orb.call");
+        if self
+            .broker
+            .call_traced(
+                ctx,
+                node,
+                ObjectKey::new(CORBA_SERVER_KEY),
+                "subscribeApp",
+                PeerMsg::SubscribeApp { app, subscriber: self.addr },
+                CallCtx::Subscribe { app },
+                span,
+            )
+            .is_err()
+        {
+            ctx.trace_finish(span);
+        }
     }
 
     /// Resolve a server address to its node, via discovery or wiring.
@@ -355,6 +387,7 @@ impl Substrate {
     pub fn perform(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore, effect: Effect) {
         match effect {
             Effect::RemoteAuth { client, user, password } => {
+                let dispatch = ctx.trace_child(self.request_trace, "substrate.dispatch");
                 let targets: Vec<(ServerAddr, NodeId)> = self
                     .peers
                     .iter()
@@ -362,44 +395,59 @@ impl Substrate {
                     .map(|(&a, &n)| (a, n))
                     .collect();
                 for (_, node) in targets {
-                    ctx.stats().incr("substrate.remote_auth.calls");
+                    ctx.metrics().incr(names::SUBSTRATE_REMOTE_AUTH_CALLS);
                     let msg =
                         PeerMsg::Authenticate { user: user.clone(), password: password.clone() };
                     charge_stub(ctx, core, &msg);
-                    let _ = self.broker.call(
-                        ctx,
-                        node,
-                        ObjectKey::new(CORBA_SERVER_KEY),
-                        "authenticate",
-                        msg,
-                        CallCtx::Auth { client },
-                    );
+                    let span = ctx.trace_child(dispatch, "orb.call");
+                    if self
+                        .broker
+                        .call_traced(
+                            ctx,
+                            node,
+                            ObjectKey::new(CORBA_SERVER_KEY),
+                            "authenticate",
+                            msg,
+                            CallCtx::Auth { client },
+                            span,
+                        )
+                        .is_err()
+                    {
+                        ctx.trace_finish(span);
+                    }
                 }
+                ctx.trace_finish(dispatch);
             }
             Effect::RemoteOp { client, user, app, op } => match self.route_for(app) {
                 Some((addr, _)) if self.peer_health(addr) == PeerHealth::Down => {
-                    ctx.stats().incr("substrate.fastfails");
+                    ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
+                    ctx.trace_annotate(self.request_trace, "fastfail: host down, redirect hint");
                     core.complete_remote_op(ctx, client, app, Err(Self::down_error(addr, app)));
                 }
                 Some((addr, node)) => {
-                    ctx.stats().incr("substrate.remote_ops");
+                    let dispatch = ctx.trace_child(self.request_trace, "substrate.dispatch");
+                    ctx.metrics().incr(names::SUBSTRATE_REMOTE_OPS);
                     let msg = PeerMsg::ProxyOp { app, user, op };
                     charge_stub(ctx, core, &msg);
+                    let span = ctx.trace_child(dispatch, "orb.call");
                     if self
                         .broker
-                        .call(
+                        .call_traced(
                             ctx,
                             node,
                             ObjectKey::new(format!("apps/{app}")),
                             "proxyOp",
                             msg,
                             CallCtx::Op { client, app },
+                            span,
                         )
                         .is_err()
                     {
-                        ctx.stats().incr("substrate.fastfails");
+                        ctx.trace_finish(span);
+                        ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
                         core.complete_remote_op(ctx, client, app, Err(Self::down_error(addr, app)));
                     }
+                    ctx.trace_finish(dispatch);
                 }
                 None => core.complete_remote_op(
                     ctx,
@@ -415,20 +463,23 @@ impl Substrate {
                     } else {
                         ("lockRelease", PeerMsg::LockRelease { app, user })
                     };
-                    ctx.stats().incr("substrate.remote_locks");
+                    ctx.metrics().incr(names::SUBSTRATE_REMOTE_LOCKS);
+                    let span = ctx.trace_child(self.request_trace, "orb.call");
                     if self
                         .broker
-                        .call(
+                        .call_traced(
                             ctx,
                             node,
                             ObjectKey::new(CORBA_SERVER_KEY),
                             operation,
                             msg,
                             CallCtx::Lock { client, app, acquire },
+                            span,
                         )
                         .is_err()
                     {
-                        ctx.stats().incr("substrate.fastfails");
+                        ctx.trace_finish(span);
+                        ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
                         core.complete_remote_lock(ctx, client, app, acquire, false, None);
                     }
                 }
@@ -436,18 +487,21 @@ impl Substrate {
             },
             Effect::RemoteHistory { client, app, since } => match self.route_for(app) {
                 Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
+                    let span = ctx.trace_child(self.request_trace, "orb.call");
                     if self
                         .broker
-                        .call(
+                        .call_traced(
                             ctx,
                             node,
                             ObjectKey::new(CORBA_SERVER_KEY),
                             "fetchHistory",
                             PeerMsg::FetchHistory { app, since },
                             CallCtx::History { client, app },
+                            span,
                         )
                         .is_err()
                     {
+                        ctx.trace_finish(span);
                         core.complete_remote_history(ctx, client, app, Vec::new(), since);
                     }
                 }
@@ -479,7 +533,7 @@ impl Substrate {
             Effect::PushToPeers { update, peers } => {
                 for peer in peers {
                     if let Some(node) = self.node_of(peer) {
-                            ctx.stats().incr("substrate.collab.pushes");
+                        ctx.metrics().incr(names::SUBSTRATE_COLLAB_PUSHES);
                         let msg =
                             PeerMsg::CollabUpdate { update: update.clone(), origin: self.addr };
                         charge_stub(ctx, core, &msg);
@@ -495,7 +549,7 @@ impl Substrate {
             }
             Effect::ForwardToHost { update } => {
                 if let Some(node) = self.node_of(update.app().host()) {
-                    ctx.stats().incr("substrate.collab.forwards");
+                    ctx.metrics().incr(names::SUBSTRATE_COLLAB_FORWARDS);
                     Broker::<CallCtx>::oneway(
                         ctx,
                         node,
@@ -520,7 +574,7 @@ impl Substrate {
                     if peer_addr == self.addr {
                         continue;
                     }
-                    ctx.stats().incr("substrate.control.events");
+                    ctx.metrics().incr(names::SUBSTRATE_CONTROL_EVENTS);
                     Broker::<CallCtx>::oneway(
                         ctx,
                         node,
@@ -555,9 +609,12 @@ impl Substrate {
     ) -> bool {
         let wire::giop::GiopBody::Return(reply) = frame.body else { return false };
         let Some(pending) = self.broker.complete(frame.request_id) else {
-            ctx.stats().incr("substrate.replies.orphaned");
+            ctx.metrics().incr(names::SUBSTRATE_REPLIES_ORPHANED);
             return false;
         };
+        // The logical call is over the moment its reply arrives; the
+        // completion handlers below run under the request's own span.
+        ctx.trace_finish(pending.trace);
         if let Some(addr) = self.addr_of_node(pending.to) {
             self.mark_up(addr);
         }
@@ -566,7 +623,7 @@ impl Substrate {
                 core.complete_remote_auth(ctx, client, apps);
             }
             (CallCtx::Auth { .. }, PeerReply::AuthDenied) => {
-                ctx.stats().incr("substrate.remote_auth.denied");
+                ctx.metrics().incr(names::SUBSTRATE_REMOTE_AUTH_DENIED);
             }
             (CallCtx::Op { client, app }, PeerReply::OpResult { result, .. }) => {
                 core.complete_remote_op(ctx, client, app, result);
@@ -598,7 +655,7 @@ impl Substrate {
                     }
                     if let Some(node) = self.book.resolve(addr) {
                         if self.peers.insert(addr, node).is_none() {
-                            ctx.stats().incr("substrate.discovery.peers_found");
+                            ctx.metrics().incr(names::SUBSTRATE_DISCOVERY_PEERS_FOUND);
                         }
                         // An offer in the trader means the peer is serving
                         // (a restarted host re-exports itself on the way up).
@@ -626,7 +683,7 @@ impl Substrate {
                 if let Some(object) = object {
                     let previous = self.route_of(app);
                     if object.server != previous {
-                        ctx.stats().incr("substrate.failovers");
+                        ctx.metrics().incr(names::SUBSTRATE_FAILOVERS);
                     }
                     if object.server == app.host() {
                         self.routes.remove(&app);
@@ -646,10 +703,10 @@ impl Substrate {
             }
             (CallCtx::DirectoryWrite, _) => {}
             (_, PeerReply::Exception(e)) => {
-                ctx.stats().incr("substrate.replies.exceptions");
+                ctx.metrics().incr(names::SUBSTRATE_REPLIES_EXCEPTIONS);
                 let _ = e;
             }
-            _ => ctx.stats().incr("substrate.replies.mismatched"),
+            _ => ctx.metrics().incr(names::SUBSTRATE_REPLIES_MISMATCHED),
         }
         // Completion handlers may park effects (e.g. collaboration echoes
         // of remote outcomes); resolve them now.
@@ -670,7 +727,7 @@ impl Substrate {
             if self.peer_health(addr) == PeerHealth::Down {
                 continue;
             }
-            ctx.stats().incr("substrate.polls");
+            ctx.metrics().incr(names::SUBSTRATE_POLLS);
             let _ = self.broker.call(
                 ctx,
                 node,
@@ -694,10 +751,10 @@ impl Substrate {
         }
         let report = self.broker.sweep_expired(ctx, cutoff);
         if report.retried > 0 {
-            ctx.stats().add("substrate.retries", report.retried as u64);
+            ctx.metrics().add(names::SUBSTRATE_RETRIES, report.retried as u64);
         }
         if report.opened > 0 {
-            ctx.stats().add("substrate.breaker_open", report.opened as u64);
+            ctx.metrics().add(names::SUBSTRATE_BREAKER_OPEN, report.opened as u64);
         }
         for node in report.retried_to {
             if let Some(addr) = self.addr_of_node(node) {
@@ -708,7 +765,9 @@ impl Substrate {
             }
         }
         for (_, pending) in report.gave_up {
-            ctx.stats().incr("substrate.timeouts");
+            ctx.metrics().incr(names::SUBSTRATE_TIMEOUTS);
+            ctx.trace_annotate(pending.trace, "gave up: retry budget exhausted");
+            ctx.trace_finish(pending.trace);
             let failed_addr = self.addr_of_node(pending.to);
             match pending.user {
                 CallCtx::Op { client, app } => {
@@ -733,7 +792,7 @@ impl Substrate {
                     // Trader unreachable: keep serving the cached peer
                     // set, flagged stale. The discovery timer re-queries.
                     self.peers_stale = true;
-                    ctx.stats().incr("substrate.directory.stale");
+                    ctx.metrics().incr(names::SUBSTRATE_DIRECTORY_STALE);
                 }
                 CallCtx::Poll { .. } => {
                     // Poll state is untouched: the next poll tick re-polls

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use simnet::{Ctx, NodeId, SimDuration, SimTime};
+use simnet::{Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::{Envelope, ObjectKey, PeerMsg};
 
 /// Retry discipline for expired two-way calls.
@@ -129,6 +129,10 @@ pub struct Pending<T> {
     pub msg: PeerMsg,
     /// Send attempts made so far (1 for the initial send).
     pub attempt: u32,
+    /// Open `orb.call` span for this logical call; stamped onto every
+    /// (re-)issued request envelope, finished by the caller when the
+    /// reply arrives or the call gives up.
+    pub trace: Option<TraceContext>,
 }
 
 /// Outcome of a [`Broker::sweep_expired`] pass.
@@ -235,17 +239,39 @@ impl<T> Broker<T> {
         msg: PeerMsg,
         user: T,
     ) -> Result<u64, T> {
+        self.call_traced(ctx, to, key, operation, msg, user, None)
+    }
+
+    /// [`Broker::call`] with an open span context: the context rides every
+    /// (re-)issued request envelope so the callee can parent its handler
+    /// span under it. The broker does not finish the span — the caller
+    /// does, when it completes or fails the call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call_traced(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        to: NodeId,
+        key: ObjectKey,
+        operation: &'static str,
+        msg: PeerMsg,
+        user: T,
+        trace: Option<TraceContext>,
+    ) -> Result<u64, T> {
         if !self.admits(ctx.now(), to) {
+            ctx.trace_annotate(trace, "breaker: call rejected (open)");
             return Err(user);
         }
         let id = self.next_id;
         self.next_id += 1;
         ctx.send(
             to,
-            Envelope::giop(wire::giop::GiopFrame::request(id, key.clone(), operation, msg.clone())),
+            Envelope::giop(wire::giop::GiopFrame::request(id, key.clone(), operation, msg.clone()))
+                .with_trace(trace),
         );
-        self.pending
-            .insert(id, Pending { user, issued_at: ctx.now(), to, operation, key, msg, attempt: 1 });
+        self.pending.insert(
+            id,
+            Pending { user, issued_at: ctx.now(), to, operation, key, msg, attempt: 1, trace },
+        );
         Ok(id)
     }
 
@@ -302,9 +328,14 @@ impl<T> Broker<T> {
         for (id, p) in self.expire_issued_before(cutoff) {
             if self.record_outcome(now, p.to, false) {
                 report.opened += 1;
+                ctx.trace_annotate(p.trace, "breaker: closed -> open");
             }
             if p.attempt < self.retry.max_attempts && self.admits(now, p.to) {
                 let delay = self.retry.backoff_jittered(p.attempt + 1, ctx.rng());
+                // The wait before the re-issue is a child span of the
+                // logical call, so trace views attribute backoff delay
+                // separately from wire/servant time.
+                ctx.trace_window(p.trace, "orb.backoff", now, now + delay);
                 let new_id = self.next_id;
                 self.next_id += 1;
                 ctx.send_after(
@@ -314,7 +345,8 @@ impl<T> Broker<T> {
                         p.key.clone(),
                         p.operation,
                         p.msg.clone(),
-                    )),
+                    ))
+                    .with_trace(p.trace),
                     delay,
                 );
                 report.retried_to.push(p.to);
@@ -433,6 +465,7 @@ mod tests {
                 key: ObjectKey::new("k"),
                 msg: PeerMsg::ListActive,
                 attempt: 1,
+                trace: None,
             },
         );
         broker.pending.insert(
@@ -445,6 +478,7 @@ mod tests {
                 key: ObjectKey::new("k"),
                 msg: PeerMsg::ListActive,
                 attempt: 1,
+                trace: None,
             },
         );
         let expired = broker.expire_issued_before(SimTime::from_secs(5));

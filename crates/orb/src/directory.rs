@@ -195,7 +195,7 @@ impl Actor<Envelope> for Directory {
             }
             return;
         }
-        ctx.stats().incr(&format!("directory.{operation}"));
+        ctx.metrics().incr_dynamic(&format!("directory.{operation}"));
         let reply = self.handle(ctx, call);
         if matches!(kind, wire::giop::GiopKind::Request { response_expected: true }) {
             ctx.send(from, Envelope::giop(GiopFrame::reply(request_id, target, &operation, reply)));

@@ -19,7 +19,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use simnet::{Ctx, NodeId};
+use simnet::{names, Ctx, NodeId, TraceContext};
 use webserv::{FifoBuffer, HttpCosts, OrbCosts, SessionTable, TcpCosts};
 use wire::giop::{GiopBody, GiopFrame, GiopKind};
 use wire::http::{HttpRequest, HttpResponse};
@@ -234,6 +234,15 @@ pub struct ServerCore {
     /// Per-peer request accounting: (window start micros, count in window,
     /// lifetime total, lifetime throttled).
     peer_accounting: HashMap<NodeId, (u64, u32, u64, u64)>,
+    /// Ambient span of the request currently being handled (the node
+    /// shell sets it around `handle_http`/`handle_giop`); operations
+    /// dispatched to applications parent their proxy spans under it.
+    pub incoming_trace: Option<TraceContext>,
+    /// Open proxy-execution spans of operations in flight to local
+    /// applications, keyed by request id: (`proxy.execute` span,
+    /// `app.command` child once the command actually leaves for the
+    /// application). Closed when the response (or failure) arrives.
+    req_traces: HashMap<RequestId, (TraceContext, Option<TraceContext>)>,
 }
 
 impl ServerCore {
@@ -259,6 +268,8 @@ impl ServerCore {
             update_counter: HashMap::new(),
             deferred: Vec::new(),
             peer_accounting: HashMap::new(),
+            incoming_trace: None,
+            req_traces: HashMap::new(),
         }
     }
 
@@ -366,7 +377,7 @@ impl ServerCore {
         let resp = HttpResponse { status, set_session, body };
         let cost = self.config.http_costs.response_cost(resp.wire_size(), self.config.ssl);
         ctx.consume(cost);
-        ctx.stats().incr("server.http.responses");
+        ctx.metrics().incr(names::SERVER_HTTP_RESPONSES);
         ctx.send(to, Envelope::http_response(resp));
     }
 
@@ -382,7 +393,7 @@ impl ServerCore {
     ) {
         let app = update.app();
         let targets = self.collab.broadcast_targets(app, exclude);
-        ctx.stats().add("server.collab.local_fanout", targets.len() as u64);
+        ctx.metrics().add(names::SERVER_COLLAB_LOCAL_FANOUT, targets.len() as u64);
         for c in targets {
             self.fifo_push(c, ClientMessage::Update(update.clone()));
         }
@@ -440,6 +451,17 @@ impl ServerCore {
         req: RequestId,
         op: AppOp,
     ) {
+        if !self.apps.contains_key(&app) {
+            return;
+        }
+        // A request reaches here once at ingress and possibly again when
+        // flushed from the compute-phase buffer; the proxy span is opened
+        // only on first dispatch so buffering time stays inside it.
+        if !self.req_traces.contains_key(&req) {
+            if let Some(span) = ctx.trace_child(self.incoming_trace, "proxy.execute") {
+                self.req_traces.insert(req, (span, None));
+            }
+        }
         let Some(proxy) = self.apps.get_mut(&app) else { return };
         match proxy.phase {
             AppPhase::Interacting | AppPhase::Paused => {
@@ -447,13 +469,27 @@ impl ServerCore {
                 let frame = TcpFrame::new(Channel::Command, AppMsg::Command { req, op });
                 ctx.consume(self.config.tcp_costs.frame_cost(frame.wire_size()));
                 ctx.send(node, Envelope::tcp(frame));
+                // Application compute time: from command departure to the
+                // daemon's response.
+                let parent = self.req_traces.get(&req).map(|(p, _)| *p);
+                let app_span = ctx.trace_child(parent, "app.command");
+                if let Some(entry) = self.req_traces.get_mut(&req) {
+                    if entry.1.is_none() {
+                        entry.1 = app_span;
+                    } else {
+                        ctx.trace_finish(app_span);
+                    }
+                }
             }
             AppPhase::Computing => {
                 proxy.buffered.push_back((req, op));
-                ctx.stats().incr("server.daemon.buffered");
+                ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
+                let span = self.req_traces.get(&req).map(|(p, _)| *p);
+                ctx.trace_annotate(span, "buffered: application computing");
             }
             AppPhase::Terminated => {
                 let origin = self.origins.remove(&req);
+                self.close_req_trace(ctx, req);
                 if let Some(origin) = origin {
                     self.finish_op(
                         ctx,
@@ -462,6 +498,14 @@ impl ServerCore {
                     );
                 }
             }
+        }
+    }
+
+    /// Finish the proxy/app spans of a request, if any were opened.
+    fn close_req_trace(&mut self, ctx: &mut Ctx<'_, Envelope>, req: RequestId) {
+        if let Some((proxy_span, app_span)) = self.req_traces.remove(&req) {
+            ctx.trace_finish(app_span);
+            ctx.trace_finish(Some(proxy_span));
         }
     }
 
@@ -594,7 +638,7 @@ impl ServerCore {
         from: NodeId,
         req: HttpRequest,
     ) -> Vec<Effect> {
-        ctx.stats().incr("server.http.requests");
+        ctx.metrics().incr(names::SERVER_HTTP_REQUESTS);
         ctx.consume(self.config.http_costs.request_cost(req.wire_size(), self.config.ssl));
         let mut effects = Vec::new();
 
@@ -628,8 +672,8 @@ impl ServerCore {
                     .get_mut(&client)
                     .map(|f| f.drain(self.config.poll_batch_max))
                     .unwrap_or_default();
-                ctx.stats().incr("server.poll.requests");
-                ctx.stats().add("server.poll.delivered", batch.len() as u64);
+                ctx.metrics().incr(names::SERVER_POLL_REQUESTS);
+                ctx.metrics().add(names::SERVER_POLL_DELIVERED, batch.len() as u64);
                 vec![ClientMessage::Response(ResponseBody::Batch(batch))]
             }
             Some(ClientRequest::Logout) => {
@@ -722,7 +766,7 @@ impl ServerCore {
         password: &str,
         effects: &mut Vec<Effect>,
     ) -> (u16, Option<u64>, Vec<ClientMessage>) {
-        ctx.stats().incr("server.logins");
+        ctx.metrics().incr(names::SERVER_LOGINS);
         if !security::credentials_valid(&user, password) {
             return (401, None, vec![Self::error(ErrorCode::AuthFailed, "bad credentials")]);
         }
@@ -828,7 +872,7 @@ impl ServerCore {
                 None => return vec![Self::error(ErrorCode::NoSuchApp, format!("{app}"))],
                 Some(proxy) => match proxy.privilege_of(user) {
                     None => {
-                        ctx.stats().incr("server.acl.denied");
+                        ctx.metrics().incr(names::SERVER_ACL_DENIED);
                         return vec![Self::error(ErrorCode::AccessDenied, "not on the ACL")];
                     }
                     Some(p) => (
@@ -911,17 +955,17 @@ impl ServerCore {
         op: AppOp,
         effects: &mut Vec<Effect>,
     ) -> Vec<ClientMessage> {
-        ctx.stats().incr("server.ops");
+        ctx.metrics().incr(names::SERVER_OPS);
         if app.host() == self.config.addr {
             let Some(proxy) = self.apps.get(&app) else {
                 return vec![Self::error(ErrorCode::NoSuchApp, format!("{app}"))];
             };
             let Some(privilege) = proxy.privilege_of(user) else {
-                ctx.stats().incr("server.acl.denied");
+                ctx.metrics().incr(names::SERVER_ACL_DENIED);
                 return vec![Self::error(ErrorCode::AccessDenied, "not on the ACL")];
             };
             if let Err(e) = security::authorize_op(privilege, &op) {
-                ctx.stats().incr("server.acl.denied");
+                ctx.metrics().incr(names::SERVER_ACL_DENIED);
                 return vec![ClientMessage::Error(e)];
             }
             if op.is_mutating() && !proxy.lock.is_held_by(user) {
@@ -1005,7 +1049,7 @@ impl ServerCore {
                         vec![ClientMessage::Response(ResponseBody::LockGranted { app })]
                     }
                     LockOutcome::Denied { holder } => {
-                        ctx.stats().incr("server.lock.denied");
+                        ctx.metrics().incr(names::SERVER_LOCK_DENIED);
                         vec![ClientMessage::Response(ResponseBody::LockDenied {
                             app,
                             holder: Some(holder),
@@ -1073,7 +1117,7 @@ impl ServerCore {
         from: NodeId,
         frame: TcpFrame,
     ) -> Vec<Effect> {
-        ctx.stats().incr("server.tcp.frames");
+        ctx.metrics().incr(names::SERVER_TCP_FRAMES);
         ctx.consume(self.config.tcp_costs.frame_cost(frame.wire_size()));
         let mut effects = Vec::new();
         match frame.msg {
@@ -1083,7 +1127,7 @@ impl ServerCore {
                     Some(list) => list.contains(&token),
                 };
                 if !accepted {
-                    ctx.stats().incr("server.daemon.register_rejected");
+                    ctx.metrics().incr(names::SERVER_DAEMON_REGISTER_REJECTED);
                     ctx.send(
                         from,
                         Envelope::tcp(TcpFrame::new(
@@ -1108,7 +1152,7 @@ impl ServerCore {
                 );
                 self.apps.insert(app, proxy);
                 self.app_by_node.insert(from, app);
-                ctx.stats().incr("server.daemon.registered");
+                ctx.metrics().incr(names::SERVER_DAEMON_REGISTERED);
                 ctx.send(
                     from,
                     Envelope::tcp(TcpFrame::new(Channel::Main, AppMsg::RegisterAck { app })),
@@ -1153,11 +1197,12 @@ impl ServerCore {
                     }
                 }
                 for (req, op) in to_flush {
-                    ctx.stats().incr("server.daemon.flushed");
+                    ctx.metrics().incr(names::SERVER_DAEMON_FLUSHED);
                     self.dispatch_to_app(ctx, app, req, op);
                 }
             }
             AppMsg::Response { req, result } => {
+                self.close_req_trace(ctx, req);
                 if let Some(origin) = self.origins.remove(&req) {
                     self.finish_op(ctx, origin, result);
                 }
@@ -1167,7 +1212,7 @@ impl ServerCore {
             }
             // Server-to-app messages arriving here would be a wiring bug.
             AppMsg::RegisterAck { .. } | AppMsg::RegisterNak { .. } | AppMsg::Command { .. } => {
-                ctx.stats().incr("server.tcp.unexpected");
+                ctx.metrics().incr(names::SERVER_TCP_UNEXPECTED);
             }
         }
         effects.extend(self.take_deferred());
@@ -1179,9 +1224,10 @@ impl ServerCore {
     fn close_app(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId, effects: &mut Vec<Effect>) {
         let Some(mut proxy) = self.apps.remove(&app) else { return };
         self.app_by_node.remove(&proxy.node);
-        ctx.stats().incr("server.daemon.deregistered");
+        ctx.metrics().incr(names::SERVER_DAEMON_DEREGISTERED);
         // Fail anything still buffered.
         for (req, _) in proxy.buffered.drain(..) {
+            self.close_req_trace(ctx, req);
             if let Some(origin) = self.origins.remove(&req) {
                 self.finish_op(
                     ctx,
@@ -1227,10 +1273,10 @@ impl ServerCore {
         let mut effects = Vec::new();
         let GiopFrame { kind, request_id, target, operation, body } = frame;
         let GiopBody::Call(call) = body else {
-            ctx.stats().incr("server.giop.stray_reply");
+            ctx.metrics().incr(names::SERVER_GIOP_STRAY_REPLY);
             return effects;
         };
-        ctx.stats().incr("server.giop.calls");
+        ctx.metrics().incr(names::SERVER_GIOP_CALLS);
         // §6.3 resource accounting: meter each peer's request rate and
         // enforce the configured access policy.
         let expects_reply = matches!(kind, GiopKind::Request { response_expected: true });
@@ -1246,7 +1292,7 @@ impl ServerCore {
             if let Some(limit) = self.config.peer_rate_limit {
                 if entry.1 > limit {
                     entry.3 += 1;
-                    ctx.stats().incr("server.peer.throttled");
+                    ctx.metrics().incr(names::SERVER_PEER_THROTTLED);
                     if expects_reply {
                         let frame = GiopFrame::reply(
                             request_id,
@@ -1275,7 +1321,7 @@ impl ServerCore {
         };
         match call {
             PeerMsg::Authenticate { user, password } => {
-                ctx.stats().incr("server.peer.auth");
+                ctx.metrics().incr(names::SERVER_PEER_AUTH);
                 if !security::credentials_valid(&user, &password) {
                     reply(self, ctx, PeerReply::AuthDenied);
                     return effects;
@@ -1304,7 +1350,7 @@ impl ServerCore {
                 reply(self, ctx, PeerReply::Active { apps, users: self.sessions.users() });
             }
             PeerMsg::ProxyOp { app, user, op } => {
-                ctx.stats().incr("server.peer.proxy_ops");
+                ctx.metrics().incr(names::SERVER_PEER_PROXY_OPS);
                 let Some(proxy) = self.apps.get(&app) else {
                     reply(
                         self,
@@ -1370,7 +1416,7 @@ impl ServerCore {
             }
             PeerMsg::LockRequest { app, user } => {
                 let now = ctx.now();
-                ctx.stats().incr("server.peer.lock_requests");
+                ctx.metrics().incr(names::SERVER_PEER_LOCK_REQUESTS);
                 match self.apps.get_mut(&app) {
                     None => reply(
                         self,
@@ -1397,7 +1443,7 @@ impl ServerCore {
                             self.route_update(ctx, update, None, None, &mut effects);
                         }
                         LockOutcome::Denied { holder } => {
-                            ctx.stats().incr("server.lock.denied");
+                            ctx.metrics().incr(names::SERVER_LOCK_DENIED);
                             reply(
                                 self,
                                 ctx,
@@ -1425,7 +1471,7 @@ impl ServerCore {
                 }
             },
             PeerMsg::SubscribeApp { app, subscriber } => {
-                ctx.stats().incr("server.peer.subscribes");
+                ctx.metrics().incr(names::SERVER_PEER_SUBSCRIBES);
                 if self.apps.contains_key(&app) {
                     self.subscribers.entry(app).or_default().insert(subscriber);
                     reply(self, ctx, PeerReply::SubscribeOk { app });
@@ -1455,7 +1501,7 @@ impl ServerCore {
                 reply(self, ctx, PeerReply::SubscribeOk { app });
             }
             PeerMsg::CollabUpdate { update, origin } => {
-                ctx.stats().incr("server.peer.collab_updates");
+                ctx.metrics().incr(names::SERVER_PEER_COLLAB_UPDATES);
                 self.apply_peer_update(ctx, update, origin, &mut effects);
             }
             PeerMsg::PollUpdates { app, since, requester } => {
@@ -1476,7 +1522,7 @@ impl ServerCore {
                 reply(self, ctx, PeerReply::History { app, records, next_seq });
             }
             PeerMsg::Control(event) => {
-                ctx.stats().incr(&format!("server.control.{:?}", event.kind));
+                ctx.metrics().incr_dynamic(&format!("server.control.{:?}", event.kind));
                 let _ = event;
             }
             // Directory operations belong to the directory node.
@@ -1546,7 +1592,7 @@ impl ServerCore {
                 },
             );
         }
-        ctx.stats().incr("server.remote.auth_completions");
+        ctx.metrics().incr(names::SERVER_REMOTE_AUTH_COMPLETIONS);
         let list = self.visible_apps(&user);
         self.fifo_push(client, ClientMessage::Response(ResponseBody::Apps(list)));
     }
@@ -1643,7 +1689,7 @@ impl ServerCore {
 
     /// A control event arrived from the peer network.
     pub fn note_control_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: &ControlEvent) {
-        ctx.stats().incr(&format!("server.control.{:?}", event.kind));
+        ctx.metrics().incr_dynamic(&format!("server.control.{:?}", event.kind));
     }
 
     /// Reap sessions idle past the configured timeout, treating each like
@@ -1655,7 +1701,7 @@ impl ServerCore {
         let cutoff = simnet::SimTime::from_micros(cutoff_us);
         let mut effects = Vec::new();
         for session in self.sessions.reap_idle(cutoff) {
-            ctx.stats().incr("server.sessions.reaped");
+            ctx.metrics().incr(names::SERVER_SESSIONS_REAPED);
             let client = session.client;
             let user = session.user.clone();
             self.cookie_of_client.remove(&client);

@@ -2,7 +2,7 @@
 //! peer-to-peer substrate exists. All local functionality works; effects
 //! that would require peers are counted and dropped.
 
-use simnet::{Actor, Ctx, NodeId};
+use simnet::{names, Actor, Ctx, NodeId};
 use wire::{Content, Envelope};
 
 use crate::core::{Effect, ServerConfig, ServerCore};
@@ -32,9 +32,9 @@ impl Actor<Envelope> for StandaloneServer {
             match effect {
                 // Without a peer network these are inert; count them so
                 // tests can assert they were produced.
-                Effect::RemoteAuth { .. } => ctx.stats().incr("standalone.dropped.remote_auth"),
-                Effect::Announce { .. } => ctx.stats().incr("standalone.dropped.announce"),
-                _ => ctx.stats().incr("standalone.dropped.other"),
+                Effect::RemoteAuth { .. } => ctx.metrics().incr(names::STANDALONE_DROPPED_REMOTE_AUTH),
+                Effect::Announce { .. } => ctx.metrics().incr(names::STANDALONE_DROPPED_ANNOUNCE),
+                _ => ctx.metrics().incr(names::STANDALONE_DROPPED_OTHER),
             }
         }
     }

@@ -23,8 +23,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Payload};
 use crate::link::{LinkSpec, LinkState, LinkStats};
+use crate::metrics::{names, Metrics, MetricsRegistry};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceContext, Tracer};
 
 /// Identifies a simulated node (an actor placement).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -109,6 +111,10 @@ struct Core<M> {
     partitions: HashMap<(u32, u32), Vec<(SimTime, SimTime)>>,
     rng: StdRng,
     stats: Stats,
+    /// One registry per node, parallel to `nodes`; `Ctx::metrics` writes
+    /// through to both this and the run-wide `stats`.
+    node_metrics: Vec<MetricsRegistry>,
+    tracer: Tracer,
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     events_processed: u64,
@@ -245,9 +251,71 @@ impl<'a, M: Payload> Ctx<'a, M> {
         &mut self.core.stats
     }
 
+    /// Write-through metrics handle: every counter/gauge/timer write lands
+    /// in the run-wide [`Stats`] *and* this node's [`MetricsRegistry`].
+    pub fn metrics(&mut self) -> Metrics<'_> {
+        let core = &mut *self.core;
+        Metrics { global: &mut core.stats, node: &mut core.node_metrics[self.me.index()] }
+    }
+
     /// Name of any node (for diagnostics).
     pub fn node_name(&self, id: NodeId) -> &str {
         &self.core.nodes[id.index()].name
+    }
+
+    /// Whether span collection is on (see `Engine::enable_tracing`).
+    pub fn tracing_enabled(&self) -> bool {
+        self.core.tracer.enabled()
+    }
+
+    /// Open a root span (new trace) on this node at the local clock.
+    /// `None` when tracing is disabled.
+    pub fn trace_root(&mut self, name: &str) -> Option<TraceContext> {
+        let core = &mut *self.core;
+        core.tracer.start_root(name, &core.nodes[self.me.index()].name, self.local_now)
+    }
+
+    /// Open a child span under `parent` on this node. Passes `None`
+    /// through so call sites can chain optional contexts untraced.
+    pub fn trace_child(&mut self, parent: Option<TraceContext>, name: &str) -> Option<TraceContext> {
+        let parent = parent?;
+        let core = &mut *self.core;
+        core.tracer.start_child(parent, name, &core.nodes[self.me.index()].name, self.local_now)
+    }
+
+    /// Close a span at the local clock (no-op for `None`).
+    pub fn trace_finish(&mut self, span: Option<TraceContext>) {
+        if let Some(span) = span {
+            self.core.tracer.finish(span, self.local_now);
+        }
+    }
+
+    /// Attach a point annotation to an open span (no-op for `None`).
+    pub fn trace_annotate(&mut self, span: Option<TraceContext>, text: &str) {
+        if let Some(span) = span {
+            self.core.tracer.annotate(span, self.local_now, text);
+        }
+    }
+
+    /// Record a complete child span covering `[start, end]` (windows known
+    /// only after the fact, e.g. retry backoff delays).
+    pub fn trace_window(
+        &mut self,
+        parent: Option<TraceContext>,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(parent) = parent {
+            let core = &mut *self.core;
+            core.tracer.record_window(
+                parent,
+                name,
+                &core.nodes[self.me.index()].name,
+                start,
+                end,
+            );
+        }
     }
 }
 
@@ -271,6 +339,8 @@ impl<M: Payload> Engine<M> {
                 partitions: HashMap::new(),
                 rng: StdRng::seed_from_u64(seed),
                 stats: Stats::new(),
+                node_metrics: Vec::new(),
+                tracer: Tracer::new(),
                 cancelled_timers: HashSet::new(),
                 next_timer_id: 0,
                 events_processed: 0,
@@ -285,8 +355,10 @@ impl<M: Payload> Engine<M> {
     /// server joining the peer network mid-experiment).
     pub fn add_node(&mut self, name: impl Into<String>, actor: impl Actor<M>) -> NodeId {
         let id = NodeId(self.core.nodes.len() as u32);
+        let name = name.into();
+        self.core.node_metrics.push(MetricsRegistry::new(name.clone()));
         self.core.nodes.push(NodeState {
-            name: name.into(),
+            name,
             busy_until: SimTime::ZERO,
             busy_micros: 0,
             up: true,
@@ -394,6 +466,32 @@ impl<M: Payload> Engine<M> {
         &mut self.core.stats
     }
 
+    /// Turn on span collection. Off by default so untraced runs carry no
+    /// trace bytes on the wire and keep their exact event schedule.
+    pub fn enable_tracing(&mut self) {
+        self.core.tracer.enable();
+    }
+
+    /// The span sink (read or export).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.core.tracer
+    }
+
+    /// One node's metrics registry.
+    pub fn node_metrics(&self, id: NodeId) -> &MetricsRegistry {
+        &self.core.node_metrics[id.index()]
+    }
+
+    /// Fold every node's registry into the run-wide sink under
+    /// `node.<name>.<key>` labels (see
+    /// [`MetricsRegistry::merge_labeled_into`]).
+    pub fn fold_node_metrics(&mut self) {
+        let core = &mut self.core;
+        for reg in &core.node_metrics {
+            reg.merge_labeled_into(&mut core.stats);
+        }
+    }
+
     /// Traffic accounting for the directed link `from -> to`.
     pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
         self.core
@@ -464,7 +562,8 @@ impl<M: Payload> Engine<M> {
                 EventKind::Deliver { from, to, msg, epoch } => {
                     let state = &self.core.nodes[to.index()];
                     if !state.up || state.epoch != epoch {
-                        self.core.stats.incr("engine.down_drops");
+                        self.core.stats.incr(names::ENGINE_DOWN_DROPS.key());
+                        self.core.node_metrics[to.index()].incr(names::ENGINE_DOWN_DROPS);
                         continue;
                     }
                     let busy = state.busy_until;
@@ -502,7 +601,8 @@ impl<M: Payload> Engine<M> {
                         // process; deferred events re-fire at the crash
                         // instant and are discarded by the epoch check.
                         state.busy_until = ev.time;
-                        self.core.stats.incr("engine.crashes");
+                        self.core.stats.incr(names::ENGINE_CRASHES.key());
+                        self.core.node_metrics[node.index()].incr(names::ENGINE_CRASHES);
                     }
                 }
                 EventKind::Restart { node } => {

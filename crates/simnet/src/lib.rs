@@ -59,12 +59,16 @@ mod actor;
 mod engine;
 mod fault;
 mod link;
+pub mod metrics;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use actor::{Actor, Payload};
 pub use engine::{Ctx, Engine, NodeId, TimerId};
 pub use fault::FaultPlan;
 pub use link::{LinkSpec, LinkStats};
-pub use stats::{Histogram, Stats};
+pub use metrics::{names, CounterDef, GaugeDef, Metrics, MetricsRegistry, TimerDef};
+pub use stats::{Histogram, HistogramSummary, Stats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanRecord, TraceContext, Tracer};

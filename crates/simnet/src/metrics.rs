@@ -1,0 +1,389 @@
+//! Typed metric definitions and the per-node metrics registry.
+//!
+//! Two problems with bare `stats.incr("substrate.retries")` calls: the key
+//! strings drift (a typo silently creates a new counter), and everything
+//! lands in one flat run-wide sink, so nothing can be attributed to a
+//! node. This module fixes both:
+//!
+//! * [`names`] defines every metric key used by the DISCOVER stack as a
+//!   typed constant ([`CounterDef`] / [`GaugeDef`] / [`TimerDef`]); the
+//!   orb, substrate, server and client layers reference these instead of
+//!   inline literals.
+//! * [`MetricsRegistry`] is a per-node sink. The engine keeps one per
+//!   node and `Ctx::metrics()` writes through to **both** the node's
+//!   registry and the run-wide [`Stats`], so existing harness reads keep
+//!   working while per-node breakdowns become possible.
+
+use crate::stats::Stats;
+use crate::time::SimDuration;
+
+/// A counter metric name (monotone event count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterDef(pub &'static str);
+
+/// A gauge metric name (last-write-wins level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeDef(pub &'static str);
+
+/// A timer metric name (duration histogram).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerDef(pub &'static str);
+
+impl CounterDef {
+    /// The underlying key string.
+    pub fn key(self) -> &'static str {
+        self.0
+    }
+}
+
+impl GaugeDef {
+    /// The underlying key string.
+    pub fn key(self) -> &'static str {
+        self.0
+    }
+}
+
+impl TimerDef {
+    /// The underlying key string.
+    pub fn key(self) -> &'static str {
+        self.0
+    }
+}
+
+/// Every metric name in the DISCOVER stack, one place, no drift.
+///
+/// Grouped by subsystem; the key string's first dotted component is the
+/// subsystem label used in reports.
+pub mod names {
+    use super::{CounterDef, TimerDef};
+
+    // -- engine ----------------------------------------------------------
+    /// Node crashes executed by the engine.
+    pub const ENGINE_CRASHES: CounterDef = CounterDef("engine.crashes");
+    /// Deliveries/timers dropped because the target node was down or the
+    /// event straddled a crash epoch.
+    pub const ENGINE_DOWN_DROPS: CounterDef = CounterDef("engine.down_drops");
+
+    // -- client (portal) -------------------------------------------------
+    /// Steering operations issued by portals.
+    pub const CLIENT_OPS_ISSUED: CounterDef = CounterDef("client.ops_issued");
+    /// Lock acquisitions retried after a denial.
+    pub const CLIENT_LOCK_RETRIES: CounterDef = CounterDef("client.lock_retries");
+    /// End-to-end operation latency (issue -> OpDone/Error).
+    pub const CLIENT_OP_LATENCY: TimerDef = TimerDef("client.op_latency");
+    /// Lock acquisition latency.
+    pub const CLIENT_LOCK_LATENCY: TimerDef = TimerDef("client.lock_latency");
+
+    // -- server (session/handler layer) ----------------------------------
+    /// HTTP requests handled.
+    pub const SERVER_HTTP_REQUESTS: CounterDef = CounterDef("server.http.requests");
+    /// HTTP responses sent.
+    pub const SERVER_HTTP_RESPONSES: CounterDef = CounterDef("server.http.responses");
+    /// Successful logins.
+    pub const SERVER_LOGINS: CounterDef = CounterDef("server.logins");
+    /// Requests denied by the ACL.
+    pub const SERVER_ACL_DENIED: CounterDef = CounterDef("server.acl.denied");
+    /// Steering operations accepted.
+    pub const SERVER_OPS: CounterDef = CounterDef("server.ops");
+    /// Lock requests denied (already held).
+    pub const SERVER_LOCK_DENIED: CounterDef = CounterDef("server.lock.denied");
+    /// Poll requests served.
+    pub const SERVER_POLL_REQUESTS: CounterDef = CounterDef("server.poll.requests");
+    /// Updates delivered through poll responses.
+    pub const SERVER_POLL_DELIVERED: CounterDef = CounterDef("server.poll.delivered");
+    /// Collaboration updates fanned out to local session members.
+    pub const SERVER_COLLAB_LOCAL_FANOUT: CounterDef = CounterDef("server.collab.local_fanout");
+    /// TCP frames handled.
+    pub const SERVER_TCP_FRAMES: CounterDef = CounterDef("server.tcp.frames");
+    /// Unexpected TCP frames.
+    pub const SERVER_TCP_UNEXPECTED: CounterDef = CounterDef("server.tcp.unexpected");
+    /// Application daemon registrations accepted.
+    pub const SERVER_DAEMON_REGISTERED: CounterDef = CounterDef("server.daemon.registered");
+    /// Application daemon registrations rejected.
+    pub const SERVER_DAEMON_REGISTER_REJECTED: CounterDef =
+        CounterDef("server.daemon.register_rejected");
+    /// Application daemon deregistrations.
+    pub const SERVER_DAEMON_DEREGISTERED: CounterDef = CounterDef("server.daemon.deregistered");
+    /// Commands buffered while an application was computing.
+    pub const SERVER_DAEMON_BUFFERED: CounterDef = CounterDef("server.daemon.buffered");
+    /// Buffered commands flushed after a phase change.
+    pub const SERVER_DAEMON_FLUSHED: CounterDef = CounterDef("server.daemon.flushed");
+    /// Inbound GIOP calls handled (skeleton layer).
+    pub const SERVER_GIOP_CALLS: CounterDef = CounterDef("server.giop.calls");
+    /// GIOP replies with no matching pending call.
+    pub const SERVER_GIOP_STRAY_REPLY: CounterDef = CounterDef("server.giop.stray_reply");
+    /// Peer calls rejected by the inbound throttle.
+    pub const SERVER_PEER_THROTTLED: CounterDef = CounterDef("server.peer.throttled");
+    /// Peer authentication requests served.
+    pub const SERVER_PEER_AUTH: CounterDef = CounterDef("server.peer.auth");
+    /// Proxied steering operations executed for peers.
+    pub const SERVER_PEER_PROXY_OPS: CounterDef = CounterDef("server.peer.proxy_ops");
+    /// Lock requests arriving from peers.
+    pub const SERVER_PEER_LOCK_REQUESTS: CounterDef = CounterDef("server.peer.lock_requests");
+    /// Subscription requests arriving from peers.
+    pub const SERVER_PEER_SUBSCRIBES: CounterDef = CounterDef("server.peer.subscribes");
+    /// Collaboration updates arriving from peers.
+    pub const SERVER_PEER_COLLAB_UPDATES: CounterDef = CounterDef("server.peer.collab_updates");
+    /// Remote authentications completed back to the requesting session.
+    pub const SERVER_REMOTE_AUTH_COMPLETIONS: CounterDef =
+        CounterDef("server.remote.auth_completions");
+    /// Idle sessions reaped.
+    pub const SERVER_SESSIONS_REAPED: CounterDef = CounterDef("server.sessions.reaped");
+
+    // -- substrate (CORBA-ish middleware layer) --------------------------
+    /// Trader/directory discovery queries issued.
+    pub const SUBSTRATE_DISCOVERY_QUERIES: CounterDef =
+        CounterDef("substrate.discovery.queries");
+    /// Peers found by discovery responses.
+    pub const SUBSTRATE_DISCOVERY_PEERS_FOUND: CounterDef =
+        CounterDef("substrate.discovery.peers_found");
+    /// Object references re-bound after a stale entry.
+    pub const SUBSTRATE_REBINDS: CounterDef = CounterDef("substrate.rebinds");
+    /// Cross-server subscriptions issued.
+    pub const SUBSTRATE_SUBSCRIBES: CounterDef = CounterDef("substrate.subscribes");
+    /// Remote authentication calls issued.
+    pub const SUBSTRATE_REMOTE_AUTH_CALLS: CounterDef =
+        CounterDef("substrate.remote_auth.calls");
+    /// Remote authentications denied by the remote ACL.
+    pub const SUBSTRATE_REMOTE_AUTH_DENIED: CounterDef =
+        CounterDef("substrate.remote_auth.denied");
+    /// Remote steering operations issued.
+    pub const SUBSTRATE_REMOTE_OPS: CounterDef = CounterDef("substrate.remote_ops");
+    /// Remote lock operations issued.
+    pub const SUBSTRATE_REMOTE_LOCKS: CounterDef = CounterDef("substrate.remote_locks");
+    /// Calls fast-failed because the peer was known down.
+    pub const SUBSTRATE_FASTFAILS: CounterDef = CounterDef("substrate.fastfails");
+    /// Collaboration updates pushed to subscribed peers.
+    pub const SUBSTRATE_COLLAB_PUSHES: CounterDef = CounterDef("substrate.collab.pushes");
+    /// Collaboration updates forwarded to an application's host server.
+    pub const SUBSTRATE_COLLAB_FORWARDS: CounterDef = CounterDef("substrate.collab.forwards");
+    /// Control events announced to the peer group.
+    pub const SUBSTRATE_CONTROL_EVENTS: CounterDef = CounterDef("substrate.control.events");
+    /// Replies whose pending call had already been forgotten.
+    pub const SUBSTRATE_REPLIES_ORPHANED: CounterDef = CounterDef("substrate.replies.orphaned");
+    /// System-exception replies received.
+    pub const SUBSTRATE_REPLIES_EXCEPTIONS: CounterDef =
+        CounterDef("substrate.replies.exceptions");
+    /// Replies that did not match their continuation's expected shape.
+    pub const SUBSTRATE_REPLIES_MISMATCHED: CounterDef =
+        CounterDef("substrate.replies.mismatched");
+    /// Poll batches executed.
+    pub const SUBSTRATE_POLLS: CounterDef = CounterDef("substrate.polls");
+    /// Broker retry attempts (re-issues after timeout).
+    pub const SUBSTRATE_RETRIES: CounterDef = CounterDef("substrate.retries");
+    /// Calls abandoned because the peer's circuit breaker was open.
+    pub const SUBSTRATE_BREAKER_OPEN: CounterDef = CounterDef("substrate.breaker_open");
+    /// Calls that exhausted their retry budget.
+    pub const SUBSTRATE_TIMEOUTS: CounterDef = CounterDef("substrate.timeouts");
+    /// Failovers to a mirrored application on another peer.
+    pub const SUBSTRATE_FAILOVERS: CounterDef = CounterDef("substrate.failovers");
+    /// Directory entries dropped as stale.
+    pub const SUBSTRATE_DIRECTORY_STALE: CounterDef = CounterDef("substrate.directory.stale");
+
+    // -- node (actor shell) ----------------------------------------------
+    /// DiscoverNode restarts (crash recovery).
+    pub const NODE_RESTARTS: CounterDef = CounterDef("node.restarts");
+    /// HTTP responses arriving at a server node (unexpected direction).
+    pub const NODE_UNEXPECTED_HTTP_RESPONSE: CounterDef =
+        CounterDef("node.unexpected.http_response");
+
+    // -- standalone server shell -----------------------------------------
+    /// Remote-auth effects dropped by the standalone (peerless) server.
+    pub const STANDALONE_DROPPED_REMOTE_AUTH: CounterDef =
+        CounterDef("standalone.dropped.remote_auth");
+    /// Announce effects dropped by the standalone server.
+    pub const STANDALONE_DROPPED_ANNOUNCE: CounterDef =
+        CounterDef("standalone.dropped.announce");
+    /// Other peer effects dropped by the standalone server.
+    pub const STANDALONE_DROPPED_OTHER: CounterDef = CounterDef("standalone.dropped.other");
+
+    // -- cog kit ----------------------------------------------------------
+    /// Jobs launched by the CoG gateway.
+    pub const COG_JOBS_LAUNCHED: CounterDef = CounterDef("cog.jobs_launched");
+    /// Jobs submitted to the batch simulator.
+    pub const COG_JOBS_SUBMITTED: CounterDef = CounterDef("cog.jobs_submitted");
+    /// Launch requests accepted.
+    pub const COG_LAUNCHES_ACCEPTED: CounterDef = CounterDef("cog.launches_accepted");
+
+    // -- appsim driver ----------------------------------------------------
+    /// Registration NAKs received by the application driver.
+    pub const DRIVER_REGISTER_NAK: CounterDef = CounterDef("driver.register_nak");
+}
+
+/// Per-node measurement sink.
+///
+/// Same storage semantics as [`Stats`] (exact histograms, `BTreeMap`
+/// ordering); the node label lives on the registry, not in the key, so
+/// keys stay comparable across nodes. Merging follows Stats semantics:
+/// counters add, gauges take the other's value, histograms pool samples.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    node: String,
+    stats: Stats,
+}
+
+impl MetricsRegistry {
+    /// An empty registry for node `node`.
+    pub fn new(node: impl Into<String>) -> Self {
+        MetricsRegistry { node: node.into(), stats: Stats::new() }
+    }
+
+    /// The node this registry belongs to.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&mut self, c: CounterDef) {
+        self.stats.incr(c.0);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&mut self, c: CounterDef, n: u64) {
+        self.stats.add(c.0, n);
+    }
+
+    /// Read a counter (zero if never written).
+    pub fn counter(&self, c: CounterDef) -> u64 {
+        self.stats.counter(c.0)
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&mut self, g: GaugeDef, v: f64) {
+        self.stats.set_gauge(g.0, v);
+    }
+
+    /// Read a gauge (zero if never written).
+    pub fn gauge(&self, g: GaugeDef) -> f64 {
+        self.stats.gauge(g.0)
+    }
+
+    /// Record a duration sample.
+    pub fn record(&mut self, t: TimerDef, d: SimDuration) {
+        self.stats.record(t.0, d);
+    }
+
+    /// Increment a dynamically-named counter (directory operations and
+    /// control-event kinds carry runtime labels; everything else should
+    /// use a [`names`] constant).
+    pub fn incr_dynamic(&mut self, key: &str) {
+        self.stats.incr(key);
+    }
+
+    /// The raw per-node sink (for report iteration).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Merge another registry's measurements into this one (counters add,
+    /// gauges overwrite, histograms pool). Node labels need not match —
+    /// merging across nodes is how subsystem rollups are built.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.stats.merge(&other.stats);
+    }
+
+    /// Fold this registry into a run-wide sink with node-labeled keys
+    /// (`node.<name>.<key>`), for harness reports that want per-node
+    /// columns out of one flat `Stats`.
+    pub fn merge_labeled_into(&self, global: &mut Stats) {
+        for (k, v) in self.stats.counters() {
+            global.add(&format!("node.{}.{}", self.node, k), v);
+        }
+    }
+}
+
+/// Write-through handle pairing the run-wide [`Stats`] with one node's
+/// [`MetricsRegistry`]; every write lands in both, so existing flat-key
+/// readers keep working while per-node attribution accrues.
+pub struct Metrics<'a> {
+    pub(crate) global: &'a mut Stats,
+    pub(crate) node: &'a mut MetricsRegistry,
+}
+
+impl Metrics<'_> {
+    /// Increment a counter by one.
+    pub fn incr(&mut self, c: CounterDef) {
+        self.global.incr(c.0);
+        self.node.incr(c);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&mut self, c: CounterDef, n: u64) {
+        self.global.add(c.0, n);
+        self.node.add(c, n);
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&mut self, g: GaugeDef, v: f64) {
+        self.global.set_gauge(g.0, v);
+        self.node.set_gauge(g, v);
+    }
+
+    /// Record a duration sample.
+    pub fn record(&mut self, t: TimerDef, d: SimDuration) {
+        self.global.record(t.0, d);
+        self.node.record(t, d);
+    }
+
+    /// Increment a dynamically-named counter (see
+    /// [`MetricsRegistry::incr_dynamic`]).
+    pub fn incr_dynamic(&mut self, key: &str) {
+        self.global.incr(key);
+        self.node.incr_dynamic(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_counts_per_node() {
+        let mut r = MetricsRegistry::new("gw");
+        r.incr(names::SUBSTRATE_RETRIES);
+        r.add(names::SUBSTRATE_RETRIES, 2);
+        assert_eq!(r.counter(names::SUBSTRATE_RETRIES), 3);
+        assert_eq!(r.counter(names::SUBSTRATE_TIMEOUTS), 0);
+        assert_eq!(r.node(), "gw");
+    }
+
+    #[test]
+    fn merge_adds_counters_overwrites_gauges_pools_histograms() {
+        let mut a = MetricsRegistry::new("a");
+        let mut b = MetricsRegistry::new("b");
+        a.add(names::SERVER_OPS, 5);
+        b.add(names::SERVER_OPS, 7);
+        a.set_gauge(GaugeDef("x.level"), 1.0);
+        b.set_gauge(GaugeDef("x.level"), 9.0);
+        a.record(names::CLIENT_OP_LATENCY, SimDuration::from_micros(10));
+        b.record(names::CLIENT_OP_LATENCY, SimDuration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.counter(names::SERVER_OPS), 12);
+        assert_eq!(a.gauge(GaugeDef("x.level")), 9.0);
+        let h = a.stats().histogram(names::CLIENT_OP_LATENCY.key()).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean().as_micros(), 20);
+    }
+
+    #[test]
+    fn labeled_fold_prefixes_node() {
+        let mut r = MetricsRegistry::new("backend1");
+        r.add(names::SUBSTRATE_FAILOVERS, 4);
+        let mut global = Stats::new();
+        r.merge_labeled_into(&mut global);
+        assert_eq!(global.counter("node.backend1.substrate.failovers"), 4);
+    }
+
+    #[test]
+    fn write_through_lands_in_both() {
+        let mut global = Stats::new();
+        let mut node = MetricsRegistry::new("n0");
+        let mut m = Metrics { global: &mut global, node: &mut node };
+        m.incr(names::SERVER_LOGINS);
+        m.incr_dynamic("directory.query");
+        assert_eq!(global.counter("server.logins"), 1);
+        assert_eq!(global.counter("directory.query"), 1);
+        assert_eq!(node.counter(names::SERVER_LOGINS), 1);
+        assert_eq!(node.stats().counter("directory.query"), 1);
+    }
+}

@@ -85,6 +85,33 @@ impl Histogram {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
+
+    /// One-call summary (count / mean / p50 / p99 / max) so experiments
+    /// stop hand-rolling quantile pulls.
+    pub fn summary(&mut self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Snapshot of the standard reporting quantiles of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median (nearest-rank).
+    pub p50: SimDuration,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimDuration,
+    /// Largest sample.
+    pub max: SimDuration,
 }
 
 /// Central measurement sink for one simulation run.
@@ -216,6 +243,20 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.quantile(0.99), SimDuration::ZERO);
         assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_matches_individual_queries() {
+        let mut h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(SimDuration::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean.as_micros(), 55);
+        assert_eq!(s.p50.as_micros(), 50);
+        assert_eq!(s.p99.as_micros(), 100);
+        assert_eq!(s.max.as_micros(), 100);
     }
 
     #[test]

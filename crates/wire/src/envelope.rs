@@ -5,6 +5,8 @@
 //! and marshalling rules, so the simulator's bandwidth model sees the same
 //! byte counts a packet capture would.
 
+use simnet::TraceContext;
+
 use crate::giop::GiopFrame;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::tcp::TcpFrame;
@@ -27,6 +29,10 @@ pub enum Content {
 pub struct Envelope {
     /// The typed content.
     pub content: Content,
+    /// Trace context riding this message, if the sending layer stamped
+    /// one (a service-context slot in GIOP terms, a header in HTTP
+    /// terms). Absent on every message of an untraced run.
+    pub trace: Option<TraceContext>,
     size: usize,
 }
 
@@ -34,28 +40,44 @@ impl Envelope {
     /// Wrap an HTTP request.
     pub fn http_request(req: HttpRequest) -> Self {
         let size = req.wire_size();
-        Envelope { content: Content::HttpRequest(req), size }
+        Envelope { content: Content::HttpRequest(req), trace: None, size }
     }
 
     /// Wrap an HTTP response.
     pub fn http_response(resp: HttpResponse) -> Self {
         let size = resp.wire_size();
-        Envelope { content: Content::HttpResponse(resp), size }
+        Envelope { content: Content::HttpResponse(resp), trace: None, size }
     }
 
     /// Wrap a custom-TCP frame.
     pub fn tcp(frame: TcpFrame) -> Self {
         let size = frame.wire_size();
-        Envelope { content: Content::Tcp(frame), size }
+        Envelope { content: Content::Tcp(frame), trace: None, size }
     }
 
     /// Wrap a GIOP frame.
     pub fn giop(frame: GiopFrame) -> Self {
         let size = frame.wire_size();
-        Envelope { content: Content::Giop(frame), size }
+        Envelope { content: Content::Giop(frame), trace: None, size }
     }
 
-    /// The precomputed wire size.
+    /// Stamp a trace context onto this message. A `Some` context adds
+    /// [`TraceContext::WIRE_BYTES`] of framing, so traced runs pay the
+    /// (tiny, realistic) propagation cost; `None` leaves the envelope —
+    /// and the run's event schedule — untouched.
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        if self.trace.is_some() {
+            self.size -= TraceContext::WIRE_BYTES;
+        }
+        self.trace = trace;
+        if self.trace.is_some() {
+            self.size += TraceContext::WIRE_BYTES;
+        }
+        self
+    }
+
+    /// The precomputed wire size (content framing plus trace-context
+    /// bytes when stamped).
     pub fn wire_size(&self) -> usize {
         self.size
     }
@@ -86,5 +108,23 @@ mod tests {
         let frame = GiopFrame::oneway(1, ObjectKey::new("k"), "listActive", PeerMsg::ListActive);
         let expect = frame.wire_size();
         assert_eq!(Envelope::giop(frame).size_bytes(), expect);
+    }
+
+    #[test]
+    fn trace_stamp_adds_wire_bytes_once() {
+        use simnet::TraceContext;
+        let req = HttpRequest::get("/discover/poll", Some(4));
+        let bare = req.wire_size();
+        let ctx = TraceContext { trace_id: 1, span_id: 2, parent_span: None };
+        let env = Envelope::http_request(req).with_trace(Some(ctx));
+        assert_eq!(env.wire_size(), bare + TraceContext::WIRE_BYTES);
+        assert_eq!(env.trace, Some(ctx));
+        // Re-stamping replaces rather than accumulates framing bytes.
+        let env = env.with_trace(Some(ctx.child(9)));
+        assert_eq!(env.wire_size(), bare + TraceContext::WIRE_BYTES);
+        // Clearing restores the bare size.
+        let env = env.with_trace(None);
+        assert_eq!(env.wire_size(), bare);
+        assert_eq!(env.trace, None);
     }
 }
