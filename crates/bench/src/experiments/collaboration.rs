@@ -62,7 +62,7 @@ pub fn e11_push_vs_poll() -> Table {
                 if u.app() == app {
                     delivered += 1;
                 }
-                if let UpdateBody::Chat { text, .. } = u {
+                if let UpdateBody::Chat { text, .. } = u.body() {
                     if let Some(k) =
                         text.strip_prefix("chat-").and_then(|k| k.parse::<usize>().ok())
                     {
@@ -151,7 +151,8 @@ pub fn e4_collab_traffic() -> Table {
         for (node, _) in &viewer_nodes {
             let p = c.engine.actor_ref::<Portal>(*node).unwrap();
             for (at, m) in &p.received {
-                if let ClientMessage::Update(UpdateBody::Chat { text, .. }) = m {
+                if let ClientMessage::Update(u) = m {
+                    let UpdateBody::Chat { text, .. } = u.body() else { continue };
                     if let Some(k) = text.strip_prefix("chat-").and_then(|k| k.parse::<usize>().ok())
                     {
                         let sent = SimTime::ZERO + send_times[k];

@@ -17,7 +17,7 @@ use simnet::{names, FaultPlan, Histogram, NodeId, SimDuration, SimTime};
 use wire::{ClientMessage, Privilege, ResponseBody};
 
 use crate::fixtures;
-use crate::report::{f2, Table};
+use crate::report::{f2, BenchSummary, Table};
 
 const BACKENDS: usize = 5;
 const CLIENTS: usize = 10;
@@ -158,11 +158,24 @@ pub fn e12_fault_tolerance() -> Table {
     let modes: [(&str, RetryPolicy); 2] =
         [("retry+failover", RetryPolicy::default()), ("fail-on-timeout", RetryPolicy::none())];
     let mut compared: Vec<(f64, f64, f64)> = Vec::new();
+    let mut summary = BenchSummary::new("e12", CHAOS_SEED);
     for &loss in &[0.0f64, 0.01, 0.05] {
         let mut rates = Vec::new();
         for (mode, retry) in &modes {
             let out = run_chaos(loss, *retry);
             rates.push(out.success_rate());
+            let key = format!(
+                "loss{:03}_{}",
+                (loss * 100.0) as u64,
+                if retry.max_attempts > 1 { "retry" } else { "noretry" },
+            );
+            summary.metric_u64(format!("{key}.ops_ok"), out.ok);
+            summary.metric_u64(format!("{key}.ops_err"), out.err);
+            summary.metric_f64(format!("{key}.success_rate"), out.success_rate());
+            summary.metric_f64(format!("{key}.p50_ms"), out.p50_ms);
+            summary.metric_f64(format!("{key}.p99_ms"), out.p99_ms);
+            summary.metric_u64(format!("{key}.retries"), out.retries);
+            summary.metric_u64(format!("{key}.failovers"), out.failovers);
             table.row(vec![
                 format!("{loss:.2}"),
                 mode.to_string(),
@@ -197,6 +210,9 @@ pub fn e12_fault_tolerance() -> Table {
     } else {
         format!("determinism VIOLATION: {a:?} != {b:?}")
     });
+    if let Some(p) = summary.write_repo_root() {
+        table.note(format!("machine-readable summary -> {}", p.display()));
+    }
     table.note("retries ride out 6 s backend downtime; the breaker converts repeat timeouts into fast Unavailable+redirect errors");
     table
 }

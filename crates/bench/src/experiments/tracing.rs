@@ -26,7 +26,7 @@ use simnet::{names, FaultPlan, NodeId, SimDuration, SimTime, SpanRecord};
 use wire::Privilege;
 
 use crate::fixtures;
-use crate::report::{f2, Table};
+use crate::report::{f2, BenchSummary, Table};
 
 const TRACE_SEED: u64 = 1300;
 
@@ -177,6 +177,19 @@ pub fn e13_latency_attribution() -> Table {
             ]);
         }
         if (loss - 0.01).abs() < 1e-9 {
+            let mut summary = BenchSummary::new("e13", TRACE_SEED);
+            for (path, p) in &run.paths {
+                let key = path.trim_start_matches("client-");
+                summary.metric_u64(format!("{key}.traces"), p.traces);
+                summary.metric_u64(format!("{key}.spans"), p.spans);
+                summary.metric_u64(format!("{key}.max_spans"), p.max_spans);
+                summary.metric_f64(format!("{key}.mean_root_ms"), p.mean_root_us as f64 / 1000.0);
+                summary.metric_u64(format!("{key}.backoff_spans"), p.backoff_spans);
+            }
+            summary.metric_u64("retries", run.retries);
+            if let Some(p) = summary.write_repo_root() {
+                table.note(format!("machine-readable summary -> {}", p.display()));
+            }
             // Acceptance: a remote steering op yields one causally-linked
             // tree of at least five spans across the stack's layers.
             let remote = &run.paths["client-remote"];

@@ -95,6 +95,80 @@ impl Table {
     }
 }
 
+/// A machine-readable experiment summary, emitted as `BENCH_<ID>.json`
+/// at the repository root so successive PRs can track the perf
+/// trajectory. Schema (documented in EXPERIMENTS.md):
+///
+/// ```json
+/// {"experiment": "e14", "seed": 1400, "metrics": {"name": value, ...}}
+/// ```
+///
+/// Metric values are integers or floats; insertion order is preserved
+/// and every formatting choice is deterministic, so two same-seed runs
+/// produce byte-identical files (CI diffs them).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSummary {
+    /// Experiment id, lowercase (`"e14"`).
+    pub experiment: String,
+    /// The run's root RNG seed.
+    pub seed: u64,
+    metrics: Vec<(String, MetricValue)>,
+}
+
+/// One metric value in a [`BenchSummary`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum MetricValue {
+    Int(u64),
+    Float(f64),
+}
+
+impl BenchSummary {
+    /// Start a summary for `experiment` run under `seed`.
+    pub fn new(experiment: &str, seed: u64) -> Self {
+        BenchSummary { experiment: experiment.to_lowercase(), seed, metrics: Vec::new() }
+    }
+
+    /// Record an integer-valued metric.
+    pub fn metric_u64(&mut self, name: impl Into<String>, value: u64) {
+        self.metrics.push((name.into(), MetricValue::Int(value)));
+    }
+
+    /// Record a float-valued metric (rendered with 6 decimals).
+    pub fn metric_f64(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), MetricValue::Float(value)));
+    }
+
+    /// Render the stable JSON document (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"seed\": {},\n  \"metrics\": {{\n",
+            self.experiment, self.seed
+        ));
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let rendered = match value {
+                MetricValue::Int(v) => v.to_string(),
+                MetricValue::Float(v) if v.is_finite() => format!("{v:.6}"),
+                MetricValue::Float(_) => "null".to_string(),
+            };
+            out.push_str(&format!("    \"{name}\": {rendered}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<ID>.json` at the repository root; returns the path
+    /// on success.
+    pub fn write_repo_root(&self) -> Option<PathBuf> {
+        // crates/bench/ -> crates/ -> repo root.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent()?.parent()?.to_path_buf();
+        let path = root.join(format!("BENCH_{}.json", self.experiment.to_uppercase()));
+        fs::write(&path, self.to_json()).ok()?;
+        Some(path)
+    }
+}
+
 /// Summary statistics of a latency sample set (microsecond inputs).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencySummary {

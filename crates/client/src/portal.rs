@@ -239,7 +239,7 @@ impl Portal {
         self.received
             .iter()
             .filter_map(|(_, m)| match m {
-                ClientMessage::Update(u) => Some(u),
+                ClientMessage::Update(u) => Some(u.body()),
                 _ => None,
             })
             .collect()

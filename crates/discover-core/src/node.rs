@@ -47,6 +47,10 @@ impl Actor<Envelope> for DiscoverNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
         let trace = msg.trace;
+        // Cached content size, read before `content` is moved out; the
+        // ingress handlers charge CPU from it instead of re-walking the
+        // payload with the size counter.
+        let content_size = msg.content_size();
         match msg.content {
             Content::HttpRequest(req) => {
                 // Session-handling span: covers servlet CPU plus effect
@@ -55,14 +59,14 @@ impl Actor<Envelope> for DiscoverNode {
                 let span = ctx.trace_child(trace, "server.http");
                 self.core.incoming_trace = span;
                 self.substrate.request_trace = span;
-                let effects = self.core.handle_http(ctx, from, req);
+                let effects = self.core.handle_http(ctx, from, req, content_size);
                 self.substrate.perform_all(ctx, &mut self.core, effects);
                 self.core.incoming_trace = None;
                 self.substrate.request_trace = None;
                 ctx.trace_finish(span);
             }
             Content::Tcp(frame) => {
-                let effects = self.core.handle_tcp(ctx, from, frame);
+                let effects = self.core.handle_tcp(ctx, from, frame, content_size);
                 self.substrate.perform_all(ctx, &mut self.core, effects);
             }
             Content::Giop(frame) => match frame.kind {

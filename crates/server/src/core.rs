@@ -27,8 +27,8 @@ use wire::tcp::TcpFrame;
 use wire::{
     AppDescriptor, AppId, AppMsg, AppOp, AppPhase, AppStatus, AppToken, Channel, ClientId,
     ClientMessage, ClientRequest, ControlEvent, ControlEventKind, Envelope, ErrorCode,
-    InteractionSpec, LogEntry, ObjectKey, OpOutcome, PeerMsg, PeerReply, Privilege, RequestId,
-    ResponseBody, ServerAddr, UpdateBody, UserId, Value, WireError,
+    FrozenUpdate, InteractionSpec, LogEntry, ObjectKey, OpOutcome, PeerMsg, PeerReply, Privilege,
+    RequestId, ResponseBody, ServerAddr, UpdateBody, UserId, Value, WireError,
 };
 
 use crate::archive::ArchiveStore;
@@ -163,16 +163,17 @@ pub enum Effect {
     /// Push an update to these subscribed peer servers (one message per
     /// server — the §5.2.3 traffic-reduction mechanism).
     PushToPeers {
-        /// The update.
-        update: UpdateBody,
+        /// The update, frozen once; every peer message splices the same
+        /// encoding.
+        update: FrozenUpdate,
         /// Target servers.
         peers: Vec<ServerAddr>,
     },
     /// Forward a locally generated update for a REMOTE app to its host
     /// server, which owns fan-out.
     ForwardToHost {
-        /// The update.
-        update: UpdateBody,
+        /// The update (frozen once at creation).
+        update: FrozenUpdate,
     },
     /// Announce a control-channel event to all peers.
     Announce {
@@ -374,11 +375,14 @@ impl ServerCore {
         set_session: Option<u64>,
         body: Vec<ClientMessage>,
     ) {
-        let resp = HttpResponse { status, set_session, body };
-        let cost = self.config.http_costs.response_cost(resp.wire_size(), self.config.ssl);
+        // Build the envelope first: it computes (and caches) the wire
+        // size, so the cost model reads the same number instead of
+        // running a second full serializer walk over the body.
+        let env = Envelope::http_response(HttpResponse { status, set_session, body });
+        let cost = self.config.http_costs.response_cost(env.wire_size(), self.config.ssl);
         ctx.consume(cost);
         ctx.metrics().incr(names::SERVER_HTTP_RESPONSES);
-        ctx.send(to, Envelope::http_response(resp));
+        ctx.send(to, env);
     }
 
     /// Deliver `update` to local group members (except `exclude`), and if
@@ -386,36 +390,58 @@ impl ServerCore {
     fn route_update(
         &mut self,
         ctx: &mut Ctx<'_, Envelope>,
-        update: UpdateBody,
+        update: impl Into<FrozenUpdate>,
         exclude: Option<ClientId>,
         origin_peer: Option<ServerAddr>,
         effects: &mut Vec<Effect>,
     ) {
+        // Freeze once: the single DBP serialization this update will
+        // ever get on this server (already-frozen updates from a peer
+        // pass through untouched).
+        let update: FrozenUpdate = update.into();
         let app = update.app();
+        if origin_peer.is_none() {
+            // A logical broadcast originates here (every origin_peer=Some
+            // call re-routes an update some other server already froze
+            // and counted), so `wire.encode_calls` per steady-state
+            // broadcast is exactly one network-wide.
+            ctx.metrics().incr(names::SERVER_COLLAB_BROADCASTS);
+        }
         let targets = self.collab.broadcast_targets(app, exclude);
         ctx.metrics().add(names::SERVER_COLLAB_LOCAL_FANOUT, targets.len() as u64);
+        // Every fan-out target below — N local fifos, the proxy update
+        // log, the archive, and M peer pushes — shares the one frozen
+        // encoding; each reuse is a reference-count bump, not a clone or
+        // a serializer walk.
+        let mut reuses = 0u64;
         for c in targets {
             self.fifo_push(c, ClientMessage::Update(update.clone()));
+            reuses += 1;
         }
         if app.host() == self.config.addr {
             // We are the host: record and fan out to subscribed peers.
             if let Some(proxy) = self.apps.get_mut(&app) {
                 proxy.push_update(update.clone(), origin_peer);
+                reuses += 1;
             }
             self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
+            reuses += 1;
             let peers: Vec<ServerAddr> = self
                 .subscribers
                 .get(&app)
                 .map(|s| s.iter().copied().filter(|p| Some(*p) != origin_peer).collect())
                 .unwrap_or_default();
             if !peers.is_empty() {
+                reuses += peers.len() as u64;
                 effects.push(Effect::PushToPeers { update, peers });
             }
         } else if origin_peer.is_none() {
             // Locally generated update about a remote app: the host owns
             // global fan-out.
+            reuses += 1;
             effects.push(Effect::ForwardToHost { update });
         }
+        ctx.metrics().add(names::SERVER_FANOUT_PAYLOAD_REUSE, reuses);
     }
 
     /// The global application list visible to `user` (local + cached
@@ -466,9 +492,11 @@ impl ServerCore {
         match proxy.phase {
             AppPhase::Interacting | AppPhase::Paused => {
                 let node = proxy.node;
-                let frame = TcpFrame::new(Channel::Command, AppMsg::Command { req, op });
-                ctx.consume(self.config.tcp_costs.frame_cost(frame.wire_size()));
-                ctx.send(node, Envelope::tcp(frame));
+                // Envelope construction performs the one sizing walk;
+                // the cost model reuses its cached size.
+                let env = Envelope::tcp(TcpFrame::new(Channel::Command, AppMsg::Command { req, op }));
+                ctx.consume(self.config.tcp_costs.frame_cost(env.wire_size()));
+                ctx.send(node, env);
                 // Application compute time: from command departure to the
                 // daemon's response.
                 let parent = self.req_traces.get(&req).map(|(p, _)| *p);
@@ -544,14 +572,14 @@ impl ServerCore {
                     Err(e) => LogEntry::Error(e.clone()),
                 };
                 self.archive.log_app(app, ctx.now(), Some(user.clone()), entry);
-                let reply = GiopFrame::reply(
+                let env = Envelope::giop(GiopFrame::reply(
                     giop_id,
                     ObjectKey::new(CORBA_SERVER_KEY),
                     &operation,
                     PeerReply::OpResult { app, result: result.clone() },
-                );
-                ctx.consume(self.config.orb_costs.call_cost(reply.wire_size()));
-                ctx.send(node, Envelope::giop(reply));
+                ));
+                ctx.consume(self.config.orb_costs.call_cost(env.wire_size()));
+                ctx.send(node, env);
                 // The host owns global fan-out of state changes caused by
                 // remote steerers.
                 if let Ok(outcome) = result {
@@ -637,9 +665,12 @@ impl ServerCore {
         ctx: &mut Ctx<'_, Envelope>,
         from: NodeId,
         req: HttpRequest,
+        wire_bytes: usize,
     ) -> Vec<Effect> {
         ctx.metrics().incr(names::SERVER_HTTP_REQUESTS);
-        ctx.consume(self.config.http_costs.request_cost(req.wire_size(), self.config.ssl));
+        // `wire_bytes` is the envelope's cached content size — the same
+        // number `req.wire_size()` would produce, minus the re-walk.
+        ctx.consume(self.config.http_costs.request_cost(wire_bytes, self.config.ssl));
         let mut effects = Vec::new();
 
         // Login is the only request valid without a session.
@@ -915,7 +946,7 @@ impl ServerCore {
             privilege,
         })];
         if let Some(snapshot) = snapshot {
-            out.push(ClientMessage::Update(snapshot));
+            out.push(ClientMessage::update(snapshot));
         }
         out
     }
@@ -1116,9 +1147,11 @@ impl ServerCore {
         ctx: &mut Ctx<'_, Envelope>,
         from: NodeId,
         frame: TcpFrame,
+        wire_bytes: usize,
     ) -> Vec<Effect> {
         ctx.metrics().incr(names::SERVER_TCP_FRAMES);
-        ctx.consume(self.config.tcp_costs.frame_cost(frame.wire_size()));
+        // Cached envelope size; identical to `frame.wire_size()`.
+        ctx.consume(self.config.tcp_costs.frame_cost(wire_bytes));
         let mut effects = Vec::new();
         match frame.msg {
             AppMsg::Register { token, name, kind, acl, interface } => {
@@ -1236,18 +1269,25 @@ impl ServerCore {
                 );
             }
         }
-        let update = UpdateBody::AppClosed { app };
-        // Push directly (route_update would try the removed proxy).
+        // Push directly (route_update would try the removed proxy);
+        // frozen once, shared by fifos, archive and peer pushes alike.
+        let update = FrozenUpdate::new(UpdateBody::AppClosed { app });
+        ctx.metrics().incr(names::SERVER_COLLAB_BROADCASTS);
         let targets = self.collab.broadcast_targets(app, None);
+        let mut reuses = 0u64;
         for c in targets {
             self.fifo_push(c, ClientMessage::Update(update.clone()));
+            reuses += 1;
         }
         self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
+        reuses += 1;
         let peers: Vec<ServerAddr> =
             self.subscribers.remove(&app).map(|s| s.into_iter().collect()).unwrap_or_default();
         if !peers.is_empty() {
+            reuses += peers.len() as u64;
             effects.push(Effect::PushToPeers { update, peers });
         }
+        ctx.metrics().add(names::SERVER_FANOUT_PAYLOAD_REUSE, reuses);
         self.collab.drop_app(app);
         effects.push(Effect::Announce {
             kind: ControlEventKind::AppClosed,
@@ -1314,9 +1354,9 @@ impl ServerCore {
         ctx.consume(self.config.orb_costs.call_cost(incoming_bytes));
         let reply = |core: &mut Self, ctx: &mut Ctx<'_, Envelope>, r: PeerReply| {
             if expects_reply {
-                let frame = GiopFrame::reply(request_id, target.clone(), &operation, r);
-                ctx.consume(core.config.orb_costs.call_cost(frame.wire_size()));
-                ctx.send(from, Envelope::giop(frame));
+                let env = Envelope::giop(GiopFrame::reply(request_id, target.clone(), &operation, r));
+                ctx.consume(core.config.orb_costs.call_cost(env.wire_size()));
+                ctx.send(from, env);
             }
         };
         match call {
@@ -1478,11 +1518,11 @@ impl ServerCore {
                     // Seed the subscriber with the current status.
                     if let Some(proxy) = self.apps.get(&app) {
                         effects.push(Effect::PushToPeers {
-                            update: UpdateBody::AppStatus {
+                            update: FrozenUpdate::new(UpdateBody::AppStatus {
                                 app,
                                 status: proxy.last_status.clone(),
                                 readings: proxy.last_readings.clone(),
-                            },
+                            }),
                             peers: vec![subscriber],
                         });
                     }
@@ -1547,20 +1587,22 @@ impl ServerCore {
     pub fn apply_peer_update(
         &mut self,
         ctx: &mut Ctx<'_, Envelope>,
-        update: UpdateBody,
+        update: FrozenUpdate,
         origin: ServerAddr,
         effects: &mut Vec<Effect>,
     ) {
         // Maintain the remote mirror's status cache.
-        if let UpdateBody::AppStatus { app, status, .. } = &update {
+        if let UpdateBody::AppStatus { app, status, .. } = update.body() {
             if let Some(remote) = self.remote_apps.get_mut(app) {
                 remote.last_status = status.clone();
             }
         }
-        if let UpdateBody::AppClosed { app } = &update {
+        if let UpdateBody::AppClosed { app } = update.body() {
             self.remote_apps.remove(app);
             self.remote_privs.retain(|(_, a), _| a != app);
         }
+        // The update arrives already frozen by its origin server; the
+        // local re-fan-out reuses those bytes with zero re-encode.
         self.route_update(ctx, update, None, Some(origin), effects);
     }
 }

@@ -9,8 +9,8 @@ use std::collections::{HashMap, VecDeque};
 
 use simnet::NodeId;
 use wire::{
-    AppDescriptor, AppId, AppOp, AppPhase, AppStatus, InteractionSpec, Privilege, RequestId,
-    ServerAddr, UpdateBody, UserId, Value,
+    AppDescriptor, AppId, AppOp, AppPhase, AppStatus, FrozenUpdate, InteractionSpec, Privilege,
+    RequestId, ServerAddr, UserId, Value,
 };
 
 use crate::locks::SteeringLock;
@@ -44,7 +44,7 @@ pub struct ApplicationProxy {
     pub buffered: VecDeque<(RequestId, AppOp)>,
     /// The steering lock — authoritative only here, at the host server.
     pub lock: SteeringLock,
-    update_log: VecDeque<(u64, UpdateBody, Option<ServerAddr>)>,
+    update_log: VecDeque<(u64, FrozenUpdate, Option<ServerAddr>)>,
     update_next_seq: u64,
     update_log_capacity: usize,
 }
@@ -106,7 +106,7 @@ impl ApplicationProxy {
     /// poll-mode peers via `PollUpdates`). `origin` is the peer server the
     /// update came from, if any; pollers from that server skip it.
     /// Returns the update's sequence number.
-    pub fn push_update(&mut self, update: UpdateBody, origin: Option<ServerAddr>) -> u64 {
+    pub fn push_update(&mut self, update: FrozenUpdate, origin: Option<ServerAddr>) -> u64 {
         let seq = self.update_next_seq;
         self.update_next_seq += 1;
         if self.update_log.len() == self.update_log_capacity {
@@ -120,7 +120,7 @@ impl ApplicationProxy {
     /// the next sequence to poll from. Entries evicted from the bounded
     /// log are silently skipped (slow pollers lose the oldest updates,
     /// like slow HTTP clients).
-    pub fn updates_since(&self, since: u64, exclude: Option<ServerAddr>) -> (Vec<UpdateBody>, u64) {
+    pub fn updates_since(&self, since: u64, exclude: Option<ServerAddr>) -> (Vec<FrozenUpdate>, u64) {
         let updates = self
             .update_log
             .iter()
@@ -146,7 +146,7 @@ impl ApplicationProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wire::ServerAddr;
+    use wire::{ServerAddr, UpdateBody};
 
     fn proxy() -> ApplicationProxy {
         ApplicationProxy::new(
@@ -191,7 +191,7 @@ mod tests {
     fn update_log_is_bounded_and_sequenced() {
         let mut p = proxy();
         for i in 0..6 {
-            let seq = p.push_update(UpdateBody::AppClosed { app: p.app }, None);
+            let seq = p.push_update(FrozenUpdate::new(UpdateBody::AppClosed { app: p.app }), None);
             assert_eq!(seq, i);
         }
         // Capacity 4: sequences 0 and 1 were evicted.
@@ -208,8 +208,8 @@ mod tests {
     #[test]
     fn poll_excludes_origin_server() {
         let mut p = proxy();
-        p.push_update(UpdateBody::AppClosed { app: p.app }, Some(ServerAddr(9)));
-        p.push_update(UpdateBody::AppClosed { app: p.app }, None);
+        p.push_update(FrozenUpdate::new(UpdateBody::AppClosed { app: p.app }), Some(ServerAddr(9)));
+        p.push_update(FrozenUpdate::new(UpdateBody::AppClosed { app: p.app }), None);
         let (for_origin, next) = p.updates_since(0, Some(ServerAddr(9)));
         assert_eq!(for_origin.len(), 1, "own update filtered out for its origin");
         assert_eq!(next, 2);

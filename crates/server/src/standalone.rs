@@ -22,9 +22,10 @@ impl StandaloneServer {
 
 impl Actor<Envelope> for StandaloneServer {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
+        let content_size = msg.content_size();
         let effects = match msg.content {
-            Content::HttpRequest(req) => self.core.handle_http(ctx, from, req),
-            Content::Tcp(frame) => self.core.handle_tcp(ctx, from, frame),
+            Content::HttpRequest(req) => self.core.handle_http(ctx, from, req, content_size),
+            Content::Tcp(frame) => self.core.handle_tcp(ctx, from, frame, content_size),
             Content::Giop(frame) => self.core.handle_giop(ctx, from, frame),
             Content::HttpResponse(_) => Vec::new(), // not a client
         };

@@ -70,7 +70,7 @@ impl ScriptedClient {
         self.received
             .iter()
             .filter_map(|(_, m)| match m {
-                ClientMessage::Update(u) => Some(u),
+                ClientMessage::Update(u) => Some(u.body()),
                 _ => None,
             })
             .collect()

@@ -93,6 +93,19 @@ pub mod names {
     pub const SERVER_POLL_DELIVERED: CounterDef = CounterDef("server.poll.delivered");
     /// Collaboration updates fanned out to local session members.
     pub const SERVER_COLLAB_LOCAL_FANOUT: CounterDef = CounterDef("server.collab.local_fanout");
+    /// Fan-out targets (local fifos, archive, proxy log, peer pushes)
+    /// that reused a broadcast's single frozen encoding instead of
+    /// re-serializing — the encode-once optimisation's reuse count.
+    pub const SERVER_FANOUT_PAYLOAD_REUSE: CounterDef = CounterDef("server.fanout_payload_reuse");
+    /// Update broadcasts routed (each = exactly one DBP serialization).
+    pub const SERVER_COLLAB_BROADCASTS: CounterDef = CounterDef("server.collab.broadcasts");
+    /// Full DBP serializer walks performed by the wire codec (folded in
+    /// from the codec's thread-local stats at the end of a run).
+    pub const WIRE_ENCODE_CALLS: CounterDef = CounterDef("wire.encode_calls");
+    /// Bytes produced by those walks.
+    pub const WIRE_BYTES_ENCODED: CounterDef = CounterDef("wire.bytes_encoded");
+    /// Pre-encoded payloads spliced verbatim (serializer walks avoided).
+    pub const WIRE_PAYLOAD_SPLICES: CounterDef = CounterDef("wire.payload_splices");
     /// TCP frames handled.
     pub const SERVER_TCP_FRAMES: CounterDef = CounterDef("server.tcp.frames");
     /// Unexpected TCP frames.

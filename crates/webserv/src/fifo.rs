@@ -102,7 +102,7 @@ mod tests {
         use wire::{UpdateBody, AppId, ServerAddr};
         let mut buf = FifoBuffer::new(3);
         for i in 0..5u32 {
-            buf.push(ClientMessage::Update(UpdateBody::AppClosed {
+            buf.push(ClientMessage::update(UpdateBody::AppClosed {
                 app: AppId { server: ServerAddr(0), seq: i },
             }));
         }
@@ -114,7 +114,10 @@ mod tests {
         let seqs: Vec<u32> = drained
             .iter()
             .map(|m| match m {
-                ClientMessage::Update(UpdateBody::AppClosed { app }) => app.seq,
+                ClientMessage::Update(u) => match u.body() {
+                    UpdateBody::AppClosed { app } => app.seq,
+                    _ => unreachable!(),
+                },
                 _ => unreachable!(),
             })
             .collect();

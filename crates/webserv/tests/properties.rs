@@ -12,12 +12,15 @@ use webserv::{FifoBuffer, SessionTable};
 use wire::{AppId, ClientId, ClientMessage, ServerAddr, UpdateBody, UserId};
 
 fn tagged(seq: u32) -> ClientMessage {
-    ClientMessage::Update(UpdateBody::AppClosed { app: AppId { server: ServerAddr(0), seq } })
+    ClientMessage::update(UpdateBody::AppClosed { app: AppId { server: ServerAddr(0), seq } })
 }
 
 fn tag_of(m: &ClientMessage) -> u32 {
     match m {
-        ClientMessage::Update(UpdateBody::AppClosed { app }) => app.seq,
+        ClientMessage::Update(u) => match u.body() {
+            UpdateBody::AppClosed { app } => app.seq,
+            _ => unreachable!(),
+        },
         _ => unreachable!(),
     }
 }

@@ -13,12 +13,37 @@
 //! * [`decode`] — deserialize a value from bytes (rejecting trailing garbage),
 //! * [`encoded_len`] — byte length without materializing the buffer
 //!   (drives the simulator's bandwidth model).
+//!
+//! Two hot-path mechanisms keep broadcast fan-out cheap:
+//! * a per-thread **pooled encode buffer** ([`encode`] reuses one
+//!   `BytesMut` instead of allocating 64 bytes and growing every call),
+//! * a **raw-splice fast path** ([`SPLICE_TOKEN`]) letting pre-encoded
+//!   payloads pass through both the serializer and the size counter
+//!   verbatim, so a payload frozen once is never walked again.
+//!
+//! Both are observable through the deterministic per-thread
+//! [`CodecStats`] counters ([`stats`] / [`reset_stats`]).
 
+use std::cell::Cell;
 use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
 use serde::ser::{self, Serialize};
+
+/// Sentinel newtype-struct name that arms the raw-splice fast path.
+///
+/// A shared payload (see [`FrozenUpdate`](crate::FrozenUpdate)) that
+/// already holds its own DBP encoding serializes itself as
+/// `serialize_newtype_struct(SPLICE_TOKEN, raw_bytes)`; the serializer
+/// and the size counter both recognise the token and emit/count the
+/// bytes verbatim — no length prefix, no second traversal — so the
+/// result is byte-identical to serializing the payload inline.
+pub(crate) const SPLICE_TOKEN: &str = "\0dbp-splice";
+
+/// Initial capacity of pooled encode buffers: large enough that steady
+/// state never grows (a typical update message is well under 1 KiB).
+const POOL_BUF_CAPACITY: usize = 1024;
 
 /// Errors produced by the codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,19 +83,97 @@ impl de::Error for CodecError {
     }
 }
 
-/// Serialize `value` into a fresh byte buffer.
+/// Deterministic per-thread codec activity counters.
+///
+/// Thread-local (rather than global atomics) so parallel experiment
+/// threads in the bench harness each observe their own, fully
+/// deterministic counts. Snapshot with [`stats`], zero with
+/// [`reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Full serializer walks that materialized bytes ([`encode`] calls).
+    pub encode_calls: u64,
+    /// Total bytes produced by those walks.
+    pub bytes_encoded: u64,
+    /// Size-only serializer walks ([`encoded_len`] calls).
+    pub len_walks: u64,
+    /// Pre-encoded payloads spliced verbatim into an outer walk — each
+    /// one is a traversal of the payload that did NOT happen.
+    pub payload_splices: u64,
+    /// Encode calls served by the pooled buffer.
+    pub pool_hits: u64,
+    /// Encode calls that had to allocate a buffer (first use per thread,
+    /// or re-entrant encodes).
+    pub pool_misses: u64,
+}
+
+thread_local! {
+    static STATS: Cell<CodecStats> = const {
+        Cell::new(CodecStats {
+            encode_calls: 0,
+            bytes_encoded: 0,
+            len_walks: 0,
+            payload_splices: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+        })
+    };
+    static POOL: Cell<Option<BytesMut>> = const { Cell::new(None) };
+}
+
+fn bump(f: impl FnOnce(&mut CodecStats)) {
+    STATS.with(|s| {
+        let mut v = s.get();
+        f(&mut v);
+        s.set(v);
+    });
+}
+
+/// Snapshot this thread's codec counters.
+pub fn stats() -> CodecStats {
+    STATS.with(|s| s.get())
+}
+
+/// Zero this thread's codec counters (start of a measured run).
+pub fn reset_stats() {
+    STATS.with(|s| s.set(CodecStats::default()));
+}
+
+/// Serialize `value` to bytes using this thread's pooled buffer.
+///
+/// The pooled `BytesMut` is cleared, filled by a single serializer walk,
+/// copied once into an exact-size immutable [`Bytes`], and returned to
+/// the pool — steady state performs one allocation of exactly the
+/// payload size and zero buffer growth.
 pub fn encode<T: Serialize>(value: &T) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = match POOL.with(|p| p.take()) {
+        Some(b) => {
+            bump(|s| s.pool_hits += 1);
+            b
+        }
+        None => {
+            bump(|s| s.pool_misses += 1);
+            BytesMut::with_capacity(POOL_BUF_CAPACITY)
+        }
+    };
+    buf.clear();
     value
-        .serialize(&mut DbpSerializer { out: &mut buf })
+        .serialize(&mut DbpSerializer { out: &mut buf, splice_armed: false })
         .expect("DBP serialization is infallible for wire types");
-    buf.freeze()
+    let bytes = Bytes::copy_from_slice(&buf);
+    POOL.with(|p| p.set(Some(buf)));
+    bump(|s| {
+        s.encode_calls += 1;
+        s.bytes_encoded += bytes.len() as u64;
+    });
+    bytes
 }
 
 /// Byte length `encode(value)` would produce, without allocating it.
 pub fn encoded_len<T: Serialize>(value: &T) -> usize {
-    let mut counter = SizeCounter { len: 0 };
+    let mut counter = SizeCounter { len: 0, splice_armed: false };
     value.serialize(&mut counter).expect("DBP size counting is infallible for wire types");
+    bump(|s| s.len_walks += 1);
     counter.len
 }
 
@@ -90,6 +193,10 @@ pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
 
 struct DbpSerializer<'a> {
     out: &'a mut BytesMut,
+    /// Set while serializing the immediate payload of a
+    /// [`SPLICE_TOKEN`] newtype struct: the next `serialize_bytes` call
+    /// emits its input verbatim, with no length prefix.
+    splice_armed: bool,
 }
 
 impl<'a> DbpSerializer<'a> {
@@ -149,6 +256,12 @@ impl<'a, 'b> ser::Serializer for &'b mut DbpSerializer<'a> {
     }
 
     fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        if self.splice_armed {
+            self.splice_armed = false;
+            self.out.put_slice(v);
+            bump(|s| s.payload_splices += 1);
+            return Ok(());
+        }
         self.put_len(v.len())?;
         self.out.put_slice(v);
         Ok(())
@@ -184,9 +297,15 @@ impl<'a, 'b> ser::Serializer for &'b mut DbpSerializer<'a> {
 
     fn serialize_newtype_struct<T: Serialize + ?Sized>(
         self,
-        _name: &'static str,
+        name: &'static str,
         value: &T,
     ) -> Result<(), CodecError> {
+        if name == SPLICE_TOKEN {
+            self.splice_armed = true;
+            let r = value.serialize(&mut *self);
+            debug_assert!(!self.splice_armed, "splice token payload must be raw bytes");
+            return r;
+        }
         value.serialize(self)
     }
 
@@ -318,6 +437,9 @@ impl<'a, 'b> ser::SerializeStructVariant for &'b mut DbpSerializer<'a> {
 
 struct SizeCounter {
     len: usize,
+    /// Mirrors [`DbpSerializer::splice_armed`] so spliced payloads are
+    /// counted without the length prefix, keeping both walks identical.
+    splice_armed: bool,
 }
 
 macro_rules! count_fixed {
@@ -359,6 +481,12 @@ impl ser::Serializer for &mut SizeCounter {
     }
 
     fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        if self.splice_armed {
+            self.splice_armed = false;
+            self.len += v.len();
+            bump(|s| s.payload_splices += 1);
+            return Ok(());
+        }
         self.len += 4 + v.len();
         Ok(())
     }
@@ -393,9 +521,15 @@ impl ser::Serializer for &mut SizeCounter {
 
     fn serialize_newtype_struct<T: Serialize + ?Sized>(
         self,
-        _name: &'static str,
+        name: &'static str,
         value: &T,
     ) -> Result<(), CodecError> {
+        if name == SPLICE_TOKEN {
+            self.splice_armed = true;
+            let r = value.serialize(&mut *self);
+            debug_assert!(!self.splice_armed, "splice token payload must be raw bytes");
+            return r;
+        }
         value.serialize(self)
     }
 
@@ -910,5 +1044,71 @@ mod tests {
         assert_eq!(encode(&Sample::Unit).len(), 4);
         assert_eq!(encode(&7u64).len(), 8);
         assert_eq!(encode(&"abc".to_string()).len(), 7);
+    }
+
+    /// Serializes as a raw splice of pre-encoded bytes.
+    struct Spliced(Bytes);
+
+    impl Serialize for Spliced {
+        fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            struct Raw<'a>(&'a [u8]);
+            impl Serialize for Raw<'_> {
+                fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.serialize_bytes(self.0)
+                }
+            }
+            s.serialize_newtype_struct(SPLICE_TOKEN, &Raw(&self.0))
+        }
+    }
+
+    #[test]
+    fn splice_is_byte_identical_to_inline() {
+        let inner = Sample::Struct { a: 9, b: Some(1.5), c: vec![true] };
+        let inline = encode(&(7u32, inner.clone(), "tail".to_string()));
+        let spliced = encode(&(7u32, Spliced(encode(&inner)), "tail".to_string()));
+        assert_eq!(inline, spliced);
+        // The size counter agrees with both.
+        assert_eq!(
+            encoded_len(&(7u32, Spliced(encode(&inner)), "tail".to_string())),
+            inline.len()
+        );
+    }
+
+    #[test]
+    fn splice_skips_length_prefix() {
+        // Raw bytes via the splice token occupy exactly their own length;
+        // ordinary `serialize_bytes` adds the 4-byte u32 prefix.
+        let raw = encode(&42u64);
+        assert_eq!(encode(&Spliced(raw.clone())).len(), raw.len());
+        assert_eq!(encode(&serde_bytes_wrapper(&raw)).len(), raw.len() + 4);
+    }
+
+    /// Plain `serialize_bytes` (length-prefixed) for contrast.
+    fn serde_bytes_wrapper(b: &Bytes) -> impl Serialize + '_ {
+        struct Plain<'a>(&'a [u8]);
+        impl Serialize for Plain<'_> {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_bytes(self.0)
+            }
+        }
+        Plain(b)
+    }
+
+    #[test]
+    fn stats_track_encodes_and_pool() {
+        reset_stats();
+        let before = stats();
+        assert_eq!(before, CodecStats::default());
+        let a = encode(&Sample::New(1));
+        let b = encode(&Sample::New(2));
+        let after = stats();
+        assert_eq!(after.encode_calls, 2);
+        assert_eq!(after.bytes_encoded, (a.len() + b.len()) as u64);
+        // First encode on this thread may miss; the second must hit.
+        assert!(after.pool_hits >= 1);
+        let _ = encoded_len(&Sample::New(3));
+        assert_eq!(stats().len_walks, after.len_walks + 1);
+        reset_stats();
+        assert_eq!(stats(), CodecStats::default());
     }
 }

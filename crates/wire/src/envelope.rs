@@ -81,6 +81,18 @@ impl Envelope {
     pub fn wire_size(&self) -> usize {
         self.size
     }
+
+    /// The content's own wire size, excluding any trace-context framing
+    /// — identical to `content.wire_size()` but read from the cached
+    /// total instead of re-walking the payload. Receivers use this to
+    /// charge ingress CPU without a second serializer pass.
+    pub fn content_size(&self) -> usize {
+        if self.trace.is_some() {
+            self.size - TraceContext::WIRE_BYTES
+        } else {
+            self.size
+        }
+    }
 }
 
 impl simnet::Payload for Envelope {

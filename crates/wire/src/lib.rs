@@ -22,10 +22,12 @@ pub mod giop;
 pub mod http;
 mod ids;
 mod messages;
+mod payload;
 pub mod tcp;
 mod value;
 
 pub use envelope::{Content, Envelope};
+pub use payload::FrozenUpdate;
 pub use ids::{
     AppId, AppToken, ClientId, ObjectKey, ObjectRef, Privilege, RequestId, ServerAddr, SessionId,
     UserId,

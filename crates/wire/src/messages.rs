@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{AppId, AppToken, ClientId, ObjectRef, Privilege, RequestId, ServerAddr, UserId};
+use crate::payload::FrozenUpdate;
 use crate::value::Value;
 
 // ---------------------------------------------------------------------------
@@ -322,11 +323,18 @@ pub enum ClientMessage {
     Response(ResponseBody),
     /// Failure notice.
     Error(WireError),
-    /// Asynchronous update fanned out to the collaboration group.
-    Update(UpdateBody),
+    /// Asynchronous update fanned out to the collaboration group. The
+    /// payload is frozen (encoded once) so a broadcast to N members
+    /// shares one encoding across all N messages.
+    Update(FrozenUpdate),
 }
 
 impl ClientMessage {
+    /// Wrap an update body, freezing it (one DBP serialization).
+    pub fn update(body: UpdateBody) -> Self {
+        ClientMessage::Update(FrozenUpdate::new(body))
+    }
+
     /// The message's kind — clients dispatch on this.
     pub fn kind(&self) -> MessageKind {
         match self {
@@ -721,8 +729,9 @@ pub enum PeerMsg {
     /// Collaboration fan-out: ONE message per remote server carrying an
     /// update; the receiving server re-broadcasts to its local clients.
     CollabUpdate {
-        /// The update.
-        update: UpdateBody,
+        /// The update, frozen at the origin: M peer pushes share one
+        /// encoding, and the receiver's local re-broadcast reuses it too.
+        update: FrozenUpdate,
         /// The server where the update originated (excluded from the
         /// host's re-fan-out to avoid echo).
         origin: ServerAddr,
@@ -866,8 +875,9 @@ pub enum PeerReply {
     Updates {
         /// The application.
         app: AppId,
-        /// Buffered updates.
-        updates: Vec<UpdateBody>,
+        /// Buffered updates, frozen once at broadcast time; a poll reply
+        /// splices the stored encodings instead of re-walking each body.
+        updates: Vec<FrozenUpdate>,
         /// Sequence to poll from next.
         next_seq: u64,
     },
@@ -946,8 +956,9 @@ pub enum LogEntry {
     Error(WireError),
     /// A periodic status/sensor message.
     Status(AppStatus),
-    /// A collaboration update (chat/whiteboard/view/membership).
-    Update(UpdateBody),
+    /// A collaboration update (chat/whiteboard/view/membership), sharing
+    /// the broadcast's frozen encoding.
+    Update(FrozenUpdate),
 }
 
 #[cfg(test)]
@@ -964,7 +975,7 @@ mod tests {
     fn client_message_kind_dispatch() {
         let r = ClientMessage::Response(ResponseBody::LogoutOk);
         let e = ClientMessage::Error(WireError::new(ErrorCode::BadRequest, "x"));
-        let u = ClientMessage::Update(UpdateBody::AppClosed { app: sample_app() });
+        let u = ClientMessage::update(UpdateBody::AppClosed { app: sample_app() });
         assert_eq!(r.kind(), MessageKind::Response);
         assert_eq!(e.kind(), MessageKind::Error);
         assert_eq!(u.kind(), MessageKind::Update);
@@ -1011,12 +1022,12 @@ mod tests {
 
         let reply = PeerReply::Updates {
             app: sample_app(),
-            updates: vec![UpdateBody::ParamChanged {
+            updates: vec![FrozenUpdate::new(UpdateBody::ParamChanged {
                 app: sample_app(),
                 name: "dt".into(),
                 value: Value::Float(0.01),
                 by: UserId::new("manish"),
-            }],
+            })],
             next_seq: 17,
         };
         assert_eq!(decode::<PeerReply>(&encode(&reply)).unwrap(), reply);
@@ -1025,7 +1036,7 @@ mod tests {
     #[test]
     fn batch_response_nests() {
         let batch = ClientMessage::Response(ResponseBody::Batch(vec![
-            ClientMessage::Update(UpdateBody::AppClosed { app: sample_app() }),
+            ClientMessage::update(UpdateBody::AppClosed { app: sample_app() }),
             ClientMessage::Error(WireError::new(ErrorCode::Unavailable, "gone")),
         ]));
         assert_eq!(decode::<ClientMessage>(&encode(&batch)).unwrap(), batch);

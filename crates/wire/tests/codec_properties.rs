@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use wire::codec::{decode, encode, encoded_len};
 use wire::{
     AppCommand, AppId, AppOp, AppPhase, AppStatus, ClientMessage, ClientRequest, ErrorCode,
-    Privilege, ResponseBody, ServerAddr, UpdateBody, UserId, Value, WhiteboardStroke, WireError,
+    FrozenUpdate, LogEntry, PeerMsg, Privilege, ResponseBody, ServerAddr, UpdateBody, UserId,
+    Value, WhiteboardStroke, WireError,
 };
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -98,7 +99,7 @@ fn request_strategy() -> impl Strategy<Value = ClientRequest> {
 
 fn client_message_strategy() -> impl Strategy<Value = ClientMessage> {
     let leaf = prop_oneof![
-        update_strategy().prop_map(ClientMessage::Update),
+        update_strategy().prop_map(ClientMessage::update),
         (0u8..8, "[ -~]{0,30}").prop_map(|(c, detail)| {
             let code = match c {
                 0 => ErrorCode::AuthFailed,
@@ -158,6 +159,75 @@ proptest! {
         let bytes = encode(&m);
         prop_assert_eq!(bytes.len(), encoded_len(&m));
         prop_assert_eq!(decode::<ClientMessage>(&bytes).unwrap(), m);
+    }
+
+    // ------------------------------------------------------------------
+    // Encode-once fan-out: a frozen (pre-encoded, spliced) payload must
+    // be byte-identical to the old inline per-message serialization, at
+    // top level and inside every carrier message type.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn frozen_update_matches_inline_encoding(u in update_strategy()) {
+        let inline = encode(&u);
+        let frozen = FrozenUpdate::new(u.clone());
+        prop_assert_eq!(&encode(&frozen)[..], &inline[..]);
+        prop_assert_eq!(encoded_len(&frozen), inline.len());
+        prop_assert_eq!(frozen.wire_len(), inline.len());
+        prop_assert_eq!(decode::<FrozenUpdate>(&inline).unwrap().body(), &u);
+    }
+
+    #[test]
+    fn frozen_client_message_matches_inline(u in update_strategy()) {
+        let inline = encode(&u);
+        let msg = encode(&ClientMessage::update(u.clone()));
+        // Old layout: u32 variant index, then the inline body.
+        prop_assert_eq!(msg.len(), 4 + inline.len());
+        prop_assert_eq!(&msg[4..], &inline[..]);
+        prop_assert_eq!(encoded_len(&ClientMessage::update(u)), msg.len());
+    }
+
+    #[test]
+    fn frozen_peer_collab_update_matches_inline(u in update_strategy(), origin in 0u32..1000) {
+        let origin = ServerAddr(origin);
+        let inline = encode(&u);
+        let msg = encode(&PeerMsg::CollabUpdate { update: FrozenUpdate::new(u), origin });
+        // Old layout: u32 variant index, inline body, then the origin.
+        prop_assert_eq!(msg.len(), 4 + inline.len() + encoded_len(&origin));
+        prop_assert_eq!(&msg[4..4 + inline.len()], &inline[..]);
+    }
+
+    #[test]
+    fn frozen_log_entry_matches_inline(u in update_strategy()) {
+        let inline = encode(&u);
+        let msg = encode(&LogEntry::Update(FrozenUpdate::new(u)));
+        prop_assert_eq!(msg.len(), 4 + inline.len());
+        prop_assert_eq!(&msg[4..], &inline[..]);
+    }
+
+    #[test]
+    fn frozen_batch_matches_inline(us in prop::collection::vec(update_strategy(), 0..5)) {
+        // A poll-reply batch: every contained update spliced, the whole
+        // nesting byte-identical to inline encoding of each body.
+        let batch = ClientMessage::Response(ResponseBody::Batch(
+            us.iter().cloned().map(ClientMessage::update).collect(),
+        ));
+        let bytes = encode(&batch);
+        prop_assert_eq!(bytes.len(), encoded_len(&batch));
+        // Layout: variant(Response) ++ variant(Batch) ++ count ++ items.
+        let mut expected = Vec::new();
+        let item_head = {
+            let probe = encode(&ClientMessage::Response(ResponseBody::Batch(vec![])));
+            prop_assert_eq!(probe.len(), 12); // two variant indices + count
+            probe[..8].to_vec()
+        };
+        expected.extend_from_slice(&item_head);
+        expected.extend_from_slice(&(us.len() as u32).to_le_bytes());
+        for u in &us {
+            expected.extend_from_slice(&encode(&ClientMessage::update(u.clone())));
+        }
+        prop_assert_eq!(&bytes[..], &expected[..]);
+        prop_assert_eq!(decode::<ClientMessage>(&bytes).unwrap(), batch);
     }
 
     #[test]

@@ -105,7 +105,7 @@ fn main() {
         matches!(&r.entry, wire::LogEntry::Request(AppOp::SetParam(name, _)) if name == "mass")
     });
     let saw_chat = records.iter().any(|r| {
-        matches!(&r.entry, wire::LogEntry::Update(UpdateBody::Chat { .. }))
+        matches!(&r.entry, wire::LogEntry::Update(u) if matches!(u.body(), UpdateBody::Chat { .. }))
     });
     println!("carol's archive: {} records", records.len());
     println!("  contains alice's steering     : {saw_steering}");

@@ -55,7 +55,8 @@ fn main() {
     let mut recovery_end = 0.0f64;
     let mut shown = 0;
     for (t, msg) in &analyst.received {
-        if let ClientMessage::Update(UpdateBody::AppStatus { status, readings, .. }) = msg {
+        let ClientMessage::Update(u) = msg else { continue };
+        if let UpdateBody::AppStatus { status, readings, .. } = u.body() {
             let get = |name: &str| {
                 readings
                     .iter()

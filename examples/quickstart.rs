@@ -60,13 +60,15 @@ fn main() {
             ClientMessage::Response(ResponseBody::OpDone { outcome, .. }) => {
                 println!("[{t}] operation done: {outcome:?}");
             }
-            ClientMessage::Update(UpdateBody::AppStatus { status, .. }) => {
-                status_updates += 1;
-                if status_updates <= 3 {
-                    println!(
-                        "[{t}] status update: iteration {}, phase {:?}",
-                        status.iteration, status.phase
-                    );
+            ClientMessage::Update(u) => {
+                if let UpdateBody::AppStatus { status, .. } = u.body() {
+                    status_updates += 1;
+                    if status_updates <= 3 {
+                        println!(
+                            "[{t}] status update: iteration {}, phase {:?}",
+                            status.iteration, status.phase
+                        );
+                    }
                 }
             }
             _ => {}
