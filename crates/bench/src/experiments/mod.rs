@@ -7,12 +7,14 @@ mod collaboration;
 mod distributed;
 mod fanout;
 mod faults;
+mod overload;
 mod tracing;
 
 pub use collaboration::{e11_push_vs_poll, e4_collab_traffic, e5_remote_vs_local, e6_discovery_auth};
 pub use distributed::{e10_latecomer_replay, e7_lock_contention, e8_network_scalability, e9_fifo_slow_clients};
 pub use fanout::e14_broadcast_fanout;
 pub use faults::e12_fault_tolerance;
+pub use overload::e15_overload;
 pub use tracing::e13_latency_attribution;
 pub use scalability::{e1_app_scalability, e2_client_scalability, e3_protocol_asymmetry};
 
@@ -36,5 +38,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e12", e12_fault_tolerance),
         ("e13", e13_latency_attribution),
         ("e14", e14_broadcast_fanout),
+        ("e15", e15_overload),
     ]
 }

@@ -13,8 +13,8 @@ use std::collections::VecDeque;
 use simnet::{names, Actor, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::http::HttpRequest;
 use wire::{
-    AppId, AppOp, ClientMessage, ClientRequest, Content, Envelope, MessageKind, ResponseBody,
-    UpdateBody, UserId, Value,
+    AppId, AppOp, ClientMessage, ClientRequest, Content, DeadlineStamp, Envelope, ErrorCode,
+    MessageKind, Priority, ResponseBody, UpdateBody, UserId, Value,
 };
 
 const TAG_LOGIN: u64 = 1;
@@ -139,6 +139,17 @@ pub struct PortalConfig {
     pub script: Vec<(SimDuration, ClientRequest)>,
     /// Optional closed-loop workload (starts once selected / locked).
     pub workload: Option<Workload>,
+    /// Per-operation deadline budget. When set, every posted operation
+    /// (and lock request) carries a [`DeadlineStamp`] of `now + budget`
+    /// classified by [`Priority::of_request`]; downstream hops drop the
+    /// work once the stamp expires. `None` (the default) leaves the wire
+    /// byte-identical to an undeadlined run.
+    pub deadline: Option<SimDuration>,
+    /// Extra pause before reissuing after an `Overloaded` rejection (the
+    /// server's retry-after hint, honoured client-side). Only reachable
+    /// when a server runs admission control, so the default changes
+    /// nothing for unprotected runs.
+    pub overload_backoff: SimDuration,
 }
 
 impl PortalConfig {
@@ -152,7 +163,15 @@ impl PortalConfig {
             select: None,
             script: Vec::new(),
             workload: None,
+            deadline: None,
+            overload_backoff: SimDuration::from_millis(500),
         }
+    }
+
+    /// Stamp every posted operation with a `now + budget` deadline.
+    pub fn deadline(mut self, budget: SimDuration) -> Self {
+        self.deadline = Some(budget);
+        self
     }
 
     /// Select `app` right after login.
@@ -194,6 +213,11 @@ pub struct Portal {
     pub received: Vec<(SimTime, ClientMessage)>,
     /// Completion latencies of closed-loop operations (microseconds).
     pub op_latencies_us: Vec<u64>,
+    /// Every tracked completion: (completion time, latency µs, success).
+    /// `success` is false for error replies (shed, rejected, expired, …),
+    /// letting experiments compute goodput — successes within a latency
+    /// bound — without re-deriving pairing from `received`.
+    pub op_completions: Vec<(SimTime, u64, bool)>,
     /// Number of workload operations issued.
     pub ops_issued: u64,
     ops_since_lock: u64,
@@ -221,6 +245,7 @@ impl Portal {
             login_status: None,
             received: Vec::new(),
             op_latencies_us: Vec::new(),
+            op_completions: Vec::new(),
             ops_issued: 0,
             ops_since_lock: 0,
             lock_held: false,
@@ -272,11 +297,27 @@ impl Portal {
         if matches!(req, ClientRequest::RequestLock { .. }) && self.lock_requested_at.is_none() {
             self.lock_requested_at = Some(ctx.now());
         }
+        // Deadline stamping at portal ingress: operations and lock
+        // traffic get `now + budget` with their priority class; control
+        // plumbing (select, logout, …) travels unstamped.
+        let stamp = self
+            .config
+            .deadline
+            .filter(|_| {
+                matches!(
+                    req,
+                    ClientRequest::Op { .. }
+                        | ClientRequest::RequestLock { .. }
+                        | ClientRequest::ReleaseLock { .. }
+                )
+            })
+            .map(|budget| DeadlineStamp::after(ctx.now(), budget, Priority::of_request(&req)));
         let server = self.server.expect("portal not wired to a server");
         ctx.send(
             server,
             Envelope::http_request(HttpRequest::post(webserv::paths::COMMAND, self.cookie, req))
-                .with_trace(trace),
+                .with_trace(trace)
+                .with_deadline(stamp),
         );
     }
 
@@ -401,15 +442,30 @@ impl Portal {
                 }
             }
             ClientMessage::Response(ResponseBody::OpDone { .. }) | ClientMessage::Error(_) => {
+                let mut backoff = SimDuration::ZERO;
+                if let ClientMessage::Error(e) = &msg {
+                    match e.code {
+                        ErrorCode::Overloaded => {
+                            ctx.metrics().incr(names::CLIENT_OPS_REJECTED);
+                            backoff = self.config.overload_backoff;
+                        }
+                        ErrorCode::DeadlineExceeded => {
+                            ctx.metrics().incr(names::CLIENT_OPS_EXPIRED)
+                        }
+                        _ => {}
+                    }
+                }
                 if let Some((issued, trace)) = self.outstanding.pop_front() {
                     ctx.trace_finish(trace);
                     let latency = at.since(issued);
                     self.op_latencies_us.push(latency.as_micros());
+                    let ok = matches!(&msg, ClientMessage::Response(_));
+                    self.op_completions.push((at, latency.as_micros(), ok));
                     ctx.metrics().record(names::CLIENT_OP_LATENCY, latency);
                     if self.workload_started {
                         let think = self.config.workload.as_ref().map(|w| w.think);
                         if let Some(think) = think {
-                            ctx.schedule(think, TAG_THINK);
+                            ctx.schedule(think + backoff, TAG_THINK);
                         }
                     }
                 }

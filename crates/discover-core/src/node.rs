@@ -47,6 +47,7 @@ impl Actor<Envelope> for DiscoverNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, from: NodeId, msg: Envelope) {
         let trace = msg.trace;
+        let deadline = msg.deadline;
         // Cached content size, read before `content` is moved out; the
         // ingress handlers charge CPU from it instead of re-walking the
         // payload with the size counter.
@@ -58,11 +59,15 @@ impl Actor<Envelope> for DiscoverNode {
                 // children and may outlive it.
                 let span = ctx.trace_child(trace, "server.http");
                 self.core.incoming_trace = span;
+                self.core.incoming_deadline = deadline;
                 self.substrate.request_trace = span;
+                self.substrate.request_deadline = deadline;
                 let effects = self.core.handle_http(ctx, from, req, content_size);
                 self.substrate.perform_all(ctx, &mut self.core, effects);
                 self.core.incoming_trace = None;
+                self.core.incoming_deadline = None;
                 self.substrate.request_trace = None;
+                self.substrate.request_deadline = None;
                 ctx.trace_finish(span);
             }
             Content::Tcp(frame) => {
@@ -78,11 +83,15 @@ impl Actor<Envelope> for DiscoverNode {
                     // caller's orb.call context carried by the envelope.
                     let span = ctx.trace_child(trace, "server.giop");
                     self.core.incoming_trace = span;
+                    self.core.incoming_deadline = deadline;
                     self.substrate.request_trace = span;
+                    self.substrate.request_deadline = deadline;
                     let effects = self.core.handle_giop(ctx, from, frame);
                     self.substrate.perform_all(ctx, &mut self.core, effects);
                     self.core.incoming_trace = None;
+                    self.core.incoming_deadline = None;
                     self.substrate.request_trace = None;
+                    self.substrate.request_deadline = None;
                     ctx.trace_finish(span);
                 }
             },

@@ -23,8 +23,8 @@ use orb::{AddressBook, Broker, RetryPolicy, DISCOVER_SERVICE};
 use simnet::{names, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::giop::GiopFrame;
 use wire::{
-    AppId, ClientId, ControlEvent, ControlEventKind, Envelope, ErrorCode, ObjectKey, ObjectRef,
-    PeerMsg, PeerReply, ServerAddr, Value, WireError,
+    AppId, ClientId, ControlEvent, ControlEventKind, DeadlineStamp, Envelope, ErrorCode,
+    ObjectKey, ObjectRef, PeerMsg, PeerReply, ServerAddr, Value, WireError,
 };
 
 use discover_server::{Effect, ServerCore, CORBA_SERVER_KEY};
@@ -169,6 +169,11 @@ pub struct Substrate {
     /// issued while resolving that request's effects is parented under
     /// the request's span. `None` between requests (background work).
     pub request_trace: Option<TraceContext>,
+    /// Ambient deadline stamp for the request currently being processed,
+    /// set by the node shell alongside `request_trace`. ORB calls issued
+    /// for a deadlined request carry the stamp on the wire and refuse to
+    /// start once it has passed. `None` between requests.
+    pub request_deadline: Option<DeadlineStamp>,
 }
 
 impl Substrate {
@@ -194,6 +199,7 @@ impl Substrate {
             routes: BTreeMap::new(),
             peers_stale: false,
             request_trace: None,
+            request_deadline: None,
         }
     }
 
@@ -418,44 +424,73 @@ impl Substrate {
                 }
                 ctx.trace_finish(dispatch);
             }
-            Effect::RemoteOp { client, user, app, op } => match self.route_for(app) {
-                Some((addr, _)) if self.peer_health(addr) == PeerHealth::Down => {
-                    ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
-                    ctx.trace_annotate(self.request_trace, "fastfail: host down, redirect hint");
-                    core.complete_remote_op(ctx, client, app, Err(Self::down_error(addr, app)));
-                }
-                Some((addr, node)) => {
-                    let dispatch = ctx.trace_child(self.request_trace, "substrate.dispatch");
-                    ctx.metrics().incr(names::SUBSTRATE_REMOTE_OPS);
-                    let msg = PeerMsg::ProxyOp { app, user, op };
-                    charge_stub(ctx, core, &msg);
-                    let span = ctx.trace_child(dispatch, "orb.call");
-                    if self
-                        .broker
-                        .call_traced(
+            Effect::RemoteOp { client, user, app, op } => {
+                // Deadline check at the orb-call hop: an op whose budget
+                // ran out in the servlet never goes on the wire.
+                if let Some(stamp) = self.request_deadline {
+                    if stamp.expired(ctx.now()) {
+                        ctx.metrics().incr(names::SUBSTRATE_DEADLINE_FASTFAIL);
+                        ctx.trace_annotate(
+                            self.request_trace,
+                            "fastfail: deadline passed before orb call",
+                        );
+                        core.complete_remote_op(
                             ctx,
-                            node,
-                            ObjectKey::new(format!("apps/{app}")),
-                            "proxyOp",
-                            msg,
-                            CallCtx::Op { client, app },
-                            span,
-                        )
-                        .is_err()
-                    {
-                        ctx.trace_finish(span);
+                            client,
+                            app,
+                            Err(WireError::new(
+                                ErrorCode::DeadlineExceeded,
+                                "deadline passed before remote dispatch",
+                            )),
+                        );
+                        return;
+                    }
+                }
+                match self.route_for(app) {
+                    Some((addr, _)) if self.peer_health(addr) == PeerHealth::Down => {
                         ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
+                        ctx.trace_annotate(self.request_trace, "fastfail: host down, redirect hint");
                         core.complete_remote_op(ctx, client, app, Err(Self::down_error(addr, app)));
                     }
-                    ctx.trace_finish(dispatch);
+                    Some((addr, node)) => {
+                        let dispatch = ctx.trace_child(self.request_trace, "substrate.dispatch");
+                        ctx.metrics().incr(names::SUBSTRATE_REMOTE_OPS);
+                        let msg = PeerMsg::ProxyOp { app, user, op };
+                        charge_stub(ctx, core, &msg);
+                        let span = ctx.trace_child(dispatch, "orb.call");
+                        if self
+                            .broker
+                            .call_traced_deadline(
+                                ctx,
+                                node,
+                                ObjectKey::new(format!("apps/{app}")),
+                                "proxyOp",
+                                msg,
+                                CallCtx::Op { client, app },
+                                span,
+                                self.request_deadline,
+                            )
+                            .is_err()
+                        {
+                            ctx.trace_finish(span);
+                            ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
+                            core.complete_remote_op(
+                                ctx,
+                                client,
+                                app,
+                                Err(Self::down_error(addr, app)),
+                            );
+                        }
+                        ctx.trace_finish(dispatch);
+                    }
+                    None => core.complete_remote_op(
+                        ctx,
+                        client,
+                        app,
+                        Err(WireError::new(ErrorCode::Unavailable, "host server unknown")),
+                    ),
                 }
-                None => core.complete_remote_op(
-                    ctx,
-                    client,
-                    app,
-                    Err(WireError::new(ErrorCode::Unavailable, "host server unknown")),
-                ),
-            },
+            }
             Effect::RemoteLock { client, user, app, acquire } => match self.route_for(app) {
                 Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
                     let (operation, msg) = if acquire {
@@ -665,8 +700,17 @@ impl Substrate {
                 // Failed-over apps return to their home host once it is
                 // healthy again.
                 let health = &self.health;
-                self.routes
-                    .retain(|&app, _| health.get(&app.host()) != Some(&PeerHealth::Up));
+                let mut returned: Vec<AppId> = Vec::new();
+                self.routes.retain(|&app, _| {
+                    let keep = health.get(&app.host()) != Some(&PeerHealth::Up);
+                    if !keep {
+                        returned.push(app);
+                    }
+                    keep
+                });
+                for app in returned {
+                    core.clear_mirror_hint(app);
+                }
                 // Re-issue push subscriptions that never got confirmed
                 // (lost subscribe, or host was down when we tried).
                 let unconfirmed: Vec<AppId> = self
@@ -687,8 +731,12 @@ impl Substrate {
                     }
                     if object.server == app.host() {
                         self.routes.remove(&app);
+                        core.clear_mirror_hint(app);
                     } else {
                         self.routes.insert(app, object.server);
+                        // Let the overload path hand out redirect hints
+                        // for shed work targeting this app.
+                        core.set_mirror_hint(app, object.server);
                     }
                 }
             }
@@ -756,6 +804,9 @@ impl Substrate {
         if report.opened > 0 {
             ctx.metrics().add(names::SUBSTRATE_BREAKER_OPEN, report.opened as u64);
         }
+        if report.deadline_gave_up > 0 {
+            ctx.metrics().add(names::SUBSTRATE_DEADLINE_GAVE_UP, report.deadline_gave_up as u64);
+        }
         for node in report.retried_to {
             if let Some(addr) = self.addr_of_node(node) {
                 self.health.entry(addr).or_insert(PeerHealth::Up);
@@ -771,9 +822,21 @@ impl Substrate {
             let failed_addr = self.addr_of_node(pending.to);
             match pending.user {
                 CallCtx::Op { client, app } => {
-                    let err = match failed_addr {
-                        Some(addr) => Self::down_error(addr, app),
-                        None => WireError::new(ErrorCode::Unavailable, "remote call timed out"),
+                    // A deadline-driven give-up reports the spent budget
+                    // rather than a host-down redirect: the host may be
+                    // healthy, the request simply ran out of time.
+                    let err = if pending.deadline.is_some_and(|d| d.expired(ctx.now())) {
+                        WireError::new(
+                            ErrorCode::DeadlineExceeded,
+                            "deadline exhausted while retrying remote call",
+                        )
+                    } else {
+                        match failed_addr {
+                            Some(addr) => Self::down_error(addr, app),
+                            None => {
+                                WireError::new(ErrorCode::Unavailable, "remote call timed out")
+                            }
+                        }
                     };
                     core.complete_remote_op(ctx, client, app, Err(err));
                 }

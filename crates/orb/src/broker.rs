@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::Rng;
 use simnet::{Ctx, NodeId, SimDuration, SimTime, TraceContext};
-use wire::{Envelope, ObjectKey, PeerMsg};
+use wire::{DeadlineStamp, Envelope, ObjectKey, PeerMsg};
 
 /// Retry discipline for expired two-way calls.
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +133,10 @@ pub struct Pending<T> {
     /// (re-)issued request envelope, finished by the caller when the
     /// reply arrives or the call gives up.
     pub trace: Option<TraceContext>,
+    /// End-to-end deadline riding this logical call; propagated onto
+    /// every (re-)issued request envelope and consulted by the retry
+    /// sweep so no attempt is ever scheduled past it.
+    pub deadline: Option<DeadlineStamp>,
 }
 
 /// Outcome of a [`Broker::sweep_expired`] pass.
@@ -147,6 +151,10 @@ pub struct SweepReport<T> {
     /// Calls that exhausted their attempts (or hit an open breaker);
     /// the caller must fail these.
     pub gave_up: Vec<(u64, Pending<T>)>,
+    /// How many of `gave_up` still had attempts left but no deadline
+    /// budget for another backoff (the caller should fail these with a
+    /// remaining-budget / `DeadlineExceeded` error, not a timeout).
+    pub deadline_gave_up: u32,
 }
 
 /// Request-id allocator plus pending-call table, retry engine, and
@@ -257,6 +265,24 @@ impl<T> Broker<T> {
         user: T,
         trace: Option<TraceContext>,
     ) -> Result<u64, T> {
+        self.call_traced_deadline(ctx, to, key, operation, msg, user, trace, None)
+    }
+
+    /// [`Broker::call_traced`] with an end-to-end deadline stamp: the
+    /// stamp rides every (re-)issued request envelope, and the retry
+    /// sweep refuses to schedule an attempt that would land past it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call_traced_deadline(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        to: NodeId,
+        key: ObjectKey,
+        operation: &'static str,
+        msg: PeerMsg,
+        user: T,
+        trace: Option<TraceContext>,
+        deadline: Option<DeadlineStamp>,
+    ) -> Result<u64, T> {
         if !self.admits(ctx.now(), to) {
             ctx.trace_annotate(trace, "breaker: call rejected (open)");
             return Err(user);
@@ -266,11 +292,22 @@ impl<T> Broker<T> {
         ctx.send(
             to,
             Envelope::giop(wire::giop::GiopFrame::request(id, key.clone(), operation, msg.clone()))
-                .with_trace(trace),
+                .with_trace(trace)
+                .with_deadline(deadline),
         );
         self.pending.insert(
             id,
-            Pending { user, issued_at: ctx.now(), to, operation, key, msg, attempt: 1, trace },
+            Pending {
+                user,
+                issued_at: ctx.now(),
+                to,
+                operation,
+                key,
+                msg,
+                attempt: 1,
+                trace,
+                deadline,
+            },
         );
         Ok(id)
     }
@@ -323,8 +360,13 @@ impl<T> Broker<T> {
         cutoff: SimTime,
     ) -> SweepReport<T> {
         let now = ctx.now();
-        let mut report =
-            SweepReport { retried: 0, retried_to: Vec::new(), opened: 0, gave_up: Vec::new() };
+        let mut report = SweepReport {
+            retried: 0,
+            retried_to: Vec::new(),
+            opened: 0,
+            gave_up: Vec::new(),
+            deadline_gave_up: 0,
+        };
         for (id, p) in self.expire_issued_before(cutoff) {
             if self.record_outcome(now, p.to, false) {
                 report.opened += 1;
@@ -332,6 +374,18 @@ impl<T> Broker<T> {
             }
             if p.attempt < self.retry.max_attempts && self.admits(now, p.to) {
                 let delay = self.retry.backoff_jittered(p.attempt + 1, ctx.rng());
+                // Deadline-aware retry: never schedule an attempt that
+                // would land at or past the request's deadline — the
+                // reply could not arrive in time, so the remaining
+                // budget is already spent.
+                if let Some(d) = p.deadline {
+                    if d.expired(now + delay) {
+                        ctx.trace_annotate(p.trace, "deadline: no budget for retry");
+                        report.deadline_gave_up += 1;
+                        report.gave_up.push((id, p));
+                        continue;
+                    }
+                }
                 // The wait before the re-issue is a child span of the
                 // logical call, so trace views attribute backoff delay
                 // separately from wire/servant time.
@@ -346,7 +400,8 @@ impl<T> Broker<T> {
                         p.operation,
                         p.msg.clone(),
                     ))
-                    .with_trace(p.trace),
+                    .with_trace(p.trace)
+                    .with_deadline(p.deadline),
                     delay,
                 );
                 report.retried_to.push(p.to);
@@ -466,6 +521,7 @@ mod tests {
                 msg: PeerMsg::ListActive,
                 attempt: 1,
                 trace: None,
+                deadline: None,
             },
         );
         broker.pending.insert(
@@ -479,6 +535,7 @@ mod tests {
                 msg: PeerMsg::ListActive,
                 attempt: 1,
                 trace: None,
+                deadline: None,
             },
         );
         let expired = broker.expire_issued_before(SimTime::from_secs(5));
@@ -627,5 +684,82 @@ mod tests {
         assert_eq!(c.broker.in_flight(), 0);
         // Three identical requests must actually have hit the wire.
         assert_eq!(eng.link_stats(caller, hole).unwrap().msgs, 3);
+    }
+
+    /// Like `RetryCaller` but the call carries a deadline stamp: the
+    /// sweep must refuse retries whose backoff lands past the deadline.
+    struct DeadlineCaller {
+        broker: Broker<u32>,
+        servant: Option<NodeId>,
+        timeout: SimDuration,
+        deadline: SimTime,
+        retried: u32,
+        failed: u32,
+        deadline_failed: u32,
+    }
+    impl Actor<Envelope> for DeadlineCaller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+            if let Some(to) = self.servant {
+                let _ = self.broker.call_traced_deadline(
+                    ctx,
+                    to,
+                    ObjectKey::new("DiscoverCorbaServer"),
+                    "listActive",
+                    PeerMsg::ListActive,
+                    1,
+                    None,
+                    Some(DeadlineStamp {
+                        deadline: self.deadline,
+                        priority: wire::Priority::View,
+                    }),
+                );
+            }
+            ctx.schedule(SimDuration::from_secs(1), 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Envelope>, _from: NodeId, _msg: Envelope) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Envelope>, _tag: u64) {
+            if let Some(cutoff) = ctx.now().checked_sub(self.timeout) {
+                let report = self.broker.sweep_expired(ctx, cutoff);
+                self.retried += report.retried;
+                self.failed += report.gave_up.len() as u32;
+                self.deadline_failed += report.deadline_gave_up;
+            }
+            ctx.schedule(SimDuration::from_secs(1), 0);
+        }
+    }
+
+    #[test]
+    fn sweep_never_schedules_a_retry_past_the_deadline() {
+        let mut eng = Engine::new(11);
+        let hole = eng.add_node("hole", BlackHole);
+        // With a generous attempt budget but a deadline that expires
+        // before the first sweep can re-issue, the call must give up on
+        // budget grounds with zero retries hitting the wire.
+        let caller = eng.add_node(
+            "caller",
+            DeadlineCaller {
+                broker: Broker::with_retry(RetryPolicy {
+                    max_attempts: 10,
+                    base_backoff: SimDuration::from_millis(500),
+                    max_backoff: SimDuration::from_secs(2),
+                    jitter_frac: 0.0,
+                }),
+                servant: Some(hole),
+                timeout: SimDuration::from_secs(2),
+                deadline: SimTime::from_millis(3100),
+                retried: 0,
+                failed: 0,
+                deadline_failed: 0,
+            },
+        );
+        eng.link(caller, hole, LinkSpec::lan().with_jitter(SimDuration::ZERO));
+        eng.run_until(SimTime::from_secs(30));
+        let c = eng.actor_ref::<DeadlineCaller>(caller).unwrap();
+        assert_eq!(c.retried, 0, "no attempt may be scheduled past the deadline");
+        assert_eq!(c.failed, 1);
+        assert_eq!(c.deadline_failed, 1, "failure is attributed to deadline budget");
+        assert_eq!(c.broker.in_flight(), 0);
+        // Only the original request hit the wire.
+        assert_eq!(eng.link_stats(caller, hole).unwrap().msgs, 1);
     }
 }

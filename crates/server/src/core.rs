@@ -17,7 +17,7 @@
 //! methods. A standalone server simply drops effects (there are no
 //! peers), which is exactly the paper's pre-substrate §4 system.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use simnet::{names, Ctx, NodeId, TraceContext};
 use webserv::{FifoBuffer, HttpCosts, OrbCosts, SessionTable, TcpCosts};
@@ -26,15 +26,15 @@ use wire::http::{HttpRequest, HttpResponse};
 use wire::tcp::TcpFrame;
 use wire::{
     AppDescriptor, AppId, AppMsg, AppOp, AppPhase, AppStatus, AppToken, Channel, ClientId,
-    ClientMessage, ClientRequest, ControlEvent, ControlEventKind, Envelope, ErrorCode,
-    FrozenUpdate, InteractionSpec, LogEntry, ObjectKey, OpOutcome, PeerMsg, PeerReply, Privilege,
-    RequestId, ResponseBody, ServerAddr, UpdateBody, UserId, Value, WireError,
+    ClientMessage, ClientRequest, ControlEvent, ControlEventKind, DeadlineStamp, Envelope,
+    ErrorCode, FrozenUpdate, InteractionSpec, LogEntry, ObjectKey, OpOutcome, PeerMsg, PeerReply,
+    Privilege, RequestId, ResponseBody, ServerAddr, UpdateBody, UserId, Value, WireError,
 };
 
 use crate::archive::ArchiveStore;
 use crate::collab::CollabGroups;
 use crate::locks::LockOutcome;
-use crate::proxy::ApplicationProxy;
+use crate::proxy::{ApplicationProxy, BufferPush, BufferedOp};
 use crate::security;
 use crate::store::RecordStore;
 
@@ -83,6 +83,19 @@ pub struct ServerConfig {
     /// Idle client sessions older than this are reaped (their locks
     /// released and groups left, like a logout). `None` = never.
     pub session_idle_timeout: Option<simnet::SimDuration>,
+    /// Admission control: maximum view-class operations in flight toward
+    /// local applications; further view ops are rejected at HTTP ingress
+    /// with `Overloaded` + a retry-after hint. Command-class operations
+    /// (steering/lock traffic) are exempt. `None` = admit everything,
+    /// the paper's behaviour.
+    pub admission_inflight_max: Option<usize>,
+    /// Bound on each `ApplicationProxy`'s compute-phase Daemon buffer;
+    /// overflow sheds lowest-priority-oldest with `Overloaded`. `None` =
+    /// unbounded (the §6.2 memory concern).
+    pub proxy_buffer_capacity: Option<usize>,
+    /// Deterministic retry-after hint (milliseconds) embedded in
+    /// `Overloaded` rejections.
+    pub overload_retry_after_ms: u64,
 }
 
 impl ServerConfig {
@@ -103,6 +116,9 @@ impl ServerConfig {
             lock_lease: None,
             peer_rate_limit: None,
             session_idle_timeout: Some(simnet::SimDuration::from_secs(600)),
+            admission_inflight_max: None,
+            proxy_buffer_capacity: None,
+            overload_retry_after_ms: 500,
         }
     }
 }
@@ -239,6 +255,15 @@ pub struct ServerCore {
     /// shell sets it around `handle_http`/`handle_giop`); operations
     /// dispatched to applications parent their proxy spans under it.
     pub incoming_trace: Option<TraceContext>,
+    /// Deadline stamp of the request currently being handled (set by the
+    /// node shell alongside `incoming_trace`); checked at ingress and at
+    /// dispatch, and parked with operations buffered during compute
+    /// phases so expiry is re-checked at dequeue.
+    pub incoming_deadline: Option<DeadlineStamp>,
+    /// Mirror servers learned from the substrate's failover directory,
+    /// per application: shed/overload rejections embed a redirect hint
+    /// to the mirror when one is known.
+    mirror_hints: BTreeMap<AppId, ServerAddr>,
     /// Open proxy-execution spans of operations in flight to local
     /// applications, keyed by request id: (`proxy.execute` span,
     /// `app.command` child once the command actually leaves for the
@@ -270,6 +295,8 @@ impl ServerCore {
             deferred: Vec::new(),
             peer_accounting: HashMap::new(),
             incoming_trace: None,
+            incoming_deadline: None,
+            mirror_hints: BTreeMap::new(),
             req_traces: HashMap::new(),
         }
     }
@@ -319,6 +346,34 @@ impl ServerCore {
         self.fifos.values().map(FifoBuffer::peak).max().unwrap_or(0)
     }
 
+    /// Peak Daemon-buffer occupancy across all local application proxies
+    /// (the E15 bounded-queue observable).
+    pub fn proxy_buffered_peak_max(&self) -> usize {
+        self.apps.values().map(ApplicationProxy::buffered_peak).max().unwrap_or(0)
+    }
+
+    /// Total operations shed from Daemon buffers across all proxies.
+    pub fn proxy_shed_total(&self) -> u64 {
+        self.apps.values().map(ApplicationProxy::shed_total).sum()
+    }
+
+    /// Record that the failover directory knows a mirror for `app` (the
+    /// substrate calls this when a trader re-query resolves the app to a
+    /// different host); shed replies for `app` gain a redirect hint.
+    pub fn set_mirror_hint(&mut self, app: AppId, server: ServerAddr) {
+        self.mirror_hints.insert(app, server);
+    }
+
+    /// Forget a mirror hint (the app resolved back to its home host).
+    pub fn clear_mirror_hint(&mut self, app: AppId) {
+        self.mirror_hints.remove(&app);
+    }
+
+    /// The mirror currently hinted for `app`, if any (tests).
+    pub fn mirror_hint(&self, app: AppId) -> Option<ServerAddr> {
+        self.mirror_hints.get(&app).copied()
+    }
+
     /// Lifetime served / throttled GIOP request counts per peer node.
     pub fn peer_accounting(&self) -> Vec<(NodeId, u64, u64)> {
         let mut v: Vec<_> =
@@ -356,9 +411,23 @@ impl ServerCore {
         id
     }
 
-    fn fifo_push(&mut self, client: ClientId, msg: ClientMessage) {
+    fn fifo_push(&mut self, ctx: &mut Ctx<'_, Envelope>, client: ClientId, msg: ClientMessage) {
         if let Some(fifo) = self.fifos.get_mut(&client) {
+            let dropped0 = fifo.dropped();
+            let peak0 = fifo.peak();
             fifo.push(msg);
+            // Fold the buffer's counters into the per-node registry:
+            // enqueues and drops count directly; the high-water mark is
+            // folded as a monotone counter of peak increments, since
+            // `fold_node_metrics` merges counters only.
+            ctx.metrics().incr(names::WEBSERV_FIFO_ENQUEUED);
+            if fifo.dropped() > dropped0 {
+                ctx.metrics().incr(names::WEBSERV_FIFO_DROPPED);
+            }
+            let peak_growth = fifo.peak().saturating_sub(peak0);
+            if peak_growth > 0 {
+                ctx.metrics().add(names::WEBSERV_FIFO_PEAK, peak_growth as u64);
+            }
         }
     }
 
@@ -415,7 +484,7 @@ impl ServerCore {
         // a serializer walk.
         let mut reuses = 0u64;
         for c in targets {
-            self.fifo_push(c, ClientMessage::Update(update.clone()));
+            self.fifo_push(ctx, c, ClientMessage::Update(update.clone()));
             reuses += 1;
         }
         if app.host() == self.config.addr {
@@ -468,17 +537,69 @@ impl ServerCore {
         out
     }
 
+    /// Fail `req` back to its origin without executing it.
+    fn drop_op(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        req: RequestId,
+        error: WireError,
+    ) {
+        let origin = self.origins.remove(&req);
+        self.close_req_trace(ctx, req);
+        if let Some(origin) = origin {
+            self.finish_op(ctx, origin, Err(error));
+        }
+    }
+
+    /// Fail a shed buffered operation with `Overloaded`, embedding a
+    /// redirect hint when the failover directory knows a mirror for the
+    /// application.
+    fn shed_op(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId, victim: BufferedOp) {
+        ctx.metrics().incr(names::SERVER_PROXY_SHED);
+        let span = self.req_traces.get(&victim.req).map(|(p, _)| *p);
+        ctx.trace_annotate(span, "shed: daemon buffer full");
+        let detail = match self.mirror_hints.get(&app) {
+            Some(mirror) => {
+                ctx.metrics().incr(names::SERVER_PROXY_SHED_REDIRECTED);
+                format!(
+                    "daemon buffer full; redirect: DISCOVER/apps/{app} mirrored at host {mirror}"
+                )
+            }
+            None => format!(
+                "daemon buffer full; retry-after: {}ms",
+                self.config.overload_retry_after_ms
+            ),
+        };
+        self.drop_op(ctx, victim.req, WireError::new(ErrorCode::Overloaded, detail));
+    }
+
     /// Forward `op` toward a local application, honouring the Daemon
-    /// servlet's compute-phase buffering.
+    /// servlet's compute-phase buffering. `deadline` is the stamp the
+    /// operation is travelling under (checked here at dispatch, and
+    /// parked with the operation if it gets buffered).
     fn dispatch_to_app(
         &mut self,
         ctx: &mut Ctx<'_, Envelope>,
         app: AppId,
         req: RequestId,
         op: AppOp,
+        deadline: Option<DeadlineStamp>,
     ) {
         if !self.apps.contains_key(&app) {
             return;
+        }
+        // Expired work is dropped at the dispatch hop instead of being
+        // sent to (or buffered for) the application uselessly.
+        if let Some(stamp) = deadline {
+            if stamp.expired(ctx.now()) {
+                ctx.metrics().incr(names::SERVER_DEADLINE_DISPATCH_EXPIRED);
+                self.drop_op(
+                    ctx,
+                    req,
+                    WireError::new(ErrorCode::DeadlineExceeded, "deadline passed at dispatch"),
+                );
+                return;
+            }
         }
         // A request reaches here once at ingress and possibly again when
         // flushed from the compute-phase buffer; the proxy span is opened
@@ -509,22 +630,29 @@ impl ServerCore {
                     }
                 }
             }
-            AppPhase::Computing => {
-                proxy.buffered.push_back((req, op));
-                ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
-                let span = self.req_traces.get(&req).map(|(p, _)| *p);
-                ctx.trace_annotate(span, "buffered: application computing");
-            }
-            AppPhase::Terminated => {
-                let origin = self.origins.remove(&req);
-                self.close_req_trace(ctx, req);
-                if let Some(origin) = origin {
-                    self.finish_op(
-                        ctx,
-                        origin,
-                        Err(WireError::new(ErrorCode::Unavailable, "application terminated")),
-                    );
+            AppPhase::Computing => match proxy.buffer_op(req, op, deadline) {
+                BufferPush::Buffered => {
+                    ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
+                    let span = self.req_traces.get(&req).map(|(p, _)| *p);
+                    ctx.trace_annotate(span, "buffered: application computing");
                 }
+                BufferPush::Shed(victim) => {
+                    // The incoming op was buffered unless it was itself
+                    // the lowest-priority candidate.
+                    if victim.req != req {
+                        ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
+                        let span = self.req_traces.get(&req).map(|(p, _)| *p);
+                        ctx.trace_annotate(span, "buffered: application computing");
+                    }
+                    self.shed_op(ctx, app, victim);
+                }
+            },
+            AppPhase::Terminated => {
+                self.drop_op(
+                    ctx,
+                    req,
+                    WireError::new(ErrorCode::Unavailable, "application terminated"),
+                );
             }
         }
     }
@@ -555,6 +683,7 @@ impl ServerCore {
                 match result {
                     Ok(outcome) => {
                         self.fifo_push(
+                            ctx,
                             client,
                             ClientMessage::Response(ResponseBody::OpDone {
                                 app,
@@ -563,7 +692,7 @@ impl ServerCore {
                         );
                         self.after_outcome(ctx, client, user, app, outcome);
                     }
-                    Err(e) => self.fifo_push(client, ClientMessage::Error(e)),
+                    Err(e) => self.fifo_push(ctx, client, ClientMessage::Error(e)),
                 }
             }
             OpOrigin::Peer { node, giop_id, operation, app, user } => {
@@ -673,6 +802,27 @@ impl ServerCore {
         ctx.consume(self.config.http_costs.request_cost(wire_bytes, self.config.ssl));
         let mut effects = Vec::new();
 
+        // Webserv ingress deadline check: work that expired in the
+        // network (or a client queue) is answered immediately instead of
+        // burning server capacity. Only stamped requests (workload ops)
+        // ever carry a deadline, so session bookkeeping is unaffected.
+        if let Some(stamp) = self.incoming_deadline {
+            if stamp.expired(ctx.now()) {
+                ctx.metrics().incr(names::SERVER_DEADLINE_INGRESS_EXPIRED);
+                self.respond(
+                    ctx,
+                    from,
+                    200,
+                    None,
+                    vec![Self::error(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline passed before server ingress",
+                    )],
+                );
+                return effects;
+            }
+        }
+
         // Login is the only request valid without a session.
         if let Some(ClientRequest::Login { user, password }) = &req.body {
             let (status, cookie, body) = self.do_login(ctx, user.clone(), password, &mut effects);
@@ -695,6 +845,33 @@ impl ServerCore {
         let client = session.client;
         let user = session.user.clone();
         let cookie = session.cookie;
+
+        // Admission control: when an inflight budget is configured,
+        // view-class operations are rejected at ingress once the budget
+        // is spent. Steering commands and lock traffic are exempt — the
+        // paper's interaction model keeps control responsive while
+        // monitoring load is shed deterministically.
+        if let Some(budget) = self.config.admission_inflight_max {
+            if let Some(ClientRequest::Op { op, .. }) = &req.body {
+                if !op.is_mutating() && self.origins.len() >= budget {
+                    ctx.metrics().incr(names::SERVER_ADMISSION_REJECTED);
+                    self.respond(
+                        ctx,
+                        from,
+                        200,
+                        None,
+                        vec![Self::error(
+                            ErrorCode::Overloaded,
+                            format!(
+                                "server overloaded; retry-after: {}ms",
+                                self.config.overload_retry_after_ms
+                            ),
+                        )],
+                    );
+                    return effects;
+                }
+            }
+        }
 
         let body = match req.body {
             None | Some(ClientRequest::Poll) => {
@@ -1028,7 +1205,8 @@ impl ServerCore {
             );
             self.origins
                 .insert(req, OpOrigin::Local { client, user: user.clone(), app });
-            self.dispatch_to_app(ctx, app, req, op);
+            let deadline = self.incoming_deadline;
+            self.dispatch_to_app(ctx, app, req, op, deadline);
             vec![ClientMessage::Response(ResponseBody::Accepted)]
         } else {
             let Some(privilege) = self.remote_privs.get(&(user.clone(), app)).copied() else {
@@ -1174,7 +1352,7 @@ impl ServerCore {
                 }
                 let app = AppId { server: self.config.addr, seq: self.next_app_seq };
                 self.next_app_seq += 1;
-                let proxy = ApplicationProxy::new(
+                let mut proxy = ApplicationProxy::new(
                     app,
                     name.clone(),
                     kind,
@@ -1183,6 +1361,7 @@ impl ServerCore {
                     acl,
                     self.config.update_log_capacity,
                 );
+                proxy.buffer_capacity = self.config.proxy_buffer_capacity;
                 self.apps.insert(app, proxy);
                 self.app_by_node.insert(from, app);
                 ctx.metrics().incr(names::SERVER_DAEMON_REGISTERED);
@@ -1219,7 +1398,7 @@ impl ServerCore {
                 }
             }
             AppMsg::PhaseChange { app, phase } => {
-                let mut to_flush = Vec::new();
+                let mut to_flush: Vec<BufferedOp> = Vec::new();
                 if let Some(proxy) = self.apps.get_mut(&app) {
                     proxy.phase = phase;
                     proxy.last_status.phase = phase;
@@ -1229,9 +1408,25 @@ impl ServerCore {
                         to_flush = proxy.buffered.drain(..).collect();
                     }
                 }
-                for (req, op) in to_flush {
+                for entry in to_flush {
+                    // Proxy dequeue deadline check: work whose deadline
+                    // lapsed while parked never reaches the application.
+                    if let Some(stamp) = entry.deadline {
+                        if stamp.expired(ctx.now()) {
+                            ctx.metrics().incr(names::SERVER_DEADLINE_DEQUEUE_EXPIRED);
+                            self.drop_op(
+                                ctx,
+                                entry.req,
+                                WireError::new(
+                                    ErrorCode::DeadlineExceeded,
+                                    "deadline passed while buffered",
+                                ),
+                            );
+                            continue;
+                        }
+                    }
                     ctx.metrics().incr(names::SERVER_DAEMON_FLUSHED);
-                    self.dispatch_to_app(ctx, app, req, op);
+                    self.dispatch_to_app(ctx, app, entry.req, entry.op, entry.deadline);
                 }
             }
             AppMsg::Response { req, result } => {
@@ -1259,9 +1454,9 @@ impl ServerCore {
         self.app_by_node.remove(&proxy.node);
         ctx.metrics().incr(names::SERVER_DAEMON_DEREGISTERED);
         // Fail anything still buffered.
-        for (req, _) in proxy.buffered.drain(..) {
-            self.close_req_trace(ctx, req);
-            if let Some(origin) = self.origins.remove(&req) {
+        for entry in proxy.buffered.drain(..) {
+            self.close_req_trace(ctx, entry.req);
+            if let Some(origin) = self.origins.remove(&entry.req) {
                 self.finish_op(
                     ctx,
                     origin,
@@ -1276,7 +1471,7 @@ impl ServerCore {
         let targets = self.collab.broadcast_targets(app, None);
         let mut reuses = 0u64;
         for c in targets {
-            self.fifo_push(c, ClientMessage::Update(update.clone()));
+            self.fifo_push(ctx, c, ClientMessage::Update(update.clone()));
             reuses += 1;
         }
         self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
@@ -1451,7 +1646,8 @@ impl ServerCore {
                     req,
                     OpOrigin::Peer { node: from, giop_id: request_id, operation, app, user },
                 );
-                self.dispatch_to_app(ctx, app, req, op);
+                let deadline = self.incoming_deadline;
+                self.dispatch_to_app(ctx, app, req, op, deadline);
                 // Reply is sent when the application responds.
             }
             PeerMsg::LockRequest { app, user } => {
@@ -1636,7 +1832,7 @@ impl ServerCore {
         }
         ctx.metrics().incr(names::SERVER_REMOTE_AUTH_COMPLETIONS);
         let list = self.visible_apps(&user);
-        self.fifo_push(client, ClientMessage::Response(ResponseBody::Apps(list)));
+        self.fifo_push(ctx, client, ClientMessage::Response(ResponseBody::Apps(list)));
     }
 
     /// A remote operation completed (or failed terminally).
@@ -1661,6 +1857,7 @@ impl ServerCore {
         match result {
             Ok(outcome) => {
                 self.fifo_push(
+                    ctx,
                     client,
                     ClientMessage::Response(ResponseBody::OpDone { app, outcome: outcome.clone() }),
                 );
@@ -1691,14 +1888,14 @@ impl ServerCore {
                     vec![("outcome".to_string(), Value::Text(format!("{outcome:?}")))],
                 );
             }
-            Err(e) => self.fifo_push(client, ClientMessage::Error(e)),
+            Err(e) => self.fifo_push(ctx, client, ClientMessage::Error(e)),
         }
     }
 
     /// A relayed lock request/release was decided by the host server.
     pub fn complete_remote_lock(
         &mut self,
-        _ctx: &mut Ctx<'_, Envelope>,
+        ctx: &mut Ctx<'_, Envelope>,
         client: ClientId,
         app: AppId,
         acquire: bool,
@@ -1711,19 +1908,20 @@ impl ServerCore {
             (false, true) => ClientMessage::Response(ResponseBody::LockReleased { app }),
             (false, false) => Self::error(ErrorCode::BadRequest, "not the lock holder"),
         };
-        self.fifo_push(client, msg);
+        self.fifo_push(ctx, client, msg);
     }
 
     /// Remote history fetch completed.
     pub fn complete_remote_history(
         &mut self,
-        _ctx: &mut Ctx<'_, Envelope>,
+        ctx: &mut Ctx<'_, Envelope>,
         client: ClientId,
         app: AppId,
         records: Vec<wire::LogRecord>,
         next_seq: u64,
     ) {
         self.fifo_push(
+            ctx,
             client,
             ClientMessage::Response(ResponseBody::History { app, records, next_seq }),
         );

@@ -39,6 +39,6 @@ pub use archive::{ArchiveStore, Log};
 pub use collab::CollabGroups;
 pub use core::{Effect, RemoteApp, ServerConfig, ServerCore, CORBA_SERVER_KEY};
 pub use locks::{LockOutcome, SteeringLock};
-pub use proxy::ApplicationProxy;
+pub use proxy::{ApplicationProxy, BufferPush, BufferedOp};
 pub use standalone::StandaloneServer;
 pub use store::{Record, RecordAccess, RecordStore};

@@ -9,11 +9,43 @@ use std::collections::{HashMap, VecDeque};
 
 use simnet::NodeId;
 use wire::{
-    AppDescriptor, AppId, AppOp, AppPhase, AppStatus, FrozenUpdate, InteractionSpec, Privilege,
-    RequestId, ServerAddr, UserId, Value,
+    AppDescriptor, AppId, AppOp, AppPhase, AppStatus, DeadlineStamp, FrozenUpdate,
+    InteractionSpec, Priority, Privilege, RequestId, ServerAddr, UserId, Value,
 };
 
 use crate::locks::SteeringLock;
+
+/// One operation parked in the Daemon servlet's buffer while the
+/// application computes, with the deadline stamp it arrived under (if
+/// any) so expiry can be checked again at dequeue time.
+#[derive(Clone, Debug)]
+pub struct BufferedOp {
+    /// Request to answer when the operation eventually runs (or is shed).
+    pub req: RequestId,
+    /// The buffered operation.
+    pub op: AppOp,
+    /// Deadline stamp carried by the original request, if stamped.
+    pub deadline: Option<DeadlineStamp>,
+}
+
+impl BufferedOp {
+    /// Shedding class, per the paper's command-vs-view split: derived
+    /// from the operation itself so unstamped requests still classify.
+    pub fn priority(&self) -> Priority {
+        Priority::of_op(&self.op)
+    }
+}
+
+/// Outcome of [`ApplicationProxy::buffer_op`] on a bounded buffer.
+#[derive(Debug)]
+pub enum BufferPush {
+    /// The operation was buffered; nothing was shed.
+    Buffered,
+    /// The buffer was full: the returned victim (lowest-priority-oldest,
+    /// possibly the incoming operation itself) was shed and must be
+    /// failed with `Overloaded`.
+    Shed(BufferedOp),
+}
 
 /// Server-side context of one locally hosted application.
 pub struct ApplicationProxy {
@@ -41,7 +73,15 @@ pub struct ApplicationProxy {
     /// Requests buffered while the application computes (Daemon servlet:
     /// "buffers all client requests and sends them to the application when
     /// the application is in the interaction phase").
-    pub buffered: VecDeque<(RequestId, AppOp)>,
+    pub buffered: VecDeque<BufferedOp>,
+    /// Buffer bound. `None` reproduces the paper's unbounded Daemon
+    /// buffer (§6.2 flags its memory cost); `Some(cap)` enables
+    /// priority-aware shedding on overflow.
+    pub buffer_capacity: Option<usize>,
+    /// High-water mark of `buffered` (the E15 queue-peak assertion).
+    buffered_peak: usize,
+    /// Operations shed from this buffer so far.
+    shed_total: u64,
     /// The steering lock — authoritative only here, at the host server.
     pub lock: SteeringLock,
     update_log: VecDeque<(u64, FrozenUpdate, Option<ServerAddr>)>,
@@ -77,11 +117,70 @@ impl ApplicationProxy {
             last_status: AppStatus { phase: AppPhase::Computing, iteration: 0, progress: 0.0 },
             last_readings: Vec::new(),
             buffered: VecDeque::new(),
+            buffer_capacity: None,
+            buffered_peak: 0,
+            shed_total: 0,
             lock: SteeringLock::new(),
             update_log: VecDeque::new(),
             update_next_seq: 0,
             update_log_capacity: update_log_capacity.max(1),
         }
+    }
+
+    /// Park an operation in the Daemon buffer. Unbounded buffers
+    /// (capacity `None`) always accept. A full bounded buffer sheds
+    /// lowest-priority-oldest first: the oldest buffered entry whose
+    /// class does not outrank the incoming operation's is evicted; when
+    /// every buffered entry strictly outranks the incoming operation
+    /// (all commands, incoming view), the incoming operation itself is
+    /// the victim. FIFO order within each priority class is preserved —
+    /// two steering commands are never reordered.
+    pub fn buffer_op(
+        &mut self,
+        req: RequestId,
+        op: AppOp,
+        deadline: Option<DeadlineStamp>,
+    ) -> BufferPush {
+        let incoming = BufferedOp { req, op, deadline };
+        let mut shed = None;
+        if let Some(cap) = self.buffer_capacity {
+            if self.buffered.len() >= cap.max(1) {
+                // Oldest entry of the lowest class present (front-to-back
+                // scan; strict `<` keeps ties on the oldest, unlike
+                // `min_by_key`, which returns the last minimum).
+                let mut victim_idx = 0;
+                for (i, e) in self.buffered.iter().enumerate().skip(1) {
+                    if e.priority() < self.buffered[victim_idx].priority() {
+                        victim_idx = i;
+                    }
+                }
+                if self.buffered[victim_idx].priority() <= incoming.priority() {
+                    shed = self.buffered.remove(victim_idx);
+                } else {
+                    self.shed_total += 1;
+                    return BufferPush::Shed(incoming);
+                }
+            }
+        }
+        self.buffered.push_back(incoming);
+        self.buffered_peak = self.buffered_peak.max(self.buffered.len());
+        match shed {
+            Some(victim) => {
+                self.shed_total += 1;
+                BufferPush::Shed(victim)
+            }
+            None => BufferPush::Buffered,
+        }
+    }
+
+    /// High-water mark of the Daemon buffer over the proxy's lifetime.
+    pub fn buffered_peak(&self) -> usize {
+        self.buffered_peak
+    }
+
+    /// Operations shed from the Daemon buffer so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total
     }
 
     /// The privilege `user` holds on this application, if any.
@@ -146,7 +245,7 @@ impl ApplicationProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wire::{ServerAddr, UpdateBody};
+    use wire::{AppCommand, ServerAddr, UpdateBody};
 
     fn proxy() -> ApplicationProxy {
         ApplicationProxy::new(
@@ -215,6 +314,67 @@ mod tests {
         assert_eq!(next, 2);
         let (for_other, _) = p.updates_since(0, Some(ServerAddr(8)));
         assert_eq!(for_other.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_buffer_accepts_everything_and_tracks_peak() {
+        let mut p = proxy();
+        for i in 0..100 {
+            assert!(matches!(
+                p.buffer_op(RequestId(i), AppOp::GetStatus, None),
+                BufferPush::Buffered
+            ));
+        }
+        assert_eq!(p.buffered.len(), 100);
+        assert_eq!(p.buffered_peak(), 100);
+        assert_eq!(p.shed_total(), 0);
+    }
+
+    #[test]
+    fn full_buffer_sheds_lowest_priority_oldest_first() {
+        let mut p = proxy();
+        p.buffer_capacity = Some(3);
+        // Two views then a command.
+        p.buffer_op(RequestId(1), AppOp::GetStatus, None);
+        p.buffer_op(RequestId(2), AppOp::GetSensors, None);
+        p.buffer_op(RequestId(3), AppOp::Command(AppCommand::Pause), None);
+        // An incoming view evicts the OLDEST view, not the newer one and
+        // not the command.
+        match p.buffer_op(RequestId(4), AppOp::GetParam("x".into()), None) {
+            BufferPush::Shed(victim) => assert_eq!(victim.req, RequestId(1)),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(p.buffered.len(), 3);
+        // An incoming command also evicts the oldest view.
+        match p.buffer_op(RequestId(5), AppOp::Command(AppCommand::Resume), None) {
+            BufferPush::Shed(victim) => assert_eq!(victim.req, RequestId(2)),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Buffer is now [cmd 3, view 4, cmd 5]: FIFO order within each
+        // class survives the evictions.
+        let order: Vec<u64> = p.buffered.iter().map(|e| e.req.0).collect();
+        assert_eq!(order, vec![3, 4, 5]);
+        assert_eq!(p.buffered_peak(), 3, "peak never exceeds capacity");
+        assert_eq!(p.shed_total(), 2);
+    }
+
+    #[test]
+    fn incoming_view_is_shed_when_buffer_is_all_commands() {
+        let mut p = proxy();
+        p.buffer_capacity = Some(2);
+        p.buffer_op(RequestId(1), AppOp::Command(AppCommand::Pause), None);
+        p.buffer_op(RequestId(2), AppOp::SetParam("x".into(), Value::Int(1)), None);
+        match p.buffer_op(RequestId(3), AppOp::GetStatus, None) {
+            BufferPush::Shed(victim) => assert_eq!(victim.req, RequestId(3), "incoming shed"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        let order: Vec<u64> = p.buffered.iter().map(|e| e.req.0).collect();
+        assert_eq!(order, vec![1, 2], "commands untouched and unreordered");
+        // A full all-command buffer sheds its oldest command for a new one.
+        match p.buffer_op(RequestId(4), AppOp::Command(AppCommand::Resume), None) {
+            BufferPush::Shed(victim) => assert_eq!(victim.req, RequestId(1)),
+            other => panic!("expected shed, got {other:?}"),
+        }
     }
 
     #[test]

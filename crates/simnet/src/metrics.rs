@@ -73,6 +73,10 @@ pub mod names {
     pub const CLIENT_OP_LATENCY: TimerDef = TimerDef("client.op_latency");
     /// Lock acquisition latency.
     pub const CLIENT_LOCK_LATENCY: TimerDef = TimerDef("client.lock_latency");
+    /// Operations rejected by server admission control (`Overloaded`).
+    pub const CLIENT_OPS_REJECTED: CounterDef = CounterDef("client.ops_rejected");
+    /// Operations whose reply was `DeadlineExceeded` (dropped en route).
+    pub const CLIENT_OPS_EXPIRED: CounterDef = CounterDef("client.ops_expired");
 
     // -- server (session/handler layer) ----------------------------------
     /// HTTP requests handled.
@@ -142,6 +146,32 @@ pub mod names {
         CounterDef("server.remote.auth_completions");
     /// Idle sessions reaped.
     pub const SERVER_SESSIONS_REAPED: CounterDef = CounterDef("server.sessions.reaped");
+    /// Requests rejected at ingress by the inflight admission budget.
+    pub const SERVER_ADMISSION_REJECTED: CounterDef = CounterDef("server.admission.rejected");
+    /// Requests already expired when they reached server ingress.
+    pub const SERVER_DEADLINE_INGRESS_EXPIRED: CounterDef =
+        CounterDef("server.deadline.ingress_expired");
+    /// Operations expired at dispatch-to-application time.
+    pub const SERVER_DEADLINE_DISPATCH_EXPIRED: CounterDef =
+        CounterDef("server.deadline.dispatch_expired");
+    /// Buffered operations expired while waiting in a proxy buffer
+    /// (dropped at dequeue instead of dispatched).
+    pub const SERVER_DEADLINE_DEQUEUE_EXPIRED: CounterDef =
+        CounterDef("server.deadline.dequeue_expired");
+    /// Buffered operations shed from a bounded proxy buffer on overflow
+    /// (lowest-priority-oldest first).
+    pub const SERVER_PROXY_SHED: CounterDef = CounterDef("server.proxy.shed");
+    /// Shed replies that carried a redirect hint to a known mirror.
+    pub const SERVER_PROXY_SHED_REDIRECTED: CounterDef =
+        CounterDef("server.proxy.shed_redirected");
+    /// Messages enqueued into per-client webserv FIFO buffers.
+    pub const WEBSERV_FIFO_ENQUEUED: CounterDef = CounterDef("webserv.fifo.enqueued");
+    /// Messages dropped (oldest evicted) from full webserv FIFO buffers.
+    pub const WEBSERV_FIFO_DROPPED: CounterDef = CounterDef("webserv.fifo.dropped");
+    /// High-water-mark growth of webserv FIFO buffers, folded as a
+    /// monotone counter of peak increments so `fold_node_metrics` (which
+    /// folds counters only) can surface per-node queue peaks.
+    pub const WEBSERV_FIFO_PEAK: CounterDef = CounterDef("webserv.fifo.peak");
 
     // -- substrate (CORBA-ish middleware layer) --------------------------
     /// Trader/directory discovery queries issued.
@@ -192,6 +222,14 @@ pub mod names {
     pub const SUBSTRATE_FAILOVERS: CounterDef = CounterDef("substrate.failovers");
     /// Directory entries dropped as stale.
     pub const SUBSTRATE_DIRECTORY_STALE: CounterDef = CounterDef("substrate.directory.stale");
+    /// Remote calls fast-failed because the request's deadline had
+    /// already passed at dispatch time.
+    pub const SUBSTRATE_DEADLINE_FASTFAIL: CounterDef =
+        CounterDef("substrate.deadline.fastfail");
+    /// Broker retries abandoned because the next attempt would land past
+    /// the request's deadline (remaining budget too small).
+    pub const SUBSTRATE_DEADLINE_GAVE_UP: CounterDef =
+        CounterDef("substrate.deadline.gave_up");
 
     // -- node (actor shell) ----------------------------------------------
     /// DiscoverNode restarts (crash recovery).

@@ -1,0 +1,132 @@
+//! Deadline and priority stamps for end-to-end overload protection.
+//!
+//! A request is stamped once at portal ingress with an absolute deadline
+//! and a two-class priority, and the stamp rides the [`Envelope`]
+//! (crate::Envelope) as an opt-in framing extension — exactly the trick
+//! the trace context uses, so undeadlined runs keep byte-identical wire
+//! sizes and event schedules. Every hop (webserv ingress, server
+//! dispatch, proxy dequeue, orb retry scheduling) checks the stamp and
+//! drops expired work instead of executing it uselessly.
+
+use simnet::{SimDuration, SimTime};
+
+use crate::messages::{AppOp, ClientRequest};
+
+/// Two-class request priority, per the paper's command-vs-view split:
+/// steering commands and lock operations outrank monitoring view
+/// requests, so under overload the "control plane" of an interaction
+/// session survives while bulk monitoring is shed first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Priority {
+    /// Monitoring/view traffic: status, parameter and sensor reads,
+    /// polls — droppable under overload (the client will re-poll).
+    View,
+    /// Steering commands and lock operations: mutating ops and the lock
+    /// protocol that guards them. Shed only after all view traffic.
+    Command,
+}
+
+impl Priority {
+    /// Classify a single application operation.
+    pub fn of_op(op: &AppOp) -> Priority {
+        if op.is_mutating() {
+            Priority::Command
+        } else {
+            Priority::View
+        }
+    }
+
+    /// Classify a client request at portal/webserv ingress. Lock
+    /// protocol messages ride with commands; everything else —
+    /// including session management, which is cheap and rare — defaults
+    /// to the droppable view class.
+    pub fn of_request(req: &ClientRequest) -> Priority {
+        match req {
+            ClientRequest::Op { op, .. } => Priority::of_op(op),
+            ClientRequest::RequestLock { .. } | ClientRequest::ReleaseLock { .. } => {
+                Priority::Command
+            }
+            _ => Priority::View,
+        }
+    }
+}
+
+/// The stamp itself: an absolute expiry instant plus the request's
+/// priority class. Carried end to end; never rewritten at intermediate
+/// hops (the deadline is absolute, so propagation is copy-through).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeadlineStamp {
+    /// Absolute instant after which the request's reply is worthless to
+    /// the client.
+    pub deadline: SimTime,
+    /// Shedding class.
+    pub priority: Priority,
+}
+
+impl DeadlineStamp {
+    /// Framing bytes the stamp adds to an envelope: an 8-byte deadline
+    /// (microseconds) plus a 4-byte priority/flags word — a
+    /// service-context slot in GIOP terms, a header in HTTP terms.
+    pub const WIRE_BYTES: usize = 12;
+
+    /// Stamp a request arriving `budget` before its deadline.
+    pub fn after(now: SimTime, budget: SimDuration, priority: Priority) -> Self {
+        DeadlineStamp { deadline: now + budget, priority }
+    }
+
+    /// True once the deadline has passed (a reply can no longer be
+    /// useful). An expired stamp at any hop means the work is dropped
+    /// with `DeadlineExceeded` instead of executed.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.deadline
+    }
+
+    /// Remaining budget, saturating at zero once expired.
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.deadline.since(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AppId, ServerAddr};
+    use crate::messages::AppCommand;
+
+    #[test]
+    fn priority_classes_follow_command_vs_view_split() {
+        assert_eq!(Priority::of_op(&AppOp::GetStatus), Priority::View);
+        assert_eq!(Priority::of_op(&AppOp::GetSensors), Priority::View);
+        assert_eq!(Priority::of_op(&AppOp::GetParam("x".into())), Priority::View);
+        assert_eq!(
+            Priority::of_op(&AppOp::SetParam("x".into(), crate::Value::Int(1))),
+            Priority::Command
+        );
+        assert_eq!(Priority::of_op(&AppOp::Command(AppCommand::Pause)), Priority::Command);
+
+        let app = AppId { server: ServerAddr(1), seq: 1 };
+        assert_eq!(Priority::of_request(&ClientRequest::RequestLock { app }), Priority::Command);
+        assert_eq!(Priority::of_request(&ClientRequest::ReleaseLock { app }), Priority::Command);
+        assert_eq!(Priority::of_request(&ClientRequest::Poll), Priority::View);
+        assert_eq!(
+            Priority::of_request(&ClientRequest::Op { app, op: AppOp::GetStatus }),
+            Priority::View
+        );
+        // Commands outrank views in the ordering used by the shedder.
+        assert!(Priority::Command > Priority::View);
+    }
+
+    #[test]
+    fn expiry_and_budget() {
+        let s = DeadlineStamp::after(
+            SimTime::from_secs(1),
+            SimDuration::from_millis(500),
+            Priority::View,
+        );
+        assert!(!s.expired(SimTime::from_millis(1400)));
+        assert!(s.expired(SimTime::from_millis(1500)));
+        assert!(s.expired(SimTime::from_secs(2)));
+        assert_eq!(s.remaining(SimTime::from_millis(1400)), SimDuration::from_millis(100));
+        assert_eq!(s.remaining(SimTime::from_secs(3)), SimDuration::ZERO);
+    }
+}

@@ -7,6 +7,7 @@
 
 use simnet::TraceContext;
 
+use crate::deadline::DeadlineStamp;
 use crate::giop::GiopFrame;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::tcp::TcpFrame;
@@ -33,6 +34,11 @@ pub struct Envelope {
     /// one (a service-context slot in GIOP terms, a header in HTTP
     /// terms). Absent on every message of an untraced run.
     pub trace: Option<TraceContext>,
+    /// Deadline/priority stamp riding this message, if the portal (or a
+    /// propagating hop) stamped one. Absent on every message of an
+    /// undeadlined run, keeping the framing byte-identical to pre-stamp
+    /// wire output.
+    pub deadline: Option<DeadlineStamp>,
     size: usize,
 }
 
@@ -40,25 +46,25 @@ impl Envelope {
     /// Wrap an HTTP request.
     pub fn http_request(req: HttpRequest) -> Self {
         let size = req.wire_size();
-        Envelope { content: Content::HttpRequest(req), trace: None, size }
+        Envelope { content: Content::HttpRequest(req), trace: None, deadline: None, size }
     }
 
     /// Wrap an HTTP response.
     pub fn http_response(resp: HttpResponse) -> Self {
         let size = resp.wire_size();
-        Envelope { content: Content::HttpResponse(resp), trace: None, size }
+        Envelope { content: Content::HttpResponse(resp), trace: None, deadline: None, size }
     }
 
     /// Wrap a custom-TCP frame.
     pub fn tcp(frame: TcpFrame) -> Self {
         let size = frame.wire_size();
-        Envelope { content: Content::Tcp(frame), trace: None, size }
+        Envelope { content: Content::Tcp(frame), trace: None, deadline: None, size }
     }
 
     /// Wrap a GIOP frame.
     pub fn giop(frame: GiopFrame) -> Self {
         let size = frame.wire_size();
-        Envelope { content: Content::Giop(frame), trace: None, size }
+        Envelope { content: Content::Giop(frame), trace: None, deadline: None, size }
     }
 
     /// Stamp a trace context onto this message. A `Some` context adds
@@ -76,22 +82,41 @@ impl Envelope {
         self
     }
 
-    /// The precomputed wire size (content framing plus trace-context
-    /// bytes when stamped).
+    /// Stamp a deadline/priority onto this message. A `Some` stamp adds
+    /// [`DeadlineStamp::WIRE_BYTES`] of framing, so deadlined runs pay
+    /// the (tiny, realistic) propagation cost; `None` leaves the
+    /// envelope — and the run's event schedule — untouched.
+    pub fn with_deadline(mut self, deadline: Option<DeadlineStamp>) -> Self {
+        if self.deadline.is_some() {
+            self.size -= DeadlineStamp::WIRE_BYTES;
+        }
+        self.deadline = deadline;
+        if self.deadline.is_some() {
+            self.size += DeadlineStamp::WIRE_BYTES;
+        }
+        self
+    }
+
+    /// The precomputed wire size (content framing plus trace-context and
+    /// deadline-stamp bytes when stamped).
     pub fn wire_size(&self) -> usize {
         self.size
     }
 
-    /// The content's own wire size, excluding any trace-context framing
-    /// — identical to `content.wire_size()` but read from the cached
-    /// total instead of re-walking the payload. Receivers use this to
-    /// charge ingress CPU without a second serializer pass.
+    /// The content's own wire size, excluding any trace-context or
+    /// deadline-stamp framing — identical to `content.wire_size()` but
+    /// read from the cached total instead of re-walking the payload.
+    /// Receivers use this to charge ingress CPU without a second
+    /// serializer pass.
     pub fn content_size(&self) -> usize {
+        let mut size = self.size;
         if self.trace.is_some() {
-            self.size - TraceContext::WIRE_BYTES
-        } else {
-            self.size
+            size -= TraceContext::WIRE_BYTES;
         }
+        if self.deadline.is_some() {
+            size -= DeadlineStamp::WIRE_BYTES;
+        }
+        size
     }
 }
 
@@ -138,5 +163,37 @@ mod tests {
         let env = env.with_trace(None);
         assert_eq!(env.wire_size(), bare);
         assert_eq!(env.trace, None);
+    }
+
+    #[test]
+    fn deadline_stamp_adds_wire_bytes_once() {
+        use crate::deadline::{DeadlineStamp, Priority};
+        use simnet::{SimTime, TraceContext};
+        let req = HttpRequest::get("/discover/poll", Some(4));
+        let bare = req.wire_size();
+        let stamp =
+            DeadlineStamp { deadline: SimTime::from_secs(2), priority: Priority::Command };
+        let env = Envelope::http_request(req).with_deadline(Some(stamp));
+        assert_eq!(env.wire_size(), bare + DeadlineStamp::WIRE_BYTES);
+        assert_eq!(env.content_size(), bare);
+        assert_eq!(env.deadline, Some(stamp));
+        // Re-stamping replaces rather than accumulates framing bytes.
+        let env = env.with_deadline(Some(DeadlineStamp {
+            deadline: SimTime::from_secs(3),
+            priority: Priority::View,
+        }));
+        assert_eq!(env.wire_size(), bare + DeadlineStamp::WIRE_BYTES);
+        // Trace and deadline stamps compose; content_size excludes both.
+        let ctx = TraceContext { trace_id: 1, span_id: 2, parent_span: None };
+        let env = env.with_trace(Some(ctx));
+        assert_eq!(
+            env.wire_size(),
+            bare + DeadlineStamp::WIRE_BYTES + TraceContext::WIRE_BYTES
+        );
+        assert_eq!(env.content_size(), bare);
+        // Clearing restores the bare size.
+        let env = env.with_deadline(None).with_trace(None);
+        assert_eq!(env.wire_size(), bare);
+        assert_eq!(env.deadline, None);
     }
 }

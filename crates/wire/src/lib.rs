@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+mod deadline;
 mod envelope;
 pub mod giop;
 pub mod http;
@@ -26,6 +27,7 @@ mod payload;
 pub mod tcp;
 mod value;
 
+pub use deadline::{DeadlineStamp, Priority};
 pub use envelope::{Content, Envelope};
 pub use payload::FrozenUpdate;
 pub use ids::{

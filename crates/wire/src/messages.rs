@@ -132,6 +132,15 @@ pub enum ErrorCode {
     Unavailable,
     /// Malformed or out-of-sequence request.
     BadRequest,
+    // New codes are appended (never inserted) so DBP variant indices of
+    // the codes above stay wire-stable across PRs.
+    /// The request's deadline passed before a reply could be produced;
+    /// the work was dropped rather than executed uselessly.
+    DeadlineExceeded,
+    /// The server shed this request under overload; the detail carries a
+    /// deterministic retry-after hint and, when a mirror is known, a
+    /// redirect hint.
+    Overloaded,
 }
 
 /// An error payload (code plus human-readable detail).

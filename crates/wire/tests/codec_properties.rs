@@ -4,11 +4,13 @@
 #![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
+use simnet::SimTime;
 use wire::codec::{decode, encode, encoded_len};
+use wire::http::HttpRequest;
 use wire::{
-    AppCommand, AppId, AppOp, AppPhase, AppStatus, ClientMessage, ClientRequest, ErrorCode,
-    FrozenUpdate, LogEntry, PeerMsg, Privilege, ResponseBody, ServerAddr, UpdateBody, UserId,
-    Value, WhiteboardStroke, WireError,
+    AppCommand, AppId, AppOp, AppPhase, AppStatus, ClientMessage, ClientRequest, DeadlineStamp,
+    Envelope, ErrorCode, FrozenUpdate, LogEntry, PeerMsg, Priority, Privilege, ResponseBody,
+    ServerAddr, UpdateBody, UserId, Value, WhiteboardStroke, WireError,
 };
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -100,7 +102,7 @@ fn request_strategy() -> impl Strategy<Value = ClientRequest> {
 fn client_message_strategy() -> impl Strategy<Value = ClientMessage> {
     let leaf = prop_oneof![
         update_strategy().prop_map(ClientMessage::update),
-        (0u8..8, "[ -~]{0,30}").prop_map(|(c, detail)| {
+        (0u8..10, "[ -~]{0,30}").prop_map(|(c, detail)| {
             let code = match c {
                 0 => ErrorCode::AuthFailed,
                 1 => ErrorCode::NoSuchApp,
@@ -109,7 +111,9 @@ fn client_message_strategy() -> impl Strategy<Value = ClientMessage> {
                 4 => ErrorCode::LockHeld,
                 5 => ErrorCode::BadParameter,
                 6 => ErrorCode::Unavailable,
-                _ => ErrorCode::BadRequest,
+                7 => ErrorCode::BadRequest,
+                8 => ErrorCode::DeadlineExceeded,
+                _ => ErrorCode::Overloaded,
             };
             ClientMessage::Error(WireError::new(code, detail))
         }),
@@ -228,6 +232,56 @@ proptest! {
         }
         prop_assert_eq!(&bytes[..], &expected[..]);
         prop_assert_eq!(decode::<ClientMessage>(&bytes).unwrap(), batch);
+    }
+
+    // ------------------------------------------------------------------
+    // Overload-protection framing: the deadline/priority stamp is a
+    // strictly opt-in extension. Unstamped envelopes must be
+    // byte-identical to pre-stamp framing; stamped envelopes round-trip
+    // exactly and cost a fixed, fully reversible framing overhead.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn unstamped_envelopes_match_pre_stamp_framing(
+        r in request_strategy(),
+        cookie in prop::option::of(any::<u64>()),
+    ) {
+        let req = HttpRequest::post("/discover/command", cookie, r);
+        let bare = req.wire_size();
+        let env = Envelope::http_request(req);
+        prop_assert_eq!(env.wire_size(), bare);
+        prop_assert_eq!(env.content_size(), bare);
+        prop_assert_eq!(env.deadline, None);
+        // An explicit None stamp is also a no-op.
+        let env = env.with_deadline(None);
+        prop_assert_eq!(env.wire_size(), bare);
+    }
+
+    #[test]
+    fn stamped_envelopes_roundtrip_exactly(
+        r in request_strategy(),
+        cookie in prop::option::of(any::<u64>()),
+        deadline_us in 0u64..600_000_000,
+        command in any::<bool>(),
+    ) {
+        let stamp = DeadlineStamp {
+            deadline: SimTime::from_micros(deadline_us),
+            priority: if command { Priority::Command } else { Priority::View },
+        };
+        let req = HttpRequest::post("/discover/command", cookie, r);
+        let bare = req.wire_size();
+        let env = Envelope::http_request(req).with_deadline(Some(stamp));
+        // The stamp rides the envelope untouched and costs exactly its
+        // fixed framing; the content's own size is unchanged.
+        prop_assert_eq!(env.deadline, Some(stamp));
+        prop_assert_eq!(env.wire_size(), bare + DeadlineStamp::WIRE_BYTES);
+        prop_assert_eq!(env.content_size(), bare);
+        // Re-stamping replaces; clearing restores pre-stamp framing.
+        let env = env.with_deadline(Some(stamp));
+        prop_assert_eq!(env.wire_size(), bare + DeadlineStamp::WIRE_BYTES);
+        let env = env.with_deadline(None);
+        prop_assert_eq!(env.wire_size(), bare);
+        prop_assert_eq!(env.deadline, None);
     }
 
     #[test]

@@ -226,6 +226,142 @@ fn peer_rate_policy_throttles_excessive_peers() {
 }
 
 #[test]
+fn shedding_composes_with_failover_redirects_under_partition() {
+    // Overload-under-partition: a compute-heavy app with a bounded Daemon
+    // buffer sheds flood traffic at the host while the host↔mirror WAN is
+    // partitioned mid-run. Sheds carry a redirect hint to the mirror (the
+    // failover directory knows one), the mirror's relayed ops are still
+    // admitted at the host around the partition via the substrate's
+    // retry machinery, and no operation is ever answered twice.
+    let mut b = CollaboratoryBuilder::new(37);
+    b.substrate_config.call_timeout = SimDuration::from_secs(2);
+    b.substrate_config.sweep_interval = SimDuration::from_millis(500);
+    b.substrate_config.discovery_interval = SimDuration::from_secs(2);
+    b.tweak_servers(|cfg| cfg.proxy_buffer_capacity = Some(1));
+    let host = b.server("host");
+    let mirror = b.server("mirror");
+    b.link_servers(host, mirror, LinkSpec::wan());
+    let mut dc = DriverConfig::default();
+    dc.name = "ipars".into();
+    dc.acl = vec![
+        (UserId::new("flood0"), Privilege::ReadOnly),
+        (UserId::new("flood1"), Privilege::ReadOnly),
+        (UserId::new("flood2"), Privilege::ReadOnly),
+        (UserId::new("remote"), Privilege::ReadOnly),
+    ];
+    // Long compute phases force buffering; capacity 2 forces shedding.
+    dc.batch_time = SimDuration::from_secs(2);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_millis(600);
+    let (_, app) = b.application(host, synthetic_app(2, u64::MAX), dc.clone());
+    let mut anchor = dc.clone();
+    anchor.name = "anchor".into();
+    b.application(mirror, synthetic_app(1, u64::MAX), anchor);
+
+    // Local clients flood the host with view ops faster than the app
+    // drains them (the one-slot buffer overflows as soon as two are
+    // parked); a remote client works through the mirror at a gentler
+    // pace, so its ops cross the partitioned WAN.
+    let mut floods = Vec::new();
+    for (i, user) in ["flood0", "flood1", "flood2"].iter().enumerate() {
+        let mut cfg = discover_client::PortalConfig::new(user)
+            .select_app(app)
+            .poll_every(SimDuration::from_millis(500))
+            .workload(discover_client::Workload::new(
+                app,
+                discover_client::OpMix::sensors_only(),
+                SimDuration::from_millis(250),
+            ));
+        cfg.login_delay = SimDuration::from_millis(300 + 70 * i as u64);
+        floods.push(b.attach(host, user, Portal::new(cfg)));
+    }
+    let remote_cfg = discover_client::PortalConfig::new("remote")
+        .select_app(app)
+        .poll_every(SimDuration::from_millis(500))
+        .workload(discover_client::Workload::new(
+            app,
+            discover_client::OpMix::sensors_only(),
+            SimDuration::from_secs(1),
+        ));
+    let remote = b.attach(mirror, "remote", Portal::new(remote_cfg));
+
+    let mut c = b.build();
+    for &f in &floods {
+        c.engine.actor_mut::<Portal>(f).unwrap().server = Some(host.node);
+    }
+    c.engine.actor_mut::<Portal>(remote).unwrap().server = Some(mirror.node);
+    // The failover directory (PR 1) resolved a mirror for this app; the
+    // substrate installs the hint exactly like its CallCtx::Failover
+    // reply handler does, and sheds from now on carry the redirect.
+    c.engine
+        .actor_mut::<discover_core::DiscoverNode>(host.node)
+        .unwrap()
+        .core
+        .set_mirror_hint(app, mirror.addr);
+    // Sever the host↔mirror WAN for 6 s in the middle of the run.
+    c.engine.partition(host.node, mirror.node, SimTime::from_secs(10), SimTime::from_secs(16));
+    c.engine.run_until(SimTime::from_secs(30));
+
+    use simnet::names;
+    let hm = c.engine.node_metrics(host.node);
+    assert!(hm.counter(names::SERVER_PROXY_SHED) > 0, "the bounded buffer must shed");
+    assert!(
+        hm.counter(names::SERVER_PROXY_SHED_REDIRECTED) > 0,
+        "sheds must carry the failover directory's mirror hint"
+    );
+    // Some flooding client actually received a redirect naming the mirror.
+    let redirect = format!("mirrored at host {}", mirror.addr);
+    assert!(
+        floods.iter().any(|&f| {
+            c.engine.actor_ref::<Portal>(f).unwrap().received.iter().any(|(_, m)| matches!(
+                m,
+                ClientMessage::Error(e)
+                    if e.code == ErrorCode::Overloaded && e.detail.contains(&redirect)
+            ))
+        }),
+        "shed replies must point the client at the mirror"
+    );
+    // The mirror-side client was admitted: its ops relayed over the peer
+    // network and completed despite the mid-run partition (retries).
+    let rp = c.engine.actor_ref::<Portal>(remote).unwrap();
+    let remote_done = rp
+        .received
+        .iter()
+        .filter(|(_, m)| matches!(
+            m,
+            ClientMessage::Response(ResponseBody::OpDone { app: a, .. }) if *a == app
+        ))
+        .count();
+    assert!(remote_done > 0, "ops via the mirror must be admitted at the host");
+    assert!(c.engine.node_metrics(mirror.node).counter(names::SUBSTRATE_REMOTE_OPS) > 0);
+    assert!(hm.counter(names::SERVER_PEER_PROXY_OPS) > 0);
+    assert!(
+        c.engine.stats().counter("substrate.retries") > 0,
+        "calls caught by the partition must be retried"
+    );
+    // Not double-counted: every issued op terminates at most once — the
+    // shed path and the relay path never both answer the same request.
+    for node in floods.iter().copied().chain([remote]) {
+        let p = c.engine.actor_ref::<Portal>(node).unwrap();
+        let issued = c.engine.node_metrics(node).counter(names::CLIENT_OPS_ISSUED);
+        let terminals = p
+            .received
+            .iter()
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    ClientMessage::Response(ResponseBody::OpDone { app: a, .. }) if *a == app
+                ) || m.kind() == wire::MessageKind::Error
+            })
+            .count() as u64;
+        assert!(
+            terminals <= issued,
+            "ops must terminate at most once: {terminals} terminals for {issued} issued"
+        );
+    }
+}
+
+#[test]
 fn idle_sessions_are_reaped_and_locks_freed() {
     let mut b = CollaboratoryBuilder::new(36);
     b.substrate_config.sweep_interval = SimDuration::from_secs(2);

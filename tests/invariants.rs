@@ -6,10 +6,13 @@
 
 use appsim::{synthetic_app, DriverConfig};
 use discover::prelude::*;
+use discover::server::{ApplicationProxy, BufferPush};
 use discover_client::Portal;
 use discover_core::{Collaboratory, DiscoverNode};
 use proptest::prelude::*;
-use wire::{ClientMessage, MessageKind, ResponseBody};
+use wire::{
+    ClientMessage, InteractionSpec, MessageKind, Priority, RequestId, ResponseBody, ServerAddr,
+};
 
 /// One randomized client action.
 #[derive(Clone, Debug)]
@@ -193,6 +196,80 @@ proptest! {
             !mallory.updates().iter().any(|u| u.app() == app),
             "non-member must not receive app group traffic"
         );
+    }
+
+    /// (6) Bounded Daemon buffering (requests parked while the
+    /// application computes) is priority-aware but order-preserving:
+    /// whatever mix of steering commands and view requests arrives, and
+    /// whatever gets shed on overflow, FIFO order *within* each priority
+    /// class survives — two steering commands are never reordered.
+    #[test]
+    fn daemon_buffer_preserves_fifo_within_priority_class(
+        cap in 1usize..8,
+        script in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut p = ApplicationProxy::new(
+            AppId { server: ServerAddr(1), seq: 1 },
+            "ipars".into(),
+            "oilres".into(),
+            simnet::NodeId(7),
+            InteractionSpec::default(),
+            vec![(UserId::new("driver"), Privilege::Steer)],
+            4,
+        );
+        p.buffer_capacity = Some(cap);
+        for (i, is_command) in script.iter().enumerate() {
+            let req = RequestId(i as u64);
+            let op = if *is_command {
+                AppOp::SetParam("knob0".into(), Value::Float(i as f64))
+            } else {
+                AppOp::GetStatus
+            };
+            let incoming_class = Priority::of_op(&op);
+            let classes_before: Vec<Priority> = p.buffered.iter().map(|e| e.priority()).collect();
+            let was_full = p.buffered.len() >= cap;
+            match p.buffer_op(req, op, None) {
+                BufferPush::Buffered => prop_assert!(!was_full, "a full buffer must shed"),
+                BufferPush::Shed(victim) => {
+                    prop_assert!(was_full, "shedding requires a full buffer");
+                    // The victim is the oldest entry of the lowest class
+                    // present — or the incoming op itself when everything
+                    // buffered strictly outranks it.
+                    let min_class = *classes_before.iter().min().unwrap();
+                    if min_class <= incoming_class {
+                        prop_assert!(victim.priority() == min_class);
+                        prop_assert!(victim.req != req || incoming_class == min_class);
+                    } else {
+                        prop_assert_eq!(victim.req, req, "incoming view shed under all-command buffer");
+                    }
+                    // A steering command is never sacrificed for a view.
+                    if victim.priority() == Priority::Command {
+                        prop_assert_eq!(incoming_class, Priority::Command);
+                        prop_assert!(classes_before.iter().all(|c| *c == Priority::Command));
+                    }
+                }
+            }
+            // The bound holds after every push...
+            prop_assert!(p.buffered.len() <= cap);
+            prop_assert!(p.buffered_peak() <= cap);
+            // ...and within each class request ids stay strictly
+            // increasing: arrival order is never violated, in particular
+            // no two steering commands ever swap.
+            for class in [Priority::View, Priority::Command] {
+                let ids: Vec<u64> = p
+                    .buffered
+                    .iter()
+                    .filter(|e| e.priority() == class)
+                    .map(|e| e.req.0)
+                    .collect();
+                prop_assert!(
+                    ids.windows(2).all(|w| w[0] < w[1]),
+                    "class {:?} reordered: {:?}",
+                    class,
+                    ids
+                );
+            }
+        }
     }
 
     /// (5) Determinism: identical seeds and scripts yield identical
