@@ -109,6 +109,10 @@ pub struct AppDriver<S: Kernel> {
     /// If set, registration is deferred until the gate opens (CoG/GRAM
     /// staged launch).
     pub gate: Option<LaunchGate>,
+    /// Pre-assigned application slot at the host server. Static
+    /// deployments pin this so the AppId is a function of the topology
+    /// rather than of registration arrival order.
+    pub slot: Option<u32>,
     /// Count of updates sent (tests/metrics).
     pub updates_sent: u64,
     /// Count of ops answered (tests/metrics).
@@ -123,6 +127,7 @@ impl<S: Kernel> AppDriver<S> {
             config,
             server: None,
             gate: None,
+            slot: None,
             state: DriverState::Unregistered,
             assigned: None,
             batch_in_phase: 0,
@@ -230,6 +235,7 @@ impl<S: Kernel> AppDriver<S> {
                 kind: self.app.kind().to_string(),
                 acl: self.config.acl.clone(),
                 interface: self.app.interface(),
+                slot: self.slot,
             },
         );
     }

@@ -1,0 +1,222 @@
+//! Scenario-check CLI: fuzz the DISCOVER stack with seeded scenarios
+//! and validate every run against the correctness oracles.
+//!
+//! ```text
+//! scenario_check [--seeds N] [--start-seed S] [--family all|locks|acl|replay]
+//!                [--budget-secs T] [--out DIR] [--mutation]
+//! ```
+//!
+//! For each seed × family the scenario is generated, executed **twice**
+//! (byte-identical run logs required — nondeterminism is itself a
+//! failure), and checked with [`discover_check::oracle::check_run`]. On
+//! any violation the scenario is shrunk to a 1-minimal reproduction and
+//! written to `--out` (default `target/scenario-repros`). Exit status is
+//! non-zero if any seed failed.
+//!
+//! `--mutation` runs the self-test instead: a scenario with the
+//! test-only double-grant fault injected must trip the linearizability
+//! oracle and shrink to ≤ 10 events.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use discover_check::oracle::{check_run, Violation};
+use discover_check::run::run;
+use discover_check::scenario::{Family, Scenario};
+use discover_check::shrink::shrink;
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    families: Vec<Family>,
+    budget_secs: u64,
+    out: String,
+    mutation: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 50,
+        start_seed: 0,
+        families: Family::ALL.to_vec(),
+        budget_secs: u64::MAX,
+        out: "target/scenario-repros".into(),
+        mutation: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--start-seed" => {
+                args.start_seed =
+                    value("--start-seed")?.parse().map_err(|e| format!("--start-seed: {e}"))?;
+            }
+            "--family" => {
+                let v = value("--family")?;
+                args.families = match v.as_str() {
+                    "all" => Family::ALL.to_vec(),
+                    "locks" => vec![Family::Locks],
+                    "acl" => vec![Family::Acl],
+                    "replay" => vec![Family::Replay],
+                    other => return Err(format!("unknown family {other:?}")),
+                };
+            }
+            "--budget-secs" => {
+                args.budget_secs =
+                    value("--budget-secs")?.parse().map_err(|e| format!("--budget-secs: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--mutation" => args.mutation = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: scenario_check [--seeds N] [--start-seed S] \
+                     [--family all|locks|acl|replay] [--budget-secs T] [--out DIR] [--mutation]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn render_violations(violations: &[Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  [{}] {}", v.oracle, v.detail))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Re-run a candidate scenario and ask whether the original oracle
+/// still fires (same oracle name, any detail — details shift as the
+/// scenario shrinks).
+fn still_fails(s: &Scenario, oracle: &str) -> bool {
+    check_run(&run(s)).iter().any(|v| v.oracle == oracle)
+}
+
+fn write_repro(out_dir: &str, tag: &str, s: &Scenario, violations: &[Violation]) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {out_dir}: {e}");
+        return;
+    }
+    let path = format!("{out_dir}/{tag}.txt");
+    let body = format!(
+        "reproduce with: scenario_check --seeds 1 --start-seed {} --family {}\n\n\
+         violations:\n{}\n\nshrunk scenario ({} events):\n{}",
+        s.seed,
+        s.family.name(),
+        render_violations(violations),
+        s.event_count(),
+        s.describe(),
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("  repro written to {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
+fn check_one(seed: u64, family: Family, out_dir: &str) -> bool {
+    let scenario = Scenario::generate(family, seed);
+    let first = run(&scenario);
+    let second = run(&scenario);
+    if first.run_log != second.run_log {
+        eprintln!(
+            "FAIL seed={seed} family={}: nondeterministic run (logs differ across \
+             identical executions)",
+            family.name()
+        );
+        write_repro(
+            out_dir,
+            &format!("nondet-{}-{seed}", family.name()),
+            &scenario,
+            &[Violation { oracle: "determinism", detail: "run logs differ".into() }],
+        );
+        return false;
+    }
+    let violations = check_run(&first);
+    if violations.is_empty() {
+        return true;
+    }
+    eprintln!("FAIL seed={seed} family={}:\n{}", family.name(), render_violations(&violations));
+    let oracle = violations[0].oracle;
+    eprintln!("  shrinking against oracle {oracle:?}…");
+    let shrunk = shrink(&scenario, |s| still_fails(s, oracle));
+    let shrunk_violations = check_run(&run(&shrunk));
+    write_repro(out_dir, &format!("{}-{seed}", family.name()), &shrunk, &shrunk_violations);
+    false
+}
+
+fn mutation_selftest() -> ExitCode {
+    // The injected double-grant fault must be caught and shrink small.
+    let scenario = Scenario::mutation(1);
+    let violations = check_run(&run(&scenario));
+    if !violations.iter().any(|v| v.oracle == "linearizability") {
+        eprintln!(
+            "mutation self-test FAILED: double-grant fault not detected; violations:\n{}",
+            render_violations(&violations)
+        );
+        return ExitCode::FAILURE;
+    }
+    let shrunk = shrink(&scenario, |s| still_fails(s, "linearizability"));
+    let confirm = check_run(&run(&shrunk));
+    if !confirm.iter().any(|v| v.oracle == "linearizability") {
+        eprintln!("mutation self-test FAILED: shrunk scenario no longer fails");
+        return ExitCode::FAILURE;
+    }
+    if shrunk.event_count() > 10 {
+        eprintln!(
+            "mutation self-test FAILED: shrunk to {} events (> 10)\n{}",
+            shrunk.event_count(),
+            shrunk.describe()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "mutation self-test passed: double grant detected and shrunk to {} events",
+        shrunk.event_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.mutation {
+        return mutation_selftest();
+    }
+    let started = Instant::now();
+    let mut ran = 0u64;
+    let mut failed = 0u64;
+    let mut out_of_budget = false;
+    'outer: for seed in args.start_seed..args.start_seed + args.seeds {
+        for &family in &args.families {
+            if started.elapsed().as_secs() >= args.budget_secs {
+                out_of_budget = true;
+                break 'outer;
+            }
+            ran += 1;
+            if !check_one(seed, family, &args.out) {
+                failed += 1;
+            }
+        }
+    }
+    let note = if out_of_budget { " (time budget reached)" } else { "" };
+    println!(
+        "scenario-check: {ran} runs, {failed} failures in {:.1}s{note}",
+        started.elapsed().as_secs_f64()
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,39 @@
+//! # discover-check — deterministic scenario fuzzer + correctness oracles
+//!
+//! The experiment harness (`discover-bench`) measures *how fast* the
+//! DISCOVER stack is; this crate checks *whether it is right*. A seeded
+//! [`scenario::Scenario`] describes a randomized workload — N clients
+//! across M servers issuing steering-lock acquire/release, steering
+//! commands, ACL-gated operations and latecomer joins — composed with a
+//! random fault schedule (server crashes/restarts, timed partitions).
+//! [`run::run`] executes it on the real stack (portals → webserv →
+//! server core → ORB substrate → peers) with the simnet history recorder
+//! on, and [`oracle::check_run`] validates the recorded history against
+//! four oracles:
+//!
+//! 1. **Linearizability** ([`lin`]): the distributed steering-lock
+//!    history is linearizable against a single-holder lock automaton
+//!    (Wing–Gong-style interval order search).
+//! 2. **ACL**: no operation is ever accepted without a live grant of
+//!    sufficient privilege.
+//! 3. **FIFO-within-class**: the Daemon buffer never reorders two
+//!    operations of the same priority class.
+//! 4. **Replay**: a latecomer's paged catch-up plus live tail is
+//!    byte-identical to the host's full archive replay.
+//!
+//! On failure, [`shrink::shrink`] greedily deletes scenario events and
+//! faults (re-running after each candidate deletion) until a minimal
+//! reproduction remains; the seed plus the shrunk scenario is the bug
+//! report. Same seed → same schedule → byte-identical run log
+//! ([`run::RunResult::run_log`]), so every repro replays exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Scenario/driver configs mutate defaults like the rest of the repo.
+#![allow(clippy::field_reassign_with_default)]
+
+pub mod lin;
+pub mod oracle;
+pub mod run;
+pub mod scenario;
+pub mod shrink;

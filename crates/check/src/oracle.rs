@@ -1,0 +1,449 @@
+//! The correctness oracles, applied to a completed [`RunResult`].
+//!
+//! * **Linearizability** — lock responses observed at portals (plus
+//!   host-side evictions/forced releases as `Free` ops) must admit a
+//!   legal total order of the single-holder lock automaton ([`crate::lin`]).
+//! * **ACL** — every `op.accepted` history event must trace to a live,
+//!   sufficient grant; users without a grant must complete nothing.
+//! * **FIFO-within-class** — the Daemon buffer's flush order must
+//!   preserve per-class arrival order, and no request may be both
+//!   dispatched and dropped.
+//! * **Replay** — the latecomer's catch-up fetch must be a prefix of
+//!   their final full fetch, which must be byte-identical (under the
+//!   wire codec) to the host's archive, with dense sequence numbers.
+//!
+//! ### Interval construction for the lock history
+//!
+//! A portal's k-th acquire-class response is matched with its k-th
+//! acquire-class script invocation (same for the release class); the
+//! interval is `[script time, response arrival]` with response times
+//! monotonized per class (retried/polled responses can arrive out of
+//! order; widening intervals is always sound — it only admits more
+//! orders). When the host recorded *more* decisions for a user-class
+//! than the portal observed responses (lost replies under crashes, or
+//! relay retries that decided twice), client matching is unsound for
+//! that user-class, so the oracle falls back to the host's own events
+//! as near-zero-width ops at the host decision time — the host is the
+//! serialization point, so its event times are exact.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wire::Privilege;
+
+use crate::lin::{self, LinKind, LinOp};
+use crate::run::{LockObsKind, RunResult};
+
+/// Slack around host-recorded event times (µs), absorbing the gap
+/// between a decision and its observable effect.
+const SLACK_US: u64 = 200_000;
+
+/// One oracle failure.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which oracle fired (`"linearizability"`, `"acl"`, `"fifo"`,
+    /// `"replay"`).
+    pub oracle: &'static str,
+    /// What it saw.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(oracle: &'static str, detail: impl Into<String>) -> Self {
+        Violation { oracle, detail: detail.into() }
+    }
+}
+
+/// Extract `key=` from a `key=value` token list.
+fn detail_field<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
+    detail
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+/// Build the lock-automaton history from a run (public so the mutation
+/// test can inspect it).
+pub fn build_lock_ops(run: &RunResult) -> Vec<LinOp> {
+    let app = format!("{}", run.app);
+    let mut ops = Vec::new();
+
+    // Host decisions per user, split by class, in host order.
+    #[derive(Default)]
+    struct HostEvents {
+        acquire: Vec<(u64, LinKind)>,
+        release: Vec<(u64, LinKind)>,
+    }
+    let mut host: BTreeMap<String, HostEvents> = BTreeMap::new();
+    for e in &run.history {
+        if e.subject != app {
+            continue;
+        }
+        let at = e.at.as_micros();
+        let entry = || -> (String, u64) { (e.actor.clone(), at) };
+        match e.label {
+            "lock.granted" => {
+                let (u, at) = entry();
+                host.entry(u).or_default().acquire.push((at, LinKind::Granted));
+            }
+            "lock.denied" => {
+                let holder =
+                    detail_field(&e.detail, "holder").unwrap_or("?").to_string();
+                let (u, at) = entry();
+                host.entry(u).or_default().acquire.push((at, LinKind::Denied { holder }));
+            }
+            "lock.released" => {
+                let (u, at) = entry();
+                host.entry(u).or_default().release.push((at, LinKind::ReleaseOk));
+            }
+            "lock.release_failed" => {
+                let (u, at) = entry();
+                host.entry(u)
+                    .or_default()
+                    .release
+                    .push((at, LinKind::ReleaseFail { checked: true }));
+            }
+            // Host-side lock seizures: the holder loses the lock without
+            // asking. Required transitions, not optional ones.
+            "lock.evicted" | "lock.force_released" => {
+                ops.push(LinOp {
+                    user: e.actor.clone(),
+                    kind: LinKind::Free,
+                    lo_us: at.saturating_sub(SLACK_US),
+                    hi_us: at + SLACK_US,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let host_ops = |events: &[(u64, LinKind)], user: &str| -> Vec<LinOp> {
+        events
+            .iter()
+            .map(|(at, kind)| LinOp {
+                user: user.to_string(),
+                kind: kind.clone(),
+                lo_us: at.saturating_sub(SLACK_US),
+                hi_us: at + SLACK_US,
+            })
+            .collect()
+    };
+
+    let mut seen_users = BTreeSet::new();
+    for u in &run.users {
+        seen_users.insert(u.name.clone());
+        let h = host.get(&u.name);
+
+        // Client-observed responses by class (arrival order), with
+        // infrastructure fast-fail denials dropped: a `holder: None`
+        // denial is the local server reporting the host unreachable,
+        // not a lock decision.
+        let mut acquire: Vec<(u64, LinKind)> = Vec::new();
+        let mut release: Vec<(u64, LinKind)> = Vec::new();
+        for obs in &u.lock_responses {
+            match &obs.kind {
+                LockObsKind::Granted => acquire.push((obs.at_us, LinKind::Granted)),
+                LockObsKind::Denied(Some(holder)) => {
+                    acquire.push((obs.at_us, LinKind::Denied { holder: holder.clone() }));
+                }
+                LockObsKind::Denied(None) => {}
+                LockObsKind::Released => release.push((obs.at_us, LinKind::ReleaseOk)),
+                LockObsKind::ReleaseFailed => release.push((
+                    obs.at_us,
+                    // A remote release failure may be a relay fast-fail
+                    // that the host never saw; only the host's local
+                    // clients observe verified rejections.
+                    LinKind::ReleaseFail { checked: u.local_to_host },
+                )),
+            }
+        }
+
+        for (class, client, invocations) in [
+            ("acquire", acquire, &u.acquire_invocations_us),
+            ("release", release, &u.release_invocations_us),
+        ] {
+            let host_events = h
+                .map(|h| if class == "acquire" { &h.acquire } else { &h.release })
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            if host_events.len() > client.len() {
+                // Lost replies / relay retries: the portal's pairing is
+                // unsound for this user-class; trust the host's record.
+                ops.extend(host_ops(host_events, &u.name));
+                continue;
+            }
+            let mut hi_floor = 0u64;
+            for (k, (resp_at, kind)) in client.into_iter().enumerate() {
+                let lo = invocations.get(k).copied().unwrap_or(0);
+                // Monotonize response bounds: a later response cannot
+                // take effect before an earlier one of the same class.
+                hi_floor = hi_floor.max(resp_at).max(lo);
+                ops.push(LinOp { user: u.name.clone(), kind, lo_us: lo, hi_us: hi_floor });
+            }
+        }
+    }
+
+    // Host decisions for users with no portal in the scenario (should
+    // not happen, but never silently drop history).
+    for (user, events) in &host {
+        if !seen_users.contains(user) {
+            ops.extend(host_ops(&events.acquire, user));
+            ops.extend(host_ops(&events.release, user));
+        }
+    }
+    ops
+}
+
+fn check_lin(run: &RunResult, out: &mut Vec<Violation>) {
+    let ops = build_lock_ops(run);
+    if let Err(report) = lin::check_linearizable(&ops) {
+        out.push(Violation::new("linearizability", report));
+    }
+}
+
+fn required_privilege(op_name: &str) -> Privilege {
+    match op_name {
+        "setParam" => Privilege::ReadWrite,
+        "command" => Privilege::Steer,
+        _ => Privilege::ReadOnly,
+    }
+}
+
+fn check_acl(run: &RunResult, out: &mut Vec<Violation>) {
+    let app = format!("{}", run.app);
+    let grants: BTreeMap<&str, Privilege> = run
+        .scenario
+        .users
+        .iter()
+        .filter_map(|u| u.privilege.map(|p| (u.name.as_str(), p)))
+        .collect();
+    // Revocations in history order; an accepted op AFTER the revocation
+    // event (by global sequence — the harness injects the event at the
+    // instant it applies the revocation) is a violation.
+    let mut revoked_at_seq: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in &run.history {
+        if e.label == "acl.revoked" && e.subject == app {
+            for u in run.scenario.users.iter() {
+                if u.name == e.actor {
+                    revoked_at_seq.entry(u.name.as_str()).or_insert(e.seq);
+                }
+            }
+        }
+    }
+    for e in &run.history {
+        if e.label != "op.accepted" || e.subject != app {
+            continue;
+        }
+        let op_name = detail_field(&e.detail, "op").unwrap_or("?");
+        match grants.get(e.actor.as_str()) {
+            None => out.push(Violation::new(
+                "acl",
+                format!(
+                    "op accepted for user without any grant: seq={} user={} op={op_name}",
+                    e.seq, e.actor
+                ),
+            )),
+            Some(p) if !p.allows(required_privilege(op_name)) => out.push(Violation::new(
+                "acl",
+                format!(
+                    "op accepted beyond grant: seq={} user={} grant={p:?} op={op_name}",
+                    e.seq, e.actor
+                ),
+            )),
+            Some(_) => {}
+        }
+        if let Some(&rev_seq) = revoked_at_seq.get(e.actor.as_str()) {
+            if e.seq > rev_seq {
+                out.push(Violation::new(
+                    "acl",
+                    format!(
+                        "op accepted after revocation: seq={} user={} op={op_name} \
+                         (revoked at seq={rev_seq})",
+                        e.seq, e.actor
+                    ),
+                ));
+            }
+        }
+    }
+    // Client side: a user with no grant must never see a completion on
+    // the main app.
+    for u in &run.users {
+        if u.privilege.is_none() && u.op_done > 0 {
+            out.push(Violation::new(
+                "acl",
+                format!("ungranted user {} observed {} OpDone completions", u.name, u.op_done),
+            ));
+        }
+    }
+}
+
+fn check_fifo(run: &RunResult, out: &mut Vec<Violation>) {
+    // Per (app, class): buffered and flushed request id sequences in
+    // history order, plus the drop records.
+    let mut buffered: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    let mut flushed: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    let mut shed: Vec<u64> = Vec::new();
+    let mut expired: Vec<u64> = Vec::new();
+    for e in &run.history {
+        let (Some(req), Some(class)) =
+            (detail_field(&e.detail, "req"), detail_field(&e.detail, "class"))
+        else {
+            continue;
+        };
+        let Ok(req) = req.parse::<u64>() else { continue };
+        let key = (e.subject.clone(), class.to_string());
+        match e.label {
+            "daemon.buffered" => buffered.entry(key).or_default().push(req),
+            "daemon.flushed" => flushed.entry(key).or_default().push(req),
+            "daemon.shed" => shed.push(req),
+            "daemon.expired" => expired.push(req),
+            _ => {}
+        }
+    }
+    for (key, flush) in &flushed {
+        let buf = buffered.get(key).map(Vec::as_slice).unwrap_or(&[]);
+        // Order-preserving subsequence check (two pointers).
+        let mut bi = 0usize;
+        for &req in flush {
+            while bi < buf.len() && buf[bi] != req {
+                bi += 1;
+            }
+            if bi == buf.len() {
+                out.push(Violation::new(
+                    "fifo",
+                    format!(
+                        "app {} class {} flushed req {req} out of buffered order \
+                         (buffered: {buf:?}, flushed: {flush:?})",
+                        key.0, key.1
+                    ),
+                ));
+                break;
+            }
+            bi += 1;
+        }
+    }
+    // A request must complete at most once: never dispatched twice, and
+    // never both dispatched and dropped.
+    let all_flushed: Vec<u64> = flushed.values().flatten().copied().collect();
+    let mut flushed_set = BTreeSet::new();
+    for req in &all_flushed {
+        if !flushed_set.insert(*req) {
+            out.push(Violation::new("fifo", format!("req {req} flushed twice")));
+        }
+    }
+    for req in shed.iter().chain(&expired) {
+        if flushed_set.contains(req) {
+            out.push(Violation::new(
+                "fifo",
+                format!("req {req} both dispatched and dropped"),
+            ));
+        }
+    }
+}
+
+fn check_replay(run: &RunResult, out: &mut Vec<Violation>) {
+    if run.scenario.latecomer.is_none() {
+        return;
+    }
+    if run.latecomer_fetches.len() < 2 {
+        out.push(Violation::new(
+            "replay",
+            format!(
+                "latecomer completed {} history fetches, expected 2 (catch-up + final)",
+                run.latecomer_fetches.len()
+            ),
+        ));
+        return;
+    }
+    let catchup = &run.latecomer_fetches[0];
+    let fin = run.latecomer_fetches.last().expect("len checked above");
+    if run.host_archive.is_empty() {
+        out.push(Violation::new("replay", "host archive is empty"));
+        return;
+    }
+    if catchup.len() > fin.len() || catchup[..] != fin[..catchup.len()] {
+        out.push(Violation::new(
+            "replay",
+            format!(
+                "catch-up snapshot (len {}) is not a prefix of the final replay (len {})",
+                catchup.len(),
+                fin.len()
+            ),
+        ));
+    }
+    // Byte-level equivalence under the wire codec: the latecomer's
+    // replayed view IS the host's archive as of the fetch, not merely
+    // similar. The archive keeps growing after the fetch (the app
+    // streams status updates), so compare against the prefix up to the
+    // last sequence the latecomer saw.
+    let cut = match fin.last() {
+        Some(last) => {
+            run.host_archive.partition_point(|r| r.seq <= last.seq)
+        }
+        None => {
+            out.push(Violation::new(
+                "replay",
+                "final replay is empty while the host archive is not",
+            ));
+            return;
+        }
+    };
+    let fin_bytes = wire::codec::encode(fin);
+    let host_bytes = wire::codec::encode(&run.host_archive[..cut].to_vec());
+    if fin_bytes != host_bytes {
+        out.push(Violation::new(
+            "replay",
+            format!(
+                "final replay (len {}) differs from the host archive prefix it fetched \
+                 (len {} of {}) under the wire codec",
+                fin.len(),
+                cut,
+                run.host_archive.len()
+            ),
+        ));
+    }
+    for w in fin.windows(2) {
+        if w[1].seq <= w[0].seq {
+            out.push(Violation::new(
+                "replay",
+                format!("non-monotone archive sequence: {} then {}", w[0].seq, w[1].seq),
+            ));
+            break;
+        }
+    }
+}
+
+/// Run every oracle over `run`; empty = the run is clean.
+pub fn check_run(run: &RunResult) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_lin(run, &mut out);
+    check_acl(run, &mut out);
+    check_fifo(run, &mut out);
+    check_replay(run, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_field_parses_key_value_tokens() {
+        assert_eq!(detail_field("origin=local holder=alice", "holder"), Some("alice"));
+        assert_eq!(detail_field("origin=relay via=2", "via"), Some("2"));
+        assert_eq!(detail_field("req=17 class=View", "req"), Some("17"));
+        assert_eq!(detail_field("req=17 class=View", "class"), Some("View"));
+        assert_eq!(detail_field("origin=local", "holder"), None);
+    }
+
+    #[test]
+    fn required_privilege_matches_wire_semantics() {
+        use wire::AppOp;
+        for (name, op) in [
+            ("getStatus", AppOp::GetStatus),
+            ("getSensors", AppOp::GetSensors),
+            ("setParam", AppOp::SetParam("k".into(), wire::Value::Float(0.0))),
+            ("command", AppOp::Command(wire::AppCommand::Checkpoint)),
+        ] {
+            assert_eq!(required_privilege(name), op.required_privilege());
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Scenario driver: executes a [`Scenario`] on the real DISCOVER stack
+//! and collects everything the oracles need.
+//!
+//! The driver builds a server mesh with [`CollaboratoryBuilder`], hosts
+//! the scenario's main application at server 0, anchors every user with
+//! a ReadOnly grant on a per-server anchor application (so first-level
+//! login succeeds everywhere), attaches one scripted [`Portal`] per
+//! user, applies the fault schedule as a [`FaultPlan`], injects admin
+//! revocations between run steps, and finally harvests:
+//!
+//! * the engine's semantic history (lock/ACL/daemon decision points),
+//! * each portal's lock responses, completions and denials,
+//! * the host's application archive and the latecomer's fetches.
+//!
+//! Everything is folded into [`RunResult::run_log`], a deterministic
+//! text rendering: two runs of the same scenario produce byte-identical
+//! logs, which is both the reproducibility guarantee and the cheapest
+//! possible regression check.
+
+use appsim::{synthetic_app, DriverConfig};
+use discover_bench::fixtures::poll_period;
+use discover_client::{Portal, PortalConfig};
+use discover_core::{CollaboratoryBuilder, DiscoverNode, ServerHandle};
+use simnet::{FaultPlan, HistoryEvent, LinkSpec, SimDuration, SimTime};
+use wire::{
+    AppCommand, AppId, AppOp, ClientMessage, ClientRequest, ErrorCode, LogRecord, Privilege,
+    ResponseBody, UserId, Value,
+};
+
+use crate::scenario::{ActionKind, Scenario};
+
+/// One lock-protocol response observed at a portal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LockObs {
+    /// Arrival time at the portal, µs.
+    pub at_us: u64,
+    /// What arrived.
+    pub kind: LockObsKind,
+}
+
+/// The decisive lock responses a portal can observe.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LockObsKind {
+    /// `LockGranted`.
+    Granted,
+    /// `LockDenied` with the reported holder; `None` is an
+    /// infrastructure fast-fail (host unreachable), not a protocol
+    /// decision.
+    Denied(Option<String>),
+    /// `LockReleased`.
+    Released,
+    /// The `BadRequest("not the lock holder")` release failure.
+    ReleaseFailed,
+}
+
+impl LockObsKind {
+    fn render(&self) -> String {
+        match self {
+            LockObsKind::Granted => "granted".into(),
+            LockObsKind::Denied(Some(h)) => format!("denied(holder={h})"),
+            LockObsKind::Denied(None) => "denied(infra)".into(),
+            LockObsKind::Released => "released".into(),
+            LockObsKind::ReleaseFailed => "release-failed".into(),
+        }
+    }
+}
+
+/// Everything one user's portal observed, plus their script timing.
+#[derive(Clone, Debug)]
+pub struct UserObservation {
+    /// Login name.
+    pub name: String,
+    /// Home server index.
+    pub server: usize,
+    /// Grant on the main app.
+    pub privilege: Option<Privilege>,
+    /// Whether the user talks to the app's host server directly (their
+    /// release failures are then host decisions, not relay fast-fails).
+    pub local_to_host: bool,
+    /// Script times of `RequestLock` invocations, µs, in issue order.
+    pub acquire_invocations_us: Vec<u64>,
+    /// Script times of `ReleaseLock` invocations, µs, in issue order.
+    pub release_invocations_us: Vec<u64>,
+    /// Lock responses in arrival order.
+    pub lock_responses: Vec<LockObs>,
+    /// `OpDone` completions observed for the main app.
+    pub op_done: usize,
+    /// `AccessDenied` errors observed.
+    pub denied: usize,
+}
+
+/// The harvest of one scenario execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The executed scenario.
+    pub scenario: Scenario,
+    /// The main application.
+    pub app: AppId,
+    /// The engine's semantic history, in execution order.
+    pub history: Vec<HistoryEvent>,
+    /// Per-user observations, in scenario user order.
+    pub users: Vec<UserObservation>,
+    /// The host's full application archive at the end of the run.
+    pub host_archive: Vec<LogRecord>,
+    /// Every `History` response the latecomer received, in order
+    /// (replay family: first = catch-up snapshot, last = full replay).
+    pub latecomer_fetches: Vec<Vec<LogRecord>>,
+    /// Deterministic text rendering of the whole run (byte-identical
+    /// across same-seed executions).
+    pub run_log: String,
+}
+
+fn action_request(app: AppId, user_index: usize, n: u64, kind: ActionKind) -> ClientRequest {
+    match kind {
+        ActionKind::Acquire => ClientRequest::RequestLock { app },
+        ActionKind::Release => ClientRequest::ReleaseLock { app },
+        ActionKind::GetStatus => ClientRequest::Op { app, op: AppOp::GetStatus },
+        ActionKind::GetSensors => ClientRequest::Op { app, op: AppOp::GetSensors },
+        ActionKind::SetParam => ClientRequest::Op {
+            app,
+            op: AppOp::SetParam(
+                "knob0".into(),
+                Value::Float(user_index as f64 + n as f64 * 0.125),
+            ),
+        },
+        // Checkpoint: Steer-privileged and lock-gated like any command,
+        // but does not stall the kernel the way Pause would.
+        ActionKind::Command => {
+            ClientRequest::Op { app, op: AppOp::Command(AppCommand::Checkpoint) }
+        }
+    }
+}
+
+/// Execute `scenario` and collect the oracle inputs.
+pub fn run(scenario: &Scenario) -> RunResult {
+    let s = scenario;
+    let mut b = CollaboratoryBuilder::new(s.seed);
+    b.history(true);
+    let lease = SimDuration::from_millis(s.lock_lease_ms);
+    let double_grant = s.fault_double_grant;
+    b.tweak_servers(move |cfg| {
+        cfg.lock_lease = Some(lease);
+        // Idle reaping off: a quiet scripted session must never be torn
+        // down under the oracles' feet. (The lease sweep still runs.)
+        cfg.session_idle_timeout = None;
+        cfg.fault_double_grant = double_grant;
+    });
+    let servers: Vec<ServerHandle> =
+        (0..s.n_servers).map(|i| b.server(&format!("s{i}"))).collect();
+    // Link pairs in index order (not mesh_servers, whose map iteration
+    // order is not deterministic) so the wiring is a pure function of
+    // the scenario.
+    for i in 0..servers.len() {
+        for j in i + 1..servers.len() {
+            b.link_servers(servers[i], servers[j], LinkSpec::wan());
+        }
+    }
+
+    // The main application, hosted at server 0.
+    let mut acl: Vec<(UserId, Privilege)> = s
+        .users
+        .iter()
+        .filter_map(|u| u.privilege.map(|p| (UserId::new(&u.name), p)))
+        .collect();
+    if let Some(l) = &s.latecomer {
+        acl.push((UserId::new(&l.user), Privilege::ReadOnly));
+    }
+    let mut main_cfg = DriverConfig::default();
+    main_cfg.name = "main".into();
+    main_cfg.acl = acl;
+    main_cfg.iters_per_batch = 2;
+    main_cfg.batch_time = SimDuration::from_millis(200);
+    main_cfg.batches_per_phase = 2;
+    main_cfg.interaction_window = SimDuration::from_millis(300);
+    let (_, app) =
+        b.application(servers[0], synthetic_app(2, s.app_iterations.unwrap_or(u64::MAX)), main_cfg);
+
+    // A quiet anchor application per server: first-level login requires
+    // the user on the ACL of at least one app at THEIR server.
+    let everyone: Vec<(UserId, Privilege)> = s
+        .users
+        .iter()
+        .map(|u| (UserId::new(&u.name), Privilege::ReadOnly))
+        .chain(s.latecomer.iter().map(|l| (UserId::new(&l.user), Privilege::ReadOnly)))
+        .collect();
+    for (i, &srv) in servers.iter().enumerate() {
+        let mut cfg = DriverConfig::default();
+        cfg.name = format!("anchor{i}");
+        cfg.acl = everyone.clone();
+        b.application(srv, synthetic_app(1, u64::MAX), cfg);
+    }
+
+    // Scripted portals.
+    let mut portal_nodes = Vec::new();
+    for (ui, u) in s.users.iter().enumerate() {
+        let mut cfg = PortalConfig::new(&u.name).poll_every(poll_period());
+        let mut writes = 0u64;
+        for a in &u.actions {
+            if a.kind == ActionKind::SetParam {
+                writes += 1;
+            }
+            cfg = cfg.at(
+                SimDuration::from_millis(a.at_ms),
+                action_request(app, ui, writes, a.kind),
+            );
+        }
+        portal_nodes.push(b.attach(servers[u.server], &u.name, Portal::new(cfg)));
+    }
+    let late_node = s.latecomer.as_ref().map(|l| {
+        let mut cfg = PortalConfig::new(&l.user).poll_every(poll_period());
+        cfg.login_delay = SimDuration::from_millis(l.join_ms);
+        let cfg = cfg
+            // Catch-up snapshot shortly after joining…
+            .at(
+                SimDuration::from_millis(l.join_ms + 1000),
+                ClientRequest::GetHistory { app, since: 0 },
+            )
+            // …and the full replay once the session has quiesced.
+            .at(
+                SimDuration::from_millis(s.horizon_ms.saturating_sub(1500)),
+                ClientRequest::GetHistory { app, since: 0 },
+            );
+        b.attach(servers[0], &l.user, Portal::new(cfg))
+    });
+
+    let mut c = b.build();
+    for (ui, u) in s.users.iter().enumerate() {
+        c.engine.actor_mut::<Portal>(portal_nodes[ui]).unwrap().server =
+            Some(servers[u.server].node);
+    }
+    if let Some(node) = late_node {
+        c.engine.actor_mut::<Portal>(node).unwrap().server = Some(servers[0].node);
+    }
+
+    // Fault schedule.
+    let mut plan = FaultPlan::new(s.seed);
+    for cr in &s.faults.crashes {
+        plan.crash(
+            servers[cr.server].node,
+            SimTime::from_millis(cr.at_ms),
+            SimTime::from_millis(cr.restart_ms),
+        );
+    }
+    for p in &s.faults.partitions {
+        plan.partition(
+            servers[p.a].node,
+            servers[p.b].node,
+            SimTime::from_millis(p.from_ms),
+            SimTime::from_millis(p.until_ms),
+        );
+    }
+    c.engine.apply_faults(&plan);
+
+    // Run, pausing at each admin action to apply the revocation at the
+    // host and inject the matching history events out-of-band.
+    let mut admin = s.admin.clone();
+    admin.sort_by_key(|a| (a.at_ms, a.revoke.clone()));
+    for a in &admin {
+        c.engine.run_until(SimTime::from_millis(a.at_ms));
+        let host = servers[0];
+        let user = UserId::new(&a.revoke);
+        let node = c.engine.actor_mut::<DiscoverNode>(host.node).unwrap();
+        let (was_on_acl, lock_freed) = node.core.revoke_user(app, &user);
+        c.engine.record_history(
+            host.node,
+            "acl.revoked",
+            format!("{app}"),
+            a.revoke.clone(),
+            format!("applied={was_on_acl}"),
+        );
+        if lock_freed {
+            c.engine.record_history(
+                host.node,
+                "lock.force_released",
+                format!("{app}"),
+                a.revoke.clone(),
+                "origin=revoke",
+            );
+        }
+    }
+    c.engine.run_until(SimTime::from_millis(s.horizon_ms));
+
+    // Harvest.
+    let history: Vec<HistoryEvent> = c.engine.history().to_vec();
+    let mut users = Vec::new();
+    for (ui, u) in s.users.iter().enumerate() {
+        let p = c.engine.actor_ref::<Portal>(portal_nodes[ui]).unwrap();
+        let mut lock_responses = Vec::new();
+        let mut op_done = 0usize;
+        let mut denied = 0usize;
+        for (at, m) in &p.received {
+            match m {
+                ClientMessage::Response(ResponseBody::LockGranted { app: a }) if *a == app => {
+                    lock_responses
+                        .push(LockObs { at_us: at.as_micros(), kind: LockObsKind::Granted });
+                }
+                ClientMessage::Response(ResponseBody::LockDenied { app: a, holder })
+                    if *a == app =>
+                {
+                    lock_responses.push(LockObs {
+                        at_us: at.as_micros(),
+                        kind: LockObsKind::Denied(
+                            holder.as_ref().map(|h| h.as_str().to_string()),
+                        ),
+                    });
+                }
+                ClientMessage::Response(ResponseBody::LockReleased { app: a }) if *a == app => {
+                    lock_responses
+                        .push(LockObs { at_us: at.as_micros(), kind: LockObsKind::Released });
+                }
+                ClientMessage::Response(ResponseBody::OpDone { app: a, .. }) if *a == app => {
+                    op_done += 1;
+                }
+                ClientMessage::Error(e) => match e.code {
+                    ErrorCode::AccessDenied => denied += 1,
+                    ErrorCode::BadRequest if e.detail == "not the lock holder" => {
+                        lock_responses.push(LockObs {
+                            at_us: at.as_micros(),
+                            kind: LockObsKind::ReleaseFailed,
+                        });
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        users.push(UserObservation {
+            name: u.name.clone(),
+            server: u.server,
+            privilege: u.privilege,
+            local_to_host: u.server == 0,
+            acquire_invocations_us: u
+                .actions
+                .iter()
+                .filter(|a| a.kind == ActionKind::Acquire)
+                .map(|a| a.at_ms * 1000)
+                .collect(),
+            release_invocations_us: u
+                .actions
+                .iter()
+                .filter(|a| a.kind == ActionKind::Release)
+                .map(|a| a.at_ms * 1000)
+                .collect(),
+            lock_responses,
+            op_done,
+            denied,
+        });
+    }
+    let host_archive = c
+        .server_core(servers[0])
+        .expect("host server exists")
+        .archive()
+        .fetch_app(app, 0)
+        .0;
+    let latecomer_fetches: Vec<Vec<LogRecord>> = late_node
+        .and_then(|node| c.engine.actor_ref::<Portal>(node))
+        .map(|p| {
+            p.received
+                .iter()
+                .filter_map(|(_, m)| match m {
+                    ClientMessage::Response(ResponseBody::History { app: a, records, .. })
+                        if *a == app =>
+                    {
+                        Some(records.clone())
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut run_log = String::new();
+    run_log.push_str(&s.describe());
+    run_log.push_str("--- history ---\n");
+    for e in &history {
+        run_log.push_str(&e.render());
+        run_log.push('\n');
+    }
+    run_log.push_str("--- observations ---\n");
+    for u in &users {
+        let locks: Vec<String> =
+            u.lock_responses.iter().map(|o| format!("{}@{}", o.kind.render(), o.at_us)).collect();
+        run_log.push_str(&format!(
+            "user {} s{} opdone={} denied={} locks=[{}]\n",
+            u.name,
+            u.server,
+            u.op_done,
+            u.denied,
+            locks.join(", ")
+        ));
+    }
+    run_log.push_str(&format!("archive len={}\n", host_archive.len()));
+    for (i, f) in latecomer_fetches.iter().enumerate() {
+        let first = f.first().map(|r| r.seq as i64).unwrap_or(-1);
+        let last = f.last().map(|r| r.seq as i64).unwrap_or(-1);
+        run_log.push_str(&format!("latecomer fetch {i}: len={} seq={first}..={last}\n", f.len()));
+    }
+
+    RunResult {
+        scenario: s.clone(),
+        app,
+        history,
+        users,
+        host_archive,
+        latecomer_fetches,
+        run_log,
+    }
+}

@@ -1,0 +1,620 @@
+//! Scenario model and seeded generators.
+//!
+//! A [`Scenario`] is a fully explicit description of one randomized run:
+//! every client action, every administrative revocation and every fault
+//! carries an absolute millisecond timestamp, so a scenario can be
+//! replayed, mutated by the shrinker, and printed as a bug report. The
+//! per-family generators ([`Scenario::generate`]) derive everything from
+//! a single `u64` seed via the deterministic `StdRng`, so the same seed
+//! always yields the same scenario.
+//!
+//! Generation constraints keep the oracles sound and tractable:
+//!
+//! * actions of one user are spaced ≥ 1.5 s apart — wider than webserv's
+//!   retry/poll jitter, so each user's k-th request of a kind matches
+//!   their k-th response of that kind;
+//! * total lock operations are capped (the linearizability search is
+//!   exponential in the worst case);
+//! * the replay family only crashes non-host servers (the archive's host
+//!   must stay reachable for the latecomer's local catch-up path).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wire::Privilege;
+
+/// Which oracle family a scenario exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Distributed steering-lock traffic; checked for linearizability.
+    Locks,
+    /// Mixed-privilege operation traffic plus mid-run revocations;
+    /// checked against the ACL oracle.
+    Acl,
+    /// A bounded application with a latecomer viewer; checked for
+    /// archive-replay equivalence.
+    Replay,
+}
+
+impl Family {
+    /// All families, in canonical order.
+    pub const ALL: [Family; 3] = [Family::Locks, Family::Acl, Family::Replay];
+
+    /// Stable lowercase name (CLI + logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Locks => "locks",
+            Family::Acl => "acl",
+            Family::Replay => "replay",
+        }
+    }
+}
+
+/// One client-side action in a user's script.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// Request the steering lock.
+    Acquire,
+    /// Release the steering lock.
+    Release,
+    /// Read-only status fetch.
+    GetStatus,
+    /// Read-only sensor fetch.
+    GetSensors,
+    /// Mutating parameter write (requires ReadWrite).
+    SetParam,
+    /// Lifecycle command (requires Steer).
+    Command,
+}
+
+impl ActionKind {
+    /// Stable short name for logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionKind::Acquire => "acquire",
+            ActionKind::Release => "release",
+            ActionKind::GetStatus => "getStatus",
+            ActionKind::GetSensors => "getSensors",
+            ActionKind::SetParam => "setParam",
+            ActionKind::Command => "command",
+        }
+    }
+}
+
+/// A timestamped action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Action {
+    /// When the portal issues the request (ms since sim start).
+    pub at_ms: u64,
+    /// What it issues.
+    pub kind: ActionKind,
+}
+
+/// One simulated user: identity, grant, home server and script.
+#[derive(Clone, PartialEq, Debug)]
+pub struct UserSpec {
+    /// Login name (also the portal actor name).
+    pub name: String,
+    /// Grant on the scenario's main application; `None` means the user
+    /// can log in (they are on the anchor app's ACL) but holds no grant
+    /// on the main app, so every op on it must be denied.
+    pub privilege: Option<Privilege>,
+    /// Index of the user's home server (0 = the app's host).
+    pub server: usize,
+    /// Timestamped request script.
+    pub actions: Vec<Action>,
+}
+
+/// An out-of-band security-manager action.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AdminAction {
+    /// When the revocation lands (ms since sim start).
+    pub at_ms: u64,
+    /// The user whose grant is revoked.
+    pub revoke: String,
+}
+
+/// One server crash with restart.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrashSpec {
+    /// Index of the server to crash.
+    pub server: usize,
+    /// Crash instant (ms).
+    pub at_ms: u64,
+    /// Restart instant (ms).
+    pub restart_ms: u64,
+}
+
+/// One timed bidirectional partition between two servers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PartitionSpec {
+    /// First server index.
+    pub a: usize,
+    /// Second server index.
+    pub b: usize,
+    /// Partition start (ms).
+    pub from_ms: u64,
+    /// Partition heal (ms).
+    pub until_ms: u64,
+}
+
+/// The fault schedule composed with a scenario.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FaultSpec {
+    /// Server crashes.
+    pub crashes: Vec<CrashSpec>,
+    /// Server-to-server partitions.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+/// The latecomer viewer of a replay scenario.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Latecomer {
+    /// Login name of the latecomer.
+    pub user: String,
+    /// When they join and issue their first catch-up fetch (ms).
+    pub join_ms: u64,
+}
+
+/// A complete, explicit description of one randomized run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scenario {
+    /// The seed that generated (and names) this scenario.
+    pub seed: u64,
+    /// Which oracle family it exercises.
+    pub family: Family,
+    /// Number of servers in the mesh (host = index 0).
+    pub n_servers: usize,
+    /// Users and their scripts.
+    pub users: Vec<UserSpec>,
+    /// Mid-run revocations applied by the harness.
+    pub admin: Vec<AdminAction>,
+    /// Fault schedule.
+    pub faults: FaultSpec,
+    /// Steering-lock lease (holder-inactivity bound), ms.
+    pub lock_lease_ms: u64,
+    /// Simulated run length, ms.
+    pub horizon_ms: u64,
+    /// Kernel iterations before the main app terminates; `None` = the
+    /// app runs past the horizon (locks/acl families).
+    pub app_iterations: Option<u64>,
+    /// Latecomer viewer (replay family only).
+    pub latecomer: Option<Latecomer>,
+    /// Arm the test-only double-grant bug in the host's lock manager
+    /// (mutation check: the linearizability oracle must catch it).
+    pub fault_double_grant: bool,
+}
+
+/// Minimum spacing between one user's consecutive actions, ms.
+const MIN_GAP_MS: u64 = 1500;
+/// Maximum spacing between one user's consecutive actions, ms.
+const MAX_GAP_MS: u64 = 3000;
+/// First action no earlier than this (login + app registration settle).
+const FIRST_ACTION_MS: u64 = 1500;
+/// Cap on lock operations per scenario (linearizability search budget).
+const MAX_LOCK_OPS: usize = 24;
+
+impl Scenario {
+    /// Generate the scenario for `(family, seed)`.
+    pub fn generate(family: Family, seed: u64) -> Scenario {
+        // Salt the stream per family so families explore independent
+        // schedules even for equal seeds.
+        let salt = match family {
+            Family::Locks => 0x4c4f_434b,
+            Family::Acl => 0x41_434c,
+            Family::Replay => 0x5245_504c,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+        match family {
+            Family::Locks => Self::gen_locks(seed, &mut rng),
+            Family::Acl => Self::gen_acl(seed, &mut rng),
+            Family::Replay => Self::gen_replay(seed, &mut rng),
+        }
+    }
+
+    /// Lock-contention workload: every user may steer, so the lock is
+    /// the contended resource. Crashing the host is allowed — simnet
+    /// restarts preserve server state, so the lock must stay coherent
+    /// across the outage.
+    fn gen_locks(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_servers = rng.gen_range(2usize..=3);
+        let n_users = rng.gen_range(2usize..=4);
+        let mut users = Vec::new();
+        let mut lock_ops = 0usize;
+        for u in 0..n_users {
+            let n_actions = rng.gen_range(3usize..=6);
+            let mut at = FIRST_ACTION_MS + rng.gen_range(0..MIN_GAP_MS);
+            let mut actions = Vec::new();
+            for _ in 0..n_actions {
+                let kind = match rng.gen_range(0u32..100) {
+                    0..=39 if lock_ops < MAX_LOCK_OPS => ActionKind::Acquire,
+                    40..=69 if lock_ops < MAX_LOCK_OPS => ActionKind::Release,
+                    70..=84 => ActionKind::SetParam,
+                    _ => ActionKind::GetStatus,
+                };
+                if matches!(kind, ActionKind::Acquire | ActionKind::Release) {
+                    lock_ops += 1;
+                }
+                actions.push(Action { at_ms: at, kind });
+                at += rng.gen_range(MIN_GAP_MS..=MAX_GAP_MS);
+            }
+            users.push(UserSpec {
+                name: format!("u{u}"),
+                privilege: Some(Privilege::Steer),
+                server: u % n_servers,
+                actions,
+            });
+        }
+        let last = users
+            .iter()
+            .flat_map(|u| u.actions.iter().map(|a| a.at_ms))
+            .max()
+            .unwrap_or(FIRST_ACTION_MS);
+        let horizon_ms = last + 8000;
+        let mut faults = FaultSpec::default();
+        if rng.gen_bool(0.5) {
+            // Any server may crash, including the lock's host.
+            let server = rng.gen_range(0..n_servers);
+            let at_ms = rng.gen_range(horizon_ms / 4..horizon_ms / 2);
+            faults.crashes.push(CrashSpec {
+                server,
+                at_ms,
+                restart_ms: at_ms + rng.gen_range(2000u64..=4000),
+            });
+        }
+        if n_servers > 1 && rng.gen_bool(0.4) {
+            let a = rng.gen_range(0..n_servers);
+            let b = (a + 1 + rng.gen_range(0..n_servers - 1)) % n_servers;
+            let from_ms = rng.gen_range(horizon_ms / 3..2 * horizon_ms / 3);
+            faults.partitions.push(PartitionSpec {
+                a,
+                b,
+                from_ms,
+                until_ms: from_ms + rng.gen_range(2000u64..=4000),
+            });
+        }
+        Scenario {
+            seed,
+            family: Family::Locks,
+            n_servers,
+            users,
+            admin: Vec::new(),
+            faults,
+            lock_lease_ms: 8000,
+            horizon_ms,
+            app_iterations: None,
+            latecomer: None,
+            fault_double_grant: false,
+        }
+    }
+
+    /// Mixed-privilege workload: granted readers/writers/steerers plus
+    /// at least one user with no grant at all, and (usually) one
+    /// mid-run revocation. Every accepted op must trace to a live
+    /// grant.
+    fn gen_acl(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_servers = rng.gen_range(1usize..=2);
+        let n_granted = rng.gen_range(2usize..=3);
+        let mut users = Vec::new();
+        for u in 0..n_granted {
+            let privilege = match rng.gen_range(0u32..3) {
+                0 => Privilege::ReadOnly,
+                1 => Privilege::ReadWrite,
+                _ => Privilege::Steer,
+            };
+            let n_actions = rng.gen_range(3usize..=6);
+            let mut at = FIRST_ACTION_MS + rng.gen_range(0..MIN_GAP_MS);
+            let mut actions = Vec::new();
+            for _ in 0..n_actions {
+                let kind = match rng.gen_range(0u32..100) {
+                    // The script ATTEMPTS ops beyond the user's grant on
+                    // purpose: the oracle checks that only sufficiently
+                    // privileged attempts are ever accepted.
+                    0..=29 => ActionKind::GetStatus,
+                    30..=49 => ActionKind::GetSensors,
+                    50..=74 => ActionKind::SetParam,
+                    75..=89 => ActionKind::Command,
+                    _ if privilege == Privilege::Steer => ActionKind::Acquire,
+                    _ => ActionKind::GetStatus,
+                };
+                actions.push(Action { at_ms: at, kind });
+                at += rng.gen_range(MIN_GAP_MS..=MAX_GAP_MS);
+            }
+            users.push(UserSpec {
+                name: format!("u{u}"),
+                privilege: Some(privilege),
+                server: u % n_servers,
+                actions,
+            });
+        }
+        // An authenticated user with no grant on the main app: every op
+        // they aim at it must be denied at the second level.
+        let n_outsiders = rng.gen_range(1usize..=2);
+        for o in 0..n_outsiders {
+            let n_actions = rng.gen_range(2usize..=4);
+            let mut at = FIRST_ACTION_MS + rng.gen_range(0..MIN_GAP_MS);
+            let mut actions = Vec::new();
+            for _ in 0..n_actions {
+                let kind = match rng.gen_range(0u32..4) {
+                    0 => ActionKind::GetStatus,
+                    1 => ActionKind::GetSensors,
+                    2 => ActionKind::SetParam,
+                    _ => ActionKind::Command,
+                };
+                actions.push(Action { at_ms: at, kind });
+                at += rng.gen_range(MIN_GAP_MS..=MAX_GAP_MS);
+            }
+            users.push(UserSpec {
+                name: format!("x{o}"),
+                privilege: None,
+                server: rng.gen_range(0..n_servers),
+                actions,
+            });
+        }
+        let last = users
+            .iter()
+            .flat_map(|u| u.actions.iter().map(|a| a.at_ms))
+            .max()
+            .unwrap_or(FIRST_ACTION_MS);
+        let horizon_ms = last + 6000;
+        let mut admin = Vec::new();
+        if rng.gen_bool(0.6) {
+            // Revoke one granted user partway through their script.
+            let victim = rng.gen_range(0..n_granted);
+            admin.push(AdminAction {
+                at_ms: rng.gen_range(horizon_ms / 3..2 * horizon_ms / 3),
+                revoke: format!("u{victim}"),
+            });
+        }
+        let mut faults = FaultSpec::default();
+        if n_servers > 1 && rng.gen_bool(0.3) {
+            let from_ms = rng.gen_range(horizon_ms / 3..2 * horizon_ms / 3);
+            faults.partitions.push(PartitionSpec {
+                a: 0,
+                b: 1,
+                from_ms,
+                until_ms: from_ms + rng.gen_range(1500u64..=3000),
+            });
+        }
+        Scenario {
+            seed,
+            family: Family::Acl,
+            n_servers,
+            users,
+            admin,
+            faults,
+            lock_lease_ms: 8000,
+            horizon_ms,
+            app_iterations: None,
+            latecomer: None,
+            fault_double_grant: false,
+        }
+    }
+
+    /// Bounded-application workload with a latecomer: the app terminates
+    /// partway through the run, a viewer joins mid-session at the host
+    /// and pages through the archive; catch-up + live tail must equal
+    /// the host's full replay byte-for-byte.
+    fn gen_replay(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_servers = rng.gen_range(2usize..=3);
+        let n_users = rng.gen_range(2usize..=3);
+        let horizon_ms = 30_000;
+        let mut users = Vec::new();
+        for u in 0..n_users {
+            let privilege = if u == 0 { Privilege::Steer } else { Privilege::ReadWrite };
+            let n_actions = rng.gen_range(2usize..=5);
+            let mut at = FIRST_ACTION_MS + rng.gen_range(0..MIN_GAP_MS);
+            let mut actions = Vec::new();
+            for i in 0..n_actions {
+                let kind = if i == 0 && privilege == Privilege::Steer {
+                    // The steerer takes the lock first, so its later
+                    // mutating ops are accepted and reach the archive.
+                    ActionKind::Acquire
+                } else {
+                    match rng.gen_range(0u32..100) {
+                        0..=34 => ActionKind::SetParam,
+                        35..=54 if privilege == Privilege::Steer => ActionKind::Command,
+                        _ => ActionKind::GetStatus,
+                    }
+                };
+                actions.push(Action { at_ms: at, kind });
+                at += rng.gen_range(MIN_GAP_MS..=MAX_GAP_MS);
+            }
+            users.push(UserSpec {
+                name: format!("u{u}"),
+                privilege: Some(privilege),
+                server: u % n_servers,
+                actions,
+            });
+        }
+        let mut faults = FaultSpec::default();
+        if rng.gen_bool(0.4) {
+            // Only non-host servers crash: the archive (and the
+            // latecomer's local catch-up path) lives at server 0.
+            let server = rng.gen_range(1..n_servers);
+            let at_ms = rng.gen_range(6000u64..14_000);
+            faults.crashes.push(CrashSpec {
+                server,
+                at_ms,
+                restart_ms: at_ms + rng.gen_range(2000u64..=4000),
+            });
+        }
+        if n_servers > 1 && rng.gen_bool(0.4) {
+            let a = rng.gen_range(0..n_servers);
+            let b = (a + 1 + rng.gen_range(0..n_servers - 1)) % n_servers;
+            let from_ms = rng.gen_range(6000u64..14_000);
+            faults.partitions.push(PartitionSpec {
+                a,
+                b,
+                from_ms,
+                until_ms: from_ms + rng.gen_range(2000u64..=4000),
+            });
+        }
+        Scenario {
+            seed,
+            family: Family::Replay,
+            n_servers,
+            users,
+            admin: Vec::new(),
+            faults,
+            lock_lease_ms: 8000,
+            horizon_ms,
+            // ~10 kernel iterations/s at the driver cadence the runner
+            // configures, so the app closes roughly mid-run.
+            app_iterations: Some(rng.gen_range(40u64..=80)),
+            latecomer: Some(Latecomer {
+                user: "late".into(),
+                join_ms: rng.gen_range(6000u64..=12_000),
+            }),
+            fault_double_grant: false,
+        }
+    }
+
+    /// The crafted mutation-check scenario: two steerers acquire in
+    /// close succession with no release between, on a host whose lock
+    /// manager has the double-grant bug armed. A correct lock denies
+    /// the second acquire; the buggy one grants both, which no
+    /// linearization of a single-holder lock can explain.
+    pub fn mutation(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            family: Family::Locks,
+            n_servers: 1,
+            users: vec![
+                UserSpec {
+                    name: "u0".into(),
+                    privilege: Some(Privilege::Steer),
+                    server: 0,
+                    actions: vec![Action { at_ms: 1500, kind: ActionKind::Acquire }],
+                },
+                UserSpec {
+                    name: "u1".into(),
+                    privilege: Some(Privilege::Steer),
+                    server: 0,
+                    actions: vec![Action { at_ms: 3200, kind: ActionKind::Acquire }],
+                },
+            ],
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 60_000,
+            horizon_ms: 8000,
+            app_iterations: None,
+            latecomer: None,
+            fault_double_grant: true,
+        }
+    }
+
+    /// Total number of removable events (shrink currency): user actions
+    /// plus admin actions plus fault entries.
+    pub fn event_count(&self) -> usize {
+        self.users.iter().map(|u| u.actions.len()).sum::<usize>()
+            + self.admin.len()
+            + self.faults.crashes.len()
+            + self.faults.partitions.len()
+    }
+
+    /// Deterministic human-readable rendering (repro reports).
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario seed={} family={} servers={} lease={}ms horizon={}ms",
+            self.seed,
+            self.family.name(),
+            self.n_servers,
+            self.lock_lease_ms,
+            self.horizon_ms,
+        ));
+        if self.fault_double_grant {
+            out.push_str(" FAULT=double-grant");
+        }
+        if let Some(iters) = self.app_iterations {
+            out.push_str(&format!(" app-iterations={iters}"));
+        }
+        out.push('\n');
+        for u in &self.users {
+            let grant = match u.privilege {
+                Some(p) => format!("{p:?}"),
+                None => "none".into(),
+            };
+            out.push_str(&format!("  user {} @s{} grant={grant}:", u.name, u.server));
+            for a in &u.actions {
+                out.push_str(&format!(" {}@{}ms", a.kind.name(), a.at_ms));
+            }
+            out.push('\n');
+        }
+        if let Some(l) = &self.latecomer {
+            out.push_str(&format!("  latecomer {} joins@{}ms\n", l.user, l.join_ms));
+        }
+        for a in &self.admin {
+            out.push_str(&format!("  admin revoke {} @{}ms\n", a.revoke, a.at_ms));
+        }
+        for c in &self.faults.crashes {
+            out.push_str(&format!(
+                "  fault crash s{} @{}ms restart@{}ms\n",
+                c.server, c.at_ms, c.restart_ms
+            ));
+        }
+        for p in &self.faults.partitions {
+            out.push_str(&format!(
+                "  fault partition s{}<->s{} {}..{}ms\n",
+                p.a, p.b, p.from_ms, p.until_ms
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in Family::ALL {
+            for seed in [0u64, 1, 7, 42, 1000] {
+                let a = Scenario::generate(family, seed);
+                let b = Scenario::generate(family, seed);
+                assert_eq!(a, b, "{family:?}/{seed} must regenerate identically");
+                assert_eq!(a.describe(), b.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn families_respect_their_constraints() {
+        for seed in 0..40u64 {
+            let locks = Scenario::generate(Family::Locks, seed);
+            let lock_ops = locks
+                .users
+                .iter()
+                .flat_map(|u| &u.actions)
+                .filter(|a| matches!(a.kind, ActionKind::Acquire | ActionKind::Release))
+                .count();
+            assert!(lock_ops <= MAX_LOCK_OPS, "seed {seed}: {lock_ops} lock ops");
+            for u in &locks.users {
+                for w in u.actions.windows(2) {
+                    assert!(w[1].at_ms - w[0].at_ms >= MIN_GAP_MS);
+                }
+            }
+
+            let acl = Scenario::generate(Family::Acl, seed);
+            assert!(
+                acl.users.iter().any(|u| u.privilege.is_none()),
+                "seed {seed}: acl scenarios need an off-ACL user"
+            );
+
+            let replay = Scenario::generate(Family::Replay, seed);
+            assert!(replay.latecomer.is_some());
+            assert!(replay.app_iterations.is_some());
+            for c in &replay.faults.crashes {
+                assert_ne!(c.server, 0, "seed {seed}: replay must never crash the host");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_scenario_is_tiny() {
+        let s = Scenario::mutation(1);
+        assert!(s.fault_double_grant);
+        assert!(s.event_count() <= 10);
+    }
+}

@@ -150,6 +150,17 @@ impl CollaboratoryBuilder {
         self
     }
 
+    /// Turn on semantic history recording (lock/ACL/daemon decision
+    /// points) for this collaboratory. Off by default; recording appends
+    /// to a side log and leaves the event schedule byte-identical to an
+    /// unrecorded run, so it is safe for correctness checking.
+    pub fn history(&mut self, enabled: bool) -> &mut Self {
+        if enabled {
+            self.engine.enable_history();
+        }
+        self
+    }
+
     /// Set the collaboration transport mode for servers created after
     /// this call.
     pub fn collab_mode(&mut self, mode: CollabMode) -> &mut Self {
@@ -213,11 +224,14 @@ impl CollaboratoryBuilder {
         let name = config.name.clone();
         let mut driver = AppDriver::new(app, config);
         driver.server = Some(server.node);
+        // Pin the slot so the AppId is a function of creation order.
+        // (Registration messages race over jittered links, so letting the
+        // daemon assign sequences on arrival would bind ids to the wrong
+        // applications whenever a server hosts more than one.)
+        let seq = self.app_counter(server);
+        driver.slot = Some(seq);
         let node = self.engine.add_node(format!("app:{name}"), driver);
         self.engine.link(node, server.node, self.edge_link);
-        // The daemon assigns sequence numbers in registration order, which
-        // equals creation order per server under deterministic simulation.
-        let seq = self.app_counter(server);
         (node, AppId { server: server.addr, seq })
     }
 

@@ -317,10 +317,14 @@ impl Substrate {
     /// A peer exhausted its retries: mark it down, re-query the trader,
     /// and re-resolve every mirrored app of that host through naming so
     /// traffic can fail over to wherever the app is now registered.
-    fn mark_down(&mut self, ctx: &mut Ctx<'_, Envelope>, addr: ServerAddr) {
+    fn mark_down(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore, addr: ServerAddr) {
         if self.health.insert(addr, PeerHealth::Down) == Some(PeerHealth::Down) {
             return;
         }
+        // A down peer can no longer release locks it relayed: evict them
+        // so local collaborators are not stranded until lease expiry.
+        let lock_effects = core.evict_peer_locks(ctx, addr);
+        self.perform_all(ctx, core, lock_effects);
         self.discover_peers(ctx);
         let mirrored: Vec<AppId> = self
             .poll_state
@@ -494,7 +498,7 @@ impl Substrate {
             Effect::RemoteLock { client, user, app, acquire } => match self.route_for(app) {
                 Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
                     let (operation, msg) = if acquire {
-                        ("lockRequest", PeerMsg::LockRequest { app, user })
+                        ("lockRequest", PeerMsg::LockRequest { app, user, via: self.addr })
                     } else {
                         ("lockRelease", PeerMsg::LockRelease { app, user })
                     };
@@ -864,7 +868,7 @@ impl Substrate {
                 CallCtx::Auth { .. } | CallCtx::DirectoryWrite | CallCtx::Failover { .. } => {}
             }
             if let Some(addr) = failed_addr {
-                self.mark_down(ctx, addr);
+                self.mark_down(ctx, core, addr);
             }
         }
     }

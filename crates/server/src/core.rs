@@ -96,6 +96,11 @@ pub struct ServerConfig {
     /// Deterministic retry-after hint (milliseconds) embedded in
     /// `Overloaded` rejections.
     pub overload_retry_after_ms: u64,
+    /// Test-only fault injection: plant the double-grant bug in every
+    /// registered application's steering lock (see
+    /// `SteeringLock::fault_double_grant`). Exists for the scenario
+    /// checker's mutation test; never set in production configs.
+    pub fault_double_grant: bool,
 }
 
 impl ServerConfig {
@@ -119,6 +124,7 @@ impl ServerConfig {
             admission_inflight_max: None,
             proxy_buffer_capacity: None,
             overload_retry_after_ms: 500,
+            fault_double_grant: false,
         }
     }
 }
@@ -556,6 +562,12 @@ impl ServerCore {
     /// application.
     fn shed_op(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId, victim: BufferedOp) {
         ctx.metrics().incr(names::SERVER_PROXY_SHED);
+        ctx.record_history(
+            "daemon.shed",
+            format!("{app}"),
+            "",
+            format!("req={} class={:?}", victim.req.0, victim.priority()),
+        );
         let span = self.req_traces.get(&victim.req).map(|(p, _)| *p);
         ctx.trace_annotate(span, "shed: daemon buffer full");
         let detail = match self.mirror_hints.get(&app) {
@@ -630,23 +642,38 @@ impl ServerCore {
                     }
                 }
             }
-            AppPhase::Computing => match proxy.buffer_op(req, op, deadline) {
-                BufferPush::Buffered => {
-                    ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
-                    let span = self.req_traces.get(&req).map(|(p, _)| *p);
-                    ctx.trace_annotate(span, "buffered: application computing");
-                }
-                BufferPush::Shed(victim) => {
-                    // The incoming op was buffered unless it was itself
-                    // the lowest-priority candidate.
-                    if victim.req != req {
+            AppPhase::Computing => {
+                let class = wire::Priority::of_op(&op);
+                match proxy.buffer_op(req, op, deadline) {
+                    BufferPush::Buffered => {
                         ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
+                        ctx.record_history(
+                            "daemon.buffered",
+                            format!("{app}"),
+                            "",
+                            format!("req={} class={class:?}", req.0),
+                        );
                         let span = self.req_traces.get(&req).map(|(p, _)| *p);
                         ctx.trace_annotate(span, "buffered: application computing");
                     }
-                    self.shed_op(ctx, app, victim);
+                    BufferPush::Shed(victim) => {
+                        // The incoming op was buffered unless it was itself
+                        // the lowest-priority candidate.
+                        if victim.req != req {
+                            ctx.metrics().incr(names::SERVER_DAEMON_BUFFERED);
+                            ctx.record_history(
+                                "daemon.buffered",
+                                format!("{app}"),
+                                "",
+                                format!("req={} class={class:?}", req.0),
+                            );
+                            let span = self.req_traces.get(&req).map(|(p, _)| *p);
+                            ctx.trace_annotate(span, "buffered: application computing");
+                        }
+                        self.shed_op(ctx, app, victim);
+                    }
                 }
-            },
+            }
             AppPhase::Terminated => {
                 self.drop_op(
                     ctx,
@@ -1060,6 +1087,12 @@ impl ServerCore {
         if let Some(proxy) = self.apps.get_mut(&app) {
             if proxy.lock.is_held_by(user) {
                 proxy.lock.force_release();
+                ctx.record_history(
+                    "lock.force_released",
+                    format!("{app}"),
+                    user.as_str(),
+                    "origin=logout",
+                );
                 let update = UpdateBody::LockChanged { app, holder: None };
                 self.route_update(ctx, update, None, None, effects);
             }
@@ -1165,15 +1198,27 @@ impl ServerCore {
     ) -> Vec<ClientMessage> {
         ctx.metrics().incr(names::SERVER_OPS);
         if app.host() == self.config.addr {
-            let Some(proxy) = self.apps.get(&app) else {
+            let Some(proxy) = self.apps.get_mut(&app) else {
                 return vec![Self::error(ErrorCode::NoSuchApp, format!("{app}"))];
             };
             let Some(privilege) = proxy.privilege_of(user) else {
                 ctx.metrics().incr(names::SERVER_ACL_DENIED);
+                ctx.record_history(
+                    "acl.denied",
+                    format!("{app}"),
+                    user.as_str(),
+                    format!("level=2 reason=not-on-acl op={}", op.kind_name()),
+                );
                 return vec![Self::error(ErrorCode::AccessDenied, "not on the ACL")];
             };
             if let Err(e) = security::authorize_op(privilege, &op) {
                 ctx.metrics().incr(names::SERVER_ACL_DENIED);
+                ctx.record_history(
+                    "acl.denied",
+                    format!("{app}"),
+                    user.as_str(),
+                    format!("level=2 reason=privilege op={}", op.kind_name()),
+                );
                 return vec![ClientMessage::Error(e)];
             }
             if op.is_mutating() && !proxy.lock.is_held_by(user) {
@@ -1181,6 +1226,10 @@ impl ServerCore {
                     ErrorCode::LockRequired,
                     "acquire the steering lock first",
                 )];
+            }
+            if op.is_mutating() {
+                // Holder activity refreshes the steering-lock lease.
+                proxy.lock.touch(user, ctx.now());
             }
             if matches!(op, AppOp::GetStatus) {
                 // Served from the proxy's cached context.
@@ -1205,6 +1254,12 @@ impl ServerCore {
             );
             self.origins
                 .insert(req, OpOrigin::Local { client, user: user.clone(), app });
+            ctx.record_history(
+                "op.accepted",
+                format!("{app}"),
+                user.as_str(),
+                format!("op={} origin=local", op.kind_name()),
+            );
             let deadline = self.incoming_deadline;
             self.dispatch_to_app(ctx, app, req, op, deadline);
             vec![ClientMessage::Response(ResponseBody::Accepted)]
@@ -1252,6 +1307,20 @@ impl ServerCore {
             if acquire {
                 match proxy.lock.try_acquire_leased(user, now, self.config.lock_lease) {
                     LockOutcome::Granted => {
+                        if let Some(evicted) = proxy.lock.take_evicted() {
+                            ctx.record_history(
+                                "lock.evicted",
+                                format!("{app}"),
+                                evicted.as_str(),
+                                "origin=lease-lazy",
+                            );
+                        }
+                        ctx.record_history(
+                            "lock.granted",
+                            format!("{app}"),
+                            user.as_str(),
+                            "origin=local",
+                        );
                         let update =
                             UpdateBody::LockChanged { app, holder: Some(user.clone()) };
                         self.route_update(ctx, update, Some(client), None, effects);
@@ -1259,6 +1328,12 @@ impl ServerCore {
                     }
                     LockOutcome::Denied { holder } => {
                         ctx.metrics().incr(names::SERVER_LOCK_DENIED);
+                        ctx.record_history(
+                            "lock.denied",
+                            format!("{app}"),
+                            user.as_str(),
+                            format!("origin=local holder={}", holder.as_str()),
+                        );
                         vec![ClientMessage::Response(ResponseBody::LockDenied {
                             app,
                             holder: Some(holder),
@@ -1266,10 +1341,22 @@ impl ServerCore {
                     }
                 }
             } else if proxy.lock.release(user) {
+                ctx.record_history(
+                    "lock.released",
+                    format!("{app}"),
+                    user.as_str(),
+                    "origin=local",
+                );
                 let update = UpdateBody::LockChanged { app, holder: None };
                 self.route_update(ctx, update, Some(client), None, effects);
                 vec![ClientMessage::Response(ResponseBody::LockReleased { app })]
             } else {
+                ctx.record_history(
+                    "lock.release_failed",
+                    format!("{app}"),
+                    user.as_str(),
+                    "origin=local",
+                );
                 vec![Self::error(ErrorCode::BadRequest, "not the lock holder")]
             }
         } else {
@@ -1332,7 +1419,7 @@ impl ServerCore {
         ctx.consume(self.config.tcp_costs.frame_cost(wire_bytes));
         let mut effects = Vec::new();
         match frame.msg {
-            AppMsg::Register { token, name, kind, acl, interface } => {
+            AppMsg::Register { token, name, kind, acl, interface, slot } => {
                 let accepted = match &self.config.accepted_tokens {
                     None => true,
                     Some(list) => list.contains(&token),
@@ -1350,8 +1437,29 @@ impl ServerCore {
                     );
                     return effects;
                 }
-                let app = AppId { server: self.config.addr, seq: self.next_app_seq };
-                self.next_app_seq += 1;
+                // A pre-assigned slot pins the AppId (static deployment);
+                // otherwise the Daemon hands out the next free sequence.
+                // Pinning matters because concurrent registrations arrive
+                // in network order, not launch order.
+                let seq = slot.unwrap_or(self.next_app_seq);
+                let app = AppId { server: self.config.addr, seq };
+                if self.apps.contains_key(&app) {
+                    ctx.metrics().incr(names::SERVER_DAEMON_REGISTER_REJECTED);
+                    ctx.send(
+                        from,
+                        Envelope::tcp(TcpFrame::new(
+                            Channel::Main,
+                            AppMsg::RegisterNak {
+                                error: WireError::new(
+                                    ErrorCode::BadRequest,
+                                    "application slot already bound",
+                                ),
+                            },
+                        )),
+                    );
+                    return effects;
+                }
+                self.next_app_seq = self.next_app_seq.max(seq + 1);
                 let mut proxy = ApplicationProxy::new(
                     app,
                     name.clone(),
@@ -1362,6 +1470,7 @@ impl ServerCore {
                     self.config.update_log_capacity,
                 );
                 proxy.buffer_capacity = self.config.proxy_buffer_capacity;
+                proxy.lock.fault_double_grant = self.config.fault_double_grant;
                 self.apps.insert(app, proxy);
                 self.app_by_node.insert(from, app);
                 ctx.metrics().incr(names::SERVER_DAEMON_REGISTERED);
@@ -1414,6 +1523,12 @@ impl ServerCore {
                     if let Some(stamp) = entry.deadline {
                         if stamp.expired(ctx.now()) {
                             ctx.metrics().incr(names::SERVER_DEADLINE_DEQUEUE_EXPIRED);
+                            ctx.record_history(
+                                "daemon.expired",
+                                format!("{app}"),
+                                "",
+                                format!("req={} class={:?}", entry.req.0, entry.priority()),
+                            );
                             self.drop_op(
                                 ctx,
                                 entry.req,
@@ -1426,6 +1541,12 @@ impl ServerCore {
                         }
                     }
                     ctx.metrics().incr(names::SERVER_DAEMON_FLUSHED);
+                    ctx.record_history(
+                        "daemon.flushed",
+                        format!("{app}"),
+                        "",
+                        format!("req={} class={:?}", entry.req.0, entry.priority()),
+                    );
                     self.dispatch_to_app(ctx, app, entry.req, entry.op, entry.deadline);
                 }
             }
@@ -1650,7 +1771,7 @@ impl ServerCore {
                 self.dispatch_to_app(ctx, app, req, op, deadline);
                 // Reply is sent when the application responds.
             }
-            PeerMsg::LockRequest { app, user } => {
+            PeerMsg::LockRequest { app, user, via } => {
                 let now = ctx.now();
                 ctx.metrics().incr(names::SERVER_PEER_LOCK_REQUESTS);
                 match self.apps.get_mut(&app) {
@@ -1665,6 +1786,21 @@ impl ServerCore {
                         self.config.lock_lease,
                     ) {
                         LockOutcome::Granted => {
+                            proxy.lock.granted_via = Some(via);
+                            if let Some(evicted) = proxy.lock.take_evicted() {
+                                ctx.record_history(
+                                    "lock.evicted",
+                                    format!("{app}"),
+                                    evicted.as_str(),
+                                    "origin=lease-lazy",
+                                );
+                            }
+                            ctx.record_history(
+                                "lock.granted",
+                                format!("{app}"),
+                                user.as_str(),
+                                format!("origin=relay via={}", via.0),
+                            );
                             reply(
                                 self,
                                 ctx,
@@ -1680,6 +1816,12 @@ impl ServerCore {
                         }
                         LockOutcome::Denied { holder } => {
                             ctx.metrics().incr(names::SERVER_LOCK_DENIED);
+                            ctx.record_history(
+                                "lock.denied",
+                                format!("{app}"),
+                                user.as_str(),
+                                format!("origin=relay holder={}", holder.as_str()),
+                            );
                             reply(
                                 self,
                                 ctx,
@@ -1697,11 +1839,26 @@ impl ServerCore {
                 ),
                 Some(proxy) => {
                     if proxy.lock.release(&user) {
+                        ctx.record_history(
+                            "lock.released",
+                            format!("{app}"),
+                            user.as_str(),
+                            "origin=relay",
+                        );
                         reply(self, ctx, PeerReply::LockDecision { app, granted: true, holder: None });
                         let update = UpdateBody::LockChanged { app, holder: None };
                         self.route_update(ctx, update, None, None, &mut effects);
                     } else {
                         let holder = proxy.lock.holder().cloned();
+                        ctx.record_history(
+                            "lock.release_failed",
+                            format!("{app}"),
+                            user.as_str(),
+                            format!(
+                                "origin=relay holder={}",
+                                holder.as_ref().map(|h| h.as_str()).unwrap_or("-")
+                            ),
+                        );
                         reply(self, ctx, PeerReply::LockDecision { app, granted: false, holder });
                     }
                 }
@@ -1932,14 +2089,99 @@ impl ServerCore {
         ctx.metrics().incr_dynamic(&format!("server.control.{:?}", event.kind));
     }
 
+    /// Administrative ACL revocation (the security manager's
+    /// dynamic-policy path), applied directly to core state so harnesses
+    /// can drive it out-of-band via `Engine::actor_mut`. Removes `user`
+    /// from the local app's ACL and force-releases their steering lock if
+    /// held, so a de-authorized client cannot keep driving; their next
+    /// operation fails second-level authentication. Returns
+    /// `(was_on_acl, lock_was_freed)`. Callers recording correctness
+    /// histories should inject matching events via
+    /// `Engine::record_history`.
+    pub fn revoke_user(&mut self, app: AppId, user: &UserId) -> (bool, bool) {
+        self.apps.get_mut(&app).map(|p| p.revoke(user)).unwrap_or((false, false))
+    }
+
+    /// Eagerly force-release steering locks whose holder has been silent
+    /// past the lease, broadcasting the change. Without this, a lock held
+    /// by a crashed remote client is only reclaimed lazily, when someone
+    /// else contends — zero-contention apps would stay locked forever.
+    fn sweep_expired_leases(&mut self, ctx: &mut Ctx<'_, Envelope>) -> Vec<Effect> {
+        let Some(lease) = self.config.lock_lease else { return Vec::new() };
+        let now = ctx.now();
+        let mut freed = Vec::new();
+        for (app, proxy) in self.apps.iter_mut() {
+            if proxy.lock.expired(now, Some(lease)) {
+                if let Some(holder) = proxy.lock.force_release() {
+                    proxy.lock.evictions += 1;
+                    freed.push((*app, holder));
+                }
+            }
+        }
+        let mut effects = Vec::new();
+        for (app, holder) in freed {
+            ctx.metrics().incr(names::SERVER_LOCK_EVICTED);
+            ctx.record_history(
+                "lock.evicted",
+                format!("{app}"),
+                holder.as_str(),
+                "origin=lease-sweep",
+            );
+            let update = UpdateBody::LockChanged { app, holder: None };
+            self.route_update(ctx, update, None, None, &mut effects);
+        }
+        effects
+    }
+
+    /// Force-release every lock whose grant was relayed via `peer`, which
+    /// the substrate has just observed Down: the holder's path back to us
+    /// is gone, so an explicit release can no longer arrive and waiting
+    /// out the lease (or forever, without one) would strand the
+    /// application for all other collaborators.
+    pub fn evict_peer_locks(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        peer: ServerAddr,
+    ) -> Vec<Effect> {
+        let mut freed = Vec::new();
+        for (app, proxy) in self.apps.iter_mut() {
+            if proxy.lock.granted_via == Some(peer) {
+                if let Some(holder) = proxy.lock.force_release() {
+                    proxy.lock.evictions += 1;
+                    freed.push((*app, holder));
+                }
+            }
+        }
+        let mut effects = Vec::new();
+        for (app, holder) in freed {
+            ctx.metrics().incr(names::SERVER_LOCK_EVICTED);
+            ctx.record_history(
+                "lock.evicted",
+                format!("{app}"),
+                holder.as_str(),
+                format!("origin=peer-down peer={}", peer.0),
+            );
+            let update = UpdateBody::LockChanged { app, holder: None };
+            self.route_update(ctx, update, None, None, &mut effects);
+        }
+        effects.extend(self.take_deferred());
+        effects
+    }
+
     /// Reap sessions idle past the configured timeout, treating each like
-    /// a logout (master-handler housekeeping). Returns resulting effects.
+    /// a logout (master-handler housekeeping), and sweep expired
+    /// steering-lock leases. Returns resulting effects.
     pub fn reap_idle_sessions(&mut self, ctx: &mut Ctx<'_, Envelope>) -> Vec<Effect> {
-        let Some(timeout) = self.config.session_idle_timeout else { return Vec::new() };
+        let lease_effects = self.sweep_expired_leases(ctx);
+        let Some(timeout) = self.config.session_idle_timeout else {
+            let mut effects = lease_effects;
+            effects.extend(self.take_deferred());
+            return effects;
+        };
         let now = ctx.now();
         let cutoff_us = now.as_micros().saturating_sub(timeout.as_micros());
         let cutoff = simnet::SimTime::from_micros(cutoff_us);
-        let mut effects = Vec::new();
+        let mut effects = lease_effects;
         for session in self.sessions.reap_idle(cutoff) {
             ctx.metrics().incr(names::SERVER_SESSIONS_REAPED);
             let client = session.client;

@@ -7,19 +7,45 @@
 //! the application's host server; remote servers relay requests
 //! (§5.2.4). A request while the lock is held is denied (the requester
 //! retries), matching the paper's minimal protocol.
+//!
+//! Leases measure holder *inactivity*, not tenure: every grant,
+//! idempotent re-acquisition and [`SteeringLock::touch`] (a mutating op
+//! by the holder) refreshes the activity clock, so an actively steering
+//! client is never evicted no matter how long it drives, while a holder
+//! whose server crashed goes silent and ages out. Eviction happens both
+//! lazily (a contending request past the lease steals the lock) and
+//! eagerly (the host's sweep timer calls [`SteeringLock::expired`] so a
+//! stale lease is reaped and broadcast even with zero contention).
 
 use simnet::{SimDuration, SimTime};
-use wire::UserId;
+use wire::{ServerAddr, UserId};
 
 /// Steering-lock state for one application.
 #[derive(Debug, Default)]
 pub struct SteeringLock {
     holder: Option<UserId>,
     acquired_at: Option<SimTime>,
+    /// Last holder activity (grant, re-acquisition, or mutating op);
+    /// the lease clock.
+    active_at: Option<SimTime>,
+    /// Holder evicted by the most recent leased acquire, not yet
+    /// collected via [`SteeringLock::take_evicted`].
+    evicted: Option<UserId>,
+    /// The peer server that relayed the current grant, when the holder
+    /// sits at a remote server. `None` for locally granted locks.
+    pub granted_via: Option<ServerAddr>,
     /// Total successful acquisitions.
     pub acquisitions: u64,
     /// Total denials.
     pub denials: u64,
+    /// Total lease evictions (lazy + eager).
+    pub evictions: u64,
+    /// Test-only fault injection: when set, a contending acquire is
+    /// *granted* without evicting the holder (two clients both believe
+    /// they drive). Exists solely so the scenario checker's mutation
+    /// test can prove the linearizability oracle catches a double grant;
+    /// never set outside tests.
+    pub fault_double_grant: bool,
 }
 
 /// Outcome of a lock request.
@@ -50,35 +76,73 @@ impl SteeringLock {
         self.acquired_at
     }
 
+    /// Last holder activity (lease clock).
+    pub fn active_since(&self) -> Option<SimTime> {
+        self.active_at
+    }
+
     /// Request the lock for `user`, stealing it if the current holder's
     /// lease (if any) has expired — a lazy-expiry guard against
     /// disconnected or crashed holders. Re-acquisition by the holder is
-    /// idempotent and granted.
+    /// idempotent, granted, and refreshes the lease. A lazy eviction is
+    /// reported through [`SteeringLock::take_evicted`].
     pub fn try_acquire_leased(
         &mut self,
         user: &UserId,
         now: SimTime,
         lease: Option<SimDuration>,
     ) -> LockOutcome {
-        if let (Some(lease), Some(acquired)) = (lease, self.acquired_at) {
-            if self.holder.as_ref() != Some(user) && now.since(acquired) > lease {
-                self.force_release();
-            }
+        if self.holder.as_ref() != Some(user) && self.expired(now, lease) {
+            self.evictions += 1;
+            self.evicted = self.force_release();
         }
         self.try_acquire(user, now)
     }
 
+    /// True if a holder exists and has been silent past `lease`. The
+    /// host's sweep timer uses this for eager eviction so a crashed
+    /// remote holder cannot strand the lock until someone contends.
+    pub fn expired(&self, now: SimTime, lease: Option<SimDuration>) -> bool {
+        match (lease, self.active_at) {
+            (Some(lease), Some(active)) => self.holder.is_some() && now.since(active) > lease,
+            _ => false,
+        }
+    }
+
+    /// The holder evicted by the most recent leased acquire, if any
+    /// (collected once; lets the host record/broadcast the eviction).
+    pub fn take_evicted(&mut self) -> Option<UserId> {
+        self.evicted.take()
+    }
+
+    /// Holder activity ping: a mutating operation by the holder
+    /// refreshes the lease so active drivers are never evicted.
+    pub fn touch(&mut self, user: &UserId, now: SimTime) {
+        if self.holder.as_ref() == Some(user) {
+            self.active_at = Some(now);
+        }
+    }
+
     /// Request the lock for `user`. Re-acquisition by the holder is
-    /// idempotent and granted.
+    /// idempotent, granted, and refreshes the lease clock.
     pub fn try_acquire(&mut self, user: &UserId, now: SimTime) -> LockOutcome {
         match &self.holder {
             None => {
                 self.holder = Some(user.clone());
                 self.acquired_at = Some(now);
+                self.active_at = Some(now);
+                self.granted_via = None;
                 self.acquisitions += 1;
                 LockOutcome::Granted
             }
             Some(h) if h == user => {
+                self.active_at = Some(now);
+                self.acquisitions += 1;
+                LockOutcome::Granted
+            }
+            Some(h) if self.fault_double_grant => {
+                // Injected bug: grant over a live holder (see field doc).
+                let _ = h;
                 self.acquisitions += 1;
                 LockOutcome::Granted
             }
@@ -95,6 +159,8 @@ impl SteeringLock {
         if self.holder.as_ref() == Some(user) {
             self.holder = None;
             self.acquired_at = None;
+            self.active_at = None;
+            self.granted_via = None;
             true
         } else {
             false
@@ -105,6 +171,8 @@ impl SteeringLock {
     /// Returns the previous holder.
     pub fn force_release(&mut self) -> Option<UserId> {
         self.acquired_at = None;
+        self.active_at = None;
+        self.granted_via = None;
         self.holder.take()
     }
 
@@ -142,6 +210,7 @@ mod tests {
         lock.try_acquire(&u("a"), SimTime::ZERO);
         assert_eq!(lock.try_acquire(&u("a"), SimTime::from_secs(1)), LockOutcome::Granted);
         assert_eq!(lock.held_since(), Some(SimTime::ZERO), "original acquisition time kept");
+        assert_eq!(lock.active_since(), Some(SimTime::from_secs(1)), "lease clock refreshed");
     }
 
     #[test]
@@ -174,12 +243,15 @@ mod tests {
             lock.try_acquire_leased(&u("b"), SimTime::from_secs(10), lease),
             LockOutcome::Denied { holder: u("a") }
         );
-        // Past the lease: the stale holder is evicted.
+        // Past the lease: the stale holder is evicted and reported.
         assert_eq!(
             lock.try_acquire_leased(&u("b"), SimTime::from_secs(31), lease),
             LockOutcome::Granted
         );
         assert!(lock.is_held_by(&u("b")));
+        assert_eq!(lock.take_evicted(), Some(u("a")));
+        assert_eq!(lock.take_evicted(), None, "eviction collected once");
+        assert_eq!(lock.evictions, 1);
         // Without a lease, holders are never evicted.
         let mut lock = SteeringLock::new();
         lock.try_acquire_leased(&u("a"), SimTime::ZERO, None);
@@ -190,11 +262,44 @@ mod tests {
     }
 
     #[test]
+    fn activity_refreshes_lease() {
+        let mut lock = SteeringLock::new();
+        let lease = Some(SimDuration::from_secs(30));
+        lock.try_acquire_leased(&u("a"), SimTime::ZERO, lease);
+        // Holder keeps steering: touch at t=25 refreshes the lease...
+        lock.touch(&u("a"), SimTime::from_secs(25));
+        // ...so a contender at t=40 (40s tenure, 15s inactivity) is denied.
+        assert_eq!(
+            lock.try_acquire_leased(&u("b"), SimTime::from_secs(40), lease),
+            LockOutcome::Denied { holder: u("a") }
+        );
+        // A non-holder touch does nothing.
+        lock.touch(&u("b"), SimTime::from_secs(41));
+        assert_eq!(lock.active_since(), Some(SimTime::from_secs(25)));
+        // Silence past the lease: expired, eager sweep would reap it.
+        assert!(!lock.expired(SimTime::from_secs(50), lease));
+        assert!(lock.expired(SimTime::from_secs(56), lease));
+        assert!(!lock.expired(SimTime::from_secs(56), None), "no lease, no expiry");
+    }
+
+    #[test]
     fn force_release_reports_previous_holder() {
         let mut lock = SteeringLock::new();
         assert_eq!(lock.force_release(), None);
         lock.try_acquire(&u("a"), SimTime::ZERO);
+        lock.granted_via = Some(ServerAddr(9));
         assert_eq!(lock.force_release(), Some(u("a")));
         assert_eq!(lock.holder(), None);
+        assert_eq!(lock.granted_via, None, "relay tag cleared with the grant");
+    }
+
+    #[test]
+    fn double_grant_fault_injection() {
+        let mut lock = SteeringLock::new();
+        lock.fault_double_grant = true;
+        assert_eq!(lock.try_acquire(&u("a"), SimTime::ZERO), LockOutcome::Granted);
+        // The injected bug grants the contender while "a" still holds.
+        assert_eq!(lock.try_acquire(&u("b"), SimTime::ZERO), LockOutcome::Granted);
+        assert!(lock.is_held_by(&u("a")), "holder not even updated: both clients believe");
     }
 }

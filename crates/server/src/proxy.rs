@@ -188,6 +188,17 @@ impl ApplicationProxy {
         self.acl.get(user).copied()
     }
 
+    /// Revoke `user`'s ACL entry mid-session (the security manager's
+    /// dynamic-policy path): their next operation fails second-level
+    /// authentication, and a steering lock they hold is force-released so
+    /// a de-authorized client cannot keep driving. Returns
+    /// `(was_on_acl, lock_was_freed)`.
+    pub fn revoke(&mut self, user: &UserId) -> (bool, bool) {
+        let had = self.acl.remove(user).is_some();
+        let freed = had && self.lock.is_held_by(user) && self.lock.force_release().is_some();
+        (had, freed)
+    }
+
     /// Directory descriptor as seen by `user` (None if not on the ACL).
     pub fn descriptor_for(&self, user: &UserId) -> Option<AppDescriptor> {
         let privilege = self.privilege_of(user)?;

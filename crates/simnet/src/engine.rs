@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Payload};
+use crate::history::{HistoryEvent, HistoryLog};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::metrics::{names, Metrics, MetricsRegistry};
 use crate::stats::Stats;
@@ -115,6 +116,7 @@ struct Core<M> {
     /// through to both this and the run-wide `stats`.
     node_metrics: Vec<MetricsRegistry>,
     tracer: Tracer,
+    history: HistoryLog,
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     events_processed: u64,
@@ -297,6 +299,34 @@ impl<'a, M: Payload> Ctx<'a, M> {
         }
     }
 
+    /// Whether history recording is on (see `Engine::enable_history`).
+    pub fn history_enabled(&self) -> bool {
+        self.core.history.enabled()
+    }
+
+    /// Record a semantic decision point into the history log (no-op while
+    /// recording is off). Never touches the RNG, the queue, or the wire,
+    /// so recorded and unrecorded runs share one event schedule.
+    pub fn record_history(
+        &mut self,
+        label: &'static str,
+        subject: impl Into<String>,
+        actor: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if !self.core.history.enabled() {
+            return;
+        }
+        self.core.history.record(
+            self.local_now,
+            self.me,
+            label,
+            subject.into(),
+            actor.into(),
+            detail.into(),
+        );
+    }
+
     /// Record a complete child span covering `[start, end]` (windows known
     /// only after the fact, e.g. retry backoff delays).
     pub fn trace_window(
@@ -341,6 +371,7 @@ impl<M: Payload> Engine<M> {
                 stats: Stats::new(),
                 node_metrics: Vec::new(),
                 tracer: Tracer::new(),
+                history: HistoryLog::new(),
                 cancelled_timers: HashSet::new(),
                 next_timer_id: 0,
                 events_processed: 0,
@@ -475,6 +506,40 @@ impl<M: Payload> Engine<M> {
     /// The span sink (read or export).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.core.tracer
+    }
+
+    /// Turn on semantic history recording (see [`crate::history`]). Off
+    /// by default; recording appends to a vector only, so the event
+    /// schedule is identical either way.
+    pub fn enable_history(&mut self) {
+        self.core.history.enable();
+    }
+
+    /// Every recorded history event, in execution order.
+    pub fn history(&self) -> &[HistoryEvent] {
+        self.core.history.events()
+    }
+
+    /// The full history log as deterministic text (byte-identical across
+    /// same-seed runs).
+    pub fn history_rendered(&self) -> String {
+        self.core.history.render()
+    }
+
+    /// Record a history event from outside the simulation, attributed to
+    /// `node` at the global clock — for harnesses applying out-of-band
+    /// admin actions (ACL revocations, forced state edits) between run
+    /// steps, so oracles still see them in the one ordered log.
+    pub fn record_history(
+        &mut self,
+        node: NodeId,
+        label: &'static str,
+        subject: impl Into<String>,
+        actor: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        let now = self.core.now;
+        self.core.history.record(now, node, label, subject.into(), actor.into(), detail.into());
     }
 
     /// One node's metrics registry.

@@ -58,6 +58,7 @@
 mod actor;
 mod engine;
 mod fault;
+pub mod history;
 mod link;
 pub mod metrics;
 mod stats;
@@ -67,6 +68,7 @@ pub mod trace;
 pub use actor::{Actor, Payload};
 pub use engine::{Ctx, Engine, NodeId, TimerId};
 pub use fault::FaultPlan;
+pub use history::HistoryEvent;
 pub use link::{LinkSpec, LinkStats};
 pub use metrics::{names, CounterDef, GaugeDef, Metrics, MetricsRegistry, TimerDef};
 pub use stats::{Histogram, HistogramSummary, Stats};

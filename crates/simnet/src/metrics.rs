@@ -91,6 +91,9 @@ pub mod names {
     pub const SERVER_OPS: CounterDef = CounterDef("server.ops");
     /// Lock requests denied (already held).
     pub const SERVER_LOCK_DENIED: CounterDef = CounterDef("server.lock.denied");
+    /// Steering locks force-released because their lease expired or their
+    /// relay peer was observed down.
+    pub const SERVER_LOCK_EVICTED: CounterDef = CounterDef("server.lock.evicted");
     /// Poll requests served.
     pub const SERVER_POLL_REQUESTS: CounterDef = CounterDef("server.poll.requests");
     /// Updates delivered through poll responses.

@@ -96,6 +96,18 @@ impl AppOp {
     pub fn is_mutating(&self) -> bool {
         matches!(self, AppOp::SetParam(..) | AppOp::Command(_))
     }
+
+    /// Stable short name of the operation variant, for logs and
+    /// correctness-history records.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AppOp::GetStatus => "getStatus",
+            AppOp::GetParam(_) => "getParam",
+            AppOp::GetSensors => "getSensors",
+            AppOp::SetParam(..) => "setParam",
+            AppOp::Command(_) => "command",
+        }
+    }
 }
 
 /// Successful result of an [`AppOp`].
@@ -602,6 +614,12 @@ pub enum AppMsg {
         acl: Vec<(UserId, Privilege)>,
         /// Published interaction interface.
         interface: InteractionSpec,
+        /// Pre-assigned application slot at the host server (static
+        /// deployments, where the identity is decided before launch).
+        /// `None` lets the Daemon assign the next free sequence — with
+        /// concurrent registrations that order depends on network
+        /// arrival, so statically configured topologies should pin it.
+        slot: Option<u32>,
     },
     /// Main channel, server → app: registration accepted.
     RegisterAck {
@@ -712,6 +730,11 @@ pub enum PeerMsg {
         app: AppId,
         /// Requesting user.
         user: UserId,
+        /// The relaying server (the user's local server). The host
+        /// remembers it with the grant so a relayed lock can be evicted
+        /// when its relay server is observed down, instead of stranding
+        /// the lock until lease expiry.
+        via: ServerAddr,
     },
     /// Relay a steering-lock release to the application's host server.
     LockRelease {
