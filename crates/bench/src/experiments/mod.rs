@@ -3,6 +3,7 @@
 //! per-experiment index.
 
 mod scalability;
+mod churn;
 mod collaboration;
 mod distributed;
 mod fanout;
@@ -10,6 +11,7 @@ mod faults;
 mod overload;
 mod tracing;
 
+pub use churn::e16_churn_recovery;
 pub use collaboration::{e11_push_vs_poll, e4_collab_traffic, e5_remote_vs_local, e6_discovery_auth};
 pub use distributed::{e10_latecomer_replay, e7_lock_contention, e8_network_scalability, e9_fifo_slow_clients};
 pub use fanout::e14_broadcast_fanout;
@@ -39,5 +41,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e13", e13_latency_attribution),
         ("e14", e14_broadcast_fanout),
         ("e15", e15_overload),
+        ("e16", e16_churn_recovery),
     ]
 }

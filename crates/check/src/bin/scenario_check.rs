@@ -2,7 +2,8 @@
 //! and validate every run against the correctness oracles.
 //!
 //! ```text
-//! scenario_check [--seeds N] [--start-seed S] [--family all|locks|acl|replay]
+//! scenario_check [--seeds N] [--start-seed S]
+//!                [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer]
 //!                [--budget-secs T] [--out DIR] [--mutation]
 //! ```
 //!
@@ -15,7 +16,9 @@
 //!
 //! `--mutation` runs the self-test instead: a scenario with the
 //! test-only double-grant fault injected must trip the linearizability
-//! oracle and shrink to ≤ 10 events.
+//! oracle and shrink to ≤ 10 events, and a scenario with lease
+//! reclamation disabled must trip the reclaim oracle and shrink just as
+//! small.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -61,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
                     "locks" => vec![Family::Locks],
                     "acl" => vec![Family::Acl],
                     "replay" => vec![Family::Replay],
+                    "churn" => vec![Family::Churn],
+                    "flashcrowd" => vec![Family::FlashCrowd],
+                    "slowconsumer" => vec![Family::SlowConsumer],
                     other => return Err(format!("unknown family {other:?}")),
                 };
             }
@@ -73,7 +79,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: scenario_check [--seeds N] [--start-seed S] \
-                     [--family all|locks|acl|replay] [--budget-secs T] [--out DIR] [--mutation]"
+                     [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer] \
+                     [--budget-secs T] [--out DIR] [--mutation]"
                         .into(),
                 );
             }
@@ -150,36 +157,47 @@ fn check_one(seed: u64, family: Family, out_dir: &str) -> bool {
     false
 }
 
-fn mutation_selftest() -> ExitCode {
-    // The injected double-grant fault must be caught and shrink small.
-    let scenario = Scenario::mutation(1);
-    let violations = check_run(&run(&scenario));
-    if !violations.iter().any(|v| v.oracle == "linearizability") {
+/// Run one seeded mutation: `scenario` carries an injected fault that
+/// `oracle` must detect, and the shrunk repro must stay small.
+fn mutation_case(what: &str, scenario: &Scenario, oracle: &'static str) -> bool {
+    let violations = check_run(&run(scenario));
+    if !violations.iter().any(|v| v.oracle == oracle) {
         eprintln!(
-            "mutation self-test FAILED: double-grant fault not detected; violations:\n{}",
+            "mutation self-test FAILED: {what} not detected by oracle {oracle:?}; \
+             violations:\n{}",
             render_violations(&violations)
         );
-        return ExitCode::FAILURE;
+        return false;
     }
-    let shrunk = shrink(&scenario, |s| still_fails(s, "linearizability"));
+    let shrunk = shrink(scenario, |s| still_fails(s, oracle));
     let confirm = check_run(&run(&shrunk));
-    if !confirm.iter().any(|v| v.oracle == "linearizability") {
-        eprintln!("mutation self-test FAILED: shrunk scenario no longer fails");
-        return ExitCode::FAILURE;
+    if !confirm.iter().any(|v| v.oracle == oracle) {
+        eprintln!("mutation self-test FAILED: shrunk {what} scenario no longer fails");
+        return false;
     }
     if shrunk.event_count() > 10 {
         eprintln!(
-            "mutation self-test FAILED: shrunk to {} events (> 10)\n{}",
+            "mutation self-test FAILED: {what} shrunk to {} events (> 10)\n{}",
             shrunk.event_count(),
             shrunk.describe()
         );
-        return ExitCode::FAILURE;
+        return false;
     }
-    println!(
-        "mutation self-test passed: double grant detected and shrunk to {} events",
-        shrunk.event_count()
-    );
-    ExitCode::SUCCESS
+    println!("mutation self-test: {what} detected and shrunk to {} events", shrunk.event_count());
+    true
+}
+
+fn mutation_selftest() -> ExitCode {
+    // Each injected fault must be caught by its oracle and shrink small.
+    let double_grant = mutation_case("double grant", &Scenario::mutation(1), "linearizability");
+    let lease_leak =
+        mutation_case("disabled lease reclamation", &Scenario::mutation_churn(1), "reclaim");
+    if double_grant && lease_leak {
+        println!("mutation self-test passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {

@@ -5,11 +5,12 @@
 //! [`scenario::Scenario`] describes a randomized workload — N clients
 //! across M servers issuing steering-lock acquire/release, steering
 //! commands, ACL-gated operations and latecomer joins — composed with a
-//! random fault schedule (server crashes/restarts, timed partitions).
+//! random fault schedule (server crashes/restarts, timed partitions,
+//! and — in the churn families — client disconnect/rejoin schedules).
 //! [`run::run`] executes it on the real stack (portals → webserv →
 //! server core → ORB substrate → peers) with the simnet history recorder
 //! on, and [`oracle::check_run`] validates the recorded history against
-//! four oracles:
+//! the oracles:
 //!
 //! 1. **Linearizability** ([`lin`]): the distributed steering-lock
 //!    history is linearizable against a single-holder lock automaton
@@ -19,7 +20,15 @@
 //! 3. **FIFO-within-class**: the Daemon buffer never reorders two
 //!    operations of the same priority class.
 //! 4. **Replay**: a latecomer's paged catch-up plus live tail is
-//!    byte-identical to the host's full archive replay.
+//!    byte-identical to the host's full archive replay, and a resumed
+//!    session's replayed batches are byte-identical contiguous slices
+//!    of the host archive (exactly the missed suffix).
+//! 5. **Churn** (churn/flashcrowd/slowconsumer families): parked
+//!    session leases never leak (**reclaim**), paced resume admission
+//!    is honored (**pacing**), connected bystanders keep completing
+//!    work through a rejoin storm (**goodput**, the metastability
+//!    guard), and every returning client recovers within an
+//!    O(backlog/rate) budget (**recovery**).
 //!
 //! On failure, [`shrink::shrink`] greedily deletes scenario events and
 //! faults (re-running after each candidate deletion) until a minimal

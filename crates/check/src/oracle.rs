@@ -11,6 +11,22 @@
 //! * **Replay** — the latecomer's catch-up fetch must be a prefix of
 //!   their final full fetch, which must be byte-identical (under the
 //!   wire codec) to the host's archive, with dense sequence numbers.
+//!   Resumed sessions (churn families) extend this: every replayed
+//!   `History` batch must be a byte-identical contiguous slice of the
+//!   host archive — only the missed suffix, never a rewrite.
+//! * **Reclaim** — every parked session is eventually resumed or
+//!   reclaimed, exactly once, and nothing stays parked at the horizon
+//!   (the no-leak lease invariant).
+//! * **Pacing** — with a resume rate limit of `r`/s, no sliding
+//!   one-second window may admit more than `2r` resumes (2x because
+//!   the oracle's windows misalign with the server's accounting
+//!   windows).
+//! * **Goodput** — connected bystanders must keep completing work
+//!   after the churn heals: a rejoin burst must not metastably starve
+//!   the steady state.
+//! * **Recovery** — every returning client must attempt a resume and
+//!   end up either resumed or re-logged-in, within an O(backlog/rate)
+//!   time budget.
 //!
 //! ### Interval construction for the lock history
 //!
@@ -41,7 +57,7 @@ const SLACK_US: u64 = 200_000;
 #[derive(Clone, Debug)]
 pub struct Violation {
     /// Which oracle fired (`"linearizability"`, `"acl"`, `"fifo"`,
-    /// `"replay"`).
+    /// `"replay"`, `"reclaim"`, `"pacing"`, `"goodput"`, `"recovery"`).
     pub oracle: &'static str,
     /// What it saw.
     pub detail: String,
@@ -340,6 +356,11 @@ fn check_fifo(run: &RunResult, out: &mut Vec<Violation>) {
 }
 
 fn check_replay(run: &RunResult, out: &mut Vec<Violation>) {
+    check_latecomer_replay(run, out);
+    check_resume_replay(run, out);
+}
+
+fn check_latecomer_replay(run: &RunResult, out: &mut Vec<Violation>) {
     if run.scenario.latecomer.is_none() {
         return;
     }
@@ -411,6 +432,160 @@ fn check_replay(run: &RunResult, out: &mut Vec<Violation>) {
     }
 }
 
+/// A resumed session's replayed history batches must each be a
+/// byte-identical contiguous slice of the host archive: resume replays
+/// exactly the missed suffix, it never invents, reorders, or rewrites
+/// records.
+fn check_resume_replay(run: &RunResult, out: &mut Vec<Violation>) {
+    if run.scenario.churn.is_none() {
+        return;
+    }
+    for u in &run.users {
+        if u.resumes_ok == 0 {
+            continue;
+        }
+        for f in &u.history_fetches {
+            let Some(first) = f.first() else { continue };
+            let last = f.last().expect("non-empty");
+            let start = run.host_archive.partition_point(|r| r.seq < first.seq);
+            let end = start + f.len();
+            let matches = end <= run.host_archive.len()
+                && wire::codec::encode(f)
+                    == wire::codec::encode(&run.host_archive[start..end].to_vec());
+            if !matches {
+                out.push(Violation::new(
+                    "replay",
+                    format!(
+                        "resume replay for {} (seq {}..={}, len {}) is not a                          byte-identical contiguous slice of the host archive (len {})",
+                        u.name,
+                        first.seq,
+                        last.seq,
+                        f.len(),
+                        run.host_archive.len()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// The churn-family oracles: lease no-leak, resume pacing, bystander
+/// goodput, and bounded recovery. All are no-ops for non-churn runs.
+fn check_churn(run: &RunResult, out: &mut Vec<Violation>) {
+    let Some(churn) = &run.scenario.churn else { return };
+
+    // Reclaim: park/resume/reclaim events must balance, and nothing may
+    // still be parked when the run ends. A leak here is exactly the
+    // fault_no_reclaim mutation.
+    let mut parked = 0u64;
+    let mut reclaimed = 0u64;
+    let mut resumed_at: Vec<u64> = Vec::new();
+    for e in &run.history {
+        match e.label {
+            "session.parked" => parked += 1,
+            "session.resumed" => resumed_at.push(e.at.as_micros()),
+            "session.reclaimed" => reclaimed += 1,
+            _ => {}
+        }
+    }
+    let resumed = resumed_at.len() as u64;
+    if parked != resumed + reclaimed || run.parked_at_end != 0 {
+        out.push(Violation::new(
+            "reclaim",
+            format!(
+                "lease leak: parked={parked} resumed={resumed} reclaimed={reclaimed}                  parked_at_end={}",
+                run.parked_at_end
+            ),
+        ));
+    }
+
+    // Pacing: with a server-side accounting window of r resumes/s, any
+    // sliding 1s window holds at most 2r (it spans at most two
+    // accounting windows).
+    if let Some(rate) = churn.resume_rate {
+        let limit = 2 * rate as usize;
+        let mut lo = 0usize;
+        for hi in 0..resumed_at.len() {
+            while resumed_at[hi] - resumed_at[lo] >= 1_000_000 {
+                lo += 1;
+            }
+            if hi - lo + 1 > limit {
+                out.push(Violation::new(
+                    "pacing",
+                    format!(
+                        "{} resumes inside one second around t={}µs exceeds 2x the                          configured rate {rate}/s",
+                        hi - lo + 1,
+                        resumed_at[hi]
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+
+    // Goodput: users who never disconnected must still complete work
+    // after the last heal — the rejoin storm must not starve them.
+    let disconnected: BTreeSet<usize> = churn.disconnects.iter().map(|d| d.user).collect();
+    let max_heal_us = churn.disconnects.iter().filter_map(|d| d.until_ms).max().map(|ms| ms * 1000);
+    if let Some(heal) = max_heal_us {
+        for (ui, u) in run.users.iter().enumerate() {
+            if disconnected.contains(&ui) {
+                continue;
+            }
+            if !u.op_completions_us.iter().any(|(at, ok)| *ok && *at > heal) {
+                out.push(Violation::new(
+                    "goodput",
+                    format!(
+                        "bystander {} completed nothing after the churn healed at {heal}µs",
+                        u.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Recovery: each returning client must attempt a resume and land
+    // somewhere (resumed, or re-logged-in after its lease was
+    // reclaimed), and a successful resume must complete within an
+    // O(backlog/rate) budget of the heal.
+    let returning: Vec<_> = churn.disconnects.iter().filter(|d| d.until_ms.is_some()).collect();
+    let k = returning.len() as u64;
+    for d in &returning {
+        let u = &run.users[d.user];
+        if u.resumes_sent == 0 {
+            out.push(Violation::new(
+                "recovery",
+                format!("returning user {} never attempted a resume", u.name),
+            ));
+            continue;
+        }
+        if u.resumes_ok == 0 && u.resume_fallbacks == 0 {
+            out.push(Violation::new(
+                "recovery",
+                format!("returning user {} neither resumed nor fell back to re-login", u.name),
+            ));
+            continue;
+        }
+        if let Some(&first) = u.resumed_at_us.first() {
+            let until = d.until_ms.expect("returning");
+            let budget_ms = match churn.resume_rate {
+                Some(r) => until + 5_000 + 2_000 * k.div_ceil(r as u64),
+                None => until + 5_000,
+            };
+            if first > budget_ms * 1_000 {
+                out.push(Violation::new(
+                    "recovery",
+                    format!(
+                        "user {} resumed at {first}µs, past the O(backlog) budget of                          {budget_ms}ms",
+                        u.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Run every oracle over `run`; empty = the run is clean.
 pub fn check_run(run: &RunResult) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -418,6 +593,7 @@ pub fn check_run(run: &RunResult) -> Vec<Violation> {
     check_acl(run, &mut out);
     check_fifo(run, &mut out);
     check_replay(run, &mut out);
+    check_churn(run, &mut out);
     out
 }
 

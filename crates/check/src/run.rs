@@ -19,7 +19,7 @@
 
 use appsim::{synthetic_app, DriverConfig};
 use discover_bench::fixtures::poll_period;
-use discover_client::{Portal, PortalConfig};
+use discover_client::{OpMix, Portal, PortalConfig, Workload};
 use discover_core::{CollaboratoryBuilder, DiscoverNode, ServerHandle};
 use simnet::{FaultPlan, HistoryEvent, LinkSpec, SimDuration, SimTime};
 use wire::{
@@ -87,6 +87,20 @@ pub struct UserObservation {
     pub op_done: usize,
     /// `AccessDenied` errors observed.
     pub denied: usize,
+    /// Tracked workload completions `(completion µs, success)` (churn
+    /// families attach closed-loop workloads instead of scripts).
+    pub op_completions_us: Vec<(u64, bool)>,
+    /// `Resume` requests the portal sent (including paced retries).
+    pub resumes_sent: u64,
+    /// Successful resumes (`Resumed` replies).
+    pub resumes_ok: u64,
+    /// Resume attempts that fell back to a full re-login.
+    pub resume_fallbacks: u64,
+    /// Completion times of successful resumes, µs.
+    pub resumed_at_us: Vec<u64>,
+    /// Every `History` batch this portal received for the main app, in
+    /// order (resume replays land here).
+    pub history_fetches: Vec<Vec<LogRecord>>,
 }
 
 /// The harvest of one scenario execution.
@@ -105,6 +119,9 @@ pub struct RunResult {
     /// Every `History` response the latecomer received, in order
     /// (replay family: first = catch-up snapshot, last = full replay).
     pub latecomer_fetches: Vec<Vec<LogRecord>>,
+    /// Sessions still parked across all servers when the run ended (a
+    /// correct lease plane drains this to zero once TTLs pass).
+    pub parked_at_end: usize,
     /// Deterministic text rendering of the whole run (byte-identical
     /// across same-seed executions).
     pub run_log: String,
@@ -138,12 +155,26 @@ pub fn run(scenario: &Scenario) -> RunResult {
     b.history(true);
     let lease = SimDuration::from_millis(s.lock_lease_ms);
     let double_grant = s.fault_double_grant;
+    let no_reclaim = s.fault_no_reclaim;
+    let churn = s.churn.clone();
     b.tweak_servers(move |cfg| {
         cfg.lock_lease = Some(lease);
-        // Idle reaping off: a quiet scripted session must never be torn
-        // down under the oracles' feet. (The lease sweep still runs.)
-        cfg.session_idle_timeout = None;
+        match &churn {
+            // Churn families run the full lease plane: silence parks the
+            // session, the park TTL reclaims it, resumes may be paced.
+            Some(c) => {
+                cfg.session_idle_timeout =
+                    Some(SimDuration::from_millis(c.idle_timeout_ms));
+                cfg.session_park_ttl = Some(SimDuration::from_millis(c.park_ttl_ms));
+                cfg.resume_rate_limit = c.resume_rate;
+            }
+            // Idle reaping off: a quiet scripted session must never be
+            // torn down under the oracles' feet. (The lease sweep still
+            // runs.)
+            None => cfg.session_idle_timeout = None,
+        }
         cfg.fault_double_grant = double_grant;
+        cfg.fault_no_reclaim = no_reclaim;
     });
     let servers: Vec<ServerHandle> =
         (0..s.n_servers).map(|i| b.server(&format!("s{i}"))).collect();
@@ -190,10 +221,19 @@ pub fn run(scenario: &Scenario) -> RunResult {
         b.application(srv, synthetic_app(1, u64::MAX), cfg);
     }
 
-    // Scripted portals.
+    // Portals: scripted for the classic families; churn families use
+    // closed-loop sensor-read workloads with reconnect-with-resume on,
+    // so completion timestamps feed the goodput/recovery oracles.
     let mut portal_nodes = Vec::new();
     for (ui, u) in s.users.iter().enumerate() {
         let mut cfg = PortalConfig::new(&u.name).poll_every(poll_period());
+        if s.churn.is_some() {
+            cfg = cfg.select_app(app).resume().workload(Workload::new(
+                app,
+                OpMix::sensors_only(),
+                SimDuration::from_millis(600),
+            ));
+        }
         let mut writes = 0u64;
         for a in &u.actions {
             if a.kind == ActionKind::SetParam {
@@ -248,6 +288,19 @@ pub fn run(scenario: &Scenario) -> RunResult {
             SimTime::from_millis(p.from_ms),
             SimTime::from_millis(p.until_ms),
         );
+    }
+    // Client churn: a disconnect is a portal<->server partition; a user
+    // who never returns stays partitioned past the horizon.
+    if let Some(churn) = &s.churn {
+        for d in &churn.disconnects {
+            let user = &s.users[d.user];
+            plan.partition(
+                portal_nodes[d.user],
+                servers[user.server].node,
+                SimTime::from_millis(d.from_ms),
+                SimTime::from_millis(d.until_ms.unwrap_or(s.horizon_ms + 10_000)),
+            );
+        }
     }
     c.engine.apply_faults(&plan);
 
@@ -324,6 +377,18 @@ pub fn run(scenario: &Scenario) -> RunResult {
                 _ => {}
             }
         }
+        let history_fetches: Vec<Vec<LogRecord>> = p
+            .received
+            .iter()
+            .filter_map(|(_, m)| match m {
+                ClientMessage::Response(ResponseBody::History { app: a, records, .. })
+                    if *a == app =>
+                {
+                    Some(records.clone())
+                }
+                _ => None,
+            })
+            .collect();
         users.push(UserObservation {
             name: u.name.clone(),
             server: u.server,
@@ -344,6 +409,16 @@ pub fn run(scenario: &Scenario) -> RunResult {
             lock_responses,
             op_done,
             denied,
+            op_completions_us: p
+                .op_completions
+                .iter()
+                .map(|(at, _, ok)| (at.as_micros(), *ok))
+                .collect(),
+            resumes_sent: p.resumes_sent,
+            resumes_ok: p.resumes_ok,
+            resume_fallbacks: p.resume_fallbacks,
+            resumed_at_us: p.resumed_at.iter().map(|t| t.as_micros()).collect(),
+            history_fetches,
         });
     }
     let host_archive = c
@@ -352,6 +427,8 @@ pub fn run(scenario: &Scenario) -> RunResult {
         .archive()
         .fetch_app(app, 0)
         .0;
+    let parked_at_end: usize =
+        servers.iter().map(|&srv| c.server_core(srv).map_or(0, |s| s.parked_count())).sum();
     let latecomer_fetches: Vec<Vec<LogRecord>> = late_node
         .and_then(|node| c.engine.actor_ref::<Portal>(node))
         .map(|p| {
@@ -388,6 +465,21 @@ pub fn run(scenario: &Scenario) -> RunResult {
             u.denied,
             locks.join(", ")
         ));
+        if s.churn.is_some() {
+            let completions_ok = u.op_completions_us.iter().filter(|(_, ok)| *ok).count();
+            run_log.push_str(&format!(
+                "  churn {}: resumes={} ok={} fallbacks={} completions_ok={} resumed_at={:?}\n",
+                u.name,
+                u.resumes_sent,
+                u.resumes_ok,
+                u.resume_fallbacks,
+                completions_ok,
+                u.resumed_at_us,
+            ));
+        }
+    }
+    if s.churn.is_some() {
+        run_log.push_str(&format!("parked at end={parked_at_end}\n"));
     }
     run_log.push_str(&format!("archive len={}\n", host_archive.len()));
     for (i, f) in latecomer_fetches.iter().enumerate() {
@@ -403,6 +495,7 @@ pub fn run(scenario: &Scenario) -> RunResult {
         users,
         host_archive,
         latecomer_fetches,
+        parked_at_end,
         run_log,
     }
 }

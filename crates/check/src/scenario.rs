@@ -33,11 +33,30 @@ pub enum Family {
     /// A bounded application with a latecomer viewer; checked for
     /// archive-replay equivalence.
     Replay,
+    /// Staggered client disconnects under session leases, some clients
+    /// never returning; checked for lease reclamation (no parked-state
+    /// leak) plus resume-replay equivalence.
+    Churn,
+    /// A synchronized mass disconnect and rejoin under a resume rate
+    /// limit; checked for paced recovery, bystander goodput after the
+    /// burst, and bounded recovery time.
+    FlashCrowd,
+    /// One long-parked slow consumer returning near the horizon while
+    /// the application streams updates; checked for bounded parked-FIFO
+    /// shed work and resume-replay equivalence.
+    SlowConsumer,
 }
 
 impl Family {
     /// All families, in canonical order.
-    pub const ALL: [Family; 3] = [Family::Locks, Family::Acl, Family::Replay];
+    pub const ALL: [Family; 6] = [
+        Family::Locks,
+        Family::Acl,
+        Family::Replay,
+        Family::Churn,
+        Family::FlashCrowd,
+        Family::SlowConsumer,
+    ];
 
     /// Stable lowercase name (CLI + logs).
     pub fn name(self) -> &'static str {
@@ -45,7 +64,15 @@ impl Family {
             Family::Locks => "locks",
             Family::Acl => "acl",
             Family::Replay => "replay",
+            Family::Churn => "churn",
+            Family::FlashCrowd => "flashcrowd",
+            Family::SlowConsumer => "slowconsumer",
         }
+    }
+
+    /// True for the session-churn families (lease/park/resume plane).
+    pub fn is_churn(self) -> bool {
+        matches!(self, Family::Churn | Family::FlashCrowd | Family::SlowConsumer)
     }
 }
 
@@ -146,6 +173,33 @@ pub struct FaultSpec {
     pub partitions: Vec<PartitionSpec>,
 }
 
+/// One client disconnect: the user's portal is partitioned from its
+/// server for a window, during which the server's lease machinery parks
+/// (and possibly reclaims) the session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DisconnectSpec {
+    /// Index of the disconnected user in `Scenario::users`.
+    pub user: usize,
+    /// Partition start (ms).
+    pub from_ms: u64,
+    /// Partition heal (ms); `None` = the client never returns, so only
+    /// the park-TTL reclaim can free its server-side state.
+    pub until_ms: Option<u64>,
+}
+
+/// Session-churn configuration (churn families only).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChurnSpec {
+    /// Client disconnect windows.
+    pub disconnects: Vec<DisconnectSpec>,
+    /// Server `session_idle_timeout`, ms (silence before parking).
+    pub idle_timeout_ms: u64,
+    /// Server `session_park_ttl`, ms (parked grace before reclaim).
+    pub park_ttl_ms: u64,
+    /// Server resume admission limit per accounting second, if paced.
+    pub resume_rate: Option<u32>,
+}
+
 /// The latecomer viewer of a replay scenario.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Latecomer {
@@ -179,9 +233,15 @@ pub struct Scenario {
     pub app_iterations: Option<u64>,
     /// Latecomer viewer (replay family only).
     pub latecomer: Option<Latecomer>,
+    /// Session-churn plane: disconnect windows plus the lease knobs
+    /// (churn families only; `None` leaves idle reaping off).
+    pub churn: Option<ChurnSpec>,
     /// Arm the test-only double-grant bug in the host's lock manager
     /// (mutation check: the linearizability oracle must catch it).
     pub fault_double_grant: bool,
+    /// Arm the test-only reclaim-disable fault: parked sessions never
+    /// expire (mutation check: the reclaim oracle must catch the leak).
+    pub fault_no_reclaim: bool,
 }
 
 /// Minimum spacing between one user's consecutive actions, ms.
@@ -202,12 +262,18 @@ impl Scenario {
             Family::Locks => 0x4c4f_434b,
             Family::Acl => 0x41_434c,
             Family::Replay => 0x5245_504c,
+            Family::Churn => 0x4348_5552,
+            Family::FlashCrowd => 0x464c_4153,
+            Family::SlowConsumer => 0x534c_4f57,
         };
         let mut rng = StdRng::seed_from_u64(seed ^ salt);
         match family {
             Family::Locks => Self::gen_locks(seed, &mut rng),
             Family::Acl => Self::gen_acl(seed, &mut rng),
             Family::Replay => Self::gen_replay(seed, &mut rng),
+            Family::Churn => Self::gen_churn(seed, &mut rng),
+            Family::FlashCrowd => Self::gen_flashcrowd(seed, &mut rng),
+            Family::SlowConsumer => Self::gen_slowconsumer(seed, &mut rng),
         }
     }
 
@@ -283,7 +349,9 @@ impl Scenario {
             horizon_ms,
             app_iterations: None,
             latecomer: None,
+            churn: None,
             fault_double_grant: false,
+            fault_no_reclaim: false,
         }
     }
 
@@ -386,7 +454,9 @@ impl Scenario {
             horizon_ms,
             app_iterations: None,
             latecomer: None,
+            churn: None,
             fault_double_grant: false,
+            fault_no_reclaim: false,
         }
     }
 
@@ -465,7 +535,180 @@ impl Scenario {
                 user: "late".into(),
                 join_ms: rng.gen_range(6000u64..=12_000),
             }),
+            churn: None,
             fault_double_grant: false,
+            fault_no_reclaim: false,
+        }
+    }
+
+    /// A churn user: no script — the runner attaches a closed-loop
+    /// sensor-read workload instead, so completion times are tracked and
+    /// the goodput/recovery oracles have real timestamps to check.
+    fn churn_user(name: String, server: usize) -> UserSpec {
+        UserSpec { name, privilege: Some(Privilege::ReadWrite), server, actions: Vec::new() }
+    }
+
+    /// Staggered join/leave churn: several closed-loop users, a few of
+    /// whom disconnect mid-run; some return (resume path), some never do
+    /// (only the park-TTL reclaim may free their state).
+    fn gen_churn(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_users = rng.gen_range(3usize..=5);
+        let users: Vec<UserSpec> =
+            (0..n_users).map(|u| Self::churn_user(format!("u{u}"), 0)).collect();
+        let idle_timeout_ms = 2000;
+        let park_ttl_ms = rng.gen_range(4000u64..=6000);
+        // User 0 is the never-disconnected bystander; every other user
+        // may churn.
+        let mut disconnects = Vec::new();
+        let mut last_heal = 0u64;
+        for u in 1..n_users {
+            if rng.gen_bool(0.75) {
+                let from_ms = rng.gen_range(4000u64..=9000);
+                let until_ms = if rng.gen_bool(0.7) {
+                    // Away long enough for the idle sweep to park them
+                    // (idle timeout + one 5 s sweep period + slack).
+                    let heal = from_ms + rng.gen_range(8000u64..=11_000);
+                    last_heal = last_heal.max(heal);
+                    Some(heal)
+                } else {
+                    None // never returns; the lease must reclaim
+                };
+                disconnects.push(DisconnectSpec { user: u, from_ms, until_ms });
+            }
+        }
+        // Horizon: every heal gets a full recovery window, and every
+        // never-returning park gets idle + TTL + two sweep periods.
+        let horizon_ms = (last_heal + 15_000).max(9000 + idle_timeout_ms + park_ttl_ms + 14_000);
+        Scenario {
+            seed,
+            family: Family::Churn,
+            n_servers: 1,
+            users,
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 8000,
+            horizon_ms,
+            app_iterations: None,
+            latecomer: None,
+            churn: Some(ChurnSpec {
+                disconnects,
+                idle_timeout_ms,
+                park_ttl_ms,
+                resume_rate: None,
+            }),
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+        }
+    }
+
+    /// Flash-crowd rejoin: most users drop in one synchronized window
+    /// and all return at the same instant, against a resume rate limit —
+    /// the paced-recovery and bystander-goodput oracles apply.
+    fn gen_flashcrowd(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_users = rng.gen_range(5usize..=8);
+        let users: Vec<UserSpec> =
+            (0..n_users).map(|u| Self::churn_user(format!("u{u}"), 0)).collect();
+        let idle_timeout_ms = 2000;
+        let park_ttl_ms = 20_000; // long grace: the crowd returns before reclaim
+        let from_ms = rng.gen_range(5000u64..=7000);
+        let heal_ms = from_ms + rng.gen_range(8000u64..=10_000);
+        // Everyone but the bystander (user 0) drops and rejoins together.
+        let disconnects: Vec<DisconnectSpec> = (1..n_users)
+            .map(|u| DisconnectSpec { user: u, from_ms, until_ms: Some(heal_ms) })
+            .collect();
+        let resume_rate = Some(rng.gen_range(1u32..=3));
+        // Horizon: heal + paced drain of the whole crowd + slack.
+        let horizon_ms = heal_ms + 4000 + 2000 * n_users as u64 + 8000;
+        Scenario {
+            seed,
+            family: Family::FlashCrowd,
+            n_servers: 1,
+            users,
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 8000,
+            horizon_ms,
+            app_iterations: None,
+            latecomer: None,
+            churn: Some(ChurnSpec {
+                disconnects,
+                idle_timeout_ms,
+                park_ttl_ms,
+                resume_rate,
+            }),
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+        }
+    }
+
+    /// Slow consumer: one user parks for a long stretch while the app
+    /// keeps streaming (their parked FIFO sheds boundedly), then returns
+    /// and resumes; the replay oracle checks the missed-suffix fetch.
+    fn gen_slowconsumer(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_users = rng.gen_range(2usize..=3);
+        let users: Vec<UserSpec> =
+            (0..n_users).map(|u| Self::churn_user(format!("u{u}"), 0)).collect();
+        let idle_timeout_ms = 2000;
+        let from_ms = rng.gen_range(4000u64..=6000);
+        let heal_ms = from_ms + rng.gen_range(12_000u64..=16_000);
+        let park_ttl_ms = 30_000; // the slow consumer must outlive its park
+        let disconnects =
+            vec![DisconnectSpec { user: n_users - 1, from_ms, until_ms: Some(heal_ms) }];
+        let horizon_ms = heal_ms + 15_000;
+        Scenario {
+            seed,
+            family: Family::SlowConsumer,
+            n_servers: 1,
+            users,
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 8000,
+            horizon_ms,
+            app_iterations: None,
+            latecomer: None,
+            churn: Some(ChurnSpec {
+                disconnects,
+                idle_timeout_ms,
+                park_ttl_ms,
+                resume_rate: None,
+            }),
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+        }
+    }
+
+    /// The crafted churn mutation-check scenario: two users disconnect
+    /// and never return, on a server whose park-TTL reclaim is disabled
+    /// by the test-only fault. A correct lease plane reclaims both
+    /// parked sessions; the buggy one leaks them, which the reclaim
+    /// oracle reports as parked state surviving the horizon.
+    pub fn mutation_churn(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            family: Family::FlashCrowd,
+            n_servers: 1,
+            users: vec![
+                Self::churn_user("u0".into(), 0),
+                Self::churn_user("u1".into(), 0),
+                Self::churn_user("u2".into(), 0),
+            ],
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 60_000,
+            horizon_ms: 24_000,
+            app_iterations: None,
+            latecomer: None,
+            churn: Some(ChurnSpec {
+                disconnects: vec![
+                    DisconnectSpec { user: 1, from_ms: 4000, until_ms: None },
+                    DisconnectSpec { user: 2, from_ms: 4000, until_ms: None },
+                ],
+                idle_timeout_ms: 2000,
+                park_ttl_ms: 3000,
+                resume_rate: None,
+            }),
+            fault_double_grant: false,
+            fault_no_reclaim: true,
         }
     }
 
@@ -499,7 +742,9 @@ impl Scenario {
             horizon_ms: 8000,
             app_iterations: None,
             latecomer: None,
+            churn: None,
             fault_double_grant: true,
+            fault_no_reclaim: false,
         }
     }
 
@@ -510,6 +755,7 @@ impl Scenario {
             + self.admin.len()
             + self.faults.crashes.len()
             + self.faults.partitions.len()
+            + self.churn.as_ref().map(|c| c.disconnects.len()).unwrap_or(0)
     }
 
     /// Deterministic human-readable rendering (repro reports).
@@ -525,6 +771,9 @@ impl Scenario {
         ));
         if self.fault_double_grant {
             out.push_str(" FAULT=double-grant");
+        }
+        if self.fault_no_reclaim {
+            out.push_str(" FAULT=no-reclaim");
         }
         if let Some(iters) = self.app_iterations {
             out.push_str(&format!(" app-iterations={iters}"));
@@ -558,6 +807,24 @@ impl Scenario {
                 "  fault partition s{}<->s{} {}..{}ms\n",
                 p.a, p.b, p.from_ms, p.until_ms
             ));
+        }
+        if let Some(c) = &self.churn {
+            out.push_str(&format!(
+                "  churn idle={}ms ttl={}ms rate={}\n",
+                c.idle_timeout_ms,
+                c.park_ttl_ms,
+                c.resume_rate.map(|r| r.to_string()).unwrap_or_else(|| "off".into()),
+            ));
+            for d in &c.disconnects {
+                let until = d
+                    .until_ms
+                    .map(|u| format!("{u}ms"))
+                    .unwrap_or_else(|| "never".into());
+                out.push_str(&format!(
+                    "  disconnect user#{} {}ms..{until}\n",
+                    d.user, d.from_ms
+                ));
+            }
         }
         out
     }
@@ -608,6 +875,27 @@ mod tests {
             for c in &replay.faults.crashes {
                 assert_ne!(c.server, 0, "seed {seed}: replay must never crash the host");
             }
+
+            for family in [Family::Churn, Family::FlashCrowd, Family::SlowConsumer] {
+                let s = Scenario::generate(family, seed);
+                let churn = s.churn.as_ref().expect("churn families carry a ChurnSpec");
+                assert!(s.faults.crashes.is_empty(), "churn families never crash servers");
+                assert!(s.faults.partitions.is_empty());
+                for d in &churn.disconnects {
+                    assert!(d.user > 0, "seed {seed}: user 0 is the connected bystander");
+                    assert!(d.user < s.users.len());
+                    if let Some(until) = d.until_ms {
+                        // Parked before the heal: away longer than the
+                        // idle timeout plus a full sweep period.
+                        assert!(
+                            until - d.from_ms > churn.idle_timeout_ms + 5000,
+                            "seed {seed}: disconnect too short to park"
+                        );
+                        // Room to recover before the horizon.
+                        assert!(until + 10_000 <= s.horizon_ms);
+                    }
+                }
+            }
         }
     }
 
@@ -616,5 +904,17 @@ mod tests {
         let s = Scenario::mutation(1);
         assert!(s.fault_double_grant);
         assert!(s.event_count() <= 10);
+    }
+
+    #[test]
+    fn churn_mutation_scenario_is_tiny() {
+        let s = Scenario::mutation_churn(1);
+        assert!(s.fault_no_reclaim);
+        assert!(s.family.is_churn());
+        assert!(s.event_count() <= 10);
+        // Park (idle + sweep) and the TTL both fit well inside the
+        // horizon, so a correct server reclaims before the run ends.
+        let c = s.churn.as_ref().unwrap();
+        assert!(4000 + c.idle_timeout_ms + c.park_ttl_ms + 12_000 <= s.horizon_ms);
     }
 }

@@ -22,6 +22,8 @@ enum Candidate {
     Crash(usize),
     /// `faults.partitions[i]`.
     Partition(usize),
+    /// `churn.disconnects[i]`.
+    Disconnect(usize),
     /// `users[i]` entirely (only offered once their actions are gone).
     User(usize),
 }
@@ -41,6 +43,11 @@ fn candidates(s: &Scenario) -> Vec<Candidate> {
     }
     for i in (0..s.faults.partitions.len()).rev() {
         out.push(Candidate::Partition(i));
+    }
+    if let Some(churn) = &s.churn {
+        for i in (0..churn.disconnects.len()).rev() {
+            out.push(Candidate::Disconnect(i));
+        }
     }
     for ui in (0..s.users.len()).rev() {
         if s.users[ui].actions.is_empty() && s.users.len() > 1 {
@@ -65,10 +72,25 @@ fn without(s: &Scenario, c: Candidate) -> Scenario {
         Candidate::Partition(i) => {
             t.faults.partitions.remove(i);
         }
+        Candidate::Disconnect(i) => {
+            if let Some(churn) = &mut t.churn {
+                churn.disconnects.remove(i);
+            }
+        }
         Candidate::User(ui) => {
             // Users carry their own server index and the latecomer names
-            // no user index, so removal never invalidates anything else.
+            // no user index, so removal never invalidates anything else —
+            // except churn disconnects, which index into `users` and must
+            // drop/shift with the removal.
             t.users.remove(ui);
+            if let Some(churn) = &mut t.churn {
+                churn.disconnects.retain(|d| d.user != ui);
+                for d in &mut churn.disconnects {
+                    if d.user > ui {
+                        d.user -= 1;
+                    }
+                }
+            }
         }
     }
     t

@@ -8,7 +8,7 @@
 //! steering workload that measures per-operation completion latency
 //! (issue → OpDone observed), including the polling delay HTTP imposes.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use simnet::{names, Actor, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::http::HttpRequest;
@@ -20,6 +20,7 @@ use wire::{
 const TAG_LOGIN: u64 = 1;
 const TAG_POLL: u64 = 2;
 const TAG_THINK: u64 = 3;
+const TAG_RESUME: u64 = 4;
 const TAG_SCRIPT_BASE: u64 = 1000;
 
 /// Relative frequencies of closed-loop operations.
@@ -146,10 +147,20 @@ pub struct PortalConfig {
     /// byte-identical to an undeadlined run.
     pub deadline: Option<SimDuration>,
     /// Extra pause before reissuing after an `Overloaded` rejection (the
-    /// server's retry-after hint, honoured client-side). Only reachable
-    /// when a server runs admission control, so the default changes
-    /// nothing for unprotected runs.
+    /// server's retry-after hint, honoured client-side). The actual pause
+    /// adds deterministic per-client jitter in `[0, overload_backoff)` so
+    /// a shed burst never re-arrives synchronized; the jitter is a pure
+    /// function of the user name and the retry ordinal, keeping same-seed
+    /// runs byte-identical. Only reachable when a server runs admission
+    /// control, so the default changes nothing for unprotected runs.
     pub overload_backoff: SimDuration,
+    /// Attempt reconnect-with-resume when the session goes stale (a 401
+    /// on an established cookie): present the old token plus archive
+    /// cursors, have the server replay only the missed suffix, and fall
+    /// back to a full re-login if the server reclaimed the session. Off
+    /// by default — portals predating the churn plane treat a 401 as
+    /// terminal, and several experiments depend on that.
+    pub resume: bool,
 }
 
 impl PortalConfig {
@@ -165,7 +176,14 @@ impl PortalConfig {
             workload: None,
             deadline: None,
             overload_backoff: SimDuration::from_millis(500),
+            resume: false,
         }
+    }
+
+    /// Enable reconnect-with-resume on session loss.
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
     }
 
     /// Stamp every posted operation with a `now + budget` deadline.
@@ -233,6 +251,23 @@ pub struct Portal {
     select_sent: bool,
     workload_started: bool,
     op_counter: u64,
+    /// Archive read cursor per application: the first sequence number
+    /// this portal has NOT yet seen (updated from `History` replies).
+    /// Presented on `Resume` so the server replays only the missed
+    /// suffix.
+    cursors: BTreeMap<AppId, u64>,
+    /// True between sending a `Resume` and its definitive outcome.
+    resuming: bool,
+    /// Monotone retry ordinal feeding the deterministic jitter.
+    backoff_attempt: u64,
+    /// Number of `Resume` requests sent (including paced retries).
+    pub resumes_sent: u64,
+    /// Number of successful resumes (a `Resumed` reply).
+    pub resumes_ok: u64,
+    /// Number of resume attempts that fell back to a full re-login.
+    pub resume_fallbacks: u64,
+    /// Completion time of each successful resume.
+    pub resumed_at: Vec<SimTime>,
 }
 
 impl Portal {
@@ -256,6 +291,13 @@ impl Portal {
             select_sent: false,
             workload_started: false,
             op_counter: 0,
+            cursors: BTreeMap::new(),
+            resuming: false,
+            backoff_attempt: 0,
+            resumes_sent: 0,
+            resumes_ok: 0,
+            resume_fallbacks: 0,
+            resumed_at: Vec::new(),
         }
     }
 
@@ -321,7 +363,69 @@ impl Portal {
         );
     }
 
+    /// Send (or re-send) a `Resume` carrying the stale token and the
+    /// archive cursors accumulated from `History` replies.
+    fn send_resume(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let Some(cookie) = self.cookie else { return };
+        self.resuming = true;
+        self.resumes_sent += 1;
+        ctx.metrics().incr(names::CLIENT_RESUMES);
+        let cursors: Vec<(AppId, u64)> = self.cursors.iter().map(|(a, s)| (*a, *s)).collect();
+        let server = self.server.expect("portal not wired to a server");
+        ctx.send(
+            server,
+            Envelope::http_request(HttpRequest::post(
+                webserv::paths::COMMAND,
+                Some(cookie),
+                ClientRequest::Resume { cookie, cursors },
+            )),
+        );
+        // Paced watchdog: if no definitive reply lands (the request was
+        // lost in a partition, or the server deferred it under its resume
+        // rate limit), re-send after the backoff plus per-client jitter —
+        // a reconnect storm de-synchronizes on its first retry.
+        self.backoff_attempt += 1;
+        let jit = wire::jitter::retry_jitter_us(
+            self.config.user.as_str(),
+            self.backoff_attempt,
+            self.config.overload_backoff.as_micros(),
+        );
+        ctx.schedule(self.config.overload_backoff + SimDuration::from_micros(jit), TAG_RESUME);
+    }
+
+    /// Drop every in-flight tracked operation (their completions are
+    /// gone with the old session), finishing the spans.
+    fn abandon_outstanding(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let abandoned = self.outstanding.len() as u64;
+        if abandoned > 0 {
+            ctx.metrics().add(names::CLIENT_OPS_ABANDONED, abandoned);
+        }
+        for (_, trace) in std::mem::take(&mut self.outstanding) {
+            ctx.trace_finish(trace);
+        }
+    }
+
+    /// The server reclaimed the parked session: forget it entirely and
+    /// start over with a fresh login (select and lock flows re-run).
+    fn fallback_login(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        self.resuming = false;
+        self.cookie = None;
+        self.selected = false;
+        self.select_sent = false;
+        self.lock_held = false;
+        self.lock_requested_at = None;
+        self.workload_started = false;
+        self.cursors.clear();
+        self.resume_fallbacks += 1;
+        ctx.metrics().incr(names::CLIENT_RESUME_FALLBACKS);
+        self.abandon_outstanding(ctx);
+        ctx.schedule(SimDuration::ZERO, TAG_LOGIN);
+    }
+
     fn issue_workload_op(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if self.resuming {
+            return; // the Resumed reply restarts the loop
+        }
         let Some(w) = self.config.workload.clone() else { return };
         if w.max_ops > 0 && self.ops_issued >= w.max_ops {
             return;
@@ -441,13 +545,74 @@ impl Portal {
                     }
                 }
             }
+            ClientMessage::Response(ResponseBody::History { app, next_seq, .. }) => {
+                // Archive read cursor: the next suffix replay starts here.
+                self.cursors.insert(*app, *next_seq);
+            }
+            ClientMessage::Response(ResponseBody::Resumed { apps, .. }) => {
+                if self.resuming {
+                    self.resuming = false;
+                    self.resumes_ok += 1;
+                    self.resumed_at.push(at);
+                    ctx.metrics().incr(names::CLIENT_RESUMES_OK);
+                    // Completions of pre-park operations are gone with the
+                    // parked FIFO's drop policy; stop waiting for them.
+                    self.abandon_outstanding(ctx);
+                    // Selection survives the park; if it somehow did not,
+                    // the normal select flow re-runs on the next Apps view.
+                    if let Some(app) = self.config.select {
+                        if !apps.contains(&app) {
+                            self.selected = false;
+                            self.select_sent = false;
+                        }
+                    }
+                    // Restart the closed-loop workload after the outage.
+                    if self.workload_started {
+                        if let Some(w) = &self.config.workload {
+                            ctx.schedule(w.think, TAG_THINK);
+                        }
+                    }
+                }
+            }
+            // A deferred resume ("resume deferred; retry-after: …"): the
+            // paced watchdog scheduled at send time re-sends it. Nothing
+            // to pop — Resume is not a tracked operation.
+            ClientMessage::Error(e)
+                if self.resuming && matches!(e.code, ErrorCode::Overloaded) => {}
+            ClientMessage::Error(e)
+                if self.config.resume
+                    && self.cookie.is_some()
+                    && matches!(e.code, ErrorCode::AuthFailed | ErrorCode::SessionExpired) =>
+            {
+                if matches!(e.code, ErrorCode::SessionExpired) {
+                    // Definitive: the parked session was reclaimed after
+                    // its TTL. Start over with a fresh login.
+                    self.fallback_login(ctx);
+                } else if !self.resuming {
+                    // First stale-session 401 on an established cookie —
+                    // the reconnect path. Later 401s from requests that
+                    // were already in flight are ignored; the Resume's
+                    // own reply settles the state machine.
+                    self.send_resume(ctx);
+                }
+            }
             ClientMessage::Response(ResponseBody::OpDone { .. }) | ClientMessage::Error(_) => {
                 let mut backoff = SimDuration::ZERO;
                 if let ClientMessage::Error(e) = &msg {
                     match e.code {
                         ErrorCode::Overloaded => {
                             ctx.metrics().incr(names::CLIENT_OPS_REJECTED);
-                            backoff = self.config.overload_backoff;
+                            // Retry-after plus deterministic per-client
+                            // jitter: a synchronized shed burst spreads
+                            // out instead of re-arriving as one spike.
+                            self.backoff_attempt += 1;
+                            let jit = wire::jitter::retry_jitter_us(
+                                self.config.user.as_str(),
+                                self.backoff_attempt,
+                                self.config.overload_backoff.as_micros(),
+                            );
+                            backoff =
+                                self.config.overload_backoff + SimDuration::from_micros(jit);
                         }
                         ErrorCode::DeadlineExceeded => {
                             ctx.metrics().incr(names::CLIENT_OPS_EXPIRED)
@@ -529,6 +694,11 @@ impl Actor<Envelope> for Portal {
             }
             TAG_THINK => {
                 self.issue_workload_op(ctx);
+            }
+            TAG_RESUME => {
+                if self.resuming {
+                    self.send_resume(ctx);
+                }
             }
             t if t >= TAG_SCRIPT_BASE => {
                 let idx = (t - TAG_SCRIPT_BASE) as usize;

@@ -232,6 +232,13 @@ impl Substrate {
         self.routes.get(&app).copied().unwrap_or_else(|| app.host())
     }
 
+    /// Force a failover route (testing hook: plants a stale directory-
+    /// cache entry so the Nak-invalidation path can be exercised without
+    /// staging a full crash/recovery cycle).
+    pub fn install_route(&mut self, app: AppId, addr: ServerAddr) {
+        self.routes.insert(app, addr);
+    }
+
     /// Reverse lookup: peer address of a node (None for the directory).
     fn addr_of_node(&self, node: NodeId) -> Option<ServerAddr> {
         self.peers.iter().find(|(_, &n)| n == node).map(|(&a, _)| a)
@@ -656,6 +663,35 @@ impl Substrate {
         ctx.trace_finish(pending.trace);
         if let Some(addr) = self.addr_of_node(pending.to) {
             self.mark_up(addr);
+        }
+        // Stale directory-cache repair: a peer answering `NoSuchApp` for
+        // an app we routed to it is a definitive Nak — the failover route
+        // (and its redirect hint) is wrong NOW, not when its next
+        // discovery refresh happens to notice. Drop it immediately so the
+        // very next call falls back to the app's home host.
+        let nak = match &reply {
+            PeerReply::Exception(e) => Some(e),
+            // Proxied ops carry their Nak inside the result envelope.
+            PeerReply::OpResult { result: Err(e), .. } => Some(e),
+            _ => None,
+        };
+        if let Some(e) = nak {
+            if matches!(e.code, ErrorCode::NoSuchApp) {
+                let routed_app = match &pending.user {
+                    CallCtx::Op { app, .. }
+                    | CallCtx::Lock { app, .. }
+                    | CallCtx::History { app, .. }
+                    | CallCtx::Subscribe { app }
+                    | CallCtx::Poll { app } => Some(*app),
+                    _ => None,
+                };
+                if let Some(app) = routed_app {
+                    if self.routes.remove(&app).is_some() {
+                        ctx.metrics().incr(names::SUBSTRATE_ROUTES_INVALIDATED);
+                        core.clear_mirror_hint(app);
+                    }
+                }
+            }
         }
         match (pending.user, reply) {
             (CallCtx::Auth { client }, PeerReply::AuthOk { apps }) => {

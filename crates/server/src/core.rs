@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use simnet::{names, Ctx, NodeId, TraceContext};
-use webserv::{FifoBuffer, HttpCosts, OrbCosts, SessionTable, TcpCosts};
+use webserv::{FifoBuffer, HttpCosts, HttpSession, OrbCosts, SessionTable, TcpCosts};
 use wire::giop::{GiopBody, GiopFrame, GiopKind};
 use wire::http::{HttpRequest, HttpResponse};
 use wire::tcp::TcpFrame;
@@ -83,6 +83,18 @@ pub struct ServerConfig {
     /// Idle client sessions older than this are reaped (their locks
     /// released and groups left, like a logout). `None` = never.
     pub session_idle_timeout: Option<simnet::SimDuration>,
+    /// Two-phase idle teardown: when set, a session whose lease lapses
+    /// is *parked* — its FIFO, selections, and lock interest survive for
+    /// this long awaiting a reconnect-with-resume — and only reclaimed
+    /// with full logout teardown once the park TTL also expires. `None`
+    /// = reclaim immediately at idle timeout (single-phase teardown).
+    pub session_park_ttl: Option<simnet::SimDuration>,
+    /// Paced recovery: maximum parked-session resumes admitted per
+    /// one-second accounting window. Excess reconnects (a flash crowd
+    /// after a partition heals) are deferred with `Overloaded` plus a
+    /// per-client jittered retry-after so the backlog drains as a paced
+    /// queue instead of a thundering herd. `None` = admit every resume.
+    pub resume_rate_limit: Option<u32>,
     /// Admission control: maximum view-class operations in flight toward
     /// local applications; further view ops are rejected at HTTP ingress
     /// with `Overloaded` + a retry-after hint. Command-class operations
@@ -101,6 +113,11 @@ pub struct ServerConfig {
     /// `SteeringLock::fault_double_grant`). Exists for the scenario
     /// checker's mutation test; never set in production configs.
     pub fault_double_grant: bool,
+    /// Test-only fault injection: parked sessions are never reclaimed,
+    /// leaking FIFO and lock state under mass leave — exactly the bug
+    /// the lease-reclamation oracle exists to catch. Never set in
+    /// production configs.
+    pub fault_no_reclaim: bool,
 }
 
 impl ServerConfig {
@@ -121,10 +138,13 @@ impl ServerConfig {
             lock_lease: None,
             peer_rate_limit: None,
             session_idle_timeout: Some(simnet::SimDuration::from_secs(600)),
+            session_park_ttl: None,
+            resume_rate_limit: None,
             admission_inflight_max: None,
             proxy_buffer_capacity: None,
             overload_retry_after_ms: 500,
             fault_double_grant: false,
+            fault_no_reclaim: false,
         }
     }
 }
@@ -222,6 +242,21 @@ pub struct RemoteApp {
     pub last_status: AppStatus,
 }
 
+/// A session whose lease lapsed, held under the park TTL awaiting a
+/// reconnect-with-resume. Its FIFO (still registered in `fifos` and
+/// still accumulating bounded updates), collaboration membership, and
+/// any held steering lock all survive the park.
+struct ParkedSession {
+    /// The session state, removed from the live table verbatim.
+    session: HttpSession,
+    /// When the lease lapsed (park-TTL expiry is measured from here).
+    parked_at: simnet::SimTime,
+    /// Archive cursor per selected local app at park time: everything
+    /// the host logs past this point is the "missed suffix" a resume
+    /// replays through the paged catch-up path.
+    cursors: Vec<(AppId, u64)>,
+}
+
 /// Where a forwarded operation came from (for response routing).
 enum OpOrigin {
     /// A local HTTP client.
@@ -235,6 +270,12 @@ pub struct ServerCore {
     /// Configuration (public for inspection in tests/benches).
     pub config: ServerConfig,
     sessions: SessionTable,
+    /// Parked sessions keyed by cookie (BTreeMap for deterministic
+    /// reclamation order).
+    parked: BTreeMap<u64, ParkedSession>,
+    /// Paced-recovery accounting: (window start micros, resumes admitted
+    /// in the current one-second window).
+    resume_accounting: (u64, u32),
     cookie_of_client: HashMap<ClientId, u64>,
     fifos: HashMap<ClientId, FifoBuffer>,
     apps: HashMap<AppId, ApplicationProxy>,
@@ -283,6 +324,8 @@ impl ServerCore {
         ServerCore {
             config,
             sessions: SessionTable::new(),
+            parked: BTreeMap::new(),
+            resume_accounting: (0, 0),
             cookie_of_client: HashMap::new(),
             fifos: HashMap::new(),
             apps: HashMap::new(),
@@ -320,6 +363,12 @@ impl ServerCore {
     /// Number of live client sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Number of parked sessions awaiting resume or reclamation (the
+    /// lease-reclamation oracle's no-leak observable).
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
     }
 
     /// Borrow a local application proxy (tests).
@@ -858,6 +907,16 @@ impl ServerCore {
             return effects;
         }
 
+        // Resume authenticates by the presented token (the session may be
+        // parked, in which case the live-session lookup below would 401).
+        if let Some(ClientRequest::Resume { cookie, cursors }) = &req.body {
+            let (cookie, cursors) = (*cookie, cursors.clone());
+            let (status, body) = self.do_resume(ctx, cookie, cursors, &mut effects);
+            self.respond(ctx, from, status, None, body);
+            effects.extend(self.take_deferred());
+            return effects;
+        }
+
         let session = req.session.and_then(|c| self.sessions.touch(c, ctx.now()));
         let Some(session) = session else {
             self.respond(
@@ -987,7 +1046,9 @@ impl ServerCore {
                 let (records, next_seq) = self.archive.fetch_client(client, app, since);
                 vec![ClientMessage::Response(ResponseBody::ClientLog { app, records, next_seq })]
             }
-            Some(ClientRequest::Login { .. }) => unreachable!("handled above"),
+            Some(ClientRequest::Login { .. }) | Some(ClientRequest::Resume { .. }) => {
+                unreachable!("handled above")
+            }
         };
         self.respond(ctx, from, 200, None, body);
         effects.extend(self.take_deferred());
@@ -1037,6 +1098,109 @@ impl ServerCore {
         });
         let apps = self.visible_apps(&user);
         (200, Some(cookie), vec![ClientMessage::Response(ResponseBody::LoginOk { client, apps })])
+    }
+
+    /// Reconnect-with-resume: revive a parked (or still-live) session by
+    /// its token and replay only the missed archive suffix through the
+    /// paged catch-up path. Reclaimed/unknown tokens answer 401 so the
+    /// client falls back to a full login.
+    fn do_resume(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        cookie: u64,
+        cursors: Vec<(AppId, u64)>,
+        effects: &mut Vec<Effect>,
+    ) -> (u16, Vec<ClientMessage>) {
+        let is_parked = self.parked.contains_key(&cookie);
+        if !is_parked && self.sessions.get(cookie).is_none() {
+            return (
+                401,
+                vec![Self::error(ErrorCode::SessionExpired, "session expired; log in again")],
+            );
+        }
+        // Paced recovery: reviving a parked session replays history, so
+        // admissions are metered per accounting second. Deferred clients
+        // get a retry-after jittered by stable identity — a flash crowd
+        // spreads out instead of re-arriving as one synchronized burst.
+        if is_parked {
+            if let Some(limit) = self.config.resume_rate_limit {
+                let now_us = ctx.now().as_micros();
+                if now_us.saturating_sub(self.resume_accounting.0) >= 1_000_000 {
+                    self.resume_accounting = (now_us, 0);
+                }
+                if self.resume_accounting.1 >= limit {
+                    ctx.metrics().incr(names::SERVER_RESUME_THROTTLED);
+                    let user = self
+                        .parked
+                        .get(&cookie)
+                        .map(|p| p.session.user.as_str().to_string())
+                        .unwrap_or_default();
+                    ctx.record_history(
+                        "session.resume_deferred",
+                        "",
+                        &user,
+                        format!("limit={limit}"),
+                    );
+                    let base_ms = self.config.overload_retry_after_ms;
+                    let jitter_ms =
+                        wire::jitter::retry_jitter_us(&user, 0, base_ms.max(1) * 1000) / 1000;
+                    return (
+                        200,
+                        vec![Self::error(
+                            ErrorCode::Overloaded,
+                            format!("resume deferred; retry-after: {}ms", base_ms + jitter_ms),
+                        )],
+                    );
+                }
+                self.resume_accounting.1 += 1;
+            }
+        }
+        let (client, selected, park_cursors) = if is_parked {
+            let p = self.parked.remove(&cookie).expect("checked above");
+            ctx.metrics().incr(names::SERVER_SESSIONS_RESUMED);
+            let client = p.session.client;
+            let user = p.session.user.clone();
+            let selected = p.session.selected.clone();
+            let parked_ms =
+                ctx.now().as_micros().saturating_sub(p.parked_at.as_micros()) / 1000;
+            ctx.record_history(
+                "session.resumed",
+                "",
+                user.as_str(),
+                format!("parked_ms={parked_ms} apps={}", selected.len()),
+            );
+            self.sessions.restore(p.session, ctx.now());
+            (client, selected, p.cursors)
+        } else {
+            let s = self.sessions.touch(cookie, ctx.now()).expect("checked above");
+            (s.client, s.selected.clone(), Vec::new())
+        };
+        // Missed-suffix replay: park-time cursors establish the suffix
+        // start; explicit client cursors override them (a client that
+        // already paged further along skips what it has).
+        let mut merged: BTreeMap<AppId, u64> = park_cursors.into_iter().collect();
+        for (app, since) in cursors {
+            merged.insert(app, since);
+        }
+        let mut body =
+            vec![ClientMessage::Response(ResponseBody::Resumed { client, apps: selected.clone() })];
+        for (app, since) in merged {
+            if !selected.contains(&app) {
+                continue;
+            }
+            if app.host() == self.config.addr {
+                let (records, next_seq) = self.archive.fetch_app(app, since);
+                ctx.metrics().add(names::SERVER_RESUME_REPLAYED, records.len() as u64);
+                body.push(ClientMessage::Response(ResponseBody::History {
+                    app,
+                    records,
+                    next_seq,
+                }));
+            } else if self.collab.is_member(app, client) {
+                effects.push(Effect::RemoteHistory { client, app, since });
+            }
+        }
+        (200, body)
     }
 
     fn do_logout(
@@ -2168,9 +2332,13 @@ impl ServerCore {
         effects
     }
 
-    /// Reap sessions idle past the configured timeout, treating each like
-    /// a logout (master-handler housekeeping), and sweep expired
-    /// steering-lock leases. Returns resulting effects.
+    /// Reap sessions idle past the configured timeout and sweep expired
+    /// steering-lock leases (master-handler housekeeping). Without a park
+    /// TTL an idle session is torn down like a logout immediately; with
+    /// one, it is parked first — FIFO, selections, and lock interest kept
+    /// — and only reclaimed when the park TTL also expires, so a silent
+    /// client can reconnect-with-resume while parked state stays bounded
+    /// under mass leave. Returns resulting effects.
     pub fn reap_idle_sessions(&mut self, ctx: &mut Ctx<'_, Envelope>) -> Vec<Effect> {
         let lease_effects = self.sweep_expired_leases(ctx);
         let Some(timeout) = self.config.session_idle_timeout else {
@@ -2183,29 +2351,95 @@ impl ServerCore {
         let cutoff = simnet::SimTime::from_micros(cutoff_us);
         let mut effects = lease_effects;
         for session in self.sessions.reap_idle(cutoff) {
-            ctx.metrics().incr(names::SERVER_SESSIONS_REAPED);
-            let client = session.client;
-            let user = session.user.clone();
-            self.cookie_of_client.remove(&client);
-            self.fifos.remove(&client);
-            let affected = self.collab.drop_client(client);
-            let last_session = !self.sessions.iter().any(|s| s.user == user);
-            for app in affected {
-                let update = UpdateBody::MemberLeft { app, user: user.clone() };
-                self.route_update(ctx, update, None, None, &mut effects);
-                self.maybe_unsubscribe(app, &mut effects);
-                self.release_lock_if_last_session(ctx, app, &user, &mut effects);
-                if last_session && app.host() != self.config.addr {
-                    effects.push(Effect::RemoteLock {
-                        client,
-                        user: user.clone(),
-                        app,
-                        acquire: false,
-                    });
+            match self.config.session_park_ttl {
+                Some(_) => self.park_session(ctx, session),
+                None => self.reclaim_session(ctx, session, &mut effects),
+            }
+        }
+        // Park-TTL expiry keeps parked state bounded: the grace window
+        // elapsed with no resume, so the session is torn down for real.
+        // The test-only `fault_no_reclaim` mutation disables exactly this
+        // step (the leak the lease-reclamation oracle exists to catch).
+        if let Some(ttl) = self.config.session_park_ttl {
+            if !self.config.fault_no_reclaim {
+                let expired: Vec<u64> = self
+                    .parked
+                    .iter()
+                    .filter(|(_, p)| {
+                        now.as_micros().saturating_sub(p.parked_at.as_micros())
+                            >= ttl.as_micros()
+                    })
+                    .map(|(c, _)| *c)
+                    .collect();
+                for cookie in expired {
+                    let p = self.parked.remove(&cookie).expect("collected above");
+                    ctx.metrics().incr(names::SERVER_SESSIONS_RECLAIMED);
+                    ctx.record_history(
+                        "session.reclaimed",
+                        "",
+                        p.session.user.as_str(),
+                        format!("apps={}", p.session.selected.len()),
+                    );
+                    self.reclaim_session(ctx, p.session, &mut effects);
                 }
             }
         }
         effects.extend(self.take_deferred());
         effects
+    }
+
+    /// Park an idle session under the park TTL: the session leaves the
+    /// live table (its token stops validating, so the returning client
+    /// learns to resume), but its FIFO keeps accumulating bounded
+    /// updates, its collaboration membership stands, and any held
+    /// steering lock stays granted until the lock lease or park TTL says
+    /// otherwise.
+    fn park_session(&mut self, ctx: &mut Ctx<'_, Envelope>, session: HttpSession) {
+        ctx.metrics().incr(names::SERVER_SESSIONS_PARKED);
+        let cursors: Vec<(AppId, u64)> = session
+            .selected
+            .iter()
+            .filter(|a| a.host() == self.config.addr)
+            .map(|a| (*a, self.archive.fetch_app(*a, u64::MAX).1))
+            .collect();
+        ctx.record_history(
+            "session.parked",
+            "",
+            session.user.as_str(),
+            format!("apps={}", session.selected.len()),
+        );
+        self.parked
+            .insert(session.cookie, ParkedSession { parked_at: ctx.now(), cursors, session });
+    }
+
+    /// Full teardown of a session already removed from the live table:
+    /// exactly a logout (groups left, locks freed, FIFO dropped).
+    fn reclaim_session(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        session: HttpSession,
+        effects: &mut Vec<Effect>,
+    ) {
+        ctx.metrics().incr(names::SERVER_SESSIONS_REAPED);
+        let client = session.client;
+        let user = session.user.clone();
+        self.cookie_of_client.remove(&client);
+        self.fifos.remove(&client);
+        let affected = self.collab.drop_client(client);
+        let last_session = !self.sessions.iter().any(|s| s.user == user);
+        for app in affected {
+            let update = UpdateBody::MemberLeft { app, user: user.clone() };
+            self.route_update(ctx, update, None, None, effects);
+            self.maybe_unsubscribe(app, effects);
+            self.release_lock_if_last_session(ctx, app, &user, effects);
+            if last_session && app.host() != self.config.addr {
+                effects.push(Effect::RemoteLock {
+                    client,
+                    user: user.clone(),
+                    app,
+                    acquire: false,
+                });
+            }
+        }
     }
 }

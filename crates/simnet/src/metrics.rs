@@ -77,6 +77,14 @@ pub mod names {
     pub const CLIENT_OPS_REJECTED: CounterDef = CounterDef("client.ops_rejected");
     /// Operations whose reply was `DeadlineExceeded` (dropped en route).
     pub const CLIENT_OPS_EXPIRED: CounterDef = CounterDef("client.ops_expired");
+    /// Resume requests issued after a session token stopped validating.
+    pub const CLIENT_RESUMES: CounterDef = CounterDef("client.resumes");
+    /// Resumes acknowledged by the server (parked session revived).
+    pub const CLIENT_RESUMES_OK: CounterDef = CounterDef("client.resumes_ok");
+    /// Resume attempts abandoned for a full re-login (session reclaimed).
+    pub const CLIENT_RESUME_FALLBACKS: CounterDef = CounterDef("client.resume_fallbacks");
+    /// In-flight operations written off as lost across a resume.
+    pub const CLIENT_OPS_ABANDONED: CounterDef = CounterDef("client.ops_abandoned");
 
     // -- server (session/handler layer) ----------------------------------
     /// HTTP requests handled.
@@ -149,6 +157,17 @@ pub mod names {
         CounterDef("server.remote.auth_completions");
     /// Idle sessions reaped.
     pub const SERVER_SESSIONS_REAPED: CounterDef = CounterDef("server.sessions.reaped");
+    /// Idle sessions parked (lease lapsed; FIFO and lock interest kept
+    /// under the park TTL instead of torn down).
+    pub const SERVER_SESSIONS_PARKED: CounterDef = CounterDef("server.sessions.parked");
+    /// Parked sessions resumed in place by a returning client.
+    pub const SERVER_SESSIONS_RESUMED: CounterDef = CounterDef("server.sessions.resumed");
+    /// Parked sessions reclaimed because their park TTL expired.
+    pub const SERVER_SESSIONS_RECLAIMED: CounterDef = CounterDef("server.sessions.reclaimed");
+    /// Resume attempts deferred by the paced-recovery admission cap.
+    pub const SERVER_RESUME_THROTTLED: CounterDef = CounterDef("server.resume.throttled");
+    /// Archive records replayed to resuming clients (missed suffixes).
+    pub const SERVER_RESUME_REPLAYED: CounterDef = CounterDef("server.resume.replayed");
     /// Requests rejected at ingress by the inflight admission budget.
     pub const SERVER_ADMISSION_REJECTED: CounterDef = CounterDef("server.admission.rejected");
     /// Requests already expired when they reached server ingress.
@@ -225,6 +244,10 @@ pub mod names {
     pub const SUBSTRATE_FAILOVERS: CounterDef = CounterDef("substrate.failovers");
     /// Directory entries dropped as stale.
     pub const SUBSTRATE_DIRECTORY_STALE: CounterDef = CounterDef("substrate.directory.stale");
+    /// Cached routes invalidated immediately on a peer Nak (the target
+    /// answered `NoSuchApp` for an app our directory said it hosted).
+    pub const SUBSTRATE_ROUTES_INVALIDATED: CounterDef =
+        CounterDef("substrate.routes.invalidated");
     /// Remote calls fast-failed because the request's deadline had
     /// already passed at dispatch time.
     pub const SUBSTRATE_DEADLINE_FASTFAIL: CounterDef =

@@ -77,14 +77,25 @@ impl SessionTable {
         self.sessions.remove(&cookie)
     }
 
-    /// Drop sessions idle since before `cutoff`; returns the reaped ones.
+    /// Re-install a previously removed session under its original cookie
+    /// (reconnect-with-resume un-parks a session verbatim), marking it
+    /// active as of `now`.
+    pub fn restore(&mut self, mut session: HttpSession, now: SimTime) {
+        session.last_active = now;
+        self.sessions.insert(session.cookie, session);
+    }
+
+    /// Drop sessions idle since before `cutoff`; returns the reaped ones
+    /// in cookie order (the table iterates in hash order, and the sweep
+    /// must be deterministic for the simulation's replay guarantee).
     pub fn reap_idle(&mut self, cutoff: SimTime) -> Vec<HttpSession> {
-        let dead: Vec<u64> = self
+        let mut dead: Vec<u64> = self
             .sessions
             .iter()
             .filter(|(_, s)| s.last_active < cutoff)
             .map(|(k, _)| *k)
             .collect();
+        dead.sort_unstable();
         dead.into_iter().filter_map(|k| self.sessions.remove(&k)).collect()
     }
 

@@ -1,0 +1,65 @@
+//! Deterministic per-client retry jitter.
+//!
+//! Overload and recovery paths hand clients a retry-after hint. If every
+//! client backs off by the same flat interval, a shed burst re-arrives as
+//! the same synchronized burst — the classic metastable retry storm. The
+//! fix is jitter, but drawing it from a node's RNG would perturb the
+//! shared seeded stream and break same-seed byte-identity of runs.
+//!
+//! Instead, jitter is a pure function of *stable identity* (the user
+//! name) and the retry attempt ordinal: same seed → same schedule, while
+//! two distinct clients hash to unrelated schedules and a storm of
+//! reconnects de-synchronizes on its first retry.
+
+/// FNV-1a over `bytes`, finished with a SplitMix64-style avalanche so
+/// short, similar strings (e.g. `"user7"` / `"user8"`) still land far
+/// apart in the output space.
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// SplitMix64 finalizer: bijective avalanche of a 64-bit word.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Jitter for retry attempt `attempt` of identity `who`, in `[0, spread)`
+/// (microseconds). `spread == 0` yields zero jitter.
+pub fn retry_jitter_us(who: &str, attempt: u64, spread_us: u64) -> u64 {
+    if spread_us == 0 {
+        return 0;
+    }
+    mix64(stable_hash64(who.as_bytes()) ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % spread_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_identity_sensitive() {
+        assert_eq!(retry_jitter_us("vijay", 0, 500_000), retry_jitter_us("vijay", 0, 500_000));
+        // Distinct users diverge somewhere early in their schedules.
+        let a: Vec<u64> = (0..4).map(|k| retry_jitter_us("vijay", k, 500_000)).collect();
+        let b: Vec<u64> = (0..4).map(|k| retry_jitter_us("manish", k, 500_000)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jitter_stays_in_spread() {
+        for k in 0..64 {
+            assert!(retry_jitter_us("u", k, 1000) < 1000);
+        }
+        assert_eq!(retry_jitter_us("u", 3, 0), 0);
+    }
+}

@@ -22,6 +22,7 @@ mod envelope;
 pub mod giop;
 pub mod http;
 mod ids;
+pub mod jitter;
 mod messages;
 mod payload;
 pub mod tcp;

@@ -153,6 +153,11 @@ pub enum ErrorCode {
     /// deterministic retry-after hint and, when a mirror is known, a
     /// redirect hint.
     Overloaded,
+    /// A `Resume` presented a cookie the server no longer remembers (the
+    /// parked session's TTL expired and its state was reclaimed). Unlike
+    /// the generic [`ErrorCode::AuthFailed`] a stale poll receives, this
+    /// is definitive: the client must fall back to a fresh login.
+    SessionExpired,
 }
 
 /// An error payload (code plus human-readable detail).
@@ -323,6 +328,19 @@ pub enum ClientRequest {
         /// First log sequence number wanted.
         since: u64,
     },
+    // New requests are appended (never inserted) so DBP variant indices
+    // of the requests above stay wire-stable across PRs.
+    /// Resume a parked session after a silent disconnect: the client
+    /// presents its prior session token plus per-application archive
+    /// cursors, and the server replays only the missed suffix through
+    /// the paged catch-up path instead of forcing a full rejoin.
+    Resume {
+        /// The session cookie issued at login (the session token).
+        cookie: u64,
+        /// Archive cursors: `(app, first sequence not yet seen)`. Apps
+        /// omitted here fall back to the cursor recorded at park time.
+        cursors: Vec<(AppId, u64)>,
+    },
 }
 
 /// Discriminator for [`ClientMessage`] — the reproduction of the paper's
@@ -457,6 +475,17 @@ pub enum ResponseBody {
         records: Vec<LogRecord>,
         /// Sequence number to pass as `since` next time.
         next_seq: u64,
+    },
+    // New responses are appended (never inserted) so DBP variant indices
+    // of the responses above stay wire-stable across PRs.
+    /// A parked session was resumed in place: the client id, selected
+    /// applications, and lock interest survive; missed history follows
+    /// as `History` responses in the same batch.
+    Resumed {
+        /// The client id (unchanged across the resume).
+        client: ClientId,
+        /// Applications still selected for this session.
+        apps: Vec<AppId>,
     },
 }
 

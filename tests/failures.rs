@@ -407,3 +407,164 @@ fn idle_sessions_are_reaped_and_locks_freed() {
         ClientMessage::Response(ResponseBody::LockGranted { .. })
     )));
 }
+
+#[test]
+fn stale_directory_route_is_invalidated_on_nak() {
+    // A stale directory-cache entry points an app's route at a server
+    // that no longer (here: never) hosts it. The peer's NoSuchApp Nak
+    // must evict the cached route — and clear the mirror hint — so the
+    // next request re-resolves to the true host instead of bouncing off
+    // the stale address forever.
+    let mut b = CollaboratoryBuilder::new(41);
+    let rutgers = b.server("rutgers");
+    let utexas = b.server("utexas");
+    let _gamma = b.server("gamma");
+    b.mesh_servers(LinkSpec::wan());
+    let mut dc = DriverConfig::default();
+    dc.name = "ipars".into();
+    dc.acl = steer_acl();
+    dc.batch_time = SimDuration::from_millis(100);
+    dc.batches_per_phase = 2;
+    dc.interaction_window = SimDuration::from_millis(300);
+    let (_, app) = b.application(utexas, synthetic_app(2, u64::MAX), dc);
+    let mut anchor = DriverConfig::default();
+    anchor.name = "anchor".into();
+    anchor.acl = vec![(UserId::new("vijay"), Privilege::ReadOnly)];
+    b.application(rutgers, synthetic_app(1, 100), anchor);
+
+    let mut cfg = discover_client::PortalConfig::new("vijay")
+        .select_app(app)
+        .at(SimDuration::from_secs(6), ClientRequest::Op { app, op: AppOp::GetSensors })
+        .at(SimDuration::from_secs(14), ClientRequest::Op { app, op: AppOp::GetSensors });
+    cfg.login_delay = SimDuration::from_millis(200);
+    let node = b.attach(rutgers, "vijay-portal", Portal::new(cfg));
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(node).unwrap().server = Some(rutgers.node);
+
+    // Let discovery, login and remote selection settle, then poison
+    // rutgers' route for the app: point it at gamma, which will Nak.
+    c.engine.run_until(SimTime::from_secs(4));
+    let poisoned = {
+        let n = c.engine.actor_mut::<discover_core::DiscoverNode>(rutgers.node).unwrap();
+        let bogus = n
+            .substrate
+            .peer_addrs()
+            .into_iter()
+            .find(|&a| a != app.host())
+            .expect("gamma is a peer");
+        n.substrate.install_route(app, bogus);
+        bogus
+    };
+    c.engine.run_until(SimTime::from_secs(20));
+
+    assert!(
+        c.engine.stats().counter("substrate.routes.invalidated") >= 1,
+        "the NoSuchApp Nak from {poisoned:?} must evict the stale route"
+    );
+    let n = c.engine.actor_ref::<discover_core::DiscoverNode>(rutgers.node).unwrap();
+    assert_eq!(n.substrate.route_of(app), app.host(), "route falls back to the true host");
+    // The second op, issued after the eviction, reaches utexas and
+    // completes; the stale route cost at most the first op.
+    let p = c.engine.actor_ref::<Portal>(node).unwrap();
+    let done = p
+        .received
+        .iter()
+        .filter(|(at, m)| {
+            *at > SimTime::from_secs(7)
+                && matches!(
+                    m,
+                    ClientMessage::Response(ResponseBody::OpDone { app: a, .. }) if *a == app
+                )
+        })
+        .count();
+    assert!(done >= 1, "an op issued after the eviction must complete at the true host");
+}
+
+#[test]
+fn parked_session_is_reclaimed_after_ttl_and_lock_freed() {
+    // Two-phase lifecycle under a park TTL: a silent client's session is
+    // first *parked* (lock interest retained — nobody else can grab it),
+    // and only reclaimed when the TTL also expires, at which point the
+    // lock frees and the next contender wins it. The lock history must
+    // stay single-holder throughout: the reclaim's force-release has to
+    // precede the rival grant.
+    let mut b = CollaboratoryBuilder::new(42);
+    b.history(true);
+    b.substrate_config.sweep_interval = SimDuration::from_secs(2);
+    b.tweak_servers(|cfg| {
+        cfg.session_idle_timeout = Some(SimDuration::from_secs(10));
+        cfg.session_park_ttl = Some(SimDuration::from_secs(8));
+    });
+    let server = b.server("server0");
+    let mut dc = DriverConfig::default();
+    dc.name = "app0".into();
+    dc.acl = vec![
+        (UserId::new("vijay"), Privilege::Steer),
+        (UserId::new("manish"), Privilege::Steer),
+    ];
+    dc.batch_time = SimDuration::from_millis(100);
+    dc.batches_per_phase = 1;
+    dc.interaction_window = SimDuration::from_millis(500);
+    let (_, app) = b.application(server, synthetic_app(2, u64::MAX), dc);
+
+    // vijay grabs the lock, then his portal vanishes mid-session.
+    let mut vanishing = discover_client::PortalConfig::new("vijay")
+        .select_app(app)
+        .at(SimDuration::from_secs(1), ClientRequest::RequestLock { app });
+    vanishing.poll_every = SimDuration::from_secs(3600);
+    let vijay_node = b.attach(server, "vijay", Portal::new(vanishing));
+
+    // manish keeps polling; he asks for the lock while vijay is merely
+    // parked (must be denied) and again after the TTL reclaim (must win).
+    let manish = discover_client::PortalConfig::new("manish")
+        .select_app(app)
+        .at(SimDuration::from_secs(16), ClientRequest::RequestLock { app })
+        .at(SimDuration::from_secs(32), ClientRequest::RequestLock { app });
+    let manish_node = b.attach(server, "manish", Portal::new(manish));
+
+    let mut c = b.build();
+    c.engine.actor_mut::<Portal>(vijay_node).unwrap().server = Some(server.node);
+    c.engine.actor_mut::<Portal>(manish_node).unwrap().server = Some(server.node);
+    c.engine.run_until(SimTime::from_secs(40));
+
+    // Phase 1: parked, not torn down — lock interest survived, so
+    // manish's first attempt lost while the park held.
+    let stats = c.engine.stats();
+    assert!(stats.counter("server.sessions.parked") >= 1, "idle session parked");
+    assert!(stats.counter("server.sessions.reclaimed") >= 1, "park TTL reclaimed it");
+    let core = c.server_core(server).unwrap();
+    assert_eq!(core.parked_count(), 0, "no parked session leaks past the TTL");
+    assert_eq!(core.session_count(), 1, "only manish's session remains");
+    let m = c.engine.actor_ref::<Portal>(manish_node).unwrap();
+    let denied = m.received.iter().any(|(_, msg)| matches!(
+        msg,
+        ClientMessage::Response(ResponseBody::LockDenied { holder: Some(h), .. })
+            if h == &UserId::new("vijay")
+    ));
+    assert!(denied, "while parked, vijay's lock interest must still deny rivals");
+    // Phase 2: after reclamation the lock freed and manish won.
+    let granted = m.received.iter().any(|(_, msg)| matches!(
+        msg,
+        ClientMessage::Response(ResponseBody::LockGranted { .. })
+    ));
+    assert!(granted, "after the reclaim, the lock must be grantable again");
+
+    // Single-holder throughout: in history order, vijay's grant, then the
+    // reclaim's force-release, then manish's grant.
+    let history = c.engine.history();
+    let seq_of = |label: &str, actor: &str| {
+        history
+            .iter()
+            .find(|e| e.label == label && e.actor == actor)
+            .map(|e| e.seq)
+            .unwrap_or_else(|| panic!("no {label} event for {actor}"))
+    };
+    let vijay_grant = seq_of("lock.granted", "vijay");
+    let force_release = seq_of("lock.force_released", "vijay");
+    let manish_grant = seq_of("lock.granted", "manish");
+    assert!(
+        vijay_grant < force_release && force_release < manish_grant,
+        "lock history must stay single-holder: grant({vijay_grant}) < \
+         force-release({force_release}) < rival grant({manish_grant})"
+    );
+}
