@@ -133,7 +133,7 @@ fn bench_histogram(c: &mut Criterion) {
                 }
                 h
             },
-            |mut h| {
+            |h| {
                 black_box(h.quantile(0.5));
                 black_box(h.quantile(0.95));
                 black_box(h.quantile(0.99));

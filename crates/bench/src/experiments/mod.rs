@@ -9,6 +9,7 @@ mod distributed;
 mod fanout;
 mod faults;
 mod overload;
+mod telemetry;
 mod tracing;
 
 pub use churn::e16_churn_recovery;
@@ -17,6 +18,7 @@ pub use distributed::{e10_latecomer_replay, e7_lock_contention, e8_network_scala
 pub use fanout::e14_broadcast_fanout;
 pub use faults::e12_fault_tolerance;
 pub use overload::e15_overload;
+pub use telemetry::e17_telemetry_overhead;
 pub use tracing::e13_latency_attribution;
 pub use scalability::{e1_app_scalability, e2_client_scalability, e3_protocol_asymmetry};
 
@@ -42,5 +44,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e14", e14_broadcast_fanout),
         ("e15", e15_overload),
         ("e16", e16_churn_recovery),
+        ("e17", e17_telemetry_overhead),
     ]
 }

@@ -14,3 +14,4 @@
 pub mod experiments;
 pub mod fixtures;
 pub mod report;
+pub mod trend;

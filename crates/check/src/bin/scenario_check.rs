@@ -105,7 +105,7 @@ fn still_fails(s: &Scenario, oracle: &str) -> bool {
     check_run(&run(s)).iter().any(|v| v.oracle == oracle)
 }
 
-fn write_repro(out_dir: &str, tag: &str, s: &Scenario, violations: &[Violation]) {
+fn write_repro(out_dir: &str, tag: &str, s: &Scenario, violations: &[Violation], flight: &str) {
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("warning: cannot create {out_dir}: {e}");
         return;
@@ -124,6 +124,14 @@ fn write_repro(out_dir: &str, tag: &str, s: &Scenario, violations: &[Violation])
         Ok(()) => eprintln!("  repro written to {path}"),
         Err(e) => eprintln!("warning: cannot write {path}: {e}"),
     }
+    // The flight-recorder harvest rides along: triggered anomaly dumps
+    // plus each server's final ring, from the same run the repro
+    // describes.
+    let flight_path = format!("{out_dir}/{tag}.flight.txt");
+    match std::fs::write(&flight_path, flight) {
+        Ok(()) => eprintln!("  flight dumps written to {flight_path}"),
+        Err(e) => eprintln!("warning: cannot write {flight_path}: {e}"),
+    }
 }
 
 fn check_one(seed: u64, family: Family, out_dir: &str) -> bool {
@@ -141,6 +149,7 @@ fn check_one(seed: u64, family: Family, out_dir: &str) -> bool {
             &format!("nondet-{}-{seed}", family.name()),
             &scenario,
             &[Violation { oracle: "determinism", detail: "run logs differ".into() }],
+            &first.flight,
         );
         return false;
     }
@@ -152,8 +161,15 @@ fn check_one(seed: u64, family: Family, out_dir: &str) -> bool {
     let oracle = violations[0].oracle;
     eprintln!("  shrinking against oracle {oracle:?}…");
     let shrunk = shrink(&scenario, |s| still_fails(s, oracle));
-    let shrunk_violations = check_run(&run(&shrunk));
-    write_repro(out_dir, &format!("{}-{seed}", family.name()), &shrunk, &shrunk_violations);
+    let shrunk_run = run(&shrunk);
+    let shrunk_violations = check_run(&shrunk_run);
+    write_repro(
+        out_dir,
+        &format!("{}-{seed}", family.name()),
+        &shrunk,
+        &shrunk_violations,
+        &shrunk_run.flight,
+    );
     false
 }
 

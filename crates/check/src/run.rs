@@ -21,7 +21,7 @@ use appsim::{synthetic_app, DriverConfig};
 use discover_bench::fixtures::poll_period;
 use discover_client::{OpMix, Portal, PortalConfig, Workload};
 use discover_core::{CollaboratoryBuilder, DiscoverNode, ServerHandle};
-use simnet::{FaultPlan, HistoryEvent, LinkSpec, SimDuration, SimTime};
+use simnet::{FaultPlan, FlightConfig, HistoryEvent, LinkSpec, SimDuration, SimTime};
 use wire::{
     AppCommand, AppId, AppOp, ClientMessage, ClientRequest, ErrorCode, LogRecord, Privilege,
     ResponseBody, UserId, Value,
@@ -122,6 +122,11 @@ pub struct RunResult {
     /// Sessions still parked across all servers when the run ended (a
     /// correct lease plane drains this to zero once TTLs pass).
     pub parked_at_end: usize,
+    /// Flight-recorder harvest: every triggered anomaly dump followed by
+    /// each server's final ring (the last events it recorded). Attached
+    /// to repro artifacts so a failing scenario ships with the context
+    /// that led up to the anomaly. Deterministic text, like the run log.
+    pub flight: String,
     /// Deterministic text rendering of the whole run (byte-identical
     /// across same-seed executions).
     pub run_log: String,
@@ -153,6 +158,11 @@ pub fn run(scenario: &Scenario) -> RunResult {
     let s = scenario;
     let mut b = CollaboratoryBuilder::new(s.seed);
     b.history(true);
+    // The flight recorder observes the same decision points as the
+    // history log and appends to side buffers only, so arming it keeps
+    // run logs byte-identical while giving every repro the recent-past
+    // context of each server (breaker trips, shed bursts, expiry spikes).
+    b.flight_recorder(FlightConfig::default());
     let lease = SimDuration::from_millis(s.lock_lease_ms);
     let double_grant = s.fault_double_grant;
     let no_reclaim = s.fault_no_reclaim;
@@ -446,6 +456,15 @@ pub fn run(scenario: &Scenario) -> RunResult {
         })
         .unwrap_or_default();
 
+    // Flight harvest: triggered dumps first, then each server's final
+    // ring so a repro shows what every node was doing at the end even
+    // when no trigger fired.
+    let mut flight = c.engine.flight_dumps_rendered();
+    for (i, &srv) in servers.iter().enumerate() {
+        flight.push_str(&format!("--- ring s{i} (n{}) ---\n", srv.node.0));
+        flight.push_str(&c.engine.flight_ring_rendered(srv.node));
+    }
+
     let mut run_log = String::new();
     run_log.push_str(&s.describe());
     run_log.push_str("--- history ---\n");
@@ -496,6 +515,7 @@ pub fn run(scenario: &Scenario) -> RunResult {
         host_archive,
         latecomer_fetches,
         parked_at_end,
+        flight,
         run_log,
     }
 }

@@ -14,13 +14,14 @@ use simnet::{names, Actor, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::http::HttpRequest;
 use wire::{
     AppId, AppOp, ClientMessage, ClientRequest, Content, DeadlineStamp, Envelope, ErrorCode,
-    MessageKind, Priority, ResponseBody, UpdateBody, UserId, Value,
+    MessageKind, Priority, ResponseBody, StatusReport, UpdateBody, UserId, Value,
 };
 
 const TAG_LOGIN: u64 = 1;
 const TAG_POLL: u64 = 2;
 const TAG_THINK: u64 = 3;
 const TAG_RESUME: u64 = 4;
+const TAG_STATUS: u64 = 5;
 const TAG_SCRIPT_BASE: u64 = 1000;
 
 /// Relative frequencies of closed-loop operations.
@@ -154,6 +155,11 @@ pub struct PortalConfig {
     /// runs byte-identical. Only reachable when a server runs admission
     /// control, so the default changes nothing for unprotected runs.
     pub overload_backoff: SimDuration,
+    /// Probe the server's live status page at this interval (the
+    /// read-only [`ClientRequest::Status`] introspection request). `None`
+    /// (the default) sends nothing, so untraced runs stay byte-identical;
+    /// one-shot probes can also be scripted via [`PortalConfig::at`].
+    pub status_every: Option<SimDuration>,
     /// Attempt reconnect-with-resume when the session goes stale (a 401
     /// on an established cookie): present the old token plus archive
     /// cursors, have the server replay only the missed suffix, and fall
@@ -176,8 +182,15 @@ impl PortalConfig {
             workload: None,
             deadline: None,
             overload_backoff: SimDuration::from_millis(500),
+            status_every: None,
             resume: false,
         }
+    }
+
+    /// Probe the server's live status page every `d`.
+    pub fn status_every(mut self, d: SimDuration) -> Self {
+        self.status_every = Some(d);
+        self
     }
 
     /// Enable reconnect-with-resume on session loss.
@@ -268,6 +281,11 @@ pub struct Portal {
     pub resume_fallbacks: u64,
     /// Completion time of each successful resume.
     pub resumed_at: Vec<SimTime>,
+    /// Every status report received, with its arrival time.
+    pub status_reports: Vec<(SimTime, StatusReport)>,
+    /// Issue times of in-flight status probes (replies arrive in FIFO
+    /// order on the synchronous command channel).
+    status_outstanding: VecDeque<SimTime>,
 }
 
 impl Portal {
@@ -298,7 +316,15 @@ impl Portal {
             resumes_ok: 0,
             resume_fallbacks: 0,
             resumed_at: Vec::new(),
+            status_reports: Vec::new(),
+            status_outstanding: VecDeque::new(),
         }
+    }
+
+    /// Render the most recent status report as a text status page, the
+    /// way the paper's portals render server-side views for the browser.
+    pub fn status_page(&self) -> Option<String> {
+        self.status_reports.last().map(|(_, r)| r.render())
     }
 
     /// All updates received, in order.
@@ -338,6 +364,10 @@ impl Portal {
     ) {
         if matches!(req, ClientRequest::RequestLock { .. }) && self.lock_requested_at.is_none() {
             self.lock_requested_at = Some(ctx.now());
+        }
+        if matches!(req, ClientRequest::Status) {
+            self.status_outstanding.push_back(ctx.now());
+            ctx.metrics().incr(names::CLIENT_STATUS_PROBES);
         }
         // Deadline stamping at portal ingress: operations and lock
         // traffic get `now + budget` with their priority class; control
@@ -545,32 +575,36 @@ impl Portal {
                     }
                 }
             }
+            ClientMessage::Response(ResponseBody::Status(report)) => {
+                if let Some(issued) = self.status_outstanding.pop_front() {
+                    ctx.metrics().record(names::CLIENT_STATUS_LATENCY, at.since(issued));
+                }
+                self.status_reports.push((at, report.clone()));
+            }
             ClientMessage::Response(ResponseBody::History { app, next_seq, .. }) => {
                 // Archive read cursor: the next suffix replay starts here.
                 self.cursors.insert(*app, *next_seq);
             }
-            ClientMessage::Response(ResponseBody::Resumed { apps, .. }) => {
-                if self.resuming {
-                    self.resuming = false;
-                    self.resumes_ok += 1;
-                    self.resumed_at.push(at);
-                    ctx.metrics().incr(names::CLIENT_RESUMES_OK);
-                    // Completions of pre-park operations are gone with the
-                    // parked FIFO's drop policy; stop waiting for them.
-                    self.abandon_outstanding(ctx);
-                    // Selection survives the park; if it somehow did not,
-                    // the normal select flow re-runs on the next Apps view.
-                    if let Some(app) = self.config.select {
-                        if !apps.contains(&app) {
-                            self.selected = false;
-                            self.select_sent = false;
-                        }
+            ClientMessage::Response(ResponseBody::Resumed { apps, .. }) if self.resuming => {
+                self.resuming = false;
+                self.resumes_ok += 1;
+                self.resumed_at.push(at);
+                ctx.metrics().incr(names::CLIENT_RESUMES_OK);
+                // Completions of pre-park operations are gone with the
+                // parked FIFO's drop policy; stop waiting for them.
+                self.abandon_outstanding(ctx);
+                // Selection survives the park; if it somehow did not,
+                // the normal select flow re-runs on the next Apps view.
+                if let Some(app) = self.config.select {
+                    if !apps.contains(&app) {
+                        self.selected = false;
+                        self.select_sent = false;
                     }
-                    // Restart the closed-loop workload after the outage.
-                    if self.workload_started {
-                        if let Some(w) = &self.config.workload {
-                            ctx.schedule(w.think, TAG_THINK);
-                        }
+                }
+                // Restart the closed-loop workload after the outage.
+                if self.workload_started {
+                    if let Some(w) = &self.config.workload {
+                        ctx.schedule(w.think, TAG_THINK);
                     }
                 }
             }
@@ -648,6 +682,9 @@ impl Actor<Envelope> for Portal {
         for (i, (delay, _)) in self.config.script.iter().enumerate() {
             ctx.schedule(*delay, TAG_SCRIPT_BASE + i as u64);
         }
+        if let Some(every) = self.config.status_every {
+            ctx.schedule(self.config.login_delay + every, TAG_STATUS);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Envelope>, _from: NodeId, msg: Envelope) {
@@ -695,9 +732,16 @@ impl Actor<Envelope> for Portal {
             TAG_THINK => {
                 self.issue_workload_op(ctx);
             }
-            TAG_RESUME => {
-                if self.resuming {
-                    self.send_resume(ctx);
+            TAG_RESUME if self.resuming => {
+                self.send_resume(ctx);
+            }
+            TAG_STATUS => {
+                // Probes ride the session cookie once logged in; before
+                // then the probe still goes out (Status needs no session —
+                // it is a read-only page, like the paper's server list).
+                self.post(ctx, ClientRequest::Status);
+                if let Some(every) = self.config.status_every {
+                    ctx.schedule(every, TAG_STATUS);
                 }
             }
             t if t >= TAG_SCRIPT_BASE => {

@@ -161,6 +161,17 @@ impl CollaboratoryBuilder {
         self
     }
 
+    /// Arm the anomaly flight recorder for this collaboratory. Off by
+    /// default: a disarmed recorder observes nothing, so uninstrumented
+    /// runs stay byte-identical. Armed, it keeps a bounded ring of recent
+    /// history events per node and dumps them deterministically when a
+    /// breaker opens, a shed burst crosses the threshold, or a deadline-
+    /// expiry spike lands (see [`simnet::FlightConfig`]).
+    pub fn flight_recorder(&mut self, config: simnet::FlightConfig) -> &mut Self {
+        self.engine.enable_flight_recorder(config);
+        self
+    }
+
     /// Set the collaboration transport mode for servers created after
     /// this call.
     pub fn collab_mode(&mut self, mode: CollabMode) -> &mut Self {

@@ -54,6 +54,12 @@ impl Actor<Envelope> for DiscoverNode {
         let content_size = msg.content_size();
         match msg.content {
             Content::HttpRequest(req) => {
+                // Status snapshots include peer health/breaker lines the
+                // substrate owns; sync them only when asked for (pure
+                // memory copy — no RNG, no wire, no schedule effect).
+                if matches!(req.body, Some(wire::ClientRequest::Status)) {
+                    self.core.peer_status = self.substrate.peer_status_snapshot();
+                }
                 // Session-handling span: covers servlet CPU plus effect
                 // resolution; downstream broker/app spans are its
                 // children and may outlive it.

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use orb::directory::calls;
-use orb::{AddressBook, Broker, RetryPolicy, DISCOVER_SERVICE};
+use orb::{AddressBook, Broker, BreakerState, RetryPolicy, DISCOVER_SERVICE};
 use simnet::{names, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::giop::GiopFrame;
 use wire::{
@@ -224,6 +224,31 @@ impl Substrate {
     /// refresh failed); listings keep being served from it regardless.
     pub fn peers_stale(&self) -> bool {
         self.peers_stale
+    }
+
+    /// Snapshot every known peer's health verdict and circuit-breaker
+    /// state as status-report lines (sorted by address, deterministic).
+    /// The node shell syncs this into the server core right before a
+    /// `Status` request is dispatched.
+    pub fn peer_status_snapshot(&self) -> Vec<wire::PeerStatusEntry> {
+        self.peers
+            .iter()
+            .map(|(&addr, &node)| {
+                let health = match self.peer_health(addr) {
+                    PeerHealth::Up => "up",
+                    PeerHealth::Suspect => "suspect",
+                    PeerHealth::Down => "down",
+                };
+                let breaker = match self.broker.breaker_state(node) {
+                    BreakerState::Closed => "closed".to_string(),
+                    BreakerState::HalfOpen => "half-open".to_string(),
+                    BreakerState::Open { until } => {
+                        format!("open(until={}us)", until.as_micros())
+                    }
+                };
+                wire::PeerStatusEntry { peer: addr, health: health.to_string(), breaker }
+            })
+            .collect()
     }
 
     /// The host currently serving `app` (failover route if one exists,

@@ -371,6 +371,12 @@ impl<T> Broker<T> {
             if self.record_outcome(now, p.to, false) {
                 report.opened += 1;
                 ctx.trace_annotate(p.trace, "breaker: closed -> open");
+                ctx.record_history(
+                    "breaker.open",
+                    format!("n{}", p.to.0),
+                    "",
+                    format!("operation={}", p.operation),
+                );
             }
             if p.attempt < self.retry.max_attempts && self.admits(now, p.to) {
                 let delay = self.retry.backoff_jittered(p.attempt + 1, ctx.rng());

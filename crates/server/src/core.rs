@@ -25,10 +25,11 @@ use wire::giop::{GiopBody, GiopFrame, GiopKind};
 use wire::http::{HttpRequest, HttpResponse};
 use wire::tcp::TcpFrame;
 use wire::{
-    AppDescriptor, AppId, AppMsg, AppOp, AppPhase, AppStatus, AppToken, Channel, ClientId,
-    ClientMessage, ClientRequest, ControlEvent, ControlEventKind, DeadlineStamp, Envelope,
-    ErrorCode, FrozenUpdate, InteractionSpec, LogEntry, ObjectKey, OpOutcome, PeerMsg, PeerReply,
-    Privilege, RequestId, ResponseBody, ServerAddr, UpdateBody, UserId, Value, WireError,
+    AppDescriptor, AppId, AppMsg, AppOp, AppPhase, AppStatus, AppStatusEntry, AppToken, Channel,
+    ClientId, ClientMessage, ClientRequest, ControlEvent, ControlEventKind, DeadlineStamp,
+    Envelope, ErrorCode, FifoStatusEntry, FrozenUpdate, InteractionSpec, LogEntry, ObjectKey,
+    OpOutcome, PeerMsg, PeerReply, PeerStatusEntry, Privilege, RequestId, ResponseBody,
+    ServerAddr, StatusReport, UpdateBody, UserId, Value, WireError,
 };
 
 use crate::archive::ArchiveStore;
@@ -316,6 +317,10 @@ pub struct ServerCore {
     /// `app.command` child once the command actually leaves for the
     /// application). Closed when the response (or failure) arrives.
     req_traces: HashMap<RequestId, (TraceContext, Option<TraceContext>)>,
+    /// Peer health/breaker lines for status reports, synced by the node
+    /// shell (the substrate owns the live state) right before a
+    /// `ClientRequest::Status` is dispatched. Purely observational.
+    pub peer_status: Vec<PeerStatusEntry>,
 }
 
 impl ServerCore {
@@ -347,6 +352,7 @@ impl ServerCore {
             incoming_deadline: None,
             mirror_hints: BTreeMap::new(),
             req_traces: HashMap::new(),
+            peer_status: Vec::new(),
         }
     }
 
@@ -454,6 +460,50 @@ impl ServerCore {
         let mut ids: Vec<AppId> = self.apps.keys().copied().collect();
         ids.sort();
         ids
+    }
+
+    /// Build a read-only live status snapshot of this server: session
+    /// table, lock holders, FIFO depths, admission in-flight, shed
+    /// counts, plus the peer lines last synced into
+    /// [`ServerCore::peer_status`]. Every number comes from the same
+    /// state the folded node metrics are derived from, so a report and
+    /// the run's metrics always agree.
+    pub fn status_report(&self, at_us: u64) -> StatusReport {
+        let mut apps: Vec<AppStatusEntry> = self
+            .apps
+            .values()
+            .map(|p| AppStatusEntry {
+                app: p.app,
+                name: p.name.clone(),
+                phase: p.phase,
+                lock_holder: p.lock.holder().cloned(),
+                buffered: p.buffered.len() as u32,
+                shed_total: p.shed_total(),
+            })
+            .collect();
+        apps.sort_by_key(|a| a.app);
+        let fifos: Vec<FifoStatusEntry> = self
+            .fifo_snapshot()
+            .into_iter()
+            .map(|(client, queued, peak, dropped, _enqueued)| FifoStatusEntry {
+                client,
+                queued: queued as u32,
+                peak: peak as u32,
+                dropped,
+            })
+            .collect();
+        StatusReport {
+            server: self.config.addr,
+            at_us,
+            sessions_active: self.sessions.len() as u32,
+            sessions_parked: self.parked.len() as u32,
+            admission_in_flight: self.origins.len() as u32,
+            fifo_dropped: self.fifo_dropped_total(),
+            shed_total: self.proxy_shed_total(),
+            apps,
+            fifos,
+            peers: self.peer_status.clone(),
+        }
     }
 
     // -----------------------------------------------------------------
@@ -917,6 +967,22 @@ impl ServerCore {
             return effects;
         }
 
+        // Status is a read-only introspection page, served with or
+        // without a session (like the paper's server list): operators
+        // must be able to probe a node whose session plane is wedged.
+        if let Some(ClientRequest::Status) = &req.body {
+            ctx.metrics().incr(names::SERVER_STATUS_REQUESTS);
+            let report = self.status_report(ctx.now().as_micros());
+            self.respond(
+                ctx,
+                from,
+                200,
+                None,
+                vec![ClientMessage::Response(ResponseBody::Status(report))],
+            );
+            return effects;
+        }
+
         let session = req.session.and_then(|c| self.sessions.touch(c, ctx.now()));
         let Some(session) = session else {
             self.respond(
@@ -1046,7 +1112,9 @@ impl ServerCore {
                 let (records, next_seq) = self.archive.fetch_client(client, app, since);
                 vec![ClientMessage::Response(ResponseBody::ClientLog { app, records, next_seq })]
             }
-            Some(ClientRequest::Login { .. }) | Some(ClientRequest::Resume { .. }) => {
+            Some(ClientRequest::Login { .. })
+            | Some(ClientRequest::Resume { .. })
+            | Some(ClientRequest::Status) => {
                 unreachable!("handled above")
             }
         };

@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Payload};
+use crate::flight::{FlightConfig, FlightDump, FlightRecorder};
 use crate::history::{HistoryEvent, HistoryLog};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::metrics::{names, Metrics, MetricsRegistry};
@@ -117,6 +118,7 @@ struct Core<M> {
     node_metrics: Vec<MetricsRegistry>,
     tracer: Tracer,
     history: HistoryLog,
+    flight: FlightRecorder,
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     events_processed: u64,
@@ -304,9 +306,10 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.core.history.enabled()
     }
 
-    /// Record a semantic decision point into the history log (no-op while
-    /// recording is off). Never touches the RNG, the queue, or the wire,
-    /// so recorded and unrecorded runs share one event schedule.
+    /// Record a semantic decision point into the history log and the
+    /// flight recorder (no-op while both are off). Never touches the RNG,
+    /// the queue, or the wire, so recorded and unrecorded runs share one
+    /// event schedule.
     pub fn record_history(
         &mut self,
         label: &'static str,
@@ -314,17 +317,19 @@ impl<'a, M: Payload> Ctx<'a, M> {
         actor: impl Into<String>,
         detail: impl Into<String>,
     ) {
-        if !self.core.history.enabled() {
+        let core = &mut *self.core;
+        if !core.history.enabled() && !core.flight.enabled() {
             return;
         }
-        self.core.history.record(
-            self.local_now,
-            self.me,
-            label,
-            subject.into(),
-            actor.into(),
-            detail.into(),
-        );
+        let subject = subject.into();
+        let actor = actor.into();
+        let detail = detail.into();
+        let fired = core.flight.observe(self.local_now, self.me, label, &subject, &actor, &detail);
+        if fired > 0 {
+            core.stats.add(names::ENGINE_FLIGHT_DUMPS.key(), fired as u64);
+            core.node_metrics[self.me.index()].add(names::ENGINE_FLIGHT_DUMPS, fired as u64);
+        }
+        core.history.record(self.local_now, self.me, label, subject, actor, detail);
     }
 
     /// Record a complete child span covering `[start, end]` (windows known
@@ -372,6 +377,7 @@ impl<M: Payload> Engine<M> {
                 node_metrics: Vec::new(),
                 tracer: Tracer::new(),
                 history: HistoryLog::new(),
+                flight: FlightRecorder::new(),
                 cancelled_timers: HashSet::new(),
                 next_timer_id: 0,
                 events_processed: 0,
@@ -539,7 +545,58 @@ impl<M: Payload> Engine<M> {
         detail: impl Into<String>,
     ) {
         let now = self.core.now;
-        self.core.history.record(now, node, label, subject.into(), actor.into(), detail.into());
+        let subject = subject.into();
+        let actor = actor.into();
+        let detail = detail.into();
+        let fired = self.core.flight.observe(now, node, label, &subject, &actor, &detail);
+        if fired > 0 {
+            self.core.stats.add(names::ENGINE_FLIGHT_DUMPS.key(), fired as u64);
+            self.core.node_metrics[node.index()].add(names::ENGINE_FLIGHT_DUMPS, fired as u64);
+        }
+        self.core.history.record(now, node, label, subject, actor, detail);
+    }
+
+    /// Turn on the anomaly flight recorder (see [`crate::flight`]). Off
+    /// by default; like history recording it appends to internal buffers
+    /// only, so the event schedule is identical either way.
+    pub fn enable_flight_recorder(&mut self, config: FlightConfig) {
+        self.core.flight.enable(config);
+    }
+
+    /// Whether the flight recorder is on.
+    pub fn flight_enabled(&self) -> bool {
+        self.core.flight.enabled()
+    }
+
+    /// Every triggered flight dump so far, in trigger order.
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        self.core.flight.dumps()
+    }
+
+    /// All flight dumps as deterministic text (byte-identical across
+    /// same-seed runs).
+    pub fn flight_dumps_rendered(&self) -> String {
+        self.core.flight.dumps_rendered()
+    }
+
+    /// One node's current ring as deterministic text (the last-N events
+    /// it recorded).
+    pub fn flight_ring_rendered(&self, node: NodeId) -> String {
+        self.core.flight.ring_rendered(node)
+    }
+
+    /// Force a flight dump of `node`'s ring under `trigger` at the global
+    /// clock — harnesses call this when an oracle fails so the repro
+    /// ships with each node's recent past. Counted under
+    /// `engine.flight_dumps` like triggered dumps. No-op while the
+    /// recorder is off.
+    pub fn flight_force_dump(&mut self, node: NodeId, trigger: &str) {
+        let now = self.core.now;
+        let fired = self.core.flight.force_dump(node, now, trigger);
+        if fired > 0 {
+            self.core.stats.add(names::ENGINE_FLIGHT_DUMPS.key(), fired as u64);
+            self.core.node_metrics[node.index()].add(names::ENGINE_FLIGHT_DUMPS, fired as u64);
+        }
     }
 
     /// One node's metrics registry.

@@ -1,0 +1,375 @@
+//! Anomaly flight recorder: bounded per-node rings of recent history
+//! events, dumped deterministically when a trigger fires.
+//!
+//! The history log (`history`) keeps *everything* and is only practical
+//! for short checked runs; the flight recorder keeps the last N events
+//! per node and snapshots them the moment something goes wrong — a
+//! circuit breaker tripping open, a burst of load shedding, a spike of
+//! deadline expiries — so a long run that misbehaves ships with the
+//! context that led up to the anomaly, the way an aircraft flight
+//! recorder preserves the final minutes.
+//!
+//! Like tracing and history recording, the recorder is opt-in and
+//! side-effect free: it observes the same decision points that
+//! `Ctx::record_history` sees, appends to internal buffers only, and
+//! never touches the RNG, the event queue, or the wire. Runs with the
+//! recorder off are byte-identical to runs that never linked it;
+//! same-seed runs with it on produce byte-identical dumps.
+
+use std::collections::VecDeque;
+
+use crate::engine::NodeId;
+use crate::history::HistoryEvent;
+use crate::time::{SimDuration, SimTime};
+
+/// History-event label that trips the recorder immediately: a circuit
+/// breaker transitioning closed → open.
+pub const TRIGGER_BREAKER_OPEN: &str = "breaker.open";
+/// Label counted toward the shed-burst trigger window.
+pub const TRIGGER_SHED: &str = "daemon.shed";
+/// Label counted toward the deadline-expiry-spike trigger window.
+pub const TRIGGER_EXPIRED: &str = "daemon.expired";
+
+/// Flight-recorder tuning: ring size and anomaly trigger thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightConfig {
+    /// Events retained per node (the ring bound).
+    pub capacity: usize,
+    /// `daemon.shed` events within `window` on one node that count as a
+    /// shed burst.
+    pub shed_burst_threshold: usize,
+    /// `daemon.expired` events within `window` on one node that count as
+    /// an expiry spike.
+    pub expiry_spike_threshold: usize,
+    /// Sliding window for the burst/spike counters.
+    pub window: SimDuration,
+    /// Minimum spacing between dumps from the same node; triggers inside
+    /// the cooldown are suppressed (the first dump already has the
+    /// context).
+    pub cooldown: SimDuration,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 64,
+            shed_burst_threshold: 16,
+            expiry_spike_threshold: 8,
+            window: SimDuration::from_secs(1),
+            cooldown: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// One triggered snapshot: the recording node's ring at the instant the
+/// trigger fired.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Dense dump sequence (order the triggers fired in).
+    pub seq: u64,
+    /// When the trigger fired (local clock of the recording node).
+    pub at: SimTime,
+    /// The node whose ring was snapshotted.
+    pub node: NodeId,
+    /// What fired (`"breaker.open"`, `"shed.burst"`, `"expiry.spike"`,
+    /// or a caller-supplied tag for forced dumps).
+    pub trigger: String,
+    /// The ring contents, oldest first.
+    pub events: Vec<HistoryEvent>,
+}
+
+impl FlightDump {
+    /// Deterministic multi-line rendering (byte-identical across
+    /// same-seed runs).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "=== flight dump #{} trigger={} node=n{} at={} events={}\n",
+            self.seq,
+            self.trigger,
+            self.node.0,
+            self.at.as_micros(),
+            self.events.len()
+        );
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-node ring state plus trigger bookkeeping.
+#[derive(Debug, Default)]
+struct NodeRing {
+    ring: VecDeque<HistoryEvent>,
+    shed_marks: VecDeque<SimTime>,
+    expiry_marks: VecDeque<SimTime>,
+    last_dump: Option<SimTime>,
+}
+
+/// The recorder: bounded per-node rings plus the dumps collected so far.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    enabled: bool,
+    config: FlightConfig,
+    rings: Vec<NodeRing>,
+    dumps: Vec<FlightDump>,
+    observed: u64,
+}
+
+impl FlightRecorder {
+    /// A disabled (free) recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn recording on with the given tuning.
+    pub fn enable(&mut self, config: FlightConfig) {
+        assert!(config.capacity > 0, "flight ring capacity must be positive");
+        self.enabled = true;
+        self.config = config;
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &FlightConfig {
+        &self.config
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut NodeRing {
+        let idx = node.index();
+        if self.rings.len() <= idx {
+            self.rings.resize_with(idx + 1, NodeRing::default);
+        }
+        &mut self.rings[idx]
+    }
+
+    /// Observe one decision point (same arguments as
+    /// `Ctx::record_history`). Returns the number of dumps the event
+    /// triggered (0 or 1). No-op while disabled.
+    pub fn observe(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        label: &'static str,
+        subject: &str,
+        actor: &str,
+        detail: &str,
+    ) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        let seq = self.observed;
+        self.observed += 1;
+        let capacity = self.config.capacity;
+        let window = self.config.window;
+        let shed_threshold = self.config.shed_burst_threshold;
+        let expiry_threshold = self.config.expiry_spike_threshold;
+        let state = self.node_mut(node);
+        if state.ring.len() == capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(HistoryEvent {
+            seq,
+            at,
+            node,
+            label,
+            subject: subject.to_string(),
+            actor: actor.to_string(),
+            detail: detail.to_string(),
+        });
+        let floor = if at.as_micros() > window.as_micros() {
+            SimTime::from_micros(at.as_micros() - window.as_micros())
+        } else {
+            SimTime::ZERO
+        };
+        let trigger = match label {
+            TRIGGER_BREAKER_OPEN => Some("breaker.open"),
+            TRIGGER_SHED => {
+                state.shed_marks.push_back(at);
+                while state.shed_marks.front().is_some_and(|&t| t < floor) {
+                    state.shed_marks.pop_front();
+                }
+                if state.shed_marks.len() >= shed_threshold {
+                    state.shed_marks.clear();
+                    Some("shed.burst")
+                } else {
+                    None
+                }
+            }
+            TRIGGER_EXPIRED => {
+                state.expiry_marks.push_back(at);
+                while state.expiry_marks.front().is_some_and(|&t| t < floor) {
+                    state.expiry_marks.pop_front();
+                }
+                if state.expiry_marks.len() >= expiry_threshold {
+                    state.expiry_marks.clear();
+                    Some("expiry.spike")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match trigger {
+            Some(tag) => self.dump(node, at, tag, true),
+            None => 0,
+        }
+    }
+
+    /// Snapshot `node`'s ring under a caller-supplied trigger tag,
+    /// ignoring the cooldown (harnesses force dumps on oracle failures
+    /// and want them unconditionally). No-op while disabled.
+    pub fn force_dump(&mut self, node: NodeId, at: SimTime, trigger: &str) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        self.dump(node, at, trigger, false)
+    }
+
+    fn dump(&mut self, node: NodeId, at: SimTime, trigger: &str, honor_cooldown: bool) -> u32 {
+        let cooldown = self.config.cooldown;
+        let seq = self.dumps.len() as u64;
+        let state = self.node_mut(node);
+        if honor_cooldown {
+            if let Some(last) = state.last_dump {
+                if at < last + cooldown {
+                    return 0;
+                }
+            }
+        }
+        state.last_dump = Some(at);
+        let events: Vec<HistoryEvent> = state.ring.iter().cloned().collect();
+        self.dumps.push(FlightDump { seq, at, node, trigger: trigger.to_string(), events });
+        1
+    }
+
+    /// Every dump collected so far, in trigger order.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Number of events currently held in `node`'s ring.
+    pub fn ring_len(&self, node: NodeId) -> usize {
+        self.rings.get(node.index()).map_or(0, |s| s.ring.len())
+    }
+
+    /// Deterministic text rendering of one node's ring.
+    pub fn ring_rendered(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        if let Some(state) = self.rings.get(node.index()) {
+            for e in &state.ring {
+                out.push_str(&e.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Deterministic text rendering of every dump, in trigger order.
+    pub fn dumps_rendered(&self) -> String {
+        let mut out = String::new();
+        for d in &self.dumps {
+            out.push_str(&d.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rec: &mut FlightRecorder, at_us: u64, node: u32, label: &'static str) -> u32 {
+        rec.observe(SimTime::from_micros(at_us), NodeId(node), label, "app", "user", "k=v")
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut rec = FlightRecorder::new();
+        assert_eq!(ev(&mut rec, 1, 0, TRIGGER_BREAKER_OPEN), 0);
+        assert_eq!(rec.force_dump(NodeId(0), SimTime::ZERO, "forced"), 0);
+        assert!(rec.dumps().is_empty());
+        assert_eq!(rec.ring_len(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn ring_never_exceeds_capacity() {
+        let mut rec = FlightRecorder::new();
+        rec.enable(FlightConfig { capacity: 8, ..FlightConfig::default() });
+        for i in 0..1000 {
+            ev(&mut rec, i, 0, "op.accepted");
+            assert!(rec.ring_len(NodeId(0)) <= 8);
+        }
+        assert_eq!(rec.ring_len(NodeId(0)), 8);
+        // Oldest events were evicted: the ring holds the last 8 only.
+        let text = rec.ring_rendered(NodeId(0));
+        assert_eq!(text.lines().count(), 8);
+        assert!(text.contains(" 999 "), "ring should hold the newest event:\n{text}");
+    }
+
+    #[test]
+    fn breaker_open_triggers_immediately() {
+        let mut rec = FlightRecorder::new();
+        rec.enable(FlightConfig::default());
+        ev(&mut rec, 10, 1, "op.accepted");
+        assert_eq!(ev(&mut rec, 20, 1, TRIGGER_BREAKER_OPEN), 1);
+        assert_eq!(rec.dumps().len(), 1);
+        let d = &rec.dumps()[0];
+        assert_eq!(d.node, NodeId(1));
+        assert_eq!(d.trigger, "breaker.open");
+        assert_eq!(d.events.len(), 2, "dump carries the prior context too");
+    }
+
+    #[test]
+    fn shed_burst_requires_threshold_within_window() {
+        let mut rec = FlightRecorder::new();
+        rec.enable(FlightConfig {
+            shed_burst_threshold: 3,
+            window: SimDuration::from_millis(100),
+            ..FlightConfig::default()
+        });
+        assert_eq!(ev(&mut rec, 1_000, 0, TRIGGER_SHED), 0);
+        assert_eq!(ev(&mut rec, 2_000, 0, TRIGGER_SHED), 0);
+        // Third shed lands outside the window of the first two: no burst.
+        assert_eq!(ev(&mut rec, 500_000, 0, TRIGGER_SHED), 0);
+        // Two more inside 100 ms of the third: burst.
+        assert_eq!(ev(&mut rec, 510_000, 0, TRIGGER_SHED), 0);
+        assert_eq!(ev(&mut rec, 520_000, 0, TRIGGER_SHED), 1);
+        assert_eq!(rec.dumps().len(), 1);
+        assert_eq!(rec.dumps()[0].trigger, "shed.burst");
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_dumps_but_not_forced() {
+        let mut rec = FlightRecorder::new();
+        rec.enable(FlightConfig { cooldown: SimDuration::from_secs(5), ..FlightConfig::default() });
+        assert_eq!(ev(&mut rec, 1_000_000, 0, TRIGGER_BREAKER_OPEN), 1);
+        assert_eq!(ev(&mut rec, 2_000_000, 0, TRIGGER_BREAKER_OPEN), 0, "inside cooldown");
+        assert_eq!(rec.force_dump(NodeId(0), SimTime::from_micros(2_500_000), "oracle.failed"), 1);
+        assert_eq!(ev(&mut rec, 8_000_000, 0, TRIGGER_BREAKER_OPEN), 1, "cooldown elapsed");
+        assert_eq!(rec.dumps().len(), 3);
+        assert_eq!(rec.dumps()[1].trigger, "oracle.failed");
+    }
+
+    #[test]
+    fn dumps_render_deterministically() {
+        fn run() -> String {
+            let mut rec = FlightRecorder::new();
+            rec.enable(FlightConfig { capacity: 4, ..FlightConfig::default() });
+            for i in 0..10 {
+                ev(&mut rec, 100 * i, (i % 2) as u32, "op.accepted");
+            }
+            ev(&mut rec, 2_000, 0, TRIGGER_BREAKER_OPEN);
+            rec.dumps_rendered()
+        }
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.starts_with("=== flight dump #0 trigger=breaker.open node=n0"));
+    }
+}

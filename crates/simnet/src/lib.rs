@@ -58,6 +58,7 @@
 mod actor;
 mod engine;
 mod fault;
+pub mod flight;
 pub mod history;
 mod link;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub mod trace;
 pub use actor::{Actor, Payload};
 pub use engine::{Ctx, Engine, NodeId, TimerId};
 pub use fault::FaultPlan;
+pub use flight::{FlightConfig, FlightDump, FlightRecorder};
 pub use history::HistoryEvent;
 pub use link::{LinkSpec, LinkStats};
 pub use metrics::{names, CounterDef, GaugeDef, Metrics, MetricsRegistry, TimerDef};

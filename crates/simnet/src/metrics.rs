@@ -63,6 +63,9 @@ pub mod names {
     /// Deliveries/timers dropped because the target node was down or the
     /// event straddled a crash epoch.
     pub const ENGINE_DOWN_DROPS: CounterDef = CounterDef("engine.down_drops");
+    /// Flight-recorder dumps triggered (breaker open, shed burst,
+    /// deadline-expiry spike).
+    pub const ENGINE_FLIGHT_DUMPS: CounterDef = CounterDef("engine.flight_dumps");
 
     // -- client (portal) -------------------------------------------------
     /// Steering operations issued by portals.
@@ -85,6 +88,10 @@ pub mod names {
     pub const CLIENT_RESUME_FALLBACKS: CounterDef = CounterDef("client.resume_fallbacks");
     /// In-flight operations written off as lost across a resume.
     pub const CLIENT_OPS_ABANDONED: CounterDef = CounterDef("client.ops_abandoned");
+    /// Status-page probes issued by portals.
+    pub const CLIENT_STATUS_PROBES: CounterDef = CounterDef("client.status_probes");
+    /// Status-probe round-trip latency (issue -> StatusReport).
+    pub const CLIENT_STATUS_LATENCY: TimerDef = TimerDef("client.status_latency");
 
     // -- server (session/handler layer) ----------------------------------
     /// HTTP requests handled.
@@ -191,9 +198,11 @@ pub mod names {
     /// Messages dropped (oldest evicted) from full webserv FIFO buffers.
     pub const WEBSERV_FIFO_DROPPED: CounterDef = CounterDef("webserv.fifo.dropped");
     /// High-water-mark growth of webserv FIFO buffers, folded as a
-    /// monotone counter of peak increments so `fold_node_metrics` (which
-    /// folds counters only) can surface per-node queue peaks.
+    /// monotone counter of peak increments so per-node queue peaks
+    /// survive the labeled fold.
     pub const WEBSERV_FIFO_PEAK: CounterDef = CounterDef("webserv.fifo.peak");
+    /// Read-only status snapshots served (`ClientRequest::Status`).
+    pub const SERVER_STATUS_REQUESTS: CounterDef = CounterDef("server.status.requests");
 
     // -- substrate (CORBA-ish middleware layer) --------------------------
     /// Trader/directory discovery queries issued.
@@ -285,6 +294,109 @@ pub mod names {
     // -- appsim driver ----------------------------------------------------
     /// Registration NAKs received by the application driver.
     pub const DRIVER_REGISTER_NAK: CounterDef = CounterDef("driver.register_nak");
+
+    /// Every key defined in this module. A duplicated key string would
+    /// silently merge two metrics into one line; the uniqueness
+    /// self-test walks this list, and a companion test counts the
+    /// `const` declarations in the source so an unlisted key cannot
+    /// slip in.
+    pub const ALL: &[&str] = &[
+        ENGINE_CRASHES.0,
+        ENGINE_DOWN_DROPS.0,
+        ENGINE_FLIGHT_DUMPS.0,
+        CLIENT_OPS_ISSUED.0,
+        CLIENT_LOCK_RETRIES.0,
+        CLIENT_OP_LATENCY.0,
+        CLIENT_LOCK_LATENCY.0,
+        CLIENT_OPS_REJECTED.0,
+        CLIENT_OPS_EXPIRED.0,
+        CLIENT_RESUMES.0,
+        CLIENT_RESUMES_OK.0,
+        CLIENT_RESUME_FALLBACKS.0,
+        CLIENT_OPS_ABANDONED.0,
+        CLIENT_STATUS_PROBES.0,
+        CLIENT_STATUS_LATENCY.0,
+        SERVER_HTTP_REQUESTS.0,
+        SERVER_HTTP_RESPONSES.0,
+        SERVER_LOGINS.0,
+        SERVER_ACL_DENIED.0,
+        SERVER_OPS.0,
+        SERVER_LOCK_DENIED.0,
+        SERVER_LOCK_EVICTED.0,
+        SERVER_POLL_REQUESTS.0,
+        SERVER_POLL_DELIVERED.0,
+        SERVER_COLLAB_LOCAL_FANOUT.0,
+        SERVER_FANOUT_PAYLOAD_REUSE.0,
+        SERVER_COLLAB_BROADCASTS.0,
+        WIRE_ENCODE_CALLS.0,
+        WIRE_BYTES_ENCODED.0,
+        WIRE_PAYLOAD_SPLICES.0,
+        SERVER_TCP_FRAMES.0,
+        SERVER_TCP_UNEXPECTED.0,
+        SERVER_DAEMON_REGISTERED.0,
+        SERVER_DAEMON_REGISTER_REJECTED.0,
+        SERVER_DAEMON_DEREGISTERED.0,
+        SERVER_DAEMON_BUFFERED.0,
+        SERVER_DAEMON_FLUSHED.0,
+        SERVER_GIOP_CALLS.0,
+        SERVER_GIOP_STRAY_REPLY.0,
+        SERVER_PEER_THROTTLED.0,
+        SERVER_PEER_AUTH.0,
+        SERVER_PEER_PROXY_OPS.0,
+        SERVER_PEER_LOCK_REQUESTS.0,
+        SERVER_PEER_SUBSCRIBES.0,
+        SERVER_PEER_COLLAB_UPDATES.0,
+        SERVER_REMOTE_AUTH_COMPLETIONS.0,
+        SERVER_SESSIONS_REAPED.0,
+        SERVER_SESSIONS_PARKED.0,
+        SERVER_SESSIONS_RESUMED.0,
+        SERVER_SESSIONS_RECLAIMED.0,
+        SERVER_RESUME_THROTTLED.0,
+        SERVER_RESUME_REPLAYED.0,
+        SERVER_ADMISSION_REJECTED.0,
+        SERVER_DEADLINE_INGRESS_EXPIRED.0,
+        SERVER_DEADLINE_DISPATCH_EXPIRED.0,
+        SERVER_DEADLINE_DEQUEUE_EXPIRED.0,
+        SERVER_PROXY_SHED.0,
+        SERVER_PROXY_SHED_REDIRECTED.0,
+        WEBSERV_FIFO_ENQUEUED.0,
+        WEBSERV_FIFO_DROPPED.0,
+        WEBSERV_FIFO_PEAK.0,
+        SERVER_STATUS_REQUESTS.0,
+        SUBSTRATE_DISCOVERY_QUERIES.0,
+        SUBSTRATE_DISCOVERY_PEERS_FOUND.0,
+        SUBSTRATE_REBINDS.0,
+        SUBSTRATE_SUBSCRIBES.0,
+        SUBSTRATE_REMOTE_AUTH_CALLS.0,
+        SUBSTRATE_REMOTE_AUTH_DENIED.0,
+        SUBSTRATE_REMOTE_OPS.0,
+        SUBSTRATE_REMOTE_LOCKS.0,
+        SUBSTRATE_FASTFAILS.0,
+        SUBSTRATE_COLLAB_PUSHES.0,
+        SUBSTRATE_COLLAB_FORWARDS.0,
+        SUBSTRATE_CONTROL_EVENTS.0,
+        SUBSTRATE_REPLIES_ORPHANED.0,
+        SUBSTRATE_REPLIES_EXCEPTIONS.0,
+        SUBSTRATE_REPLIES_MISMATCHED.0,
+        SUBSTRATE_POLLS.0,
+        SUBSTRATE_RETRIES.0,
+        SUBSTRATE_BREAKER_OPEN.0,
+        SUBSTRATE_TIMEOUTS.0,
+        SUBSTRATE_FAILOVERS.0,
+        SUBSTRATE_DIRECTORY_STALE.0,
+        SUBSTRATE_ROUTES_INVALIDATED.0,
+        SUBSTRATE_DEADLINE_FASTFAIL.0,
+        SUBSTRATE_DEADLINE_GAVE_UP.0,
+        NODE_RESTARTS.0,
+        NODE_UNEXPECTED_HTTP_RESPONSE.0,
+        STANDALONE_DROPPED_REMOTE_AUTH.0,
+        STANDALONE_DROPPED_ANNOUNCE.0,
+        STANDALONE_DROPPED_OTHER.0,
+        COG_JOBS_LAUNCHED.0,
+        COG_JOBS_SUBMITTED.0,
+        COG_LAUNCHES_ACCEPTED.0,
+        DRIVER_REGISTER_NAK.0,
+    ];
 }
 
 /// Per-node measurement sink.
@@ -361,10 +473,15 @@ impl MetricsRegistry {
 
     /// Fold this registry into a run-wide sink with node-labeled keys
     /// (`node.<name>.<key>`), for harness reports that want per-node
-    /// columns out of one flat `Stats`.
+    /// columns out of one flat `Stats`. Counters fold as counters;
+    /// timers fold their full bucket histograms, so per-node percentile
+    /// lines (`summary()` on `node.<name>.<timer>`) come for free.
     pub fn merge_labeled_into(&self, global: &mut Stats) {
         for (k, v) in self.stats.counters() {
             global.add(&format!("node.{}.{}", self.node, k), v);
+        }
+        for (k, h) in self.stats.histograms() {
+            global.histogram_mut(&format!("node.{}.{}", self.node, k)).merge(h);
         }
     }
 }
@@ -449,6 +566,47 @@ mod tests {
         let mut global = Stats::new();
         r.merge_labeled_into(&mut global);
         assert_eq!(global.counter("node.backend1.substrate.failovers"), 4);
+    }
+
+    #[test]
+    fn labeled_fold_carries_timer_percentiles() {
+        let mut r = MetricsRegistry::new("s0");
+        for us in [10u64, 20, 30, 40, 50] {
+            r.record(names::CLIENT_OP_LATENCY, SimDuration::from_micros(us));
+        }
+        let mut global = Stats::new();
+        r.merge_labeled_into(&mut global);
+        let h = global.histogram("node.s0.client.op_latency").expect("folded timer");
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50.as_micros(), 30);
+        assert_eq!(s.max.as_micros(), 50);
+    }
+
+    #[test]
+    fn metric_keys_are_unique() {
+        // A duplicated key string would silently merge two metrics.
+        let mut seen = std::collections::HashSet::new();
+        for k in names::ALL {
+            assert!(seen.insert(*k), "duplicate metric key {k:?} in names::ALL");
+        }
+    }
+
+    #[test]
+    fn every_metric_constant_is_listed_in_all() {
+        // Count the typed const declarations in this source file; each
+        // must appear in names::ALL exactly once, so a newly added
+        // constant that is not listed fails here.
+        let src = include_str!("metrics.rs");
+        let count = |needle: &str| src.matches(needle).count();
+        let declared = count(": CounterDef =") + count(": GaugeDef =") + count(": TimerDef =");
+        // The needles above also match their own string literals in this
+        // test; subtract those three occurrences.
+        assert_eq!(
+            declared - 3,
+            names::ALL.len(),
+            "a metric constant is missing from names::ALL (or listed twice)"
+        );
     }
 
     #[test]

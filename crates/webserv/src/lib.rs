@@ -41,4 +41,6 @@ pub mod paths {
     pub const POLL: &str = "/discover/poll";
     /// Session archival handler: history replay.
     pub const ARCHIVE: &str = "/discover/archive";
+    /// Live status introspection: read-only node health snapshot.
+    pub const STATUS: &str = "/discover/status";
 }

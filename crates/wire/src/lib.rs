@@ -36,9 +36,10 @@ pub use ids::{
     UserId,
 };
 pub use messages::{
-    AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, Channel, ClientMessage,
-    ClientRequest, ControlEvent, ControlEventKind, ErrorCode, InteractionSpec, LogEntry,
-    JobSpec, LogRecord, MessageKind, OpOutcome, PeerMsg, PeerReply, ResponseBody, ServiceOffer,
-    UpdateBody, WhiteboardStroke, WireError,
+    AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, AppStatusEntry, Channel,
+    ClientMessage, ClientRequest, ControlEvent, ControlEventKind, ErrorCode, FifoStatusEntry,
+    InteractionSpec, JobSpec, LogEntry, LogRecord, MessageKind, OpOutcome, PeerMsg, PeerReply,
+    PeerStatusEntry, ResponseBody, ServiceOffer, StatusReport, UpdateBody, WhiteboardStroke,
+    WireError,
 };
 pub use value::Value;

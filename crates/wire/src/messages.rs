@@ -341,6 +341,12 @@ pub enum ClientRequest {
         /// omitted here fall back to the cursor recorded at park time.
         cursors: Vec<(AppId, u64)>,
     },
+    /// Read-only live introspection of the serving node: session table,
+    /// lock holders, FIFO depths, breaker states, admission in-flight and
+    /// shed counts — the paper's operator monitoring view. Side-effect
+    /// free: it never mutates server state, and runs that never issue it
+    /// are byte-identical to pre-Status builds.
+    Status,
 }
 
 /// Discriminator for [`ClientMessage`] — the reproduction of the paper's
@@ -487,6 +493,120 @@ pub enum ResponseBody {
         /// Applications still selected for this session.
         apps: Vec<AppId>,
     },
+    /// Live status snapshot (reply to [`ClientRequest::Status`]).
+    Status(StatusReport),
+}
+
+// ---------------------------------------------------------------------------
+// Live status introspection
+// ---------------------------------------------------------------------------
+
+/// One local application's health line inside a [`StatusReport`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AppStatusEntry {
+    /// The application.
+    pub app: AppId,
+    /// Human name.
+    pub name: String,
+    /// Current lifecycle phase.
+    pub phase: AppPhase,
+    /// Steering-lock holder (`None` = free).
+    pub lock_holder: Option<UserId>,
+    /// Operations currently parked in the Daemon buffer.
+    pub buffered: u32,
+    /// Operations shed from the Daemon buffer over the app's lifetime.
+    pub shed_total: u64,
+}
+
+/// One client FIFO's depth line inside a [`StatusReport`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FifoStatusEntry {
+    /// The client.
+    pub client: ClientId,
+    /// Messages queued right now.
+    pub queued: u32,
+    /// High-water mark over the FIFO's lifetime.
+    pub peak: u32,
+    /// Messages dropped on overflow over the FIFO's lifetime.
+    pub dropped: u64,
+}
+
+/// One peer's health line inside a [`StatusReport`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PeerStatusEntry {
+    /// The peer server.
+    pub peer: ServerAddr,
+    /// Substrate health verdict (`"up"`, `"suspect"`, `"down"`).
+    pub health: String,
+    /// ORB circuit-breaker state toward the peer (`"closed"`, `"open"`,
+    /// `"half-open"`).
+    pub breaker: String,
+}
+
+/// A read-only snapshot of one server's live state — the reproduction of
+/// the paper's portal monitoring view. Served by
+/// [`ClientRequest::Status`]; rendered as a text status page by
+/// [`StatusReport::render`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// The reporting server.
+    pub server: ServerAddr,
+    /// Virtual time of the snapshot (micros since simulation start).
+    pub at_us: u64,
+    /// Live (active) client sessions.
+    pub sessions_active: u32,
+    /// Parked sessions awaiting resume or reclamation.
+    pub sessions_parked: u32,
+    /// Forwarded operations currently in flight (the admission-control
+    /// observable).
+    pub admission_in_flight: u32,
+    /// Messages dropped across all client FIFOs, lifetime.
+    pub fifo_dropped: u64,
+    /// Operations shed from Daemon buffers across all apps, lifetime.
+    pub shed_total: u64,
+    /// Per-application health: phase, lock holder, buffer depth.
+    pub apps: Vec<AppStatusEntry>,
+    /// Per-client FIFO depths.
+    pub fifos: Vec<FifoStatusEntry>,
+    /// Peer health and breaker states.
+    pub peers: Vec<PeerStatusEntry>,
+}
+
+impl StatusReport {
+    /// Deterministic text status page (what the portal shows an
+    /// operator). Byte-identical for identical snapshots.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== status {} at={}us ==\nsessions: active={} parked={}\nadmission: in_flight={}\nshed: fifo_dropped={} daemon_shed={}\n",
+            self.server,
+            self.at_us,
+            self.sessions_active,
+            self.sessions_parked,
+            self.admission_in_flight,
+            self.fifo_dropped,
+            self.shed_total,
+        );
+        for a in &self.apps {
+            let holder = a.lock_holder.as_ref().map_or("-", |u| u.as_str());
+            out.push_str(&format!(
+                "app {} {} phase={:?} lock={} buffered={} shed={}\n",
+                a.app, a.name, a.phase, holder, a.buffered, a.shed_total
+            ));
+        }
+        for f in &self.fifos {
+            out.push_str(&format!(
+                "fifo {} queued={} peak={} dropped={}\n",
+                f.client, f.queued, f.peak, f.dropped
+            ));
+        }
+        for p in &self.peers {
+            out.push_str(&format!(
+                "peer {} health={} breaker={}\n",
+                p.peer, p.health, p.breaker
+            ));
+        }
+        out
+    }
 }
 
 /// Bodies of [`ClientMessage::Update`] — fanned out to collaboration
