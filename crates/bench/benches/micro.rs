@@ -56,6 +56,16 @@ fn bench_codec(c: &mut Criterion) {
     g.bench_function("encoded_len_status_update", |b| {
         b.iter(|| codec::encoded_len(black_box(&update)))
     });
+    // Zero-copy ingress: decoding from a refcounted receive buffer adopts
+    // the frozen payload as a slice of it instead of re-encoding.
+    let msg_bytes = codec::encode(&ClientMessage::update(sample_update()));
+    g.throughput(Throughput::Bytes(msg_bytes.len() as u64));
+    g.bench_function("decode_update_borrowed", |b| {
+        b.iter(|| codec::decode_borrowed::<ClientMessage>(black_box(&msg_bytes)).unwrap())
+    });
+    g.bench_function("decode_update_owned", |b| {
+        b.iter(|| codec::decode::<ClientMessage>(black_box(msg_bytes.as_slice())).unwrap())
+    });
     g.finish();
 }
 
@@ -83,6 +93,23 @@ fn bench_fifo(c: &mut Criterion) {
                     fifo.push(msg.clone());
                 }
                 black_box(fifo.drain(32));
+                black_box(fifo.drain(32));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Coalesce push: 64 successive status updates for the same app all
+    // land in one slot, so the queue stays at length 1 and the drain is
+    // a single message; measures the index probe + replace-in-place cost.
+    let view = ClientMessage::update(sample_update());
+    g.bench_function("coalesce_push_64", |b| {
+        b.iter_batched(
+            || FifoBuffer::with_coalescing(256, true),
+            |mut fifo| {
+                for _ in 0..64 {
+                    fifo.push(view.clone());
+                }
+                black_box(fifo.coalesced());
                 black_box(fifo.drain(32));
             },
             BatchSize::SmallInput,

@@ -8,6 +8,7 @@ mod collaboration;
 mod distributed;
 mod fanout;
 mod faults;
+mod hotpath;
 mod overload;
 mod telemetry;
 mod tracing;
@@ -16,6 +17,7 @@ pub use churn::e16_churn_recovery;
 pub use collaboration::{e11_push_vs_poll, e4_collab_traffic, e5_remote_vs_local, e6_discovery_auth};
 pub use distributed::{e10_latecomer_replay, e7_lock_contention, e8_network_scalability, e9_fifo_slow_clients};
 pub use fanout::e14_broadcast_fanout;
+pub use hotpath::e18_hot_path_delivery;
 pub use faults::e12_fault_tolerance;
 pub use overload::e15_overload;
 pub use telemetry::e17_telemetry_overhead;
@@ -45,5 +47,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e15", e15_overload),
         ("e16", e16_churn_recovery),
         ("e17", e17_telemetry_overhead),
+        ("e18", e18_hot_path_delivery),
     ]
 }

@@ -234,6 +234,62 @@ pub const GATES: &[Gate] = &[
         abs_tol: 20.0,
         why: "status-probe round-trip tail must stay cheap",
     },
+    Gate {
+        experiment: "e18",
+        pattern: "*.coalesce_frac",
+        direction: Direction::DownIsBad,
+        rel_tol: 0.05,
+        abs_tol: 0.02,
+        why: "storm coalescing must keep absorbing superseded telemetry",
+    },
+    Gate {
+        experiment: "e18",
+        pattern: "*.frames_per_poll",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "every poll batch must ship behind exactly one framing header",
+    },
+    Gate {
+        experiment: "e18",
+        pattern: "*.encode_copy_bytes",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "encode finalization must stay a refcount handoff, never a memcpy",
+    },
+    Gate {
+        experiment: "e18",
+        pattern: "fidelity.post_origin_copies",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "a payload in peer transit must never be copied after origin",
+    },
+    Gate {
+        experiment: "e18",
+        pattern: "fidelity.payload_reencode_walks",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "relaying a decoded update must splice, not re-serialize",
+    },
+    Gate {
+        experiment: "e18",
+        pattern: "fidelity.byte_identical",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "zero-copy transit must be byte-transparent on the wire",
+    },
+    Gate {
+        experiment: "e18",
+        pattern: "fidelity.peer_payload_borrows_ingress",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "the decoded payload must alias the receive buffer, not own a copy",
+    },
 ];
 
 fn key_matches(pattern: &str, key: &str) -> bool {

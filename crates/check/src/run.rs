@@ -166,9 +166,15 @@ pub fn run(scenario: &Scenario) -> RunResult {
     let lease = SimDuration::from_millis(s.lock_lease_ms);
     let double_grant = s.fault_double_grant;
     let no_reclaim = s.fault_no_reclaim;
+    let coalesce_fifo = s.coalesce_fifo;
     let churn = s.churn.clone();
     b.tweak_servers(move |cfg| {
         cfg.lock_lease = Some(lease);
+        // Hot-path delivery: churn scenarios flip FIFO coalescing at
+        // random; every oracle (notably resume-replay byte-identity)
+        // must hold in both positions because only superseded view-class
+        // updates may ever be merged.
+        cfg.coalesce_fifo = coalesce_fifo;
         match &churn {
             // Churn families run the full lease plane: silence parks the
             // session, the park TTL reclaims it, resumes may be paced.

@@ -236,6 +236,12 @@ pub struct Scenario {
     /// Session-churn plane: disconnect windows plus the lease knobs
     /// (churn families only; `None` leaves idle reaping off).
     pub churn: Option<ChurnSpec>,
+    /// Run every server with FIFO update coalescing enabled (the hot-path
+    /// delivery optimization). Command-class traffic — responses, errors,
+    /// replay pages — must come through untouched either way, so every
+    /// oracle is expected to hold with the flag in both positions; churn
+    /// families flip it randomly to keep that claim under test.
+    pub coalesce_fifo: bool,
     /// Arm the test-only double-grant bug in the host's lock manager
     /// (mutation check: the linearizability oracle must catch it).
     pub fault_double_grant: bool,
@@ -350,6 +356,7 @@ impl Scenario {
             app_iterations: None,
             latecomer: None,
             churn: None,
+            coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: false,
         }
@@ -455,6 +462,7 @@ impl Scenario {
             app_iterations: None,
             latecomer: None,
             churn: None,
+            coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: false,
         }
@@ -536,6 +544,7 @@ impl Scenario {
                 join_ms: rng.gen_range(6000u64..=12_000),
             }),
             churn: None,
+            coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: false,
         }
@@ -579,6 +588,7 @@ impl Scenario {
         // Horizon: every heal gets a full recovery window, and every
         // never-returning park gets idle + TTL + two sweep periods.
         let horizon_ms = (last_heal + 15_000).max(9000 + idle_timeout_ms + park_ttl_ms + 14_000);
+        let coalesce_fifo = rng.gen_bool(0.5);
         Scenario {
             seed,
             family: Family::Churn,
@@ -596,6 +606,7 @@ impl Scenario {
                 park_ttl_ms,
                 resume_rate: None,
             }),
+            coalesce_fifo,
             fault_double_grant: false,
             fault_no_reclaim: false,
         }
@@ -619,6 +630,7 @@ impl Scenario {
         let resume_rate = Some(rng.gen_range(1u32..=3));
         // Horizon: heal + paced drain of the whole crowd + slack.
         let horizon_ms = heal_ms + 4000 + 2000 * n_users as u64 + 8000;
+        let coalesce_fifo = rng.gen_bool(0.5);
         Scenario {
             seed,
             family: Family::FlashCrowd,
@@ -636,6 +648,7 @@ impl Scenario {
                 park_ttl_ms,
                 resume_rate,
             }),
+            coalesce_fifo,
             fault_double_grant: false,
             fault_no_reclaim: false,
         }
@@ -655,6 +668,7 @@ impl Scenario {
         let disconnects =
             vec![DisconnectSpec { user: n_users - 1, from_ms, until_ms: Some(heal_ms) }];
         let horizon_ms = heal_ms + 15_000;
+        let coalesce_fifo = rng.gen_bool(0.5);
         Scenario {
             seed,
             family: Family::SlowConsumer,
@@ -672,6 +686,7 @@ impl Scenario {
                 park_ttl_ms,
                 resume_rate: None,
             }),
+            coalesce_fifo,
             fault_double_grant: false,
             fault_no_reclaim: false,
         }
@@ -707,6 +722,7 @@ impl Scenario {
                 park_ttl_ms: 3000,
                 resume_rate: None,
             }),
+            coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: true,
         }
@@ -743,6 +759,7 @@ impl Scenario {
             app_iterations: None,
             latecomer: None,
             churn: None,
+            coalesce_fifo: false,
             fault_double_grant: true,
             fault_no_reclaim: false,
         }
@@ -769,6 +786,9 @@ impl Scenario {
             self.lock_lease_ms,
             self.horizon_ms,
         ));
+        if self.coalesce_fifo {
+            out.push_str(" coalesce-fifo");
+        }
         if self.fault_double_grant {
             out.push_str(" FAULT=double-grant");
         }
@@ -895,6 +915,25 @@ mod tests {
                         assert!(until + 10_000 <= s.horizon_ms);
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_families_explore_both_coalescing_positions() {
+        // The delivery-plane flag must actually vary: across a modest
+        // seed range every churn family generates runs with coalescing
+        // on AND off, while the scripted families (whose oracles count
+        // exact per-request responses) keep it off.
+        for family in [Family::Churn, Family::FlashCrowd, Family::SlowConsumer] {
+            let flags: Vec<bool> =
+                (0..40u64).map(|s| Scenario::generate(family, s).coalesce_fifo).collect();
+            assert!(flags.iter().any(|&f| f), "{family:?} never enables coalescing");
+            assert!(flags.iter().any(|&f| !f), "{family:?} always enables coalescing");
+        }
+        for family in [Family::Locks, Family::Acl, Family::Replay] {
+            for s in 0..10u64 {
+                assert!(!Scenario::generate(family, s).coalesce_fifo);
             }
         }
     }

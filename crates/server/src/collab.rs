@@ -108,16 +108,28 @@ impl CollabGroups {
     /// Local recipients of a group broadcast for `app`: members minus the
     /// originator (if local) minus muted clients.
     pub fn broadcast_targets(&self, app: AppId, exclude: Option<ClientId>) -> Vec<ClientId> {
-        self.members
-            .get(&app)
-            .map(|s| {
+        let mut out = Vec::new();
+        self.broadcast_targets_into(app, exclude, &mut out);
+        out
+    }
+
+    /// Append the broadcast target set to a caller-owned buffer, so the
+    /// per-update fan-out on the hot delivery path can reuse one scratch
+    /// allocation instead of collecting a fresh `Vec` per broadcast.
+    pub fn broadcast_targets_into(
+        &self,
+        app: AppId,
+        exclude: Option<ClientId>,
+        out: &mut Vec<ClientId>,
+    ) {
+        if let Some(s) = self.members.get(&app) {
+            out.extend(
                 s.iter()
                     .copied()
                     .filter(|c| Some(*c) != exclude)
-                    .filter(|c| !self.muted.contains(&(*c, app)))
-                    .collect()
-            })
-            .unwrap_or_default()
+                    .filter(|c| !self.muted.contains(&(*c, app))),
+            );
+        }
     }
 
     /// Members of a named subgroup.

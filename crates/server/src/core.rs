@@ -106,6 +106,14 @@ pub struct ServerConfig {
     /// overflow sheds lowest-priority-oldest with `Overloaded`. `None` =
     /// unbounded (the §6.2 memory concern).
     pub proxy_buffer_capacity: Option<usize>,
+    /// Latest-wins coalescing in per-client FIFO poll buffers: a pushed
+    /// view-class update replaces a still-queued superseded update for
+    /// the same `(app, view-key)` slot instead of enqueuing behind it
+    /// (commands, responses and errors are never coalesced; see
+    /// `webserv::FifoBuffer`). Off by default so existing schedules and
+    /// bench baselines are byte-identical; E18 and the coalescing check
+    /// scenarios turn it on.
+    pub coalesce_fifo: bool,
     /// Deterministic retry-after hint (milliseconds) embedded in
     /// `Overloaded` rejections.
     pub overload_retry_after_ms: u64,
@@ -143,6 +151,7 @@ impl ServerConfig {
             resume_rate_limit: None,
             admission_inflight_max: None,
             proxy_buffer_capacity: None,
+            coalesce_fifo: false,
             overload_retry_after_ms: 500,
             fault_double_grant: false,
             fault_no_reclaim: false,
@@ -321,6 +330,16 @@ pub struct ServerCore {
     /// shell (the substrate owns the live state) right before a
     /// `ClientRequest::Status` is dispatched. Purely observational.
     pub peer_status: Vec<PeerStatusEntry>,
+    /// Reusable scratch for the daemon-servlet flush loop: buffered
+    /// operations are drained here, dispatched locally, and the
+    /// allocation is kept for the next phase change instead of being
+    /// rebuilt per flush.
+    flush_scratch: Vec<BufferedOp>,
+    /// Reusable scratch for broadcast fan-out targets: every routed
+    /// update needs the member list momentarily, so the hot path
+    /// borrows this one allocation instead of collecting a fresh
+    /// `Vec<ClientId>` per update.
+    fanout_scratch: Vec<ClientId>,
 }
 
 impl ServerCore {
@@ -353,6 +372,8 @@ impl ServerCore {
             mirror_hints: BTreeMap::new(),
             req_traces: HashMap::new(),
             peer_status: Vec::new(),
+            flush_scratch: Vec::new(),
+            fanout_scratch: Vec::new(),
         }
     }
 
@@ -520,14 +541,18 @@ impl ServerCore {
         if let Some(fifo) = self.fifos.get_mut(&client) {
             let dropped0 = fifo.dropped();
             let peak0 = fifo.peak();
+            let coalesced0 = fifo.coalesced();
             fifo.push(msg);
             // Fold the buffer's counters into the per-node registry:
-            // enqueues and drops count directly; the high-water mark is
-            // folded as a monotone counter of peak increments, since
-            // `fold_node_metrics` merges counters only.
+            // enqueues, drops and coalesces count directly; the
+            // high-water mark is folded as a monotone counter of peak
+            // increments, since `fold_node_metrics` merges counters only.
             ctx.metrics().incr(names::WEBSERV_FIFO_ENQUEUED);
             if fifo.dropped() > dropped0 {
                 ctx.metrics().incr(names::WEBSERV_FIFO_DROPPED);
+            }
+            if fifo.coalesced() > coalesced0 {
+                ctx.metrics().incr(names::WEBSERV_FIFO_COALESCED);
             }
             let peak_growth = fifo.peak().saturating_sub(peak0);
             if peak_growth > 0 {
@@ -581,17 +606,24 @@ impl ServerCore {
             // broadcast is exactly one network-wide.
             ctx.metrics().incr(names::SERVER_COLLAB_BROADCASTS);
         }
-        let targets = self.collab.broadcast_targets(app, exclude);
+        // The member list is only needed for the duration of this fan-out,
+        // so it fills the core's reusable scratch instead of collecting a
+        // fresh Vec per broadcast (the storm workload routes hundreds of
+        // updates per second through here).
+        let mut targets = std::mem::take(&mut self.fanout_scratch);
+        self.collab.broadcast_targets_into(app, exclude, &mut targets);
         ctx.metrics().add(names::SERVER_COLLAB_LOCAL_FANOUT, targets.len() as u64);
         // Every fan-out target below — N local fifos, the proxy update
         // log, the archive, and M peer pushes — shares the one frozen
         // encoding; each reuse is a reference-count bump, not a clone or
         // a serializer walk.
         let mut reuses = 0u64;
-        for c in targets {
+        for &c in &targets {
             self.fifo_push(ctx, c, ClientMessage::Update(update.clone()));
             reuses += 1;
         }
+        targets.clear();
+        self.fanout_scratch = targets;
         if app.host() == self.config.addr {
             // We are the host: record and fan out to subscribed peers.
             if let Some(proxy) = self.apps.get_mut(&app) {
@@ -1027,13 +1059,22 @@ impl ServerCore {
 
         let body = match req.body {
             None | Some(ClientRequest::Poll) => {
-                let batch = self
-                    .fifos
-                    .get_mut(&client)
-                    .map(|f| f.drain(self.config.poll_batch_max))
-                    .unwrap_or_default();
+                // One envelope per poll: the whole drained batch ships
+                // behind a single framing header (`ResponseBody::Batch`),
+                // so frames-per-poll is 1 by construction. The batch Vec
+                // travels inside the envelope, so the allocation elided
+                // here is the empty-poll one: `drain_into` on an empty
+                // FIFO never touches the heap, and a nonempty drain
+                // reserves exactly once from the iterator's exact size.
+                let mut batch = Vec::new();
+                if let Some(f) = self.fifos.get_mut(&client) {
+                    f.drain_into(self.config.poll_batch_max, &mut batch);
+                }
                 ctx.metrics().incr(names::SERVER_POLL_REQUESTS);
                 ctx.metrics().add(names::SERVER_POLL_DELIVERED, batch.len() as u64);
+                if !batch.is_empty() {
+                    ctx.metrics().incr(names::SERVER_POLL_NONEMPTY);
+                }
                 vec![ClientMessage::Response(ResponseBody::Batch(batch))]
             }
             Some(ClientRequest::Logout) => {
@@ -1156,7 +1197,10 @@ impl ServerCore {
         let now = ctx.now();
         let cookie = self.sessions.create(ctx.rng(), user.clone(), client, now);
         self.cookie_of_client.insert(client, cookie);
-        self.fifos.insert(client, FifoBuffer::new(self.config.fifo_capacity));
+        self.fifos.insert(
+            client,
+            FifoBuffer::with_coalescing(self.config.fifo_capacity, self.config.coalesce_fifo),
+        );
         // Fan out level-1 authentication to the peer network for the
         // user's global application list.
         effects.push(Effect::RemoteAuth {
@@ -1739,17 +1783,27 @@ impl ServerCore {
                 }
             }
             AppMsg::PhaseChange { app, phase } => {
-                let mut to_flush: Vec<BufferedOp> = Vec::new();
+                // The flushed batch is consumed locally, so its
+                // allocation never leaves this handler: take the core's
+                // flush scratch, fill it, and put it back (capacity
+                // intact) after dispatch instead of rebuilding a Vec on
+                // every phase change.
+                let mut to_flush: Vec<BufferedOp> = std::mem::take(&mut self.flush_scratch);
                 if let Some(proxy) = self.apps.get_mut(&app) {
                     proxy.phase = phase;
                     proxy.last_status.phase = phase;
-                    if matches!(phase, AppPhase::Interacting | AppPhase::Paused) {
+                    if matches!(phase, AppPhase::Interacting | AppPhase::Paused)
+                        && !proxy.buffered.is_empty()
+                    {
                         // Daemon servlet: flush the buffered requests now
                         // that the application can interact.
-                        to_flush = proxy.buffered.drain(..).collect();
+                        if to_flush.capacity() > 0 {
+                            wire::codec::note_drain_reuse();
+                        }
+                        to_flush.extend(proxy.buffered.drain(..));
                     }
                 }
-                for entry in to_flush {
+                for entry in to_flush.drain(..) {
                     // Proxy dequeue deadline check: work whose deadline
                     // lapsed while parked never reaches the application.
                     if let Some(stamp) = entry.deadline {
@@ -1781,6 +1835,7 @@ impl ServerCore {
                     );
                     self.dispatch_to_app(ctx, app, entry.req, entry.op, entry.deadline);
                 }
+                self.flush_scratch = to_flush;
             }
             AppMsg::Response { req, result } => {
                 self.close_req_trace(ctx, req);

@@ -113,6 +113,10 @@ pub mod names {
     pub const SERVER_POLL_REQUESTS: CounterDef = CounterDef("server.poll.requests");
     /// Updates delivered through poll responses.
     pub const SERVER_POLL_DELIVERED: CounterDef = CounterDef("server.poll.delivered");
+    /// Poll requests whose batch carried at least one message (the
+    /// denominator for frames-per-poll: every nonempty batch ships in
+    /// exactly one envelope with one framing header).
+    pub const SERVER_POLL_NONEMPTY: CounterDef = CounterDef("server.poll.nonempty");
     /// Collaboration updates fanned out to local session members.
     pub const SERVER_COLLAB_LOCAL_FANOUT: CounterDef = CounterDef("server.collab.local_fanout");
     /// Fan-out targets (local fifos, archive, proxy log, peer pushes)
@@ -201,6 +205,10 @@ pub mod names {
     /// monotone counter of peak increments so per-node queue peaks
     /// survive the labeled fold.
     pub const WEBSERV_FIFO_PEAK: CounterDef = CounterDef("webserv.fifo.peak");
+    /// View-class updates coalesced in place: a still-queued superseded
+    /// update was replaced by its successor instead of enqueuing behind
+    /// it (only counted on servers with `coalesce_fifo` enabled).
+    pub const WEBSERV_FIFO_COALESCED: CounterDef = CounterDef("webserv.fifo.coalesced");
     /// Read-only status snapshots served (`ClientRequest::Status`).
     pub const SERVER_STATUS_REQUESTS: CounterDef = CounterDef("server.status.requests");
 
@@ -325,6 +333,7 @@ pub mod names {
         SERVER_LOCK_EVICTED.0,
         SERVER_POLL_REQUESTS.0,
         SERVER_POLL_DELIVERED.0,
+        SERVER_POLL_NONEMPTY.0,
         SERVER_COLLAB_LOCAL_FANOUT.0,
         SERVER_FANOUT_PAYLOAD_REUSE.0,
         SERVER_COLLAB_BROADCASTS.0,
@@ -362,6 +371,7 @@ pub mod names {
         WEBSERV_FIFO_ENQUEUED.0,
         WEBSERV_FIFO_DROPPED.0,
         WEBSERV_FIFO_PEAK.0,
+        WEBSERV_FIFO_COALESCED.0,
         SERVER_STATUS_REQUESTS.0,
         SUBSTRATE_DISCOVERY_QUERIES.0,
         SUBSTRATE_DISCOVERY_PEERS_FOUND.0,

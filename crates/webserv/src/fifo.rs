@@ -7,10 +7,23 @@
 //! §6.2, with explicit memory/performance overhead concerns). Buffers are
 //! bounded; overflow drops the *oldest* entries (a slow client loses
 //! stale updates first) and counts the loss.
+//!
+//! # Update coalescing
+//!
+//! The paper's command-vs-view split means only view-class updates may
+//! be collapsed: a steering command must arrive exactly as issued, but a
+//! periodic status snapshot only matters in its latest version. With
+//! coalescing enabled ([`FifoBuffer::with_coalescing`]), a pushed update
+//! whose [`UpdateKey`] matches a still-queued entry *replaces that entry
+//! in its slot* instead of enqueuing behind it — the slow client's next
+//! poll carries the freshest state in the superseded update's queue
+//! position. Responses, errors and key-less (event-class) updates are
+//! never coalesced, and the queue order of everything else is untouched,
+//! so FIFO-within-class delivery is preserved by construction.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use wire::ClientMessage;
+use wire::{ClientMessage, UpdateKey};
 
 /// Bounded FIFO of undelivered [`ClientMessage`]s for one client.
 #[derive(Debug)]
@@ -21,22 +34,83 @@ pub struct FifoBuffer {
     dropped: u64,
     /// High-water mark of queue occupancy.
     peak: usize,
-    /// Total messages ever enqueued.
+    /// Total messages ever accepted (delivered + waiting + dropped +
+    /// coalesced).
     enqueued: u64,
+    /// Whether view-class updates collapse into latest-wins slots.
+    coalesce: bool,
+    /// Pushes absorbed by replacing a still-queued superseded update.
+    coalesced: u64,
+    /// Monotone sequence number of the queue front: entry `i` of
+    /// `queue` holds sequence `head_seq + i`. Advanced by every
+    /// front-removal (drain or overflow eviction), so `index` entries
+    /// below it are stale and treated as absent.
+    head_seq: u64,
+    /// Latest-wins slot map: coalesce key -> sequence of the queued
+    /// update holding that key. Entries go stale (rather than being
+    /// eagerly removed) when their update leaves the queue; staleness
+    /// is `seq < head_seq`.
+    index: HashMap<UpdateKey, u64>,
 }
 
 impl FifoBuffer {
-    /// Create a buffer holding at most `capacity` messages.
+    /// Create a buffer holding at most `capacity` messages, with
+    /// view-update coalescing off (every accepted message is delivered).
     pub fn new(capacity: usize) -> Self {
+        FifoBuffer::with_coalescing(capacity, false)
+    }
+
+    /// Create a buffer holding at most `capacity` messages; when
+    /// `coalesce` is set, view-class updates collapse into latest-wins
+    /// slots keyed by [`UpdateKey`].
+    pub fn with_coalescing(capacity: usize, coalesce: bool) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        FifoBuffer { queue: VecDeque::new(), capacity, dropped: 0, peak: 0, enqueued: 0 }
+        FifoBuffer {
+            queue: VecDeque::new(),
+            capacity,
+            dropped: 0,
+            peak: 0,
+            enqueued: 0,
+            coalesce,
+            coalesced: 0,
+            head_seq: 0,
+            index: HashMap::new(),
+        }
     }
 
     /// Enqueue a message, evicting the oldest on overflow.
+    ///
+    /// With coalescing on, a view-class update whose key is still queued
+    /// replaces the superseded update in place (same queue position, no
+    /// growth); commands, responses, errors and event-class updates
+    /// always append.
     pub fn push(&mut self, msg: ClientMessage) {
+        let key = if self.coalesce {
+            match &msg {
+                ClientMessage::Update(u) => u.coalesce_key(),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(key) = &key {
+            if let Some(&seq) = self.index.get(key) {
+                if seq >= self.head_seq {
+                    let at = (seq - self.head_seq) as usize;
+                    self.queue[at] = msg;
+                    self.coalesced += 1;
+                    self.enqueued += 1;
+                    return;
+                }
+            }
+        }
         if self.queue.len() == self.capacity {
             self.queue.pop_front();
+            self.head_seq += 1;
             self.dropped += 1;
+        }
+        if let Some(key) = key {
+            self.index.insert(key, self.head_seq + self.queue.len() as u64);
         }
         self.queue.push_back(msg);
         self.enqueued += 1;
@@ -46,7 +120,28 @@ impl FifoBuffer {
     /// Dequeue up to `max` messages (one poll's worth).
     pub fn drain(&mut self, max: usize) -> Vec<ClientMessage> {
         let n = max.min(self.queue.len());
+        self.head_seq += n as u64;
         self.queue.drain(..n).collect()
+    }
+
+    /// Dequeue up to `max` messages into a caller-owned scratch buffer
+    /// (appending), avoiding the per-poll `Vec` allocation of
+    /// [`FifoBuffer::drain`]. Returns the number drained. A nonempty
+    /// drain into a buffer that already holds storage (capacity from an
+    /// earlier use) is a genuine allocation saved, and is folded into
+    /// the codec allocation ledger
+    /// ([`wire::codec::CodecStats::drain_reuses`]); a first fill of a
+    /// fresh buffer is not counted.
+    pub fn drain_into(&mut self, max: usize, out: &mut Vec<ClientMessage>) -> usize {
+        let n = max.min(self.queue.len());
+        if n > 0 {
+            if out.capacity() > 0 {
+                wire::codec::note_drain_reuse();
+            }
+            out.extend(self.queue.drain(..n));
+            self.head_seq += n as u64;
+        }
+        n
     }
 
     /// Messages currently waiting.
@@ -69,9 +164,16 @@ impl FifoBuffer {
         self.peak
     }
 
-    /// Total messages ever enqueued (delivered + waiting + dropped).
+    /// Total messages ever accepted (delivered + waiting + dropped +
+    /// coalesced).
     pub fn enqueued(&self) -> u64 {
         self.enqueued
+    }
+
+    /// Pushes absorbed by replacing a still-queued superseded view
+    /// update (deliveries the poll channel never had to carry).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
     }
 }
 
@@ -141,5 +243,154 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         FifoBuffer::new(0);
+    }
+
+    use wire::{AppId, ServerAddr, UpdateBody, UserId, Value};
+
+    fn app(seq: u32) -> AppId {
+        AppId { server: ServerAddr(0), seq }
+    }
+
+    fn status(app_seq: u32, iteration: u64) -> ClientMessage {
+        ClientMessage::update(UpdateBody::AppStatus {
+            app: app(app_seq),
+            status: wire::AppStatus {
+                phase: wire::AppPhase::Computing,
+                iteration,
+                progress: 0.0,
+            },
+            readings: Vec::new(),
+        })
+    }
+
+    fn param(name: &str, v: f64) -> ClientMessage {
+        ClientMessage::update(UpdateBody::ParamChanged {
+            app: app(0),
+            name: name.into(),
+            value: Value::Float(v),
+            by: UserId::new("steerer"),
+        })
+    }
+
+    fn chat(text: &str) -> ClientMessage {
+        ClientMessage::update(UpdateBody::Chat {
+            app: app(0),
+            from: UserId::new("u"),
+            text: text.into(),
+        })
+    }
+
+    fn iteration_of(m: &ClientMessage) -> u64 {
+        match m {
+            ClientMessage::Update(u) => match u.body() {
+                UpdateBody::AppStatus { status, .. } => status.iteration,
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_replaces_superseded_update_in_place() {
+        let mut buf = FifoBuffer::with_coalescing(10, true);
+        buf.push(status(0, 1));
+        buf.push(chat("hello"));
+        buf.push(status(0, 2)); // supersedes iteration 1 in its slot
+        buf.push(status(0, 3)); // supersedes iteration 2
+        assert_eq!(buf.len(), 2, "two slots: the status slot and the chat line");
+        assert_eq!(buf.coalesced(), 2);
+        assert_eq!(buf.enqueued(), 4);
+        let drained = buf.drain(10);
+        assert_eq!(iteration_of(&drained[0]), 3, "slot keeps its position, latest value");
+        assert!(matches!(
+            &drained[1],
+            ClientMessage::Update(u) if matches!(u.body(), UpdateBody::Chat { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_keys_never_coalesce() {
+        let mut buf = FifoBuffer::with_coalescing(10, true);
+        buf.push(status(0, 1));
+        buf.push(status(1, 1)); // different app -> different slot
+        buf.push(param("alpha", 0.5));
+        buf.push(param("beta", 0.25)); // different param name -> different slot
+        buf.push(param("alpha", 0.75)); // same slot as the first alpha
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.coalesced(), 1);
+    }
+
+    #[test]
+    fn command_class_never_coalesces() {
+        use wire::AppCommand;
+        let mut buf = FifoBuffer::with_coalescing(10, true);
+        for _ in 0..3 {
+            buf.push(ClientMessage::update(UpdateBody::CommandApplied {
+                app: app(0),
+                command: AppCommand::Checkpoint,
+                by: UserId::new("steerer"),
+            }));
+            buf.push(msg()); // Response class
+        }
+        assert_eq!(buf.len(), 6, "commands and responses all queue individually");
+        assert_eq!(buf.coalesced(), 0);
+    }
+
+    #[test]
+    fn delivered_key_opens_a_fresh_slot() {
+        let mut buf = FifoBuffer::with_coalescing(10, true);
+        buf.push(status(0, 1));
+        assert_eq!(buf.drain(10).len(), 1);
+        // The slot left the queue; the next status must enqueue anew,
+        // not write through a stale index entry.
+        buf.push(status(0, 2));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.coalesced(), 0);
+        assert_eq!(iteration_of(&buf.drain(10)[0]), 2);
+    }
+
+    #[test]
+    fn evicted_key_opens_a_fresh_slot() {
+        let mut buf = FifoBuffer::with_coalescing(2, true);
+        buf.push(status(0, 1));
+        buf.push(chat("a"));
+        buf.push(chat("b")); // overflow evicts the status slot
+        assert_eq!(buf.dropped(), 1);
+        buf.push(status(0, 2)); // stale index entry must not be written
+        assert_eq!(buf.dropped(), 2, "full again: the oldest chat line went");
+        let drained = buf.drain(10);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(iteration_of(&drained[1]), 2);
+    }
+
+    #[test]
+    fn coalescing_off_preserves_every_update() {
+        let mut buf = FifoBuffer::new(10);
+        buf.push(status(0, 1));
+        buf.push(status(0, 2));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.coalesced(), 0);
+    }
+
+    #[test]
+    fn drain_into_appends_and_counts() {
+        wire::codec::reset_stats();
+        let mut buf = FifoBuffer::new(10);
+        for _ in 0..5 {
+            buf.push(msg());
+        }
+        let mut scratch = Vec::new();
+        assert_eq!(buf.drain_into(3, &mut scratch), 3);
+        assert_eq!(scratch.len(), 3);
+        assert_eq!(wire::codec::stats().drain_reuses, 0, "first fill of a fresh buffer is not a reuse");
+        assert_eq!(buf.drain_into(10, &mut scratch), 2);
+        assert_eq!(scratch.len(), 5, "drain_into appends");
+        assert_eq!(buf.drain_into(10, &mut scratch), 0, "empty drain is free");
+        assert_eq!(wire::codec::stats().drain_reuses, 1, "only primed nonempty drains count");
+        scratch.clear();
+        assert_eq!(buf.drain_into(10, &mut scratch), 0);
+        buf.push(msg());
+        assert_eq!(buf.drain_into(10, &mut scratch), 1);
+        assert_eq!(wire::codec::stats().drain_reuses, 2, "cleared scratch keeps its storage");
     }
 }

@@ -4,12 +4,17 @@
 
 #![cfg(feature = "proptest")]
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::SimTime;
 use webserv::{FifoBuffer, SessionTable};
-use wire::{AppId, ClientId, ClientMessage, ServerAddr, UpdateBody, UserId};
+use wire::{
+    AppCommand, AppId, AppPhase, AppStatus, ClientId, ClientMessage, ServerAddr, UpdateBody,
+    UpdateKey, UserId, Value,
+};
 
 fn tagged(seq: u32) -> ClientMessage {
     ClientMessage::update(UpdateBody::AppClosed { app: AppId { server: ServerAddr(0), seq } })
@@ -22,6 +27,78 @@ fn tag_of(m: &ClientMessage) -> u32 {
             _ => unreachable!(),
         },
         _ => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coalescing properties: a mixed stream of view-class, command-class and
+// event-class messages, each stamped with a unique push version.
+// ---------------------------------------------------------------------
+
+/// One scripted FIFO operation: push a message of some shape, or drain.
+#[derive(Clone, Debug)]
+enum Op {
+    /// (kind 0..5, app 0..2, param 0..2)
+    Push(u8, u32, u8),
+    Drain(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, 0u32..2, 0u8..2).prop_map(|(k, a, p)| Op::Push(k, a, p)),
+        (1usize..8).prop_map(Op::Drain),
+    ]
+}
+
+/// Build the pushed message for `Op::Push`, embedding `version` so every
+/// delivered message can be traced back to its push.
+fn make(kind: u8, app_seq: u32, p: u8, version: u64) -> ClientMessage {
+    let app = AppId { server: ServerAddr(0), seq: app_seq };
+    let body = match kind {
+        0 => UpdateBody::AppStatus {
+            app,
+            status: AppStatus { phase: AppPhase::Computing, iteration: version, progress: 0.0 },
+            readings: Vec::new(),
+        },
+        1 => UpdateBody::ParamChanged {
+            app,
+            name: format!("p{p}"),
+            value: Value::Float(version as f64),
+            by: UserId::new("steerer"),
+        },
+        2 => UpdateBody::LockChanged { app, holder: Some(UserId::new(format!("u{version}"))) },
+        3 => UpdateBody::CommandApplied {
+            app,
+            command: AppCommand::Checkpoint,
+            by: UserId::new(format!("u{version}")),
+        },
+        _ => UpdateBody::Chat { app, from: UserId::new("u"), text: version.to_string() },
+    };
+    ClientMessage::update(body)
+}
+
+/// Recover the push version stamped by `make`.
+fn version_of(m: &ClientMessage) -> u64 {
+    let parse = |s: &str| s.trim_start_matches('u').parse::<u64>().unwrap();
+    match m {
+        ClientMessage::Update(u) => match u.body() {
+            UpdateBody::AppStatus { status, .. } => status.iteration,
+            UpdateBody::ParamChanged { value: Value::Float(f), .. } => *f as u64,
+            UpdateBody::LockChanged { holder: Some(h), .. } => parse(h.as_str()),
+            UpdateBody::CommandApplied { by, .. } => parse(by.as_str()),
+            UpdateBody::Chat { text, .. } => text.parse().unwrap(),
+            other => panic!("unexpected {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// The class bucket a message competes in: its coalesce key for
+/// view-class updates, `None` for everything that must never coalesce.
+fn bucket_of(m: &ClientMessage) -> Option<UpdateKey> {
+    match m {
+        ClientMessage::Update(u) => u.coalesce_key(),
+        _ => None,
     }
 }
 
@@ -72,6 +149,100 @@ proptest! {
         if let Some(&first_remaining) = remaining.first() {
             prop_assert!(remaining.iter().all(|&t| t >= first_remaining));
             prop_assert_eq!(*remaining.last().unwrap(), pushed - 1);
+        }
+    }
+
+    /// Coalescing under a bounded buffer: the extended conservation law
+    /// holds (delivered + dropped + coalesced + queued == pushed), and
+    /// within every class bucket — each view-class slot key, and the
+    /// never-coalesced rest — delivery order is push order with no
+    /// duplicates, so a superseded view update is never seen after its
+    /// successor and command-class traffic is never reordered.
+    #[test]
+    fn coalescing_preserves_class_order(
+        capacity in 1usize..32,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut fifo = FifoBuffer::with_coalescing(capacity, true);
+        let mut version = 0u64;
+        let mut delivered: Vec<ClientMessage> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(k, a, p) => {
+                    fifo.push(make(k, a, p, version));
+                    version += 1;
+                }
+                Op::Drain(n) => delivered.extend(fifo.drain(n)),
+            }
+        }
+        delivered.extend(fifo.drain(usize::MAX));
+        prop_assert_eq!(
+            delivered.len() as u64 + fifo.dropped() + fifo.coalesced(),
+            fifo.enqueued()
+        );
+        let mut last_in_bucket: HashMap<Option<UpdateKey>, u64> = HashMap::new();
+        for m in &delivered {
+            let v = version_of(m);
+            if let Some(prev) = last_in_bucket.insert(bucket_of(m), v) {
+                prop_assert!(prev < v, "bucket delivered {prev} then {v}");
+            }
+        }
+    }
+
+    /// Equivalence: with no overflow in play, a coalesced run loses no
+    /// command/event-class message (byte-identical stream, in order) and
+    /// folds to the same final client state as the uncoalesced run —
+    /// the last delivered message of every view-class slot is identical.
+    #[test]
+    fn coalesced_final_state_matches_uncoalesced(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        // Capacity above the op count: neither run can drop, so every
+        // difference observed is attributable to coalescing alone.
+        let cap = ops.len() + 1;
+        let mut plain = FifoBuffer::with_coalescing(cap, false);
+        let mut merged = FifoBuffer::with_coalescing(cap, true);
+        let mut version = 0u64;
+        let mut got_plain: Vec<ClientMessage> = Vec::new();
+        let mut got_merged: Vec<ClientMessage> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(k, a, p) => {
+                    let m = make(k, a, p, version);
+                    plain.push(m.clone());
+                    merged.push(m);
+                    version += 1;
+                }
+                Op::Drain(n) => {
+                    got_plain.extend(plain.drain(n));
+                    got_merged.extend(merged.drain(n));
+                }
+            }
+        }
+        got_plain.extend(plain.drain(usize::MAX));
+        got_merged.extend(merged.drain(usize::MAX));
+        prop_assert_eq!(plain.dropped() + merged.dropped(), 0);
+        // Non-coalescible traffic comes through untouched: same
+        // messages, same order (ClientMessage equality compares frozen
+        // payloads by their wire bytes, so this is byte-identity).
+        let cmds = |v: &[ClientMessage]| -> Vec<ClientMessage> {
+            v.iter().filter(|m| bucket_of(m).is_none()).cloned().collect()
+        };
+        prop_assert_eq!(cmds(&got_plain), cmds(&got_merged));
+        // Folded client state: the freshest message of every view slot.
+        let fold = |v: &[ClientMessage]| -> HashMap<UpdateKey, ClientMessage> {
+            let mut state = HashMap::new();
+            for m in v {
+                if let Some(k) = bucket_of(m) {
+                    state.insert(k, m.clone());
+                }
+            }
+            state
+        };
+        let (a, b) = (fold(&got_plain), fold(&got_merged));
+        prop_assert_eq!(a.len(), b.len());
+        for (k, m) in &a {
+            prop_assert_eq!(Some(m), b.get(k), "slot {:?} diverged", k);
         }
     }
 

@@ -8,20 +8,28 @@
 //! variants are encoded as a `u32` variant index followed by the variant
 //! payload; `Option` is a single presence byte.
 //!
-//! Three entry points:
+//! Four entry points:
 //! * [`encode`] — serialize a value to bytes,
 //! * [`decode`] — deserialize a value from bytes (rejecting trailing garbage),
+//! * [`decode_borrowed`] — deserialize from a refcounted receive buffer,
+//!   letting frozen payloads borrow slices of it instead of copying,
 //! * [`encoded_len`] — byte length without materializing the buffer
 //!   (drives the simulator's bandwidth model).
 //!
-//! Two hot-path mechanisms keep broadcast fan-out cheap:
+//! Three hot-path mechanisms keep broadcast fan-out cheap:
 //! * a per-thread **pooled encode buffer** ([`encode`] reuses one
-//!   `BytesMut` instead of allocating 64 bytes and growing every call),
+//!   `BytesMut` instead of allocating 64 bytes and growing every call,
+//!   and finalizes by *splitting* the exact-size contents off the pooled
+//!   buffer — a refcount handoff, not a copy),
 //! * a **raw-splice fast path** ([`SPLICE_TOKEN`]) letting pre-encoded
 //!   payloads pass through both the serializer and the size counter
-//!   verbatim, so a payload frozen once is never walked again.
+//!   verbatim, so a payload frozen once is never walked again,
+//! * a **zero-copy ingress path** ([`decode_borrowed`]): while decoding
+//!   from a registered receive buffer, a frozen payload's bytes are
+//!   taken as a refcounted slice of that buffer — the payload is never
+//!   re-encoded and never copied after its origin.
 //!
-//! Both are observable through the deterministic per-thread
+//! All three are observable through the deterministic per-thread
 //! [`CodecStats`] counters ([`stats`] / [`reset_stats`]).
 
 use std::cell::Cell;
@@ -105,6 +113,25 @@ pub struct CodecStats {
     /// Encode calls that had to allocate a buffer (first use per thread,
     /// or re-entrant encodes).
     pub pool_misses: u64,
+    /// Bytes memcpy'd to finalize an [`encode`] output buffer. The
+    /// split-off-the-pool path hands the filled buffer away by refcount,
+    /// so this stays zero; any nonzero value means a copying finalizer
+    /// crept back in (asserted in `codec_properties`).
+    pub encode_copy_bytes: u64,
+    /// Frozen payloads whose bytes were captured during decode (no
+    /// re-encode serializer walk — the wire bytes are adopted verbatim).
+    pub frozen_decodes: u64,
+    /// Frozen-payload captures served as refcounted slices of a
+    /// registered ingress buffer ([`decode_borrowed`]) — zero-copy.
+    pub ingress_slices: u64,
+    /// Frozen-payload captures that had to copy (plain [`decode`], or a
+    /// source outside the registered ingress buffer).
+    pub ingress_copies: u64,
+    /// FIFO drains served by a caller-provided scratch buffer instead of
+    /// a fresh per-poll `Vec` allocation (see
+    /// [`note_drain_reuse`]; webserv folds its savings in here so the
+    /// allocation ledger lives in one place).
+    pub drain_reuses: u64,
 }
 
 thread_local! {
@@ -116,9 +143,21 @@ thread_local! {
             payload_splices: 0,
             pool_hits: 0,
             pool_misses: 0,
+            encode_copy_bytes: 0,
+            frozen_decodes: 0,
+            ingress_slices: 0,
+            ingress_copies: 0,
+            drain_reuses: 0,
         })
     };
     static POOL: Cell<Option<BytesMut>> = const { Cell::new(None) };
+    /// The receive buffer registered by [`decode_borrowed`] for the
+    /// duration of one decode: frozen payloads whose consumed range lies
+    /// inside it are taken as refcounted slices of it.
+    static INGRESS: Cell<Option<Bytes>> = const { Cell::new(None) };
+    /// Hand-off slot between the DBP deserializer's splice-token capture
+    /// and `FrozenUpdate`'s visitor (same decode call, same thread).
+    static CAPTURE: Cell<Option<Bytes>> = const { Cell::new(None) };
 }
 
 fn bump(f: impl FnOnce(&mut CodecStats)) {
@@ -142,9 +181,10 @@ pub fn reset_stats() {
 /// Serialize `value` to bytes using this thread's pooled buffer.
 ///
 /// The pooled `BytesMut` is cleared, filled by a single serializer walk,
-/// copied once into an exact-size immutable [`Bytes`], and returned to
-/// the pool — steady state performs one allocation of exactly the
-/// payload size and zero buffer growth.
+/// then *split*: the filled prefix is handed off by refcount as the
+/// exact-size immutable [`Bytes`] result (no finalizing memcpy — see
+/// [`CodecStats::encode_copy_bytes`]), while the buffer keeps its
+/// capacity and returns to the pool warm.
 pub fn encode<T: Serialize>(value: &T) -> Bytes {
     let mut buf = match POOL.with(|p| p.take()) {
         Some(b) => {
@@ -160,7 +200,7 @@ pub fn encode<T: Serialize>(value: &T) -> Bytes {
     value
         .serialize(&mut DbpSerializer { out: &mut buf, splice_armed: false })
         .expect("DBP serialization is infallible for wire types");
-    let bytes = Bytes::copy_from_slice(&buf);
+    let bytes = buf.split().freeze();
     POOL.with(|p| p.set(Some(buf)));
     bump(|s| {
         s.encode_calls += 1;
@@ -185,6 +225,41 @@ pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
         return Err(CodecError::TrailingBytes(de.input.len()));
     }
     Ok(value)
+}
+
+/// Deserialize a value of type `T` from a refcounted receive buffer,
+/// requiring full consumption.
+///
+/// While this decode runs, `bytes` is registered as the thread's
+/// *ingress source*: every frozen payload
+/// ([`FrozenUpdate`](crate::FrozenUpdate)) encountered adopts its
+/// already-on-the-wire encoding as a refcounted slice of `bytes`
+/// instead of re-encoding (or copying) it. An update that transits
+/// portal → home server → peer server is therefore serialized once at
+/// its origin and never copied again: each hop's decode borrows the
+/// receive buffer, and each hop's re-encode splices the borrowed bytes
+/// verbatim. Nested calls save and restore the outer source, so the
+/// registration is re-entrancy safe.
+pub fn decode_borrowed<T: DeserializeOwned>(bytes: &Bytes) -> Result<T, CodecError> {
+    let prev = INGRESS.with(|c| c.replace(Some(bytes.clone())));
+    let result = decode(bytes.as_slice());
+    INGRESS.with(|c| c.set(prev));
+    result
+}
+
+/// Take the frozen-payload bytes captured by the innermost splice-token
+/// decode, if the active deserializer was DBP's (foreign deserializers
+/// leave this empty and the caller falls back to re-freezing).
+pub(crate) fn take_captured() -> Option<Bytes> {
+    CAPTURE.with(|c| c.take())
+}
+
+/// Record one FIFO drain served by a reusable scratch buffer (an
+/// allocation that did not happen). Lives here so the hot-path
+/// allocation ledger — pool hits, encode copies, drain reuses — is a
+/// single [`CodecStats`] snapshot.
+pub fn note_drain_reuse() {
+    bump(|s| s.drain_reuses += 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -779,9 +854,46 @@ impl<'de> de::Deserializer<'de> for &mut DbpDeserializer<'de> {
 
     fn deserialize_newtype_struct<V: Visitor<'de>>(
         self,
-        _name: &'static str,
+        name: &'static str,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
+        if name == SPLICE_TOKEN {
+            // A frozen payload is decoding: its wire form is the plain
+            // inline encoding of the body (spliced verbatim, no length
+            // prefix), so the bytes the visitor consumes ARE the
+            // payload's canonical encoding. Capture that consumed range
+            // — as a refcounted slice of the registered ingress buffer
+            // when the range lies inside it (zero-copy), else by one
+            // memcpy — and stash it for `FrozenUpdate`'s visitor to
+            // adopt in place of a re-encoding serializer walk.
+            let before = self.input;
+            let value = visitor.visit_newtype_struct(&mut *self)?;
+            let consumed = before.len() - self.input.len();
+            let raw = &before[..consumed];
+            let sliced = INGRESS.with(|c| {
+                let src = c.take();
+                let out = src.as_ref().and_then(|s| {
+                    let base = s.as_slice().as_ptr() as usize;
+                    let off = (raw.as_ptr() as usize).checked_sub(base)?;
+                    (off + raw.len() <= s.len()).then(|| s.slice(off..off + raw.len()))
+                });
+                c.set(src);
+                out
+            });
+            let bytes = match sliced {
+                Some(b) => {
+                    bump(|s| s.ingress_slices += 1);
+                    b
+                }
+                None => {
+                    bump(|s| s.ingress_copies += 1);
+                    Bytes::copy_from_slice(raw)
+                }
+            };
+            bump(|s| s.frozen_decodes += 1);
+            CAPTURE.with(|c| c.set(Some(bytes)));
+            return Ok(value);
+        }
         visitor.visit_newtype_struct(self)
     }
 

@@ -39,7 +39,7 @@ pub use messages::{
     AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, AppStatusEntry, Channel,
     ClientMessage, ClientRequest, ControlEvent, ControlEventKind, ErrorCode, FifoStatusEntry,
     InteractionSpec, JobSpec, LogEntry, LogRecord, MessageKind, OpOutcome, PeerMsg, PeerReply,
-    PeerStatusEntry, ResponseBody, ServiceOffer, StatusReport, UpdateBody, WhiteboardStroke,
-    WireError,
+    PeerStatusEntry, ResponseBody, ServiceOffer, StatusReport, UpdateBody, UpdateKey,
+    WhiteboardStroke, WireError,
 };
 pub use value::Value;

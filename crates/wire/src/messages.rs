@@ -726,6 +726,46 @@ impl UpdateBody {
             | UpdateBody::InteractionEcho { app, .. } => *app,
         }
     }
+
+    /// The latest-wins slot this update belongs to, or `None` if it must
+    /// never be coalesced.
+    ///
+    /// View-class state snapshots — periodic status, a parameter's
+    /// current value, the lock holder — are fully superseded by a newer
+    /// update with the same key, so a still-queued older one may be
+    /// replaced in place. Everything event-like (commands, chat,
+    /// whiteboard strokes, shared views, membership changes, app close,
+    /// interaction echoes) is history, not state: each instance must be
+    /// delivered, so no key.
+    pub fn coalesce_key(&self) -> Option<UpdateKey> {
+        match self {
+            UpdateBody::AppStatus { app, .. } => Some(UpdateKey::Status(*app)),
+            UpdateBody::ParamChanged { app, name, .. } => {
+                Some(UpdateKey::Param(*app, name.clone()))
+            }
+            UpdateBody::LockChanged { app, .. } => Some(UpdateKey::Lock(*app)),
+            UpdateBody::CommandApplied { .. }
+            | UpdateBody::Chat { .. }
+            | UpdateBody::Whiteboard { .. }
+            | UpdateBody::ViewShared { .. }
+            | UpdateBody::MemberJoined { .. }
+            | UpdateBody::MemberLeft { .. }
+            | UpdateBody::AppClosed { .. }
+            | UpdateBody::InteractionEcho { .. } => None,
+        }
+    }
+}
+
+/// The (app, view-key) identity of a coalescible view-class update: a
+/// newer update with an equal key fully supersedes an older one.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum UpdateKey {
+    /// Periodic status snapshot of one application.
+    Status(AppId),
+    /// Current value of one named parameter of one application.
+    Param(AppId, String),
+    /// Steering-lock holder of one application.
+    Lock(AppId),
 }
 
 // ---------------------------------------------------------------------------

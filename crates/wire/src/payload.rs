@@ -20,7 +20,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use serde::de::{Deserialize, Deserializer};
+use serde::de::{Deserialize, Deserializer, Visitor};
 use serde::ser::{Serialize, Serializer};
 
 use crate::codec;
@@ -42,6 +42,17 @@ impl FrozenUpdate {
     /// Freeze `body`: the one and only DBP serialization it will get.
     pub fn new(body: UpdateBody) -> Self {
         let bytes = codec::encode(&body);
+        FrozenUpdate { body: Arc::new(body), bytes }
+    }
+
+    /// Assemble from a decoded body plus its already-on-the-wire
+    /// encoding (the zero-copy ingress path). The caller — the codec's
+    /// splice-token capture — guarantees `bytes` is exactly the range
+    /// the body was decoded from, which by DBP's determinism equals
+    /// `codec::encode(&body)`, so the freeze invariant holds with no
+    /// serializer walk (`codec_properties` proves the equality; checking
+    /// it here would itself cost the walk being skipped).
+    fn from_wire(body: UpdateBody, bytes: Bytes) -> Self {
         FrozenUpdate { body: Arc::new(body), bytes }
     }
 
@@ -120,8 +131,30 @@ impl Serialize for FrozenUpdate {
 impl<'de> Deserialize<'de> for FrozenUpdate {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         // On the wire a FrozenUpdate is indistinguishable from an inline
-        // UpdateBody; decode it and re-freeze so the invariant holds.
-        UpdateBody::deserialize(deserializer).map(FrozenUpdate::new)
+        // UpdateBody. Announce the splice token so the DBP deserializer
+        // captures the consumed byte range while the visitor decodes the
+        // body; adopting that range skips the re-encoding walk entirely
+        // (and, under `decode_borrowed`, even the copy). A foreign
+        // deserializer ignores the token, leaves no capture, and we fall
+        // back to re-freezing.
+        struct FrozenVisitor;
+        impl<'de> Visitor<'de> for FrozenVisitor {
+            type Value = UpdateBody;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a frozen update payload")
+            }
+            fn visit_newtype_struct<D: Deserializer<'de>>(
+                self,
+                d: D,
+            ) -> Result<UpdateBody, D::Error> {
+                UpdateBody::deserialize(d)
+            }
+        }
+        let body = deserializer.deserialize_newtype_struct(codec::SPLICE_TOKEN, FrozenVisitor)?;
+        Ok(match codec::take_captured() {
+            Some(bytes) => FrozenUpdate::from_wire(body, bytes),
+            None => FrozenUpdate::new(body),
+        })
     }
 }
 

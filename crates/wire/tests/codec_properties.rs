@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use simnet::SimTime;
-use wire::codec::{decode, encode, encoded_len};
+use wire::codec::{decode, decode_borrowed, encode, encoded_len, reset_stats, stats};
 use wire::http::HttpRequest;
 use wire::{
     AppCommand, AppId, AppOp, AppPhase, AppStatus, ClientMessage, ClientRequest, DeadlineStamp,
@@ -232,6 +232,104 @@ proptest! {
         }
         prop_assert_eq!(&bytes[..], &expected[..]);
         prop_assert_eq!(decode::<ClientMessage>(&bytes).unwrap(), batch);
+    }
+
+    // ------------------------------------------------------------------
+    // Zero-copy ingress: decoding a frozen payload adopts its wire
+    // range instead of re-encoding it, and under `decode_borrowed` the
+    // adopted bytes are a refcounted slice of the receive buffer — the
+    // update is never copied after origin.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn decode_borrowed_adopts_a_slice_of_the_receive_buffer(u in update_strategy()) {
+        let canonical = encode(&u);
+        let wire_bytes = encode(&ClientMessage::update(u.clone()));
+        reset_stats();
+        let back: ClientMessage = decode_borrowed(&wire_bytes).unwrap();
+        let s = stats();
+        // The decode performed no serializer walk at all: the frozen
+        // invariant (`bytes == encode(body)`) was satisfied by capture.
+        prop_assert_eq!(s.encode_calls, 0);
+        prop_assert_eq!(s.frozen_decodes, 1);
+        prop_assert_eq!(s.ingress_slices, 1);
+        prop_assert_eq!(s.ingress_copies, 0);
+        match back {
+            ClientMessage::Update(f) => {
+                prop_assert_eq!(f.body(), &u);
+                prop_assert!(
+                    f.bytes().shares_storage(&wire_bytes),
+                    "payload must alias the receive buffer, not own a copy"
+                );
+                prop_assert_eq!(&f.bytes()[..], &canonical[..]);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_decode_still_captures_without_reencoding(u in update_strategy()) {
+        let canonical = encode(&u);
+        let wire_bytes = encode(&ClientMessage::update(u.clone()));
+        reset_stats();
+        let back: ClientMessage = decode::<ClientMessage>(&wire_bytes).unwrap();
+        let s = stats();
+        // No registered ingress buffer: the captured range is copied
+        // once, but the re-encoding walk is still skipped.
+        prop_assert_eq!(s.encode_calls, 0);
+        prop_assert_eq!(s.frozen_decodes, 1);
+        prop_assert_eq!(s.ingress_slices, 0);
+        prop_assert_eq!(s.ingress_copies, 1);
+        match back {
+            ClientMessage::Update(f) => prop_assert_eq!(&f.bytes()[..], &canonical[..]),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_frozen_payloads_all_borrow(us in prop::collection::vec(update_strategy(), 1..5)) {
+        // A whole poll batch decoded from one receive buffer: every
+        // contained update aliases that buffer.
+        let batch = ClientMessage::Response(ResponseBody::Batch(
+            us.iter().cloned().map(ClientMessage::update).collect(),
+        ));
+        let wire_bytes = encode(&batch);
+        reset_stats();
+        let back: ClientMessage = decode_borrowed(&wire_bytes).unwrap();
+        let s = stats();
+        prop_assert_eq!(s.encode_calls, 0);
+        prop_assert_eq!(s.ingress_slices, us.len() as u64);
+        prop_assert_eq!(s.ingress_copies, 0);
+        match back {
+            ClientMessage::Response(ResponseBody::Batch(items)) => {
+                for item in &items {
+                    match item {
+                        ClientMessage::Update(f) => {
+                            prop_assert!(f.bytes().shares_storage(&wire_bytes));
+                        }
+                        other => prop_assert!(false, "unexpected {other:?}"),
+                    }
+                }
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_finalizes_by_refcount_not_memcpy(m in client_message_strategy()) {
+        reset_stats();
+        let first = encode(&m);
+        let second = encode(&m);
+        let s = stats();
+        prop_assert_eq!(s.encode_calls, 2);
+        // The pooled buffer is split, not copied out of: byte-for-byte
+        // identical results, zero finalizing memcpy, and the pool stays
+        // warm (at most the first call may miss on a fresh thread).
+        prop_assert_eq!(s.encode_copy_bytes, 0);
+        prop_assert!(s.pool_hits >= 1);
+        prop_assert!(s.pool_misses <= 1);
+        prop_assert_eq!(&first[..], &second[..]);
+        prop_assert!(!first.shares_storage(&second));
     }
 
     // ------------------------------------------------------------------

@@ -2,8 +2,9 @@
 //!
 //! Provides [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`] traits
 //! with the little-endian accessors the DBP wire codec uses. `Bytes`
-//! is an `Arc<[u8]>` slice view, so `clone()` is cheap and freezing a
-//! `BytesMut` is a single allocation handoff — the semantics the real
+//! is an `Arc<Vec<u8>>` slice view, so `clone()` and ranged [`Bytes::slice`]
+//! are cheap, `From<Vec<u8>>` is a move (no copy), and freezing a
+//! `BytesMut` is a single refcount handoff — the semantics the real
 //! crate guarantees, minus the fancy vtable machinery.
 
 // Stand-in crate: keep clippy focused on the real workspace code.
@@ -13,13 +14,13 @@
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// Cheaply cloneable immutable byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -65,6 +66,29 @@ impl Bytes {
         assert!(at <= self.len(), "slice out of range");
         Bytes { data: Arc::clone(&self.data), start: self.start + at, end: self.end }
     }
+
+    /// Zero-copy ranged sub-slice; panics if out of range.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let from = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let to = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(from <= to && to <= self.len(), "slice out of range");
+        Bytes { data: Arc::clone(&self.data), start: self.start + from, end: self.start + to }
+    }
+
+    /// Whether two handles view the same underlying allocation
+    /// (refcounted sharing probe; the tests use it to prove a slice is
+    /// a view rather than a copy).
+    pub fn shares_storage(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
 }
 
 impl Deref for Bytes {
@@ -89,7 +113,7 @@ impl Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: v.into(), start: 0, end }
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -157,9 +181,23 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Freeze into an immutable [`Bytes`].
+    /// Freeze into an immutable [`Bytes`] (refcount handoff, no copy).
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Split off the filled prefix, leaving `self` empty but with its
+    /// capacity intact for reuse (pooled-buffer idiom: serialize, then
+    /// `buf.split().freeze()` hands the exact-size contents away while
+    /// the pool keeps a warm buffer).
+    pub fn split(&mut self) -> BytesMut {
+        let cap = self.data.capacity();
+        BytesMut { data: std::mem::replace(&mut self.data, Vec::with_capacity(cap)) }
+    }
+
+    /// Spare capacity currently reserved beyond the filled length.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Clear contents, keeping capacity.
@@ -364,5 +402,44 @@ mod tests {
     fn underflow_panics() {
         let mut r: &[u8] = &[1];
         let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn ranged_slice_is_a_shared_view() {
+        let b = Bytes::from(vec![10, 11, 12, 13, 14]);
+        let mid = b.slice(1..4);
+        assert_eq!(mid.as_slice(), &[11, 12, 13]);
+        assert!(mid.shares_storage(&b), "slice must not copy");
+        let tail = mid.slice(2..);
+        assert_eq!(tail.as_slice(), &[13]);
+        assert!(tail.shares_storage(&b));
+        assert!(!b.shares_storage(&Bytes::copy_from_slice(&b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn ranged_slice_bounds_checked() {
+        let _ = Bytes::from(vec![1, 2]).slice(1..4);
+    }
+
+    #[test]
+    fn split_hands_off_contents_and_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"hello");
+        let frozen = buf.split().freeze();
+        assert_eq!(frozen.as_slice(), b"hello");
+        assert!(buf.is_empty(), "split leaves the buffer empty");
+        assert_eq!(buf.capacity(), 64, "split keeps a warm buffer for the pool");
+        // The handed-off allocation is independent of later writes.
+        buf.put_slice(b"world");
+        assert_eq!(frozen.as_slice(), b"hello");
+    }
+
+    #[test]
+    fn freeze_is_a_refcount_handoff() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "From<Vec> must move, not copy");
     }
 }
