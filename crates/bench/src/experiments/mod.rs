@@ -2,6 +2,7 @@
 //! [`Table`](crate::report::Table); the ids map to DESIGN.md's
 //! per-experiment index.
 
+mod archival;
 mod scalability;
 mod churn;
 mod collaboration;
@@ -13,6 +14,7 @@ mod overload;
 mod telemetry;
 mod tracing;
 
+pub use archival::e19_archival_recovery;
 pub use churn::e16_churn_recovery;
 pub use collaboration::{e11_push_vs_poll, e4_collab_traffic, e5_remote_vs_local, e6_discovery_auth};
 pub use distributed::{e10_latecomer_replay, e7_lock_contention, e8_network_scalability, e9_fifo_slow_clients};
@@ -48,5 +50,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e16", e16_churn_recovery),
         ("e17", e17_telemetry_overhead),
         ("e18", e18_hot_path_delivery),
+        ("e19", e19_archival_recovery),
     ]
 }

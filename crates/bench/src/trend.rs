@@ -290,6 +290,46 @@ pub const GATES: &[Gate] = &[
         abs_tol: 0.0,
         why: "the decoded payload must alias the receive buffer, not own a copy",
     },
+    Gate {
+        experiment: "e19",
+        pattern: "catchup.tail_records_max",
+        direction: Direction::UpIsBad,
+        rel_tol: 0.0,
+        abs_tol: 4.0,
+        why: "latecomer catch-up tails must stay bounded by the snapshot interval, not session age",
+    },
+    Gate {
+        experiment: "e19",
+        pattern: "catchup.bytes_max",
+        direction: Direction::UpIsBad,
+        rel_tol: 0.10,
+        abs_tol: 512.0,
+        why: "catch-up reply bytes (snapshot + tail) must not creep with session length",
+    },
+    Gate {
+        experiment: "e19",
+        pattern: "recovery.fold_identical",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "a crash-recovered host must reach folded state byte-identical to the uncrashed run",
+    },
+    Gate {
+        experiment: "e19",
+        pattern: "recovery.catchup_identical",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "a recovered host must serve byte-identical catch-up suffixes to latecomers",
+    },
+    Gate {
+        experiment: "e19",
+        pattern: "recovery.recoveries",
+        direction: Direction::Exact,
+        rel_tol: 0.0,
+        abs_tol: 0.0,
+        why: "exactly one archive recovery per crash — restarts must never silently reset",
+    },
 ];
 
 fn key_matches(pattern: &str, key: &str) -> bool {

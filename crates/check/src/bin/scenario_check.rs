@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! scenario_check [--seeds N] [--start-seed S]
-//!                [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer]
+//!                [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer|recovery]
 //!                [--budget-secs T] [--out DIR] [--mutation]
 //! ```
 //!
@@ -16,9 +16,10 @@
 //!
 //! `--mutation` runs the self-test instead: a scenario with the
 //! test-only double-grant fault injected must trip the linearizability
-//! oracle and shrink to ≤ 10 events, and a scenario with lease
-//! reclamation disabled must trip the reclaim oracle and shrink just as
-//! small.
+//! oracle and shrink to ≤ 10 events, a scenario with lease reclamation
+//! disabled must trip the reclaim oracle and shrink just as small, and
+//! a scenario with due snapshots silently skipped must trip the
+//! snapshot oracle's cadence check.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -67,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
                     "churn" => vec![Family::Churn],
                     "flashcrowd" => vec![Family::FlashCrowd],
                     "slowconsumer" => vec![Family::SlowConsumer],
+                    "recovery" => vec![Family::Recovery],
                     other => return Err(format!("unknown family {other:?}")),
                 };
             }
@@ -79,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: scenario_check [--seeds N] [--start-seed S] \
-                     [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer] \
+                     [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer|recovery] \
                      [--budget-secs T] [--out DIR] [--mutation]"
                         .into(),
                 );
@@ -208,7 +210,9 @@ fn mutation_selftest() -> ExitCode {
     let double_grant = mutation_case("double grant", &Scenario::mutation(1), "linearizability");
     let lease_leak =
         mutation_case("disabled lease reclamation", &Scenario::mutation_churn(1), "reclaim");
-    if double_grant && lease_leak {
+    let skipped_snapshot =
+        mutation_case("skipped snapshots", &Scenario::mutation_snapshot(1), "snapshot");
+    if double_grant && lease_leak && skipped_snapshot {
         println!("mutation self-test passed");
         ExitCode::SUCCESS
     } else {

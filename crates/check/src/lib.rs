@@ -29,6 +29,12 @@
 //!    work through a rejoin storm (**goodput**, the metastability
 //!    guard), and every returning client recovers within an
 //!    O(backlog/rate) budget (**recovery**).
+//! 6. **Snapshot** (recovery family): the archive snapshots on its
+//!    configured cadence, no snapshot is ever torn (each equals the
+//!    fold of the records before it), and snapshot-aware catch-up
+//!    replies are byte-identical to the host archive — including the
+//!    replies a crash-recovered host serves after rebuilding its state
+//!    from that same archive.
 //!
 //! On failure, [`shrink::shrink`] greedily deletes scenario events and
 //! faults (re-running after each candidate deletion) until a minimal

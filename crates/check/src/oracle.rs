@@ -27,6 +27,13 @@
 //! * **Recovery** — every returning client must attempt a resume and
 //!   end up either resumed or re-logged-in, within an O(backlog/rate)
 //!   time budget.
+//! * **Snapshot** (snapshotting runs) — the archive takes exactly one
+//!   snapshot per configured interval, every snapshot equals the fold
+//!   of the records strictly before it (no torn snapshots), and every
+//!   snapshot-aware catch-up reply — including those served by a host
+//!   recovered from its own archive — is byte-identical to the host's
+//!   record: the served snapshot matches the host's snapshot at that
+//!   sequence and the tail is a contiguous slice of the archive.
 //!
 //! ### Interval construction for the lock history
 //!
@@ -57,7 +64,8 @@ const SLACK_US: u64 = 200_000;
 #[derive(Clone, Debug)]
 pub struct Violation {
     /// Which oracle fired (`"linearizability"`, `"acl"`, `"fifo"`,
-    /// `"replay"`, `"reclaim"`, `"pacing"`, `"goodput"`, `"recovery"`).
+    /// `"replay"`, `"reclaim"`, `"pacing"`, `"goodput"`, `"recovery"`,
+    /// `"snapshot"`).
     pub oracle: &'static str,
     /// What it saw.
     pub detail: String,
@@ -586,6 +594,161 @@ fn check_churn(run: &RunResult, out: &mut Vec<Violation>) {
     }
 }
 
+/// The snapshotting-archive oracle: cadence, torn-snapshot folds, and
+/// byte-identical catch-up service (live and recovered hosts alike).
+/// A no-op unless the scenario configures periodic snapshots.
+fn check_snapshot(run: &RunResult, out: &mut Vec<Violation>) {
+    let Some(every) = run.scenario.snapshot_every else { return };
+
+    // Cadence: one snapshot per `every` appended records. The seeded
+    // skip fault breaks exactly this equality.
+    let expected = run.host_next_seq / every;
+    if run.host_snapshots.len() as u64 != expected {
+        out.push(Violation::new(
+            "snapshot",
+            format!(
+                "snapshot cadence broken: {} snapshots for {} records at interval {every} \
+                 (expected {expected})",
+                run.host_snapshots.len(),
+                run.host_next_seq
+            ),
+        ));
+    }
+
+    // Torn snapshots: a snapshot at seq S must equal the fold of the
+    // records strictly before S — never a half-applied boundary. (The
+    // check families keep compaction off, so the harvested archive is
+    // the full dense log.)
+    for snap in &run.host_snapshots {
+        let cut = run.host_archive.partition_point(|r| r.seq < snap.seq);
+        let folded = wire::FoldedAppState::fold(&run.host_archive[..cut]);
+        if wire::codec::encode(&snap.state) != wire::codec::encode(&folded) {
+            out.push(Violation::new(
+                "snapshot",
+                format!(
+                    "torn snapshot at seq {}: state differs from the fold of the {cut} \
+                     records before it",
+                    snap.seq
+                ),
+            ));
+        }
+    }
+
+    // Catch-up service: every reply a viewer received — before the
+    // crash or from the recovered host — must be byte-identical to the
+    // host's own record of the same range.
+    for u in &run.users {
+        for (i, (at_us, snap, tail, next_seq)) in u.catchup_fetches.iter().enumerate() {
+            if let Some(s) = snap {
+                match run.host_snapshots.iter().find(|h| h.seq == s.seq) {
+                    Some(h) if wire::codec::encode(&h.state) == wire::codec::encode(&s.state) => {}
+                    Some(_) => out.push(Violation::new(
+                        "snapshot",
+                        format!(
+                            "catch-up {i} for {} at {at_us}µs: served snapshot at seq {} \
+                             differs from the host's snapshot at that seq",
+                            u.name, s.seq
+                        ),
+                    )),
+                    None => out.push(Violation::new(
+                        "snapshot",
+                        format!(
+                            "catch-up {i} for {} at {at_us}µs: served snapshot at seq {} \
+                             is not among the host's snapshots",
+                            u.name, s.seq
+                        ),
+                    )),
+                }
+                // With compaction off the tail is dense: it must start
+                // exactly at the snapshot boundary (no gap a viewer
+                // would silently skip).
+                if let Some(first) = tail.first() {
+                    if first.seq != s.seq {
+                        out.push(Violation::new(
+                            "snapshot",
+                            format!(
+                                "catch-up {i} for {} at {at_us}µs: tail starts at seq {} \
+                                 instead of the snapshot boundary {}",
+                                u.name, first.seq, s.seq
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Some(first) = tail.first() {
+                let start = run.host_archive.partition_point(|r| r.seq < first.seq);
+                let end = start + tail.len();
+                let matches = end <= run.host_archive.len()
+                    && wire::codec::encode(tail)
+                        == wire::codec::encode(&run.host_archive[start..end].to_vec());
+                if !matches {
+                    out.push(Violation::new(
+                        "snapshot",
+                        format!(
+                            "catch-up {i} for {} at {at_us}µs (seq {}.., len {}) is not a \
+                             byte-identical contiguous slice of the host archive (len {})",
+                            u.name,
+                            first.seq,
+                            tail.len(),
+                            run.host_archive.len()
+                        ),
+                    ));
+                }
+            }
+            if let Some(last) = tail.last() {
+                if *next_seq != last.seq + 1 {
+                    out.push(Violation::new(
+                        "snapshot",
+                        format!(
+                            "catch-up {i} for {} at {at_us}µs: next_seq {next_seq} does not \
+                             follow the last served record (seq {})",
+                            u.name, last.seq
+                        ),
+                    ));
+                }
+            }
+        }
+        // Every scripted catch-up must have produced a reply: losing
+        // the post-restart fetch would hide a recovery that never came
+        // back up.
+        let scripted = run
+            .scenario
+            .users
+            .iter()
+            .find(|su| su.name == u.name)
+            .map(|su| {
+                su.actions
+                    .iter()
+                    .filter(|a| a.kind == crate::scenario::ActionKind::CatchUp)
+                    .count()
+            })
+            .unwrap_or(0);
+        if u.catchup_fetches.len() != scripted {
+            out.push(Violation::new(
+                "snapshot",
+                format!(
+                    "{} received {} catch-up replies for {} scripted fetches",
+                    u.name,
+                    u.catchup_fetches.len(),
+                    scripted
+                ),
+            ));
+        }
+    }
+
+    // A crashed host configured for archive recovery must actually have
+    // recovered (the history records the rebuild).
+    if run.scenario.recover_from_archive
+        && run.scenario.faults.crashes.iter().any(|c| c.server == 0)
+        && !run.history.iter().any(|e| e.label == "server.recovered")
+    {
+        out.push(Violation::new(
+            "snapshot",
+            "host crashed with recover_from_archive set but never rebuilt from its archive",
+        ));
+    }
+}
+
 /// Run every oracle over `run`; empty = the run is clean.
 pub fn check_run(run: &RunResult) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -594,6 +757,7 @@ pub fn check_run(run: &RunResult) -> Vec<Violation> {
     check_fifo(run, &mut out);
     check_replay(run, &mut out);
     check_churn(run, &mut out);
+    check_snapshot(run, &mut out);
     out
 }
 

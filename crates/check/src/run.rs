@@ -23,11 +23,11 @@ use discover_client::{OpMix, Portal, PortalConfig, Workload};
 use discover_core::{CollaboratoryBuilder, DiscoverNode, ServerHandle};
 use simnet::{FaultPlan, FlightConfig, HistoryEvent, LinkSpec, SimDuration, SimTime};
 use wire::{
-    AppCommand, AppId, AppOp, ClientMessage, ClientRequest, ErrorCode, LogRecord, Privilege,
-    ResponseBody, UserId, Value,
+    AppCommand, AppId, AppOp, ArchiveSnapshot, ClientMessage, ClientRequest, ErrorCode, LogRecord,
+    Privilege, ResponseBody, UserId, Value,
 };
 
-use crate::scenario::{ActionKind, Scenario};
+use crate::scenario::{ActionKind, Family, Scenario};
 
 /// One lock-protocol response observed at a portal.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -101,6 +101,9 @@ pub struct UserObservation {
     /// Every `History` batch this portal received for the main app, in
     /// order (resume replays land here).
     pub history_fetches: Vec<Vec<LogRecord>>,
+    /// Every snapshot-aware `CatchUp` reply for the main app, in order:
+    /// arrival µs, served snapshot, tail records, next sequence.
+    pub catchup_fetches: Vec<(u64, Option<ArchiveSnapshot>, Vec<LogRecord>, u64)>,
 }
 
 /// The harvest of one scenario execution.
@@ -116,6 +119,10 @@ pub struct RunResult {
     pub users: Vec<UserObservation>,
     /// The host's full application archive at the end of the run.
     pub host_archive: Vec<LogRecord>,
+    /// The host's archive snapshots for the main app, in seq order.
+    pub host_snapshots: Vec<ArchiveSnapshot>,
+    /// The host's archive next-sequence for the main app at run end.
+    pub host_next_seq: u64,
     /// Every `History` response the latecomer received, in order
     /// (replay family: first = catch-up snapshot, last = full replay).
     pub latecomer_fetches: Vec<Vec<LogRecord>>,
@@ -150,6 +157,8 @@ fn action_request(app: AppId, user_index: usize, n: u64, kind: ActionKind) -> Cl
         ActionKind::Command => {
             ClientRequest::Op { app, op: AppOp::Command(AppCommand::Checkpoint) }
         }
+        // From sequence 0: the server picks the nearest snapshot + tail.
+        ActionKind::CatchUp => ClientRequest::CatchUp { app, since: 0 },
     }
 }
 
@@ -168,8 +177,18 @@ pub fn run(scenario: &Scenario) -> RunResult {
     let no_reclaim = s.fault_no_reclaim;
     let coalesce_fifo = s.coalesce_fifo;
     let churn = s.churn.clone();
+    let snapshot_every = s.snapshot_every;
+    let recover_from_archive = s.recover_from_archive;
+    let fault_skip_snapshot = s.fault_skip_snapshot;
     b.tweak_servers(move |cfg| {
         cfg.lock_lease = Some(lease);
+        // Archival plane (recovery family): periodic snapshots, restart
+        // rebuilds from the archive, and the seeded snapshot-skip fault.
+        // Compaction stays off — the oracles compare against the full
+        // dense log.
+        cfg.snapshot_every = snapshot_every;
+        cfg.recover_from_archive = recover_from_archive;
+        cfg.fault_skip_snapshot = fault_skip_snapshot;
         // Hot-path delivery: churn scenarios flip FIFO coalescing at
         // random; every oracle (notably resume-replay byte-identity)
         // must hold in both positions because only superseded view-class
@@ -249,6 +268,13 @@ pub fn run(scenario: &Scenario) -> RunResult {
                 OpMix::sensors_only(),
                 SimDuration::from_millis(600),
             ));
+        }
+        if s.family == Family::Recovery {
+            // The recovered host's session plane is wiped, so every
+            // cookie stops validating after the restart; the resume
+            // machinery falls back to a fresh login and the scripted
+            // post-restart catch-ups land on the new session.
+            cfg = cfg.resume();
         }
         let mut writes = 0u64;
         for a in &u.actions {
@@ -405,6 +431,12 @@ pub fn run(scenario: &Scenario) -> RunResult {
                 _ => None,
             })
             .collect();
+        let catchup_fetches: Vec<(u64, Option<ArchiveSnapshot>, Vec<LogRecord>, u64)> = p
+            .catchup_fetches
+            .iter()
+            .filter(|(_, a, _, _, _)| *a == app)
+            .map(|(at, _, snap, recs, next)| (at.as_micros(), snap.clone(), recs.clone(), *next))
+            .collect();
         users.push(UserObservation {
             name: u.name.clone(),
             server: u.server,
@@ -435,6 +467,7 @@ pub fn run(scenario: &Scenario) -> RunResult {
             resume_fallbacks: p.resume_fallbacks,
             resumed_at_us: p.resumed_at.iter().map(|t| t.as_micros()).collect(),
             history_fetches,
+            catchup_fetches,
         });
     }
     let host_archive = c
@@ -443,6 +476,13 @@ pub fn run(scenario: &Scenario) -> RunResult {
         .archive()
         .fetch_app(app, 0)
         .0;
+    let (host_snapshots, host_next_seq) = c
+        .server_core(servers[0])
+        .expect("host server exists")
+        .archive()
+        .app_log(app)
+        .map(|log| (log.snapshots().to_vec(), log.next_seq()))
+        .unwrap_or_default();
     let parked_at_end: usize =
         servers.iter().map(|&srv| c.server_core(srv).map_or(0, |s| s.parked_count())).sum();
     let latecomer_fetches: Vec<Vec<LogRecord>> = late_node
@@ -507,6 +547,21 @@ pub fn run(scenario: &Scenario) -> RunResult {
         run_log.push_str(&format!("parked at end={parked_at_end}\n"));
     }
     run_log.push_str(&format!("archive len={}\n", host_archive.len()));
+    if s.snapshot_every.is_some() {
+        let seqs: Vec<String> = host_snapshots.iter().map(|sn| sn.seq.to_string()).collect();
+        run_log
+            .push_str(&format!("snapshots=[{}] next_seq={host_next_seq}\n", seqs.join(", ")));
+        for u in &users {
+            for (i, (at_us, snap, recs, next)) in u.catchup_fetches.iter().enumerate() {
+                run_log.push_str(&format!(
+                    "catchup {} {i}@{at_us}: snap={:?} tail={} next={next}\n",
+                    u.name,
+                    snap.as_ref().map(|sn| sn.seq),
+                    recs.len(),
+                ));
+            }
+        }
+    }
     for (i, f) in latecomer_fetches.iter().enumerate() {
         let first = f.first().map(|r| r.seq as i64).unwrap_or(-1);
         let last = f.last().map(|r| r.seq as i64).unwrap_or(-1);
@@ -519,6 +574,8 @@ pub fn run(scenario: &Scenario) -> RunResult {
         history,
         users,
         host_archive,
+        host_snapshots,
+        host_next_seq,
         latecomer_fetches,
         parked_at_end,
         flight,

@@ -45,17 +45,24 @@ pub enum Family {
     /// the application streams updates; checked for bounded parked-FIFO
     /// shed work and resume-replay equivalence.
     SlowConsumer,
+    /// Snapshotting archive with a flash crowd of catch-up viewers and
+    /// a host crash mid-run; the restarted host rebuilds from its
+    /// archive. Checked for snapshot cadence, torn-snapshot folds, and
+    /// catch-up replies byte-identical to the host archive before and
+    /// after the recovery.
+    Recovery,
 }
 
 impl Family {
     /// All families, in canonical order.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 7] = [
         Family::Locks,
         Family::Acl,
         Family::Replay,
         Family::Churn,
         Family::FlashCrowd,
         Family::SlowConsumer,
+        Family::Recovery,
     ];
 
     /// Stable lowercase name (CLI + logs).
@@ -67,6 +74,7 @@ impl Family {
             Family::Churn => "churn",
             Family::FlashCrowd => "flashcrowd",
             Family::SlowConsumer => "slowconsumer",
+            Family::Recovery => "recovery",
         }
     }
 
@@ -91,6 +99,9 @@ pub enum ActionKind {
     SetParam,
     /// Lifecycle command (requires Steer).
     Command,
+    /// Snapshot-aware archive catch-up from sequence 0 (nearest
+    /// snapshot + tail instead of a full-log replay).
+    CatchUp,
 }
 
 impl ActionKind {
@@ -103,6 +114,7 @@ impl ActionKind {
             ActionKind::GetSensors => "getSensors",
             ActionKind::SetParam => "setParam",
             ActionKind::Command => "command",
+            ActionKind::CatchUp => "catchUp",
         }
     }
 }
@@ -248,6 +260,16 @@ pub struct Scenario {
     /// Arm the test-only reclaim-disable fault: parked sessions never
     /// expire (mutation check: the reclaim oracle must catch the leak).
     pub fault_no_reclaim: bool,
+    /// Archive snapshot interval in records (recovery family); `None`
+    /// leaves periodic snapshotting off.
+    pub snapshot_every: Option<u64>,
+    /// Rebuild collab/session/lock state from the archive when a server
+    /// restarts after a crash (recovery family).
+    pub recover_from_archive: bool,
+    /// Arm the test-only snapshot-skip fault: due snapshots are silently
+    /// dropped (mutation check: the snapshot oracle must catch the
+    /// broken cadence).
+    pub fault_skip_snapshot: bool,
 }
 
 /// Minimum spacing between one user's consecutive actions, ms.
@@ -271,6 +293,7 @@ impl Scenario {
             Family::Churn => 0x4348_5552,
             Family::FlashCrowd => 0x464c_4153,
             Family::SlowConsumer => 0x534c_4f57,
+            Family::Recovery => 0x5245_4356,
         };
         let mut rng = StdRng::seed_from_u64(seed ^ salt);
         match family {
@@ -280,6 +303,7 @@ impl Scenario {
             Family::Churn => Self::gen_churn(seed, &mut rng),
             Family::FlashCrowd => Self::gen_flashcrowd(seed, &mut rng),
             Family::SlowConsumer => Self::gen_slowconsumer(seed, &mut rng),
+            Family::Recovery => Self::gen_recovery(seed, &mut rng),
         }
     }
 
@@ -359,6 +383,9 @@ impl Scenario {
             coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -465,6 +492,9 @@ impl Scenario {
             coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -547,6 +577,9 @@ impl Scenario {
             coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -609,6 +642,9 @@ impl Scenario {
             coalesce_fifo,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -651,6 +687,9 @@ impl Scenario {
             coalesce_fifo,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -689,6 +728,112 @@ impl Scenario {
             coalesce_fifo,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
+        }
+    }
+
+    /// Snapshotting archive under a crash: one steerer writes params
+    /// before the host crashes mid-run; a small flash crowd of viewers
+    /// issues snapshot-aware catch-up fetches both before the crash and
+    /// after the restart-from-archive recovery. The snapshot oracle
+    /// checks cadence, fold consistency, and byte-identical catch-up
+    /// service across the outage.
+    fn gen_recovery(seed: u64, rng: &mut StdRng) -> Scenario {
+        let crash_ms = rng.gen_range(10_000u64..=13_000);
+        let restart_ms = crash_ms + rng.gen_range(2000u64..=4000);
+        let mut users = Vec::new();
+        // The steerer's whole script lands before the crash, so the
+        // archive the recovery rebuilds from already holds its writes.
+        let mut actions = vec![Action { at_ms: FIRST_ACTION_MS, kind: ActionKind::Acquire }];
+        let mut at = FIRST_ACTION_MS;
+        for _ in 0..rng.gen_range(2usize..=4) {
+            at += rng.gen_range(MIN_GAP_MS..=MAX_GAP_MS);
+            if at + 1000 >= crash_ms {
+                break;
+            }
+            actions.push(Action { at_ms: at, kind: ActionKind::SetParam });
+        }
+        users.push(UserSpec {
+            name: "u0".into(),
+            privilege: Some(Privilege::Steer),
+            server: 0,
+            actions,
+        });
+        // Flash-crowd viewers: one catch-up well before the crash and
+        // one well after the restart, so both the live and the
+        // recovered host serve snapshot + tail.
+        let n_viewers = rng.gen_range(2usize..=4);
+        for v in 0..n_viewers {
+            let pre_ms = rng.gen_range(5000u64..crash_ms - 2000);
+            let post_ms = restart_ms + 4000 + rng.gen_range(0u64..=2000);
+            users.push(UserSpec {
+                name: format!("v{v}"),
+                privilege: Some(Privilege::ReadOnly),
+                server: 0,
+                actions: vec![
+                    Action { at_ms: pre_ms, kind: ActionKind::CatchUp },
+                    Action { at_ms: post_ms, kind: ActionKind::CatchUp },
+                ],
+            });
+        }
+        let mut faults = FaultSpec::default();
+        faults.crashes.push(CrashSpec { server: 0, at_ms: crash_ms, restart_ms });
+        Scenario {
+            seed,
+            family: Family::Recovery,
+            n_servers: 1,
+            users,
+            admin: Vec::new(),
+            faults,
+            lock_lease_ms: 8000,
+            horizon_ms: restart_ms + 12_000,
+            app_iterations: None,
+            latecomer: None,
+            churn: None,
+            coalesce_fifo: false,
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+            snapshot_every: Some(rng.gen_range(4u64..=8)),
+            recover_from_archive: true,
+            fault_skip_snapshot: false,
+        }
+    }
+
+    /// The crafted snapshot mutation-check scenario: periodic
+    /// snapshotting is configured but the test-only skip fault drops
+    /// every due snapshot. A correct archive snapshots once per
+    /// interval; the buggy one never does, which the snapshot oracle
+    /// reports as a broken cadence.
+    pub fn mutation_snapshot(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            family: Family::Recovery,
+            n_servers: 1,
+            users: vec![UserSpec {
+                name: "u0".into(),
+                privilege: Some(Privilege::Steer),
+                server: 0,
+                actions: vec![
+                    Action { at_ms: 1500, kind: ActionKind::Acquire },
+                    Action { at_ms: 3200, kind: ActionKind::SetParam },
+                    Action { at_ms: 5000, kind: ActionKind::SetParam },
+                ],
+            }],
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 60_000,
+            horizon_ms: 10_000,
+            app_iterations: None,
+            latecomer: None,
+            churn: None,
+            coalesce_fifo: false,
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+            snapshot_every: Some(2),
+            recover_from_archive: false,
+            fault_skip_snapshot: true,
         }
     }
 
@@ -725,6 +870,9 @@ impl Scenario {
             coalesce_fifo: false,
             fault_double_grant: false,
             fault_no_reclaim: true,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -762,6 +910,9 @@ impl Scenario {
             coalesce_fifo: false,
             fault_double_grant: true,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 
@@ -794,6 +945,15 @@ impl Scenario {
         }
         if self.fault_no_reclaim {
             out.push_str(" FAULT=no-reclaim");
+        }
+        if let Some(every) = self.snapshot_every {
+            out.push_str(&format!(" snapshot-every={every}"));
+        }
+        if self.recover_from_archive {
+            out.push_str(" recover-from-archive");
+        }
+        if self.fault_skip_snapshot {
+            out.push_str(" FAULT=skip-snapshot");
         }
         if let Some(iters) = self.app_iterations {
             out.push_str(&format!(" app-iterations={iters}"));
@@ -916,6 +1076,34 @@ mod tests {
                     }
                 }
             }
+
+            let rec = Scenario::generate(Family::Recovery, seed);
+            assert!(rec.snapshot_every.is_some());
+            assert!(rec.recover_from_archive);
+            assert!(!rec.fault_skip_snapshot);
+            assert_eq!(rec.faults.crashes.len(), 1, "seed {seed}: one host crash");
+            let crash = rec.faults.crashes[0];
+            assert_eq!(crash.server, 0, "recovery crashes the host");
+            assert!(crash.restart_ms + 10_000 <= rec.horizon_ms);
+            for u in &rec.users {
+                for a in &u.actions {
+                    if a.kind == ActionKind::CatchUp {
+                        // Catch-ups land well clear of the outage window
+                        // (their replies must not be lost mid-crash).
+                        assert!(
+                            a.at_ms + 2000 <= crash.at_ms || a.at_ms >= crash.restart_ms + 4000,
+                            "seed {seed}: catch-up at {}ms inside the outage window",
+                            a.at_ms
+                        );
+                    } else {
+                        assert!(
+                            a.at_ms + 1000 <= crash.at_ms,
+                            "seed {seed}: steering action at {}ms too close to the crash",
+                            a.at_ms
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -931,7 +1119,7 @@ mod tests {
             assert!(flags.iter().any(|&f| f), "{family:?} never enables coalescing");
             assert!(flags.iter().any(|&f| !f), "{family:?} always enables coalescing");
         }
-        for family in [Family::Locks, Family::Acl, Family::Replay] {
+        for family in [Family::Locks, Family::Acl, Family::Replay, Family::Recovery] {
             for s in 0..10u64 {
                 assert!(!Scenario::generate(family, s).coalesce_fifo);
             }
@@ -943,6 +1131,16 @@ mod tests {
         let s = Scenario::mutation(1);
         assert!(s.fault_double_grant);
         assert!(s.event_count() <= 10);
+    }
+
+    #[test]
+    fn snapshot_mutation_scenario_is_tiny() {
+        let s = Scenario::mutation_snapshot(1);
+        assert!(s.fault_skip_snapshot);
+        assert!(s.snapshot_every.is_some());
+        assert!(s.event_count() <= 10);
+        // No crash: the cadence break alone must trip the oracle.
+        assert!(s.faults.crashes.is_empty());
     }
 
     #[test]

@@ -63,6 +63,26 @@ fn mutation_disabled_passes_cleanly() {
 }
 
 #[test]
+fn mutation_skipped_snapshot_is_detected() {
+    // With the skip fault armed the snapshot oracle must fire on the
+    // broken cadence…
+    let scenario = Scenario::mutation_snapshot(1);
+    assert!(scenario.fault_skip_snapshot);
+    let violations = check_run(&run(&scenario));
+    assert!(
+        violations.iter().any(|v| v.oracle == "snapshot"),
+        "skipped snapshots not detected; violations: {violations:?}"
+    );
+
+    // …and the identical scenario without the fault must satisfy every
+    // oracle, including the cadence equality it just tripped.
+    let mut clean = scenario.clone();
+    clean.fault_skip_snapshot = false;
+    let violations = check_run(&run(&clean));
+    assert!(violations.is_empty(), "clean snapshotting run flagged: {violations:?}");
+}
+
+#[test]
 fn seeds_run_deterministically_and_cleanly() {
     // A slice of each family: same seed → byte-identical run log, and
     // no oracle fires on the unmodified stack. (The CI job sweeps a

@@ -13,8 +13,9 @@ use std::collections::{BTreeMap, VecDeque};
 use simnet::{names, Actor, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::http::HttpRequest;
 use wire::{
-    AppId, AppOp, ClientMessage, ClientRequest, Content, DeadlineStamp, Envelope, ErrorCode,
-    MessageKind, Priority, ResponseBody, StatusReport, UpdateBody, UserId, Value,
+    AppId, AppOp, ArchiveSnapshot, ClientMessage, ClientRequest, Content, DeadlineStamp,
+    Envelope, ErrorCode, LogRecord, MessageKind, Priority, ResponseBody, StatusReport,
+    UpdateBody, UserId, Value,
 };
 
 const TAG_LOGIN: u64 = 1;
@@ -230,6 +231,11 @@ impl PortalConfig {
     }
 }
 
+/// One snapshot-aware catch-up reply as observed by a portal: arrival
+/// time, app, the snapshot ridden (if any), the delta tail, and the
+/// next sequence to read from.
+pub type CatchUpFetch = (SimTime, AppId, Option<ArchiveSnapshot>, Vec<LogRecord>, u64);
+
 /// The portal actor.
 pub struct Portal {
     /// Configuration.
@@ -281,6 +287,11 @@ pub struct Portal {
     pub resume_fallbacks: u64,
     /// Completion time of each successful resume.
     pub resumed_at: Vec<SimTime>,
+    /// Every snapshot-aware catch-up reply received: arrival time, app,
+    /// the snapshot ridden (if any), the delta tail, and the next
+    /// sequence to read from. The flash-crowd oracles compare these
+    /// against the host's archive.
+    pub catchup_fetches: Vec<CatchUpFetch>,
     /// Every status report received, with its arrival time.
     pub status_reports: Vec<(SimTime, StatusReport)>,
     /// Issue times of in-flight status probes (replies arrive in FIFO
@@ -316,6 +327,7 @@ impl Portal {
             resumes_ok: 0,
             resume_fallbacks: 0,
             resumed_at: Vec::new(),
+            catchup_fetches: Vec::new(),
             status_reports: Vec::new(),
             status_outstanding: VecDeque::new(),
         }
@@ -584,6 +596,24 @@ impl Portal {
             ClientMessage::Response(ResponseBody::History { app, next_seq, .. }) => {
                 // Archive read cursor: the next suffix replay starts here.
                 self.cursors.insert(*app, *next_seq);
+            }
+            ClientMessage::Response(ResponseBody::CatchUp {
+                app,
+                snapshot,
+                records,
+                next_seq,
+            }) => {
+                // Snapshot-aware catch-up: the cursor advances exactly as
+                // a History reply would; the snapshot + tail themselves
+                // are kept for the flash-crowd oracles.
+                self.cursors.insert(*app, *next_seq);
+                self.catchup_fetches.push((
+                    at,
+                    *app,
+                    snapshot.clone(),
+                    records.clone(),
+                    *next_seq,
+                ));
             }
             ClientMessage::Response(ResponseBody::Resumed { apps, .. }) if self.resuming => {
                 self.resuming = false;

@@ -111,6 +111,10 @@ impl Actor<Envelope> for DiscoverNode {
         ctx.metrics().incr(names::NODE_RESTARTS);
         // The crashed incarnation's outstanding calls and subscriptions
         // are gone; re-register like the paper's daemon would on reboot.
+        // When restart-from-archive is configured, the core first wipes
+        // its volatile session plane and rebuilds proxy state (status,
+        // readings, lock holder) from the archive's folded snapshots.
+        self.core.recover_from_archive(ctx);
         self.substrate.on_restart();
         self.substrate.publish_self(ctx);
         let local = self.core.local_app_ids();

@@ -149,6 +149,15 @@ impl CollabGroups {
     pub fn total_memberships(&self) -> usize {
         self.members.values().map(BTreeSet::len).sum()
     }
+
+    /// Forget every membership, subgroup and mute flag (crash recovery:
+    /// the restarted server's clients must log in and re-select their
+    /// applications, so stale membership must not leak into fan-out).
+    pub fn reset(&mut self) {
+        self.members.clear();
+        self.subgroups.clear();
+        self.muted.clear();
+    }
 }
 
 #[cfg(test)]

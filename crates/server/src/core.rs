@@ -127,6 +127,29 @@ pub struct ServerConfig {
     /// the lease-reclamation oracle exists to catch. Never set in
     /// production configs.
     pub fault_no_reclaim: bool,
+    /// Periodic archive snapshots: every N appended records per app log,
+    /// the current delta segment closes and a folded-state snapshot is
+    /// taken, so latecomer catch-up is nearest-snapshot + tail (O(N))
+    /// instead of a full-log replay (O(session length)). `None` = no
+    /// snapshots, the paper's plain archive.
+    pub snapshot_every: Option<u64>,
+    /// Compact closed delta segments: superseded view-class records
+    /// (status, readings, params, lock transitions) are dropped when a
+    /// later record in the same closed segment overwrites them. Only
+    /// meaningful with `snapshot_every`; event-class records (chat,
+    /// whiteboard, commands) are never compacted.
+    pub compact_closed_segments: bool,
+    /// Restart-from-archive: `on_restart` wipes the volatile session
+    /// plane and rebuilds each local app's proxy context (status,
+    /// readings, lock holder) from its archive's folded state, so a
+    /// crash mid-session recovers byte-identically instead of resetting.
+    /// Returning clients are paced through `resume_rate_limit`.
+    pub recover_from_archive: bool,
+    /// Test-only fault injection: segments close on schedule but the
+    /// snapshot itself is silently dropped — exactly the coverage gap
+    /// the snapshot-consistency oracle exists to catch. Never set in
+    /// production configs.
+    pub fault_skip_snapshot: bool,
 }
 
 impl ServerConfig {
@@ -155,6 +178,10 @@ impl ServerConfig {
             overload_retry_after_ms: 500,
             fault_double_grant: false,
             fault_no_reclaim: false,
+            snapshot_every: None,
+            compact_closed_segments: false,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
         }
     }
 }
@@ -340,11 +367,19 @@ pub struct ServerCore {
     /// borrows this one allocation instead of collecting a fresh
     /// `Vec<ClientId>` per update.
     fanout_scratch: Vec<ClientId>,
+    /// Restart-from-archive recoveries executed so far (status page).
+    recoveries: u64,
+    /// Local apps whose proxy context was rebuilt in the last recovery.
+    recovered_apps: u32,
 }
 
 impl ServerCore {
     /// Create a server core.
     pub fn new(config: ServerConfig) -> Self {
+        let mut archive = ArchiveStore::new();
+        archive.snapshot_every = config.snapshot_every;
+        archive.compact_closed_segments = config.compact_closed_segments;
+        archive.fault_skip_snapshot = config.fault_skip_snapshot;
         ServerCore {
             config,
             sessions: SessionTable::new(),
@@ -359,7 +394,7 @@ impl ServerCore {
             next_request: 0,
             origins: HashMap::new(),
             collab: CollabGroups::new(),
-            archive: ArchiveStore::new(),
+            archive,
             records: RecordStore::new(),
             subscribers: HashMap::new(),
             remote_apps: HashMap::new(),
@@ -374,6 +409,8 @@ impl ServerCore {
             peer_status: Vec::new(),
             flush_scratch: Vec::new(),
             fanout_scratch: Vec::new(),
+            recoveries: 0,
+            recovered_apps: 0,
         }
     }
 
@@ -493,13 +530,20 @@ impl ServerCore {
         let mut apps: Vec<AppStatusEntry> = self
             .apps
             .values()
-            .map(|p| AppStatusEntry {
-                app: p.app,
-                name: p.name.clone(),
-                phase: p.phase,
-                lock_holder: p.lock.holder().cloned(),
-                buffered: p.buffered.len() as u32,
-                shed_total: p.shed_total(),
+            .map(|p| {
+                let log = self.archive.app_log(p.app);
+                AppStatusEntry {
+                    app: p.app,
+                    name: p.name.clone(),
+                    phase: p.phase,
+                    lock_holder: p.lock.holder().cloned(),
+                    buffered: p.buffered.len() as u32,
+                    shed_total: p.shed_total(),
+                    archive_records: log.map(|l| l.len() as u64).unwrap_or(0),
+                    archive_snapshots: log.map(|l| l.snapshots().len() as u32).unwrap_or(0),
+                    archive_compacted: log.map(|l| l.compacted()).unwrap_or(0),
+                    db_records: self.records.count_for_app(p.app),
+                }
             })
             .collect();
         apps.sort_by_key(|a| a.app);
@@ -524,6 +568,8 @@ impl ServerCore {
             apps,
             fifos,
             peers: self.peer_status.clone(),
+            recovered_apps: self.recovered_apps,
+            recoveries: self.recoveries,
         }
     }
 
@@ -558,6 +604,24 @@ impl ServerCore {
             if peak_growth > 0 {
                 ctx.metrics().add(names::WEBSERV_FIFO_PEAK, peak_growth as u64);
             }
+        }
+    }
+
+    /// Append to an app's archive log, folding the archival tick
+    /// (snapshot taken / records compacted) into the node's metrics.
+    fn log_app_metered(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        app: AppId,
+        user: Option<UserId>,
+        entry: LogEntry,
+    ) {
+        let tick = self.archive.log_app(app, ctx.now(), user, entry);
+        if tick.snapshot_taken {
+            ctx.metrics().incr(names::SERVER_ARCHIVE_SNAPSHOTS);
+        }
+        if tick.compacted > 0 {
+            ctx.metrics().add(names::SERVER_ARCHIVE_COMPACTED, tick.compacted);
         }
     }
 
@@ -630,7 +694,7 @@ impl ServerCore {
                 proxy.push_update(update.clone(), origin_peer);
                 reuses += 1;
             }
-            self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
+            self.log_app_metered(ctx, app, None, LogEntry::Update(update.clone()));
             reuses += 1;
             let peers: Vec<ServerAddr> = self
                 .subscribers
@@ -837,7 +901,7 @@ impl ServerCore {
                     Err(e) => LogEntry::Error(e.clone()),
                 };
                 self.archive.log_client(client, app, ctx.now(), Some(user.clone()), entry.clone());
-                self.archive.log_app(app, ctx.now(), Some(user.clone()), entry);
+                self.log_app_metered(ctx, app, Some(user.clone()), entry);
                 match result {
                     Ok(outcome) => {
                         self.fifo_push(
@@ -858,7 +922,7 @@ impl ServerCore {
                     Ok(outcome) => LogEntry::Response(outcome.clone()),
                     Err(e) => LogEntry::Error(e.clone()),
                 };
-                self.archive.log_app(app, ctx.now(), Some(user.clone()), entry);
+                self.log_app_metered(ctx, app, Some(user.clone()), entry);
                 let env = Envelope::giop(GiopFrame::reply(
                     giop_id,
                     ObjectKey::new(CORBA_SERVER_KEY),
@@ -1147,6 +1211,31 @@ impl ServerCore {
                     vec![Self::error(ErrorCode::AccessDenied, "select the application first")]
                 }
             }
+            Some(ClientRequest::CatchUp { app, since }) => {
+                // Snapshot-aware latecomer path: nearest snapshot ahead of
+                // the cursor + the delta tail from its boundary, so the
+                // reply is O(snapshot interval), not O(session length).
+                // Falls back to a plain suffix when no snapshot helps.
+                if app.host() == self.config.addr {
+                    ctx.metrics().incr(names::SERVER_CATCHUP_REQUESTS);
+                    let (snapshot, records, next_seq) = self.archive.catch_up_app(app, since);
+                    if snapshot.is_some() {
+                        ctx.metrics().incr(names::SERVER_CATCHUP_SNAPSHOT_HITS);
+                    }
+                    ctx.metrics().add(names::SERVER_CATCHUP_RECORDS, records.len() as u64);
+                    vec![ClientMessage::Response(ResponseBody::CatchUp {
+                        app,
+                        snapshot,
+                        records,
+                        next_seq,
+                    })]
+                } else if self.collab.is_member(app, client) {
+                    effects.push(Effect::RemoteHistory { client, app, since });
+                    vec![ClientMessage::Response(ResponseBody::Accepted)]
+                } else {
+                    vec![Self::error(ErrorCode::AccessDenied, "select the application first")]
+                }
+            }
             Some(ClientRequest::GetMyLog { app, since }) => {
                 // Client logs live at the client's local server regardless
                 // of where the application is hosted (§5.2.5).
@@ -1301,13 +1390,32 @@ impl ServerCore {
                 continue;
             }
             if app.host() == self.config.addr {
-                let (records, next_seq) = self.archive.fetch_app(app, since);
-                ctx.metrics().add(names::SERVER_RESUME_REPLAYED, records.len() as u64);
-                body.push(ClientMessage::Response(ResponseBody::History {
-                    app,
-                    records,
-                    next_seq,
-                }));
+                // Snapshot-aware resume: when the archive keeps snapshots
+                // and one sits ahead of the cursor, the missed suffix
+                // ships as snapshot + tail instead of a full delta replay.
+                // Without snapshots (the default) this is byte-identical
+                // to the plain paged History path.
+                let snapshot_helps = self.config.snapshot_every.is_some()
+                    && self.archive.latest_snapshot_seq(app).is_some_and(|s| s > since);
+                if snapshot_helps {
+                    let (snapshot, records, next_seq) = self.archive.catch_up_app(app, since);
+                    ctx.metrics().incr(names::SERVER_CATCHUP_SNAPSHOT_HITS);
+                    ctx.metrics().add(names::SERVER_RESUME_REPLAYED, records.len() as u64);
+                    body.push(ClientMessage::Response(ResponseBody::CatchUp {
+                        app,
+                        snapshot,
+                        records,
+                        next_seq,
+                    }));
+                } else {
+                    let (records, next_seq) = self.archive.fetch_app(app, since);
+                    ctx.metrics().add(names::SERVER_RESUME_REPLAYED, records.len() as u64);
+                    body.push(ClientMessage::Response(ResponseBody::History {
+                        app,
+                        records,
+                        next_seq,
+                    }));
+                }
             } else if self.collab.is_member(app, client) {
                 effects.push(Effect::RemoteHistory { client, app, since });
             }
@@ -1522,12 +1630,7 @@ impl ServerCore {
                 Some(user.clone()),
                 LogEntry::Request(op.clone()),
             );
-            self.archive.log_app(
-                app,
-                ctx.now(),
-                Some(user.clone()),
-                LogEntry::Request(op.clone()),
-            );
+            self.log_app_metered(ctx, app, Some(user.clone()), LogEntry::Request(op.clone()));
             self.origins
                 .insert(req, OpOrigin::Local { client, user: user.clone(), app });
             ctx.record_history(
@@ -1763,7 +1866,7 @@ impl ServerCore {
             AppMsg::Update { app, status, readings } => {
                 if let Some(proxy) = self.apps.get_mut(&app) {
                     proxy.apply_status(status.clone(), readings.clone());
-                    self.archive.log_app(app, ctx.now(), None, LogEntry::Status(status.clone()));
+                    self.log_app_metered(ctx, app, None, LogEntry::Status(status.clone()));
                     // Periodic data records owned by the app's owner, with
                     // read-only grants for the ACL users (§6.3).
                     let counter = self.update_counter.entry(app).or_insert(0);
@@ -1882,7 +1985,7 @@ impl ServerCore {
             self.fifo_push(ctx, c, ClientMessage::Update(update.clone()));
             reuses += 1;
         }
-        self.archive.log_app(app, ctx.now(), None, LogEntry::Update(update.clone()));
+        self.log_app_metered(ctx, app, None, LogEntry::Update(update.clone()));
         reuses += 1;
         let peers: Vec<ServerAddr> =
             self.subscribers.remove(&app).map(|s| s.into_iter().collect()).unwrap_or_default();
@@ -2044,12 +2147,7 @@ impl ServerCore {
                     return effects;
                 }
                 let req = self.alloc_request();
-                self.archive.log_app(
-                    app,
-                    ctx.now(),
-                    Some(user.clone()),
-                    LogEntry::Request(op.clone()),
-                );
+                self.log_app_metered(ctx, app, Some(user.clone()), LogEntry::Request(op.clone()));
                 self.origins.insert(
                     req,
                     OpOrigin::Peer { node: from, giop_id: request_id, operation, app, user },
@@ -2533,6 +2631,70 @@ impl ServerCore {
         );
         self.parked
             .insert(session.cookie, ParkedSession { parked_at: ctx.now(), cursors, session });
+    }
+
+    /// Restart-from-archive crash recovery (gated on
+    /// `ServerConfig::recover_from_archive`; a no-op otherwise). Called
+    /// from the node shell's `on_restart`: the volatile session plane —
+    /// sessions, parked leases, FIFOs, collaboration groups, in-flight
+    /// operations, remote caches — is wiped (a restarted server has no
+    /// RAM), and each local application's proxy context is rebuilt from
+    /// the archive's folded state: cached status and readings via
+    /// `apply_status`, and the steering lock re-granted to the folded
+    /// holder. Clients recover through the existing resume path: their
+    /// cookie stops validating, the resume answers `SessionExpired`, and
+    /// the fallback login storm is paced by `resume_rate_limit` — the
+    /// same admission limiter that tames flash crowds of latecomers.
+    pub fn recover_from_archive(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if !self.config.recover_from_archive {
+            return;
+        }
+        let dropped_sessions = self.sessions.clear();
+        self.parked.clear();
+        self.resume_accounting = (0, 0);
+        self.cookie_of_client.clear();
+        self.fifos.clear();
+        self.origins.clear();
+        self.collab.reset();
+        self.subscribers.clear();
+        self.remote_apps.clear();
+        self.remote_privs.clear();
+        self.update_counter.clear();
+        self.peer_accounting.clear();
+        self.req_traces.clear();
+        self.deferred.clear();
+        let now = ctx.now();
+        let mut recovered = 0u32;
+        for app in self.archive.archived_apps() {
+            if app.host() != self.config.addr {
+                continue;
+            }
+            let Some(log) = self.archive.app_log(app) else { continue };
+            let folded = log.folded().clone();
+            let Some(proxy) = self.apps.get_mut(&app) else { continue };
+            // Any lock the crashed incarnation held is rebuilt from the
+            // folded transition history, not from volatile memory.
+            proxy.lock.force_release();
+            if let Some(status) = folded.status {
+                proxy.apply_status(status, folded.readings);
+            }
+            if !folded.closed {
+                if let Some(holder) = folded.lock_holder {
+                    let _ = proxy.lock.try_acquire(&holder, now);
+                }
+            }
+            recovered += 1;
+        }
+        self.recoveries += 1;
+        self.recovered_apps = recovered;
+        ctx.metrics().incr(names::SERVER_RECOVERIES);
+        ctx.metrics().add(names::SERVER_RECOVERED_APPS, recovered as u64);
+        ctx.record_history(
+            "server.recovered",
+            "",
+            "",
+            format!("apps={recovered} sessions_dropped={dropped_sessions}"),
+        );
     }
 
     /// Full teardown of a session already removed from the live table:

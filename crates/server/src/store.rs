@@ -126,6 +126,12 @@ impl RecordStore {
         self.records.len()
     }
 
+    /// Number of stored records for one application (archive-pressure
+    /// reporting in `StatusReport`).
+    pub fn count_for_app(&self, app: AppId) -> u64 {
+        self.records.values().filter(|r| r.app == app).count() as u64
+    }
+
     /// True if the store is empty.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()

@@ -211,6 +211,22 @@ pub mod names {
     pub const WEBSERV_FIFO_COALESCED: CounterDef = CounterDef("webserv.fifo.coalesced");
     /// Read-only status snapshots served (`ClientRequest::Status`).
     pub const SERVER_STATUS_REQUESTS: CounterDef = CounterDef("server.status.requests");
+    /// Archive snapshots taken at segment boundaries.
+    pub const SERVER_ARCHIVE_SNAPSHOTS: CounterDef = CounterDef("server.archive.snapshots");
+    /// Superseded view-class records dropped by closed-segment compaction.
+    pub const SERVER_ARCHIVE_COMPACTED: CounterDef = CounterDef("server.archive.compacted");
+    /// Snapshot-aware catch-up requests served (`ClientRequest::CatchUp`).
+    pub const SERVER_CATCHUP_REQUESTS: CounterDef = CounterDef("server.catchup.requests");
+    /// Catch-up responses that rode a snapshot instead of a full prefix.
+    pub const SERVER_CATCHUP_SNAPSHOT_HITS: CounterDef =
+        CounterDef("server.catchup.snapshot_hits");
+    /// Tail records shipped in catch-up responses (bounded by the
+    /// snapshot interval, not the session length — the E19 observable).
+    pub const SERVER_CATCHUP_RECORDS: CounterDef = CounterDef("server.catchup.records");
+    /// Restart-from-archive recoveries executed by a server core.
+    pub const SERVER_RECOVERIES: CounterDef = CounterDef("server.recoveries");
+    /// Local applications whose proxy state was rebuilt from the archive.
+    pub const SERVER_RECOVERED_APPS: CounterDef = CounterDef("server.recovered_apps");
 
     // -- substrate (CORBA-ish middleware layer) --------------------------
     /// Trader/directory discovery queries issued.
@@ -373,6 +389,13 @@ pub mod names {
         WEBSERV_FIFO_PEAK.0,
         WEBSERV_FIFO_COALESCED.0,
         SERVER_STATUS_REQUESTS.0,
+        SERVER_ARCHIVE_SNAPSHOTS.0,
+        SERVER_ARCHIVE_COMPACTED.0,
+        SERVER_CATCHUP_REQUESTS.0,
+        SERVER_CATCHUP_SNAPSHOT_HITS.0,
+        SERVER_CATCHUP_RECORDS.0,
+        SERVER_RECOVERIES.0,
+        SERVER_RECOVERED_APPS.0,
         SUBSTRATE_DISCOVERY_QUERIES.0,
         SUBSTRATE_DISCOVERY_PEERS_FOUND.0,
         SUBSTRATE_REBINDS.0,

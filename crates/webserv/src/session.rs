@@ -99,6 +99,16 @@ impl SessionTable {
         dead.into_iter().filter_map(|k| self.sessions.remove(&k)).collect()
     }
 
+    /// Drop every live session at once (crash recovery: a restarted
+    /// server's session plane is volatile, so all cookies stop
+    /// validating and clients fall back to resume-or-login). Returns the
+    /// number dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.sessions.len();
+        self.sessions.clear();
+        n
+    }
+
     /// Number of live sessions.
     pub fn len(&self) -> usize {
         self.sessions.len()
@@ -175,6 +185,17 @@ mod tests {
         table.create(&mut rng, UserId::new("a"), client(1), SimTime::ZERO);
         table.create(&mut rng, UserId::new("b"), client(2), SimTime::ZERO);
         assert_eq!(table.users().len(), 2);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut table = SessionTable::new();
+        for i in 0..3 {
+            table.create(&mut rng, UserId::new("u"), client(i), SimTime::ZERO);
+        }
+        assert_eq!(table.clear(), 3);
+        assert!(table.is_empty());
     }
 
     #[test]

@@ -209,6 +209,31 @@ pub fn encode<T: Serialize>(value: &T) -> Bytes {
     bytes
 }
 
+/// FNV-1a digest over the exact bytes [`encode`] would produce, without
+/// touching the encode pool or the hot-path stats ledger. The archive
+/// fold digests every event-class record it absorbs; that bookkeeping
+/// must not register as wire traffic (the encode-once gates count
+/// every [`encode`] call), so the digest walks the same serializer into
+/// a private scratch buffer and hashes it in place.
+pub fn digest_fnv1a<T: Serialize>(value: &T) -> u64 {
+    thread_local! {
+        static SCRATCH: Cell<Option<BytesMut>> = const { Cell::new(None) };
+    }
+    let mut buf =
+        SCRATCH.with(|c| c.take()).unwrap_or_else(|| BytesMut::with_capacity(POOL_BUF_CAPACITY));
+    buf.clear();
+    value
+        .serialize(&mut DbpSerializer { out: &mut buf, splice_armed: false })
+        .expect("DBP serialization is infallible for wire types");
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in buf.as_ref() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    SCRATCH.with(|c| c.set(Some(buf)));
+    hash
+}
+
 /// Byte length `encode(value)` would produce, without allocating it.
 pub fn encoded_len<T: Serialize>(value: &T) -> usize {
     let mut counter = SizeCounter { len: 0, splice_armed: false };
@@ -1101,6 +1126,23 @@ mod tests {
         roundtrip(&Sample::New(99));
         roundtrip(&Sample::Tup(1, "x".into()));
         roundtrip(&Sample::Struct { a: -5, b: Some(0.5), c: vec![true, false] });
+    }
+
+    #[test]
+    fn digest_matches_encode_bytes_and_stays_off_the_ledger() {
+        let v = Sample::Struct { a: -5, b: Some(0.5), c: vec![true, false, true] };
+        let mut expect = 0xcbf2_9ce4_8422_2325u64;
+        for &b in encode(&v).as_ref() {
+            expect ^= u64::from(b);
+            expect = expect.wrapping_mul(0x100_0000_01b3);
+        }
+        let before = stats();
+        assert_eq!(digest_fnv1a(&v), expect, "digest must hash the exact encode bytes");
+        let after = stats();
+        assert_eq!(after.encode_calls, before.encode_calls, "digest must not count as an encode");
+        assert_eq!(after.bytes_encoded, before.bytes_encoded);
+        assert_eq!(after.pool_hits, before.pool_hits, "digest must not touch the encode pool");
+        assert_eq!(after.pool_misses, before.pool_misses);
     }
 
     #[test]

@@ -36,10 +36,10 @@ pub use ids::{
     UserId,
 };
 pub use messages::{
-    AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, AppStatusEntry, Channel,
-    ClientMessage, ClientRequest, ControlEvent, ControlEventKind, ErrorCode, FifoStatusEntry,
-    InteractionSpec, JobSpec, LogEntry, LogRecord, MessageKind, OpOutcome, PeerMsg, PeerReply,
-    PeerStatusEntry, ResponseBody, ServiceOffer, StatusReport, UpdateBody, UpdateKey,
-    WhiteboardStroke, WireError,
+    AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, AppStatusEntry,
+    ArchiveSnapshot, Channel, ClientMessage, ClientRequest, ControlEvent, ControlEventKind,
+    ErrorCode, FifoStatusEntry, FoldedAppState, InteractionSpec, JobSpec, LogEntry, LogRecord,
+    MessageKind, OpOutcome, PeerMsg, PeerReply, PeerStatusEntry, ResponseBody, ServiceOffer,
+    StatusReport, UpdateBody, UpdateKey, WhiteboardStroke, WireError,
 };
 pub use value::Value;

@@ -347,6 +347,17 @@ pub enum ClientRequest {
     /// free: it never mutates server state, and runs that never issue it
     /// are byte-identical to pre-Status builds.
     Status,
+    /// Snapshot-aware catch-up: like [`ClientRequest::GetHistory`], but
+    /// the host may answer with the nearest archived state snapshot plus
+    /// only the delta tail behind it, bounding the reply by the snapshot
+    /// interval instead of the session length.
+    CatchUp {
+        /// Target application.
+        app: AppId,
+        /// First log sequence number already known to the client (`0`
+        /// for a fresh latecomer).
+        since: u64,
+    },
 }
 
 /// Discriminator for [`ClientMessage`] — the reproduction of the paper's
@@ -495,6 +506,24 @@ pub enum ResponseBody {
     },
     /// Live status snapshot (reply to [`ClientRequest::Status`]).
     Status(StatusReport),
+    /// Snapshot-aware catch-up reply (reply to [`ClientRequest::CatchUp`]):
+    /// the nearest archived snapshot at or after the client's cursor, if
+    /// one helps, plus the delta records behind it. A client folds the
+    /// snapshot state and then applies the tail; the result is
+    /// byte-identical to folding the full log.
+    CatchUp {
+        /// The application.
+        app: AppId,
+        /// Nearest usable state snapshot (`None` = the tail alone covers
+        /// the request, e.g. the client's cursor is already past the
+        /// latest snapshot).
+        snapshot: Option<ArchiveSnapshot>,
+        /// Delta records from the snapshot boundary (or from `since`)
+        /// onward.
+        records: Vec<LogRecord>,
+        /// Sequence number to pass as `since` next time.
+        next_seq: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -516,6 +545,18 @@ pub struct AppStatusEntry {
     pub buffered: u32,
     /// Operations shed from the Daemon buffer over the app's lifetime.
     pub shed_total: u64,
+    // New fields are appended (never inserted) so DBP field indices of
+    // the fields above stay wire-stable across PRs.
+    /// Archived log records currently retained for this application
+    /// (post-compaction depth — the archive-pressure observable).
+    pub archive_records: u64,
+    /// State snapshots held in the application's archive.
+    pub archive_snapshots: u32,
+    /// View-class records compacted out of closed segments, lifetime.
+    pub archive_compacted: u64,
+    /// Session records stored for this application in the record
+    /// database.
+    pub db_records: u64,
 }
 
 /// One client FIFO's depth line inside a [`StatusReport`].
@@ -570,6 +611,13 @@ pub struct StatusReport {
     pub fifos: Vec<FifoStatusEntry>,
     /// Peer health and breaker states.
     pub peers: Vec<PeerStatusEntry>,
+    // New fields are appended (never inserted) so DBP field indices of
+    // the fields above stay wire-stable across PRs.
+    /// Sessions rebuilt from the archive by the most recent
+    /// restart-from-archive recovery (`0` = never recovered).
+    pub recovered_apps: u32,
+    /// Completed archive recoveries over the server's lifetime.
+    pub recoveries: u64,
 }
 
 impl StatusReport {
@@ -586,11 +634,26 @@ impl StatusReport {
             self.fifo_dropped,
             self.shed_total,
         );
+        if self.recoveries > 0 {
+            out.push_str(&format!(
+                "recovery: recoveries={} recovered_apps={}\n",
+                self.recoveries, self.recovered_apps
+            ));
+        }
         for a in &self.apps {
             let holder = a.lock_holder.as_ref().map_or("-", |u| u.as_str());
             out.push_str(&format!(
-                "app {} {} phase={:?} lock={} buffered={} shed={}\n",
-                a.app, a.name, a.phase, holder, a.buffered, a.shed_total
+                "app {} {} phase={:?} lock={} buffered={} shed={} archive={}r/{}s compacted={} db={}\n",
+                a.app,
+                a.name,
+                a.phase,
+                holder,
+                a.buffered,
+                a.shed_total,
+                a.archive_records,
+                a.archive_snapshots,
+                a.archive_compacted,
+                a.db_records
             ));
         }
         for f in &self.fifos {
@@ -1182,6 +1245,126 @@ pub enum LogEntry {
     Update(FrozenUpdate),
 }
 
+/// The folded (materialized) state of one application's archive: what a
+/// replay of the log up to some sequence number reconstructs.
+///
+/// View-class records (status, parameters, lock holder) fold latest-wins —
+/// exactly the [`UpdateBody::coalesce_key`] identity, so the fold is
+/// invariant under segment compaction by construction. Membership folds
+/// as a sorted set (joins and leaves are event-class and never compacted,
+/// so replaying them is exact). Everything event-like (requests,
+/// responses, errors, commands, chat, whiteboard, shared views, echoes)
+/// is history, not state: it folds to a count plus an order-sensitive
+/// digest of the records' wire encodings, which pins byte-identical
+/// replay without storing the events themselves.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct FoldedAppState {
+    /// Latest periodic status, if any was logged.
+    pub status: Option<AppStatus>,
+    /// Sensor readings accompanying the latest status.
+    pub readings: Vec<(String, Value)>,
+    /// Latest value per steered parameter, sorted by name.
+    pub params: Vec<(String, Value)>,
+    /// Steering-lock holder per the latest `LockChanged` (`None` = free).
+    pub lock_holder: Option<UserId>,
+    /// Collaboration-group members (joined minus left), sorted.
+    pub members: Vec<UserId>,
+    /// True once an `AppClosed` update was logged.
+    pub closed: bool,
+    /// Count of event-class records folded (requests, responses, errors,
+    /// non-view updates).
+    pub event_records: u64,
+    /// FNV-1a digest over the wire encodings of the event-class records,
+    /// in log order.
+    pub event_digest: u64,
+}
+
+impl FoldedAppState {
+    /// Fold one archived record into the state. Records must be applied
+    /// in log order; the result after applying a full log prefix is the
+    /// definition of "the state as of that sequence number".
+    pub fn apply(&mut self, record: &LogRecord) {
+        match &record.entry {
+            LogEntry::Status(status) => {
+                self.status = Some(status.clone());
+            }
+            LogEntry::Update(u) => match u.body() {
+                UpdateBody::AppStatus { status, readings, .. } => {
+                    self.status = Some(status.clone());
+                    self.readings = readings.clone();
+                }
+                UpdateBody::ParamChanged { name, value, .. } => {
+                    match self.params.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                        Ok(i) => self.params[i].1 = value.clone(),
+                        Err(i) => self.params.insert(i, (name.clone(), value.clone())),
+                    }
+                }
+                UpdateBody::LockChanged { holder, .. } => {
+                    self.lock_holder = holder.clone();
+                }
+                UpdateBody::MemberJoined { user, .. } => {
+                    if let Err(i) = self.members.binary_search(user) {
+                        self.members.insert(i, user.clone());
+                    }
+                }
+                UpdateBody::MemberLeft { user, .. } => {
+                    if let Ok(i) = self.members.binary_search(user) {
+                        self.members.remove(i);
+                    }
+                }
+                UpdateBody::AppClosed { .. } => {
+                    self.closed = true;
+                }
+                UpdateBody::CommandApplied { .. }
+                | UpdateBody::Chat { .. }
+                | UpdateBody::Whiteboard { .. }
+                | UpdateBody::ViewShared { .. }
+                | UpdateBody::InteractionEcho { .. } => self.digest_event(record),
+            },
+            LogEntry::Request(_) | LogEntry::Response(_) | LogEntry::Error(_) => {
+                self.digest_event(record);
+            }
+        }
+    }
+
+    /// Fold every record of `records`, in order.
+    pub fn apply_all(&mut self, records: &[LogRecord]) {
+        for r in records {
+            self.apply(r);
+        }
+    }
+
+    /// Fold a whole log from scratch.
+    pub fn fold(records: &[LogRecord]) -> FoldedAppState {
+        let mut state = FoldedAppState::default();
+        state.apply_all(records);
+        state
+    }
+
+    fn digest_event(&mut self, record: &LogRecord) {
+        self.event_records += 1;
+        // FNV-1a over the record's wire encoding: order-sensitive, so a
+        // reordered / rewritten event history never digests equal. The
+        // stats-free digest walk keeps the fold off the encode ledger.
+        let hash = crate::codec::digest_fnv1a(record);
+        self.event_digest = self.event_digest.rotate_left(1) ^ hash;
+    }
+}
+
+/// A periodic state snapshot inside an application archive: the folded
+/// state covering every record with `seq <` the boundary. Catch-up from
+/// a snapshot is `snapshot.state` + folding the tail records from
+/// `snapshot.seq` onward.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ArchiveSnapshot {
+    /// Boundary sequence: the snapshot covers records with `seq < seq`.
+    pub seq: u64,
+    /// Virtual time the snapshot was taken (micros since sim start).
+    pub at_us: u64,
+    /// The folded state as of the boundary.
+    pub state: FoldedAppState,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1252,6 +1435,77 @@ mod tests {
             next_seq: 17,
         };
         assert_eq!(decode::<PeerReply>(&encode(&reply)).unwrap(), reply);
+    }
+
+    #[test]
+    fn folded_state_is_latest_wins_and_order_sensitive() {
+        let app = sample_app();
+        let rec = |seq, entry| LogRecord { seq, at_us: seq * 100, user: None, entry };
+        let upd = |seq, body| rec(seq, LogEntry::Update(FrozenUpdate::new(body)));
+        let log = vec![
+            upd(0, UpdateBody::MemberJoined { app, user: UserId::new("b") }),
+            upd(1, UpdateBody::MemberJoined { app, user: UserId::new("a") }),
+            upd(2, UpdateBody::ParamChanged {
+                app,
+                name: "dt".into(),
+                value: Value::Float(0.1),
+                by: UserId::new("a"),
+            }),
+            upd(3, UpdateBody::ParamChanged {
+                app,
+                name: "dt".into(),
+                value: Value::Float(0.2),
+                by: UserId::new("a"),
+            }),
+            upd(4, UpdateBody::LockChanged { app, holder: Some(UserId::new("a")) }),
+            rec(5, LogEntry::Request(AppOp::GetStatus)),
+            upd(6, UpdateBody::MemberLeft { app, user: UserId::new("b") }),
+        ];
+        let state = FoldedAppState::fold(&log);
+        assert_eq!(state.params, vec![("dt".to_string(), Value::Float(0.2))]);
+        assert_eq!(state.lock_holder, Some(UserId::new("a")));
+        assert_eq!(state.members, vec![UserId::new("a")]);
+        assert_eq!(state.event_records, 1);
+        // Incremental fold == from-scratch fold.
+        let mut inc = FoldedAppState::fold(&log[..3]);
+        inc.apply_all(&log[3..]);
+        assert_eq!(inc, state);
+        // Event order matters: swapping two event-class records changes
+        // the digest even though the count is equal.
+        let mut swapped = log.clone();
+        swapped.push(rec(7, LogEntry::Request(AppOp::GetSensors)));
+        let mut reordered = swapped.clone();
+        reordered.swap(5, 7);
+        assert_ne!(
+            FoldedAppState::fold(&swapped).event_digest,
+            FoldedAppState::fold(&reordered).event_digest
+        );
+    }
+
+    #[test]
+    fn catchup_messages_roundtrip() {
+        let app = sample_app();
+        let req = ClientRequest::CatchUp { app, since: 42 };
+        assert_eq!(decode::<ClientRequest>(&encode(&req)).unwrap(), req);
+        let resp = ResponseBody::CatchUp {
+            app,
+            snapshot: Some(ArchiveSnapshot {
+                seq: 64,
+                at_us: 1_000_000,
+                state: FoldedAppState {
+                    lock_holder: Some(UserId::new("vijay")),
+                    ..FoldedAppState::default()
+                },
+            }),
+            records: vec![LogRecord {
+                seq: 64,
+                at_us: 1_000_100,
+                user: Some(UserId::new("vijay")),
+                entry: LogEntry::Request(AppOp::GetStatus),
+            }],
+            next_seq: 65,
+        };
+        assert_eq!(decode::<ResponseBody>(&encode(&resp)).unwrap(), resp);
     }
 
     #[test]
