@@ -11,6 +11,7 @@ mod fanout;
 mod faults;
 mod hotpath;
 mod overload;
+mod scale;
 mod telemetry;
 mod tracing;
 
@@ -22,6 +23,7 @@ pub use fanout::e14_broadcast_fanout;
 pub use hotpath::e18_hot_path_delivery;
 pub use faults::e12_fault_tolerance;
 pub use overload::e15_overload;
+pub use scale::e20_million_clients;
 pub use telemetry::e17_telemetry_overhead;
 pub use tracing::e13_latency_attribution;
 pub use scalability::{e1_app_scalability, e2_client_scalability, e3_protocol_asymmetry};
@@ -51,5 +53,6 @@ pub fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e17", e17_telemetry_overhead),
         ("e18", e18_hot_path_delivery),
         ("e19", e19_archival_recovery),
+        ("e20", e20_million_clients),
     ]
 }

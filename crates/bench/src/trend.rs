@@ -330,6 +330,38 @@ pub const GATES: &[Gate] = &[
         abs_tol: 0.0,
         why: "exactly one archive recovery per crash — restarts must never silently reset",
     },
+    Gate {
+        experiment: "e20",
+        pattern: "*.cache_hit_rate",
+        direction: Direction::DownIsBad,
+        rel_tol: 0.05,
+        abs_tol: 0.02,
+        why: "steady-state dispatch must keep riding the discovery cache",
+    },
+    Gate {
+        experiment: "e20",
+        pattern: "*.shard_imbalance",
+        direction: Direction::UpIsBad,
+        rel_tol: 0.10,
+        abs_tol: 0.05,
+        why: "per-shard session placement must stay within the balance envelope",
+    },
+    Gate {
+        experiment: "e20",
+        pattern: "*.goodput_per_s",
+        direction: Direction::DownIsBad,
+        rel_tol: 0.25,
+        abs_tol: 0.5,
+        why: "sampled goodput through the sharded plane must not erode",
+    },
+    Gate {
+        experiment: "e20",
+        pattern: "*.shard_min",
+        direction: Direction::DownIsBad,
+        rel_tol: 0.25,
+        abs_tol: 0.0,
+        why: "no directory shard may empty out as the population grows",
+    },
 ];
 
 fn key_matches(pattern: &str, key: &str) -> bool {

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! scenario_check [--seeds N] [--start-seed S]
-//!                [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer|recovery]
+//!                [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer|recovery|discovery]
 //!                [--budget-secs T] [--out DIR] [--mutation]
 //! ```
 //!
@@ -17,9 +17,11 @@
 //! `--mutation` runs the self-test instead: a scenario with the
 //! test-only double-grant fault injected must trip the linearizability
 //! oracle and shrink to ≤ 10 events, a scenario with lease reclamation
-//! disabled must trip the reclaim oracle and shrink just as small, and
-//! a scenario with due snapshots silently skipped must trip the
-//! snapshot oracle's cadence check.
+//! disabled must trip the reclaim oracle and shrink just as small, a
+//! scenario with due snapshots silently skipped must trip the snapshot
+//! oracle's cadence check, and a scenario whose cache invalidations
+//! skip the eviction must trip the discovery oracle's never-re-served
+//! check.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -69,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
                     "flashcrowd" => vec![Family::FlashCrowd],
                     "slowconsumer" => vec![Family::SlowConsumer],
                     "recovery" => vec![Family::Recovery],
+                    "discovery" => vec![Family::Discovery],
                     other => return Err(format!("unknown family {other:?}")),
                 };
             }
@@ -81,8 +84,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: scenario_check [--seeds N] [--start-seed S] \
-                     [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer|recovery] \
-                     [--budget-secs T] [--out DIR] [--mutation]"
+                     [--family all|locks|acl|replay|churn|flashcrowd|slowconsumer|recovery|\
+                     discovery] [--budget-secs T] [--out DIR] [--mutation]"
                         .into(),
                 );
             }
@@ -212,7 +215,12 @@ fn mutation_selftest() -> ExitCode {
         mutation_case("disabled lease reclamation", &Scenario::mutation_churn(1), "reclaim");
     let skipped_snapshot =
         mutation_case("skipped snapshots", &Scenario::mutation_snapshot(1), "snapshot");
-    if double_grant && lease_leak && skipped_snapshot {
+    let stale_cache = mutation_case(
+        "stale cache re-served",
+        &Scenario::mutation_stale_cache(1),
+        "discovery",
+    );
+    if double_grant && lease_leak && skipped_snapshot && stale_cache {
         println!("mutation self-test passed");
         ExitCode::SUCCESS
     } else {

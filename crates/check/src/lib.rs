@@ -35,6 +35,12 @@
 //!    replies are byte-identical to the host archive — including the
 //!    replies a crash-recovered host serves after rebuilding its state
 //!    from that same archive.
+//! 7. **Discovery** (discovery family): under cache-poisoning churn —
+//!    planted stale routes, host failover, a directory shard crashing
+//!    mid-query, TTLs racing the action cadence — an invalidated
+//!    discovery-cache generation is never re-served (no op completes
+//!    against a server that lost ownership) and no cache hit lands past
+//!    its entry's expiry.
 //!
 //! On failure, [`shrink::shrink`] greedily deletes scenario events and
 //! faults (re-running after each candidate deletion) until a minimal

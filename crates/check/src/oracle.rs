@@ -34,6 +34,11 @@
 //!   recovered from its own archive — is byte-identical to the host's
 //!   record: the served snapshot matches the host's snapshot at that
 //!   sequence and the tail is a contiguous slice of the archive.
+//! * **Discovery** (discovery runs) — replaying every server's recorded
+//!   cache transitions, an invalidated entry generation is never served
+//!   again without an intervening authoritative re-insert (no op
+//!   completes against a server that lost ownership), and no hit lands
+//!   past its entry's expiry.
 //!
 //! ### Interval construction for the lock history
 //!
@@ -51,6 +56,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use discover_core::CacheEventKind;
 use wire::Privilege;
 
 use crate::lin::{self, LinKind, LinOp};
@@ -65,7 +71,7 @@ const SLACK_US: u64 = 200_000;
 pub struct Violation {
     /// Which oracle fired (`"linearizability"`, `"acl"`, `"fifo"`,
     /// `"replay"`, `"reclaim"`, `"pacing"`, `"goodput"`, `"recovery"`,
-    /// `"snapshot"`).
+    /// `"snapshot"`, `"discovery"`).
     pub oracle: &'static str,
     /// What it saw.
     pub detail: String,
@@ -749,6 +755,86 @@ fn check_snapshot(run: &RunResult, out: &mut Vec<Violation>) {
     }
 }
 
+/// The directory-consistency oracle (discovery family): replays every
+/// server's recorded cache transitions per (server, key).
+///
+/// * **Never re-served**: a `Hit`/`NegativeHit` whose generation equals
+///   a preceding `Invalidate`'s generation — with no intervening
+///   `Insert` (which would bump the generation) — means an op was
+///   dispatched against a server the directory already said lost
+///   ownership of the key. This is exactly what the seeded
+///   `fault_stale_cache` mutation produces.
+/// * **No hit past expiry**: a served entry must still be within its
+///   recorded TTL at service time (expiry is exclusive).
+/// * **Generation discipline**: inserts stamp strictly increasing
+///   generations, one step at a time — the replay above is meaningless
+///   if the log itself is corrupt.
+///
+/// A no-op unless the scenario runs the cached discovery plane.
+fn check_discovery(run: &RunResult, out: &mut Vec<Violation>) {
+    if run.scenario.discovery.is_none() {
+        return;
+    }
+    // Per (server, key): last inserted generation, and the generation a
+    // pending (un-reinserted) invalidation poisoned.
+    #[derive(Default)]
+    struct KeyState {
+        last_insert_gen: u64,
+        poisoned_gen: Option<u64>,
+    }
+    let mut state: BTreeMap<(usize, &str), KeyState> = BTreeMap::new();
+    for (srv, e) in &run.cache_events {
+        let ks = state.entry((*srv, e.key.as_str())).or_default();
+        match e.kind {
+            CacheEventKind::Insert | CacheEventKind::InsertNegative => {
+                if e.generation != ks.last_insert_gen + 1 {
+                    out.push(Violation::new(
+                        "discovery",
+                        format!(
+                            "s{srv} {}: insert at {}µs stamped generation {} after {}",
+                            e.key,
+                            e.at.as_micros(),
+                            e.generation,
+                            ks.last_insert_gen
+                        ),
+                    ));
+                }
+                ks.last_insert_gen = e.generation;
+                // A fresh authoritative answer supersedes the poison.
+                ks.poisoned_gen = None;
+            }
+            CacheEventKind::Hit | CacheEventKind::NegativeHit => {
+                if ks.poisoned_gen == Some(e.generation) {
+                    out.push(Violation::new(
+                        "discovery",
+                        format!(
+                            "s{srv} {}: generation {} re-served at {}µs after its \
+                             invalidation (op dispatched against a server that lost \
+                             ownership)",
+                            e.key,
+                            e.generation,
+                            e.at.as_micros()
+                        ),
+                    ));
+                }
+                if e.at >= e.expires {
+                    out.push(Violation::new(
+                        "discovery",
+                        format!(
+                            "s{srv} {}: hit at {}µs past the entry's expiry {}µs",
+                            e.key,
+                            e.at.as_micros(),
+                            e.expires.as_micros()
+                        ),
+                    ));
+                }
+            }
+            CacheEventKind::Invalidate => ks.poisoned_gen = Some(e.generation),
+            CacheEventKind::Miss | CacheEventKind::Expired => {}
+        }
+    }
+}
+
 /// Run every oracle over `run`; empty = the run is clean.
 pub fn check_run(run: &RunResult) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -758,6 +844,7 @@ pub fn check_run(run: &RunResult) -> Vec<Violation> {
     check_replay(run, &mut out);
     check_churn(run, &mut out);
     check_snapshot(run, &mut out);
+    check_discovery(run, &mut out);
     out
 }
 

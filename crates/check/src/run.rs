@@ -20,7 +20,9 @@
 use appsim::{synthetic_app, DriverConfig};
 use discover_bench::fixtures::poll_period;
 use discover_client::{OpMix, Portal, PortalConfig, Workload};
-use discover_core::{CollaboratoryBuilder, DiscoverNode, ServerHandle};
+use discover_core::{
+    CacheEvent, CollaboratoryBuilder, DiscoverNode, DiscoveryCacheConfig, ServerHandle,
+};
 use simnet::{FaultPlan, FlightConfig, HistoryEvent, LinkSpec, SimDuration, SimTime};
 use wire::{
     AppCommand, AppId, AppOp, ArchiveSnapshot, ClientMessage, ClientRequest, ErrorCode, LogRecord,
@@ -129,6 +131,11 @@ pub struct RunResult {
     /// Sessions still parked across all servers when the run ended (a
     /// correct lease plane drains this to zero once TTLs pass).
     pub parked_at_end: usize,
+    /// Recorded discovery-cache transitions, `(server index, event)` in
+    /// per-server log order (discovery scenarios only). The directory-
+    /// consistency oracle replays these: an invalidated generation must
+    /// never be re-served, and no hit may land past its entry's expiry.
+    pub cache_events: Vec<(usize, CacheEvent)>,
     /// Flight-recorder harvest: every triggered anomaly dump followed by
     /// each server's final ring (the last events it recorded). Attached
     /// to repro artifacts so a failing scenario ships with the context
@@ -167,6 +174,20 @@ pub fn run(scenario: &Scenario) -> RunResult {
     let s = scenario;
     let mut b = CollaboratoryBuilder::new(s.seed);
     b.history(true);
+    // Discovery scenarios run the sharded + cached plane: the directory
+    // is split across a consistent-hash ring, and every server's
+    // substrate caches route resolutions with the oracle's event
+    // recorder on.
+    if let Some(d) = &s.discovery {
+        if d.dir_shards > 1 {
+            b.directory_shards(d.dir_shards);
+        }
+        b.substrate_config.discovery_cache = Some(DiscoveryCacheConfig {
+            ttl: SimDuration::from_millis(d.cache_ttl_ms),
+            negative_ttl: SimDuration::from_millis(d.negative_ttl_ms),
+            record: true,
+        });
+    }
     // The flight recorder observes the same decision points as the
     // history log and appends to side buffers only, so arming it keeps
     // run logs byte-identical while giving every repro the recent-past
@@ -180,6 +201,7 @@ pub fn run(scenario: &Scenario) -> RunResult {
     let snapshot_every = s.snapshot_every;
     let recover_from_archive = s.recover_from_archive;
     let fault_skip_snapshot = s.fault_skip_snapshot;
+    let fault_stale_cache = s.fault_stale_cache;
     b.tweak_servers(move |cfg| {
         cfg.lock_lease = Some(lease);
         // Archival plane (recovery family): periodic snapshots, restart
@@ -210,6 +232,7 @@ pub fn run(scenario: &Scenario) -> RunResult {
         }
         cfg.fault_double_grant = double_grant;
         cfg.fault_no_reclaim = no_reclaim;
+        cfg.fault_stale_cache = fault_stale_cache;
     });
     let servers: Vec<ServerHandle> =
         (0..s.n_servers).map(|i| b.server(&format!("s{i}"))).collect();
@@ -305,6 +328,12 @@ pub fn run(scenario: &Scenario) -> RunResult {
         b.attach(servers[0], &l.user, Portal::new(cfg))
     });
 
+    let dir_crash = s.discovery.as_ref().and_then(|d| {
+        d.directory_crash.map(|(at, restart)| {
+            (b.directory_ring().node_for(&format!("DISCOVER/apps/{app}")), at, restart)
+        })
+    });
+
     let mut c = b.build();
     for (ui, u) in s.users.iter().enumerate() {
         c.engine.actor_mut::<Portal>(portal_nodes[ui]).unwrap().server =
@@ -314,8 +343,13 @@ pub fn run(scenario: &Scenario) -> RunResult {
         c.engine.actor_mut::<Portal>(node).unwrap().server = Some(servers[0].node);
     }
 
-    // Fault schedule.
+    // Fault schedule. A discovery directory crash targets the shard
+    // owning the main app's naming key, so failover resolves in the
+    // window go unanswered mid-query.
     let mut plan = FaultPlan::new(s.seed);
+    if let Some((node, at_ms, restart_ms)) = dir_crash {
+        plan.crash(node, SimTime::from_millis(at_ms), SimTime::from_millis(restart_ms));
+    }
     for cr in &s.faults.crashes {
         plan.crash(
             servers[cr.server].node,
@@ -346,31 +380,66 @@ pub fn run(scenario: &Scenario) -> RunResult {
     }
     c.engine.apply_faults(&plan);
 
-    // Run, pausing at each admin action to apply the revocation at the
-    // host and inject the matching history events out-of-band.
-    let mut admin = s.admin.clone();
-    admin.sort_by_key(|a| (a.at_ms, a.revoke.clone()));
-    for a in &admin {
-        c.engine.run_until(SimTime::from_millis(a.at_ms));
-        let host = servers[0];
-        let user = UserId::new(&a.revoke);
-        let node = c.engine.actor_mut::<DiscoverNode>(host.node).unwrap();
-        let (was_on_acl, lock_freed) = node.core.revoke_user(app, &user);
-        c.engine.record_history(
-            host.node,
-            "acl.revoked",
-            format!("{app}"),
-            a.revoke.clone(),
-            format!("applied={was_on_acl}"),
-        );
-        if lock_freed {
-            c.engine.record_history(
-                host.node,
-                "lock.force_released",
-                format!("{app}"),
-                a.revoke.clone(),
-                "origin=revoke",
-            );
+    // Run, pausing at each out-of-band harness action: admin
+    // revocations applied at the host (with their history events
+    // injected), and the discovery plant (a poisoned route entry primed
+    // into the gateway's cache).
+    enum Pause {
+        Revoke(String),
+        Plant { gateway: usize, wrong: usize },
+    }
+    let mut pauses: Vec<(u64, u8, String, Pause)> = s
+        .admin
+        .iter()
+        .map(|a| (a.at_ms, 1u8, a.revoke.clone(), Pause::Revoke(a.revoke.clone())))
+        .collect();
+    if let Some(p) = s.discovery.as_ref().and_then(|d| d.plant_stale_route) {
+        pauses.push((
+            p.at_ms,
+            0,
+            String::new(),
+            Pause::Plant { gateway: p.gateway, wrong: p.wrong },
+        ));
+    }
+    pauses.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+    for (at_ms, _, _, pause) in &pauses {
+        c.engine.run_until(SimTime::from_millis(*at_ms));
+        match pause {
+            Pause::Revoke(revoke) => {
+                let host = servers[0];
+                let user = UserId::new(revoke);
+                let node = c.engine.actor_mut::<DiscoverNode>(host.node).unwrap();
+                let (was_on_acl, lock_freed) = node.core.revoke_user(app, &user);
+                c.engine.record_history(
+                    host.node,
+                    "acl.revoked",
+                    format!("{app}"),
+                    revoke.clone(),
+                    format!("applied={was_on_acl}"),
+                );
+                if lock_freed {
+                    c.engine.record_history(
+                        host.node,
+                        "lock.force_released",
+                        format!("{app}"),
+                        revoke.clone(),
+                        "origin=revoke",
+                    );
+                }
+            }
+            Pause::Plant { gateway, wrong } => {
+                let gw = servers[*gateway];
+                let wrong_addr = servers[*wrong].addr;
+                let node = c.engine.actor_mut::<DiscoverNode>(gw.node).unwrap();
+                node.substrate.prime_cache(SimTime::from_millis(*at_ms), app, wrong_addr);
+                c.engine.record_history(
+                    gw.node,
+                    "cache.planted",
+                    format!("{app}"),
+                    "harness",
+                    format!("wrong={wrong_addr}"),
+                );
+            }
         }
     }
     c.engine.run_until(SimTime::from_millis(s.horizon_ms));
@@ -502,6 +571,19 @@ pub fn run(scenario: &Scenario) -> RunResult {
         })
         .unwrap_or_default();
 
+    // Discovery harvest: every server's recorded cache transitions, in
+    // server order (the oracle replays them per (server, key)).
+    let mut cache_events: Vec<(usize, CacheEvent)> = Vec::new();
+    if s.discovery.is_some() {
+        for (i, &srv) in servers.iter().enumerate() {
+            if let Some(n) = c.node(srv) {
+                for e in &n.substrate.discovery_cache().events {
+                    cache_events.push((i, e.clone()));
+                }
+            }
+        }
+    }
+
     // Flight harvest: triggered dumps first, then each server's final
     // ring so a repro shows what every node was doing at the end even
     // when no trigger fired.
@@ -546,6 +628,24 @@ pub fn run(scenario: &Scenario) -> RunResult {
     if s.churn.is_some() {
         run_log.push_str(&format!("parked at end={parked_at_end}\n"));
     }
+    if s.discovery.is_some() {
+        run_log.push_str("--- discovery ---\n");
+        for (i, &srv) in servers.iter().enumerate() {
+            if let Some(n) = c.node(srv) {
+                let cache = n.substrate.discovery_cache();
+                let st = cache.stats;
+                run_log.push_str(&format!(
+                    "s{i} cache: hits={} neg={} misses={} expired={} inval={} events={}\n",
+                    st.hits,
+                    st.negative_hits,
+                    st.misses,
+                    st.expired,
+                    st.invalidations,
+                    cache.events.len(),
+                ));
+            }
+        }
+    }
     run_log.push_str(&format!("archive len={}\n", host_archive.len()));
     if s.snapshot_every.is_some() {
         let seqs: Vec<String> = host_snapshots.iter().map(|sn| sn.seq.to_string()).collect();
@@ -578,6 +678,7 @@ pub fn run(scenario: &Scenario) -> RunResult {
         host_next_seq,
         latecomer_fetches,
         parked_at_end,
+        cache_events,
         flight,
         run_log,
     }

@@ -51,11 +51,20 @@ pub enum Family {
     /// catch-up replies byte-identical to the host archive before and
     /// after the recovery.
     Recovery,
+    /// Cache-poisoning churn over the sharded + cached discovery plane:
+    /// remote clients dispatch through per-node route caches while stale
+    /// routes are planted, the host crashes and restarts (failover
+    /// Nak-invalidation), a directory shard crashes mid-query, and TTLs
+    /// sit near the action cadence so expiry races are explored. Checked
+    /// by the directory-consistency oracle: an invalidated cache entry
+    /// is never re-served (no op completes against a server that lost
+    /// ownership) and no hit lands past its entry's expiry.
+    Discovery,
 }
 
 impl Family {
     /// All families, in canonical order.
-    pub const ALL: [Family; 7] = [
+    pub const ALL: [Family; 8] = [
         Family::Locks,
         Family::Acl,
         Family::Replay,
@@ -63,6 +72,7 @@ impl Family {
         Family::FlashCrowd,
         Family::SlowConsumer,
         Family::Recovery,
+        Family::Discovery,
     ];
 
     /// Stable lowercase name (CLI + logs).
@@ -75,6 +85,7 @@ impl Family {
             Family::FlashCrowd => "flashcrowd",
             Family::SlowConsumer => "slowconsumer",
             Family::Recovery => "recovery",
+            Family::Discovery => "discovery",
         }
     }
 
@@ -212,6 +223,40 @@ pub struct ChurnSpec {
     pub resume_rate: Option<u32>,
 }
 
+/// A planted stale route: the harness primes `gateway`'s discovery
+/// cache with a route sending the main app's traffic to `wrong` — a
+/// live server that does not host the app. The wrong host answers
+/// `NoSuchApp`, which must invalidate the poisoned entry; re-serving it
+/// afterwards is exactly the bug the discovery oracle catches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlantSpec {
+    /// When the stale entry is planted (ms since sim start).
+    pub at_ms: u64,
+    /// Index of the server whose cache is poisoned (never the host).
+    pub gateway: usize,
+    /// Index of the server the stale route points at (live, not the
+    /// host, not the gateway).
+    pub wrong: usize,
+}
+
+/// Discovery-plane configuration (discovery family only).
+#[derive(Clone, PartialEq, Debug)]
+pub struct DiscoverySpec {
+    /// Number of directory shards on the consistent-hash ring.
+    pub dir_shards: usize,
+    /// Positive cache-entry TTL, ms (chosen near the action cadence so
+    /// expiry races actually occur).
+    pub cache_ttl_ms: u64,
+    /// Negative cache-entry TTL, ms.
+    pub negative_ttl_ms: u64,
+    /// Optional stale-route plant (cache-poisoning churn).
+    pub plant_stale_route: Option<PlantSpec>,
+    /// Optional crash of the directory shard owning the main app's
+    /// naming key: `(crash_ms, restart_ms)`. Trader/resolve queries in
+    /// the window go unanswered mid-query.
+    pub directory_crash: Option<(u64, u64)>,
+}
+
 /// The latecomer viewer of a replay scenario.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Latecomer {
@@ -270,6 +315,14 @@ pub struct Scenario {
     /// dropped (mutation check: the snapshot oracle must catch the
     /// broken cadence).
     pub fault_skip_snapshot: bool,
+    /// Sharded + cached discovery plane (discovery family only; `None`
+    /// runs the single-shard, cache-off plane every other family uses).
+    pub discovery: Option<DiscoverySpec>,
+    /// Arm the test-only stale-cache fault: a Nak-driven invalidation
+    /// logs and counts but skips the eviction, so the poisoned entry
+    /// keeps being served (mutation check: the discovery oracle must
+    /// catch the re-served generation).
+    pub fault_stale_cache: bool,
 }
 
 /// Minimum spacing between one user's consecutive actions, ms.
@@ -294,6 +347,7 @@ impl Scenario {
             Family::FlashCrowd => 0x464c_4153,
             Family::SlowConsumer => 0x534c_4f57,
             Family::Recovery => 0x5245_4356,
+            Family::Discovery => 0x4449_5343,
         };
         let mut rng = StdRng::seed_from_u64(seed ^ salt);
         match family {
@@ -304,6 +358,7 @@ impl Scenario {
             Family::FlashCrowd => Self::gen_flashcrowd(seed, &mut rng),
             Family::SlowConsumer => Self::gen_slowconsumer(seed, &mut rng),
             Family::Recovery => Self::gen_recovery(seed, &mut rng),
+            Family::Discovery => Self::gen_discovery(seed, &mut rng),
         }
     }
 
@@ -386,6 +441,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -495,6 +552,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -580,6 +639,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -645,6 +706,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -690,6 +753,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -731,6 +796,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -798,6 +865,161 @@ impl Scenario {
             snapshot_every: Some(rng.gen_range(4u64..=8)),
             recover_from_archive: true,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
+        }
+    }
+
+    /// Cache-poisoning churn over the sharded + cached discovery plane:
+    /// every user is homed off-host, so each of their operations routes
+    /// through their server's discovery cache. TTLs sit near the action
+    /// cadence (expiry races), a stale route may be planted mid-run (the
+    /// Nak-invalidation path), the host may crash and restart (failover
+    /// churn), and the directory shard owning the app's naming key may
+    /// crash mid-query. The discovery oracle replays the recorded cache
+    /// transitions: an invalidated generation must never be re-served
+    /// and no hit may land past its entry's expiry.
+    fn gen_discovery(seed: u64, rng: &mut StdRng) -> Scenario {
+        let n_servers = rng.gen_range(3usize..=4);
+        let n_users = rng.gen_range(2usize..=3);
+        let mut users = Vec::new();
+        for u in 0..n_users {
+            let privilege =
+                if rng.gen_bool(0.5) { Privilege::ReadWrite } else { Privilege::ReadOnly };
+            let n_actions = rng.gen_range(3usize..=6);
+            let mut at = FIRST_ACTION_MS + rng.gen_range(0..MIN_GAP_MS);
+            let mut actions = Vec::new();
+            for _ in 0..n_actions {
+                let kind = match rng.gen_range(0u32..100) {
+                    0..=44 => ActionKind::GetStatus,
+                    45..=74 => ActionKind::GetSensors,
+                    _ => ActionKind::SetParam,
+                };
+                actions.push(Action { at_ms: at, kind });
+                at += rng.gen_range(MIN_GAP_MS..=MAX_GAP_MS);
+            }
+            users.push(UserSpec {
+                name: format!("u{u}"),
+                privilege: Some(privilege),
+                // Never the host: every dispatch must cross the wire
+                // through the gateway's discovery cache.
+                server: 1 + u % (n_servers - 1),
+                actions,
+            });
+        }
+        let last = users
+            .iter()
+            .flat_map(|u| u.actions.iter().map(|a| a.at_ms))
+            .max()
+            .unwrap_or(FIRST_ACTION_MS);
+        let horizon_ms = last + 8000;
+        let mut faults = FaultSpec::default();
+        if rng.gen_bool(0.4) {
+            // Crash the app's host: gateways mark it down, re-query the
+            // trader and re-resolve routes — real failover churn against
+            // cached entries.
+            let at_ms = rng.gen_range(horizon_ms / 3..horizon_ms / 2);
+            faults.crashes.push(CrashSpec {
+                server: 0,
+                at_ms,
+                restart_ms: at_ms + rng.gen_range(2000u64..=4000),
+            });
+        }
+        let plant_stale_route = if rng.gen_bool(0.5) {
+            let gateway = users[0].server;
+            // A live server that is neither the host nor the gateway.
+            let wrong = (1..n_servers).find(|&i| i != gateway).expect("n_servers >= 3");
+            Some(PlantSpec { at_ms: rng.gen_range(3000u64..=6000), gateway, wrong })
+        } else {
+            None
+        };
+        let directory_crash = if rng.gen_bool(0.4) {
+            let at_ms = rng.gen_range(4000u64..=8000);
+            Some((at_ms, at_ms + rng.gen_range(2000u64..=4000)))
+        } else {
+            None
+        };
+        Scenario {
+            seed,
+            family: Family::Discovery,
+            n_servers,
+            users,
+            admin: Vec::new(),
+            faults,
+            lock_lease_ms: 8000,
+            horizon_ms,
+            app_iterations: None,
+            latecomer: None,
+            churn: None,
+            coalesce_fifo: false,
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
+            discovery: Some(DiscoverySpec {
+                dir_shards: rng.gen_range(2usize..=4),
+                // Near the action cadence: some hits, some expiries.
+                cache_ttl_ms: rng.gen_range(1500u64..=4000),
+                negative_ttl_ms: 1000,
+                plant_stale_route,
+                directory_crash,
+            }),
+            fault_stale_cache: false,
+        }
+    }
+
+    /// The crafted stale-cache mutation-check scenario: a stale route
+    /// (pointing the app's traffic at a live non-host server) is planted
+    /// in the gateway's cache while the test-only stale-cache fault
+    /// makes invalidation skip the eviction. The wrong host's
+    /// `NoSuchApp` Nak invalidates the entry, the next dispatch serves
+    /// it anyway, and the discovery oracle reports the re-served
+    /// generation.
+    pub fn mutation_stale_cache(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            family: Family::Discovery,
+            n_servers: 3,
+            users: vec![UserSpec {
+                name: "u0".into(),
+                privilege: Some(Privilege::ReadOnly),
+                server: 1,
+                actions: vec![
+                    // Sensor reads dispatch remotely through the cache
+                    // (status reads are served from the local mirror and
+                    // never touch it). The first primes the true route…
+                    Action { at_ms: 2000, kind: ActionKind::GetSensors },
+                    // …then the planted entry is exercised (Nak +
+                    // invalidate) and re-served (the bug).
+                    Action { at_ms: 4000, kind: ActionKind::GetSensors },
+                    Action { at_ms: 5500, kind: ActionKind::GetSensors },
+                    Action { at_ms: 7000, kind: ActionKind::GetSensors },
+                ],
+            }],
+            admin: Vec::new(),
+            faults: FaultSpec::default(),
+            lock_lease_ms: 60_000,
+            horizon_ms: 12_000,
+            app_iterations: None,
+            latecomer: None,
+            churn: None,
+            coalesce_fifo: false,
+            fault_double_grant: false,
+            fault_no_reclaim: false,
+            snapshot_every: None,
+            recover_from_archive: false,
+            fault_skip_snapshot: false,
+            discovery: Some(DiscoverySpec {
+                dir_shards: 1,
+                // Long TTL: nothing expires, only the (skipped) eviction
+                // could ever drop the poisoned entry.
+                cache_ttl_ms: 30_000,
+                negative_ttl_ms: 2000,
+                plant_stale_route: Some(PlantSpec { at_ms: 2500, gateway: 1, wrong: 2 }),
+                directory_crash: None,
+            }),
+            fault_stale_cache: true,
         }
     }
 
@@ -834,6 +1056,8 @@ impl Scenario {
             snapshot_every: Some(2),
             recover_from_archive: false,
             fault_skip_snapshot: true,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -873,6 +1097,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -913,6 +1139,8 @@ impl Scenario {
             snapshot_every: None,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            discovery: None,
+            fault_stale_cache: false,
         }
     }
 
@@ -924,6 +1152,14 @@ impl Scenario {
             + self.faults.crashes.len()
             + self.faults.partitions.len()
             + self.churn.as_ref().map(|c| c.disconnects.len()).unwrap_or(0)
+            + self
+                .discovery
+                .as_ref()
+                .map(|d| {
+                    usize::from(d.plant_stale_route.is_some())
+                        + usize::from(d.directory_crash.is_some())
+                })
+                .unwrap_or(0)
     }
 
     /// Deterministic human-readable rendering (repro reports).
@@ -954,6 +1190,15 @@ impl Scenario {
         }
         if self.fault_skip_snapshot {
             out.push_str(" FAULT=skip-snapshot");
+        }
+        if let Some(d) = &self.discovery {
+            out.push_str(&format!(
+                " dir-shards={} cache-ttl={}ms neg-ttl={}ms",
+                d.dir_shards, d.cache_ttl_ms, d.negative_ttl_ms
+            ));
+        }
+        if self.fault_stale_cache {
+            out.push_str(" FAULT=stale-cache");
         }
         if let Some(iters) = self.app_iterations {
             out.push_str(&format!(" app-iterations={iters}"));
@@ -987,6 +1232,17 @@ impl Scenario {
                 "  fault partition s{}<->s{} {}..{}ms\n",
                 p.a, p.b, p.from_ms, p.until_ms
             ));
+        }
+        if let Some(d) = &self.discovery {
+            if let Some(p) = &d.plant_stale_route {
+                out.push_str(&format!(
+                    "  plant stale route @{}ms gateway=s{} wrong=s{}\n",
+                    p.at_ms, p.gateway, p.wrong
+                ));
+            }
+            if let Some((at, restart)) = d.directory_crash {
+                out.push_str(&format!("  fault dir-crash @{at}ms restart@{restart}ms\n"));
+            }
         }
         if let Some(c) = &self.churn {
             out.push_str(&format!(
@@ -1077,6 +1333,36 @@ mod tests {
                 }
             }
 
+            let disc = Scenario::generate(Family::Discovery, seed);
+            let d = disc.discovery.as_ref().expect("discovery families carry a DiscoverySpec");
+            assert!((2..=4).contains(&d.dir_shards), "seed {seed}: shards {}", d.dir_shards);
+            assert!(
+                d.cache_ttl_ms >= MIN_GAP_MS && d.cache_ttl_ms <= 4000,
+                "seed {seed}: TTL {}ms must sit near the action cadence",
+                d.cache_ttl_ms
+            );
+            for u in &disc.users {
+                assert!(
+                    u.server != 0 && u.server < disc.n_servers,
+                    "seed {seed}: discovery users are homed off-host"
+                );
+                assert!(u.privilege.is_some(), "discovery users all hold grants");
+                for a in &u.actions {
+                    assert!(
+                        !matches!(a.kind, ActionKind::Acquire | ActionKind::Release),
+                        "seed {seed}: no lock ops — the family isolates the discovery plane"
+                    );
+                }
+            }
+            if let Some(p) = &d.plant_stale_route {
+                assert!(p.gateway != 0 && p.gateway < disc.n_servers);
+                assert!(p.wrong != 0 && p.wrong != p.gateway && p.wrong < disc.n_servers);
+            }
+            for c in &disc.faults.crashes {
+                assert_eq!(c.server, 0, "seed {seed}: only the host crashes");
+            }
+            assert!(!disc.fault_stale_cache, "the fault is mutation-only");
+
             let rec = Scenario::generate(Family::Recovery, seed);
             assert!(rec.snapshot_every.is_some());
             assert!(rec.recover_from_archive);
@@ -1119,11 +1405,27 @@ mod tests {
             assert!(flags.iter().any(|&f| f), "{family:?} never enables coalescing");
             assert!(flags.iter().any(|&f| !f), "{family:?} always enables coalescing");
         }
-        for family in [Family::Locks, Family::Acl, Family::Replay, Family::Recovery] {
+        for family in
+            [Family::Locks, Family::Acl, Family::Replay, Family::Recovery, Family::Discovery]
+        {
             for s in 0..10u64 {
                 assert!(!Scenario::generate(family, s).coalesce_fifo);
             }
         }
+    }
+
+    #[test]
+    fn stale_cache_mutation_scenario_is_tiny() {
+        let s = Scenario::mutation_stale_cache(1);
+        assert!(s.fault_stale_cache);
+        let d = s.discovery.as_ref().unwrap();
+        let p = d.plant_stale_route.expect("the mutation plants the stale route");
+        assert!(p.wrong != 0 && p.wrong != p.gateway, "wrong host is live and remote");
+        // Nothing expires on its own: only the (faulted) eviction could
+        // drop the poisoned entry before the last action re-serves it.
+        let last = s.users[0].actions.last().unwrap().at_ms;
+        assert!(p.at_ms + d.cache_ttl_ms > last);
+        assert!(s.event_count() <= 10);
     }
 
     #[test]

@@ -24,6 +24,10 @@ enum Candidate {
     Partition(usize),
     /// `churn.disconnects[i]`.
     Disconnect(usize),
+    /// `discovery.plant_stale_route` (the whole plant).
+    Plant,
+    /// `discovery.directory_crash`.
+    DirCrash,
     /// `users[i]` entirely (only offered once their actions are gone).
     User(usize),
 }
@@ -47,6 +51,14 @@ fn candidates(s: &Scenario) -> Vec<Candidate> {
     if let Some(churn) = &s.churn {
         for i in (0..churn.disconnects.len()).rev() {
             out.push(Candidate::Disconnect(i));
+        }
+    }
+    if let Some(d) = &s.discovery {
+        if d.plant_stale_route.is_some() {
+            out.push(Candidate::Plant);
+        }
+        if d.directory_crash.is_some() {
+            out.push(Candidate::DirCrash);
         }
     }
     for ui in (0..s.users.len()).rev() {
@@ -75,6 +87,16 @@ fn without(s: &Scenario, c: Candidate) -> Scenario {
         Candidate::Disconnect(i) => {
             if let Some(churn) = &mut t.churn {
                 churn.disconnects.remove(i);
+            }
+        }
+        Candidate::Plant => {
+            if let Some(d) = &mut t.discovery {
+                d.plant_stale_route = None;
+            }
+        }
+        Candidate::DirCrash => {
+            if let Some(d) = &mut t.discovery {
+                d.directory_crash = None;
             }
         }
         Candidate::User(ui) => {

@@ -27,6 +27,7 @@ use wire::{AppId, Envelope, ServerAddr};
 use discover_server::{ServerConfig, ServerCore};
 
 use crate::node::DiscoverNode;
+use crate::shard::DirectoryRing;
 use crate::substrate::{CollabMode, Substrate, SubstrateConfig};
 
 /// Handle to a server created by the builder.
@@ -42,8 +43,11 @@ pub struct ServerHandle {
 pub struct Collaboratory {
     /// The simulation engine.
     pub engine: Engine<Envelope>,
-    /// The directory (naming + trader) node.
+    /// The primary directory (naming + trader) shard node.
     pub directory: NodeId,
+    /// The full directory shard ring (equals the primary node alone
+    /// unless [`CollaboratoryBuilder::directory_shards`] was used).
+    pub directory_ring: DirectoryRing,
     /// All servers by address.
     pub servers: HashMap<ServerAddr, ServerHandle>,
     /// Shared address book.
@@ -72,10 +76,17 @@ impl Collaboratory {
         let addr = ServerAddr(self.next_addr);
         self.next_addr += 1;
         let config = ServerConfig::new(addr, name);
-        let substrate =
-            Substrate::new(self.substrate_config, addr, name, self.directory, self.book.clone());
+        let substrate = Substrate::new(
+            self.substrate_config,
+            addr,
+            name,
+            self.directory_ring.clone(),
+            self.book.clone(),
+        );
         let node = self.engine.add_node(name, DiscoverNode::new(config, substrate));
-        self.engine.link(node, self.directory, self.directory_link);
+        for &shard in self.directory_ring.nodes() {
+            self.engine.link(node, shard, self.directory_link);
+        }
         for handle in self.servers.values() {
             self.engine.link(node, handle.node, peer_link);
         }
@@ -106,6 +117,8 @@ impl Collaboratory {
 pub struct CollaboratoryBuilder {
     engine: Engine<Envelope>,
     directory: NodeId,
+    directory_ring: DirectoryRing,
+    seed: u64,
     book: AddressBook,
     servers: HashMap<ServerAddr, ServerHandle>,
     next_addr: u32,
@@ -129,6 +142,8 @@ impl CollaboratoryBuilder {
         CollaboratoryBuilder {
             engine,
             directory,
+            directory_ring: DirectoryRing::single(directory),
+            seed,
             book: AddressBook::new(),
             servers: HashMap::new(),
             next_addr: 1,
@@ -186,6 +201,46 @@ impl CollaboratoryBuilder {
         self
     }
 
+    /// Shard the directory across `n` nodes on a consistent-hash ring
+    /// (seed-stable placement derived from the builder seed). Must be
+    /// called before any server is created — every substrate captures
+    /// the ring at construction. `n <= 1` keeps the single-directory
+    /// arrangement untouched.
+    pub fn directory_shards(&mut self, n: usize) -> &mut Self {
+        assert!(
+            self.servers.is_empty(),
+            "directory_shards must be called before the first server()"
+        );
+        assert_eq!(self.directory_ring.len(), 1, "directory_shards called twice");
+        if n <= 1 {
+            return self;
+        }
+        // Rebuild the ring under the builder seed so shard placement is
+        // seed-stable and actually varies across seeds (the single-node
+        // ring uses a fixed seed, where placement is degenerate anyway).
+        let mut ring = DirectoryRing::new(self.seed);
+        ring.add("directory", self.directory);
+        for i in 1..n {
+            let name = format!("directory{i}");
+            let node = self.engine.add_node(&name, Directory::new(DirectoryCosts::default()));
+            ring.add(name, node);
+        }
+        self.directory_ring = ring;
+        self
+    }
+
+    /// All directory shard nodes (ring-join order; index 0 is the
+    /// primary node from [`CollaboratoryBuilder::directory_node`]).
+    pub fn directory_nodes(&self) -> Vec<NodeId> {
+        self.directory_ring.nodes().to_vec()
+    }
+
+    /// The directory shard ring (for placement diagnostics, e.g. the
+    /// per-shard balance a scale experiment reports).
+    pub fn directory_ring(&self) -> DirectoryRing {
+        self.directory_ring.clone()
+    }
+
     /// Create a DISCOVER server (one collaboratory domain) and link it to
     /// the directory.
     pub fn server(&mut self, name: &str) -> ServerHandle {
@@ -195,10 +250,17 @@ impl CollaboratoryBuilder {
         if let Some(tweak) = &mut self.server_tweak {
             tweak(&mut config);
         }
-        let substrate =
-            Substrate::new(self.substrate_config, addr, name, self.directory, self.book.clone());
+        let substrate = Substrate::new(
+            self.substrate_config,
+            addr,
+            name,
+            self.directory_ring.clone(),
+            self.book.clone(),
+        );
         let node = self.engine.add_node(name, DiscoverNode::new(config, substrate));
-        self.engine.link(node, self.directory, self.directory_link);
+        for &shard in &self.directory_nodes() {
+            self.engine.link(node, shard, self.directory_link);
+        }
         self.book.register(addr, node);
         let handle = ServerHandle { addr, node };
         self.servers.insert(addr, handle);
@@ -321,6 +383,7 @@ impl CollaboratoryBuilder {
         let CollaboratoryBuilder {
             mut engine,
             directory,
+            directory_ring,
             book,
             servers,
             substrate_config,
@@ -332,6 +395,7 @@ impl CollaboratoryBuilder {
         Collaboratory {
             engine,
             directory,
+            directory_ring,
             servers,
             book,
             substrate_config,

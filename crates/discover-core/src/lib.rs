@@ -22,11 +22,15 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod cache;
 mod node;
+pub mod shard;
 mod substrate;
 
 pub use builder::{Collaboratory, CollaboratoryBuilder, ServerHandle};
+pub use cache::{CacheEvent, CacheEventKind, CacheStats, DiscoveryCache, DiscoveryCacheConfig};
 pub use node::DiscoverNode;
+pub use shard::DirectoryRing;
 pub use substrate::{CallCtx, CollabMode, PeerHealth, Substrate, SubstrateConfig};
 
 // Convenience re-exports so downstream users need only this crate.

@@ -59,6 +59,7 @@ impl Actor<Envelope> for DiscoverNode {
                 // memory copy — no RNG, no wire, no schedule effect).
                 if matches!(req.body, Some(wire::ClientRequest::Status)) {
                     self.core.peer_status = self.substrate.peer_status_snapshot();
+                    self.core.dir_plane = self.substrate.dir_plane_snapshot();
                 }
                 // Session-handling span: covers servlet CPU plus effect
                 // resolution; downstream broker/app spans are its

@@ -16,10 +16,13 @@
 //! with a redirect hint instead of letting them time out, and keeps
 //! serving the cached peer directory flagged stale rather than erroring.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use orb::directory::calls;
 use orb::{AddressBook, Broker, BreakerState, RetryPolicy, DISCOVER_SERVICE};
+
+use crate::cache::{DiscoveryCache, DiscoveryCacheConfig, Lookup};
+use crate::shard::{trader_partition, DirectoryRing};
 use simnet::{names, Ctx, NodeId, SimDuration, SimTime, TraceContext};
 use wire::giop::GiopFrame;
 use wire::{
@@ -62,6 +65,11 @@ pub struct SubstrateConfig {
     /// Retry policy for expired peer calls ([`RetryPolicy::none`] gives
     /// the original fail-on-first-timeout behaviour).
     pub retry: RetryPolicy,
+    /// Discovery route cache. `None` (the default) disables caching and
+    /// keeps the pre-sharding dispatch schedule byte-identical;
+    /// `Some(_)` serves remote routes from a TTL'd per-node cache with
+    /// negative entries and explicit invalidation.
+    pub discovery_cache: Option<DiscoveryCacheConfig>,
 }
 
 impl Default for SubstrateConfig {
@@ -72,6 +80,7 @@ impl Default for SubstrateConfig {
             call_timeout: SimDuration::from_secs(10),
             sweep_interval: SimDuration::from_secs(5),
             retry: RetryPolicy::default(),
+            discovery_cache: None,
         }
     }
 }
@@ -146,9 +155,17 @@ pub struct Substrate {
     pub config: SubstrateConfig,
     addr: ServerAddr,
     name: String,
-    directory: NodeId,
+    directory: DirectoryRing,
     book: AddressBook,
     broker: Broker<CallCtx>,
+    /// The TTL'd route cache (inert unless `config.discovery_cache` is
+    /// set; lookups then go through [`Substrate::cached_route`]).
+    cache: DiscoveryCache,
+    /// Directory keys with a read query (trader query / naming resolve)
+    /// currently in flight. A second query for the same key inside the
+    /// window is coalesced onto the outstanding one instead of issuing
+    /// its own call — the thundering-herd fix. Writes are never deduped.
+    dir_in_flight: BTreeSet<String>,
     /// Discovered peers (address → node), excluding self.
     peers: BTreeMap<ServerAddr, NodeId>,
     /// Poll-mode mirror state: app → next update sequence.
@@ -177,14 +194,17 @@ pub struct Substrate {
 }
 
 impl Substrate {
-    /// Create a substrate for the server at `addr`.
+    /// Create a substrate for the server at `addr`. The directory ring
+    /// must be the same (same seed, same shard order) on every server —
+    /// the builder constructs it once and clones it here.
     pub fn new(
         config: SubstrateConfig,
         addr: ServerAddr,
         name: impl Into<String>,
-        directory: NodeId,
+        directory: DirectoryRing,
         book: AddressBook,
     ) -> Self {
+        let record = config.discovery_cache.is_some_and(|c| c.record);
         Substrate {
             config,
             addr,
@@ -192,6 +212,8 @@ impl Substrate {
             directory,
             book,
             broker: Broker::with_retry(config.retry),
+            cache: DiscoveryCache::new(record),
+            dir_in_flight: BTreeSet::new(),
             peers: BTreeMap::new(),
             poll_state: BTreeMap::new(),
             subscribed: BTreeMap::new(),
@@ -201,6 +223,34 @@ impl Substrate {
             request_trace: None,
             request_deadline: None,
         }
+    }
+
+    /// The directory ring this substrate routes through.
+    pub fn directory_ring(&self) -> &DirectoryRing {
+        &self.directory
+    }
+
+    /// The discovery cache (stats and oracle event log).
+    pub fn discovery_cache(&self) -> &DiscoveryCache {
+        &self.cache
+    }
+
+    /// Directory node owning `key` under the consistent-hash ring.
+    fn dir_node(&self, key: &str) -> NodeId {
+        self.directory.node_for(key)
+    }
+
+    /// Whether an outgoing directory *read* for `key` should be issued,
+    /// or coalesced onto an identical in-flight one. Counting the
+    /// coalesce is the regression observable for the thundering-herd
+    /// fix: one trader/naming call per key per miss window.
+    fn admit_dir_query(&mut self, ctx: &mut Ctx<'_, Envelope>, key: &str) -> bool {
+        if self.dir_in_flight.contains(key) {
+            ctx.metrics().incr(names::SUBSTRATE_QUERIES_COALESCED);
+            return false;
+        }
+        self.dir_in_flight.insert(key.to_string());
+        true
     }
 
     /// Known peer addresses (diagnostics).
@@ -251,6 +301,21 @@ impl Substrate {
             .collect()
     }
 
+    /// Directory-plane snapshot for the status report: ring shape plus
+    /// cache counters. The node shell syncs this into the server core
+    /// right before a `Status` request is dispatched (pure memory copy,
+    /// like the peer-health snapshot).
+    pub fn dir_plane_snapshot(&self) -> wire::DirPlaneStatus {
+        let s = &self.cache.stats;
+        wire::DirPlaneStatus {
+            shards: self.directory.len() as u32,
+            ring_epoch: self.directory.epoch(),
+            cache_hits: s.hits + s.negative_hits,
+            cache_misses: s.misses + s.expired,
+            cache_invalidations: s.invalidations,
+        }
+    }
+
     /// The host currently serving `app` (failover route if one exists,
     /// else the app's home server).
     pub fn route_of(&self, app: AppId) -> ServerAddr {
@@ -264,6 +329,17 @@ impl Substrate {
         self.routes.insert(app, addr);
     }
 
+    /// Force a cache entry (testing hook, same role as
+    /// [`Substrate::install_route`] for the cached plane): plants a
+    /// positive route entry under the configured TTL so stale-cache
+    /// scenarios need no staged crash/recovery cycle. No-op with the
+    /// cache disabled.
+    pub fn prime_cache(&mut self, now: SimTime, app: AppId, addr: ServerAddr) {
+        if let Some(cfg) = self.config.discovery_cache {
+            self.cache.insert(now, &format!("DISCOVER/apps/{app}"), addr, cfg.ttl);
+        }
+    }
+
     /// Reverse lookup: peer address of a node (None for the directory).
     fn addr_of_node(&self, node: NodeId) -> Option<ServerAddr> {
         self.peers.iter().find(|(_, &n)| n == node).map(|(&a, _)| a)
@@ -272,6 +348,45 @@ impl Substrate {
     /// Effective target of `app`: routed address plus its node.
     fn route_for(&self, app: AppId) -> Option<(ServerAddr, NodeId)> {
         let addr = self.route_of(app);
+        self.node_of(addr).map(|n| (addr, n))
+    }
+
+    /// Effective target of `app` through the discovery cache. With the
+    /// cache disabled this is exactly [`Substrate::route_for`]; enabled,
+    /// a fresh entry serves the route without consulting the failover
+    /// table, and a miss/expiry re-primes the entry from current route
+    /// knowledge under the configured TTL.
+    fn cached_route(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        app: AppId,
+    ) -> Option<(ServerAddr, NodeId)> {
+        let Some(cfg) = self.config.discovery_cache else {
+            return self.route_for(app);
+        };
+        let name = format!("DISCOVER/apps/{app}");
+        let addr = match self.cache.lookup(ctx.now(), &name) {
+            Lookup::Hit(addr) => {
+                ctx.metrics().incr(names::SUBSTRATE_CACHE_HITS);
+                addr
+            }
+            Lookup::NegativeHit => {
+                // "Not bound" within the negative TTL: dispatch falls
+                // back to the home host (which will Nak authoritatively)
+                // rather than storming the directory.
+                ctx.metrics().incr(names::SUBSTRATE_CACHE_NEG_HITS);
+                self.route_of(app)
+            }
+            outcome => {
+                ctx.metrics().incr(match outcome {
+                    Lookup::Expired => names::SUBSTRATE_CACHE_EXPIRED,
+                    _ => names::SUBSTRATE_CACHE_MISSES,
+                });
+                let addr = self.route_of(app);
+                self.cache.insert(ctx.now(), &name, addr, cfg.ttl);
+                addr
+            }
+        };
         self.node_of(addr).map(|n| (addr, n))
     }
 
@@ -284,8 +399,12 @@ impl Substrate {
         )
     }
 
-    /// Publish this server to the trader and the naming service.
+    /// Publish this server to the trader and the naming service. Offers
+    /// route to the shard owning the service-type partition; the server
+    /// binding routes to the shard owning its naming path.
     pub fn publish_self(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        ctx.metrics().set_gauge(names::SUBSTRATE_RING_SHARDS, self.directory.len() as f64);
+        ctx.metrics().set_gauge(names::SUBSTRATE_RING_EPOCH, self.directory.epoch() as f64);
         let object = ObjectRef { server: self.addr, key: ObjectKey::new(CORBA_SERVER_KEY) };
         let offer = wire::ServiceOffer {
             service_type: DISCOVER_SERVICE.to_string(),
@@ -295,14 +414,23 @@ impl Substrate {
                 ("name".to_string(), Value::Text(self.name.clone())),
             ],
         };
+        let trader = self.dir_node(&trader_partition(DISCOVER_SERVICE));
         let (key, op, msg) = calls::export(offer);
-        let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
-        let (key, op, msg) = calls::bind(format!("DISCOVER/servers/{}", self.name), object);
-        let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+        let _ = self.broker.call(ctx, trader, key, op, msg, CallCtx::DirectoryWrite);
+        let naming_key = format!("DISCOVER/servers/{}", self.name);
+        let shard = self.dir_node(&naming_key);
+        let (key, op, msg) = calls::bind(naming_key, object);
+        let _ = self.broker.call(ctx, shard, key, op, msg, CallCtx::DirectoryWrite);
     }
 
-    /// Query the trader for the current peer set.
+    /// Query the trader for the current peer set. A query while another
+    /// trader query is still outstanding coalesces onto it — after a
+    /// failover storm every `mark_down` used to issue its own query.
     pub fn discover_peers(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let partition = trader_partition(DISCOVER_SERVICE);
+        if !self.admit_dir_query(ctx, &partition) {
+            return;
+        }
         ctx.metrics().incr(names::SUBSTRATE_DISCOVERY_QUERIES);
         // Background work: a trader query opens its own root span rather
         // than riding any client request.
@@ -310,10 +438,11 @@ impl Substrate {
         let (key, op, msg) = calls::query(DISCOVER_SERVICE, vec![]);
         if self
             .broker
-            .call_traced(ctx, self.directory, key, op, msg, CallCtx::Discovery, span)
+            .call_traced(ctx, self.dir_node(&partition), key, op, msg, CallCtx::Discovery, span)
             .is_err()
         {
             ctx.trace_finish(span);
+            self.dir_in_flight.remove(&partition);
             self.peers_stale = true;
         }
     }
@@ -335,12 +464,15 @@ impl Substrate {
 
     /// Process-restart housekeeping: outstanding calls and breaker state
     /// died with the old incarnation, and push subscriptions must be
-    /// re-confirmed with their hosts.
+    /// re-confirmed with their hosts. The discovery cache is dropped too
+    /// — the new incarnation must not trust the dead one's routes.
     pub fn on_restart(&mut self) {
         let retry = self.broker.retry;
         let breaker = self.broker.breaker;
         self.broker = Broker::with_retry(retry);
         self.broker.breaker = breaker;
+        self.cache.clear();
+        self.dir_in_flight.clear();
         for confirmed in self.subscribed.values_mut() {
             *confirmed = false;
         }
@@ -366,18 +498,74 @@ impl Substrate {
             .filter(|&app| self.route_of(app) == addr)
             .collect();
         for app in mirrored {
-            // Failover re-resolution is background recovery work with its
-            // own root span; the redirect it installs serves later calls.
-            let span = ctx.trace_root("substrate.failover");
-            ctx.trace_annotate(span, "re-resolving mirrored app: host down");
-            let (key, op, msg) = calls::resolve(format!("DISCOVER/apps/{app}"));
-            if self
-                .broker
-                .call_traced(ctx, self.directory, key, op, msg, CallCtx::Failover { app }, span)
-                .is_err()
-            {
-                ctx.trace_finish(span);
+            self.resolve_app_route(ctx, core, app);
+        }
+    }
+
+    /// Re-resolve an app's route through naming (failover path). The
+    /// resolve consults the discovery cache first — a fresh answer
+    /// (positive or negative) short-circuits the directory call — and
+    /// concurrent resolves for the same key coalesce onto one call.
+    fn resolve_app_route(&mut self, ctx: &mut Ctx<'_, Envelope>, core: &mut ServerCore, app: AppId) {
+        let name = format!("DISCOVER/apps/{app}");
+        if self.config.discovery_cache.is_some() {
+            match self.cache.lookup(ctx.now(), &name) {
+                Lookup::Hit(server) => {
+                    ctx.metrics().incr(names::SUBSTRATE_CACHE_HITS);
+                    self.adopt_route(ctx, core, app, server);
+                    return;
+                }
+                Lookup::NegativeHit => {
+                    // The directory said "not bound" within the negative
+                    // TTL; don't storm it with re-resolves.
+                    ctx.metrics().incr(names::SUBSTRATE_CACHE_NEG_HITS);
+                    return;
+                }
+                Lookup::Miss => ctx.metrics().incr(names::SUBSTRATE_CACHE_MISSES),
+                Lookup::Expired => ctx.metrics().incr(names::SUBSTRATE_CACHE_EXPIRED),
             }
+        }
+        if !self.admit_dir_query(ctx, &name) {
+            return;
+        }
+        // Failover re-resolution is background recovery work with its
+        // own root span; the redirect it installs serves later calls.
+        let span = ctx.trace_root("substrate.failover");
+        ctx.trace_annotate(span, "re-resolving mirrored app: host down");
+        let shard = self.dir_node(&name);
+        let (key, op, msg) = calls::resolve(name.clone());
+        if self
+            .broker
+            .call_traced(ctx, shard, key, op, msg, CallCtx::Failover { app }, span)
+            .is_err()
+        {
+            ctx.trace_finish(span);
+            self.dir_in_flight.remove(&name);
+        }
+    }
+
+    /// Install or clear `app`'s failover route from a resolved server
+    /// (`server == app.host()` clears the route: the app is home again),
+    /// maintaining the overload path's mirror hints alongside.
+    fn adopt_route(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        core: &mut ServerCore,
+        app: AppId,
+        server: ServerAddr,
+    ) {
+        let previous = self.route_of(app);
+        if server != previous {
+            ctx.metrics().incr(names::SUBSTRATE_FAILOVERS);
+        }
+        if server == app.host() {
+            self.routes.remove(&app);
+            core.clear_mirror_hint(app);
+        } else {
+            self.routes.insert(app, server);
+            // Let the overload path hand out redirect hints for shed
+            // work targeting this app.
+            core.set_mirror_hint(app, server);
         }
     }
 
@@ -417,12 +605,13 @@ impl Substrate {
     /// unique identifier as the name").
     fn naming_for_app(&mut self, ctx: &mut Ctx<'_, Envelope>, app: AppId, register: bool) {
         let name = format!("DISCOVER/apps/{app}");
+        let shard = self.dir_node(&name);
         let (key, op, msg) = if register {
             calls::bind(name, ObjectRef { server: self.addr, key: ObjectKey::new(format!("apps/{app}")) })
         } else {
             calls::unbind(name)
         };
-        let _ = self.broker.call(ctx, self.directory, key, op, msg, CallCtx::DirectoryWrite);
+        let _ = self.broker.call(ctx, shard, key, op, msg, CallCtx::DirectoryWrite);
     }
 
     /// Resolve one core [`Effect`] into ORB traffic.
@@ -482,7 +671,7 @@ impl Substrate {
                         return;
                     }
                 }
-                match self.route_for(app) {
+                match self.cached_route(ctx, app) {
                     Some((addr, _)) if self.peer_health(addr) == PeerHealth::Down => {
                         ctx.metrics().incr(names::SUBSTRATE_FASTFAILS);
                         ctx.trace_annotate(self.request_trace, "fastfail: host down, redirect hint");
@@ -527,7 +716,7 @@ impl Substrate {
                     ),
                 }
             }
-            Effect::RemoteLock { client, user, app, acquire } => match self.route_for(app) {
+            Effect::RemoteLock { client, user, app, acquire } => match self.cached_route(ctx, app) {
                 Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
                     let (operation, msg) = if acquire {
                         ("lockRequest", PeerMsg::LockRequest { app, user, via: self.addr })
@@ -556,7 +745,7 @@ impl Substrate {
                 }
                 _ => core.complete_remote_lock(ctx, client, app, acquire, false, None),
             },
-            Effect::RemoteHistory { client, app, since } => match self.route_for(app) {
+            Effect::RemoteHistory { client, app, since } => match self.cached_route(ctx, app) {
                 Some((addr, node)) if self.peer_health(addr) != PeerHealth::Down => {
                     let span = ctx.trace_child(self.request_trace, "orb.call");
                     if self
@@ -686,6 +875,18 @@ impl Substrate {
         // The logical call is over the moment its reply arrives; the
         // completion handlers below run under the request's own span.
         ctx.trace_finish(pending.trace);
+        // Whatever the reply shape (offers, resolution, exception), the
+        // directory read it answers is no longer in flight; later misses
+        // for the key may issue a fresh query.
+        match &pending.user {
+            CallCtx::Discovery => {
+                self.dir_in_flight.remove(&trader_partition(DISCOVER_SERVICE));
+            }
+            CallCtx::Failover { app } => {
+                self.dir_in_flight.remove(&format!("DISCOVER/apps/{app}"));
+            }
+            _ => {}
+        }
         if let Some(addr) = self.addr_of_node(pending.to) {
             self.mark_up(addr);
         }
@@ -714,6 +915,16 @@ impl Substrate {
                     if self.routes.remove(&app).is_some() {
                         ctx.metrics().incr(names::SUBSTRATE_ROUTES_INVALIDATED);
                         core.clear_mirror_hint(app);
+                    }
+                    if self.config.discovery_cache.is_some() {
+                        // The Nak invalidates the cached route too; the
+                        // `fault_stale_cache` mutation skips only the
+                        // eviction, leaving the poisoned entry for the
+                        // discovery oracle to catch being re-served.
+                        ctx.metrics().incr(names::SUBSTRATE_CACHE_INVALIDATIONS);
+                        let evict = !core.config.fault_stale_cache;
+                        let name = format!("DISCOVER/apps/{app}");
+                        self.cache.invalidate(ctx.now(), &name, evict);
                     }
                 }
             }
@@ -789,20 +1000,18 @@ impl Substrate {
                 }
             }
             (CallCtx::Failover { app }, PeerReply::NamingResolved { object }) => {
+                let name = format!("DISCOVER/apps/{app}");
+                if let Some(cfg) = self.config.discovery_cache {
+                    // The authoritative answer refreshes the cache:
+                    // positive with the resolved host, negative when the
+                    // directory has no binding.
+                    match &object {
+                        Some(o) => self.cache.insert(ctx.now(), &name, o.server, cfg.ttl),
+                        None => self.cache.insert_negative(ctx.now(), &name, cfg.negative_ttl),
+                    }
+                }
                 if let Some(object) = object {
-                    let previous = self.route_of(app);
-                    if object.server != previous {
-                        ctx.metrics().incr(names::SUBSTRATE_FAILOVERS);
-                    }
-                    if object.server == app.host() {
-                        self.routes.remove(&app);
-                        core.clear_mirror_hint(app);
-                    } else {
-                        self.routes.insert(app, object.server);
-                        // Let the overload path hand out redirect hints
-                        // for shed work targeting this app.
-                        core.set_mirror_hint(app, object.server);
-                    }
+                    self.adopt_route(ctx, core, app, object.server);
                 }
             }
             (CallCtx::Poll { app }, PeerReply::Updates { updates, next_seq, .. }) => {
@@ -836,7 +1045,7 @@ impl Substrate {
     pub fn poll_tick(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         let apps: Vec<(AppId, u64)> = self.poll_state.iter().map(|(a, s)| (*a, *s)).collect();
         for (app, since) in apps {
-            let Some((addr, node)) = self.route_for(app) else { continue };
+            let Some((addr, node)) = self.cached_route(ctx, app) else { continue };
             if self.peer_health(addr) == PeerHealth::Down {
                 continue;
             }
@@ -919,6 +1128,7 @@ impl Substrate {
                 CallCtx::Discovery => {
                     // Trader unreachable: keep serving the cached peer
                     // set, flagged stale. The discovery timer re-queries.
+                    self.dir_in_flight.remove(&trader_partition(DISCOVER_SERVICE));
                     self.peers_stale = true;
                     ctx.metrics().incr(names::SUBSTRATE_DIRECTORY_STALE);
                 }
@@ -926,7 +1136,13 @@ impl Substrate {
                     // Poll state is untouched: the next poll tick re-polls
                     // from the same sequence once the host is back up.
                 }
-                CallCtx::Auth { .. } | CallCtx::DirectoryWrite | CallCtx::Failover { .. } => {}
+                CallCtx::Failover { app } => {
+                    // The resolve died with the shard; clearing the
+                    // in-flight marker lets the next mark_down/refresh
+                    // re-issue it.
+                    self.dir_in_flight.remove(&format!("DISCOVER/apps/{app}"));
+                }
+                CallCtx::Auth { .. } | CallCtx::DirectoryWrite => {}
             }
             if let Some(addr) = failed_addr {
                 self.mark_down(ctx, core, addr);

@@ -12,7 +12,9 @@
 //!   per-peer circuit breaker ([`BreakerState`]) for fault tolerance,
 //! * [`Directory`] — a Naming service with a minimalist Trader layered on
 //!   top of it (exactly the paper's prototype arrangement), plus the
-//!   [`directory::calls`] helpers for building directory invocations.
+//!   [`directory::calls`] helpers for building directory invocations,
+//! * [`HashRing`] — the consistent-hash ring that shards directory keys
+//!   across several Directory nodes with seed-stable placement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +22,9 @@
 mod address;
 mod broker;
 pub mod directory;
+pub mod ring;
 
 pub use address::AddressBook;
 pub use broker::{Broker, BreakerConfig, BreakerState, Pending, RetryPolicy, SweepReport};
 pub use directory::{Directory, DirectoryCosts, DISCOVER_SERVICE, NAMING_KEY, TRADER_KEY};
+pub use ring::{hash64, HashRing, DEFAULT_VNODES};

@@ -150,6 +150,12 @@ pub struct ServerConfig {
     /// the snapshot-consistency oracle exists to catch. Never set in
     /// production configs.
     pub fault_skip_snapshot: bool,
+    /// Test-only fault injection: a `NoSuchApp` Nak still logs and
+    /// counts the discovery-cache invalidation but skips the eviction,
+    /// leaving the poisoned entry to be re-served — exactly the bug the
+    /// discovery oracle exists to catch. Never set in production
+    /// configs.
+    pub fault_stale_cache: bool,
 }
 
 impl ServerConfig {
@@ -182,6 +188,7 @@ impl ServerConfig {
             compact_closed_segments: false,
             recover_from_archive: false,
             fault_skip_snapshot: false,
+            fault_stale_cache: false,
         }
     }
 }
@@ -357,6 +364,10 @@ pub struct ServerCore {
     /// shell (the substrate owns the live state) right before a
     /// `ClientRequest::Status` is dispatched. Purely observational.
     pub peer_status: Vec<PeerStatusEntry>,
+    /// Directory-plane (shard ring + discovery cache) lines for status
+    /// reports, synced by the node shell alongside `peer_status`.
+    /// Purely observational.
+    pub dir_plane: wire::DirPlaneStatus,
     /// Reusable scratch for the daemon-servlet flush loop: buffered
     /// operations are drained here, dispatched locally, and the
     /// allocation is kept for the next phase change instead of being
@@ -407,6 +418,7 @@ impl ServerCore {
             mirror_hints: BTreeMap::new(),
             req_traces: HashMap::new(),
             peer_status: Vec::new(),
+            dir_plane: wire::DirPlaneStatus::default(),
             flush_scratch: Vec::new(),
             fanout_scratch: Vec::new(),
             recoveries: 0,
@@ -570,6 +582,7 @@ impl ServerCore {
             peers: self.peer_status.clone(),
             recovered_apps: self.recovered_apps,
             recoveries: self.recoveries,
+            dir_plane: self.dir_plane.clone(),
         }
     }
 

@@ -55,7 +55,7 @@ impl TimerDef {
 /// Grouped by subsystem; the key string's first dotted component is the
 /// subsystem label used in reports.
 pub mod names {
-    use super::{CounterDef, TimerDef};
+    use super::{CounterDef, GaugeDef, TimerDef};
 
     // -- engine ----------------------------------------------------------
     /// Node crashes executed by the engine.
@@ -289,6 +289,26 @@ pub mod names {
     /// the request's deadline (remaining budget too small).
     pub const SUBSTRATE_DEADLINE_GAVE_UP: CounterDef =
         CounterDef("substrate.deadline.gave_up");
+    /// Discovery-cache lookups served from a fresh positive entry.
+    pub const SUBSTRATE_CACHE_HITS: CounterDef = CounterDef("substrate.cache.hits");
+    /// Discovery-cache lookups served from a fresh negative entry.
+    pub const SUBSTRATE_CACHE_NEG_HITS: CounterDef =
+        CounterDef("substrate.cache.negative_hits");
+    /// Discovery-cache lookups that found no entry.
+    pub const SUBSTRATE_CACHE_MISSES: CounterDef = CounterDef("substrate.cache.misses");
+    /// Discovery-cache lookups that found only an expired entry.
+    pub const SUBSTRATE_CACHE_EXPIRED: CounterDef = CounterDef("substrate.cache.expired");
+    /// Discovery-cache entries explicitly invalidated (Nak/failover).
+    pub const SUBSTRATE_CACHE_INVALIDATIONS: CounterDef =
+        CounterDef("substrate.cache.invalidations");
+    /// Directory queries coalesced onto an identical in-flight call
+    /// (one trader/naming call per key per miss window).
+    pub const SUBSTRATE_QUERIES_COALESCED: CounterDef =
+        CounterDef("substrate.queries.coalesced");
+    /// Directory-ring shard count seen by this substrate.
+    pub const SUBSTRATE_RING_SHARDS: GaugeDef = GaugeDef("substrate.ring.shards");
+    /// Directory-ring membership epoch seen by this substrate.
+    pub const SUBSTRATE_RING_EPOCH: GaugeDef = GaugeDef("substrate.ring.epoch");
 
     // -- node (actor shell) ----------------------------------------------
     /// DiscoverNode restarts (crash recovery).
@@ -420,6 +440,14 @@ pub mod names {
         SUBSTRATE_ROUTES_INVALIDATED.0,
         SUBSTRATE_DEADLINE_FASTFAIL.0,
         SUBSTRATE_DEADLINE_GAVE_UP.0,
+        SUBSTRATE_CACHE_HITS.0,
+        SUBSTRATE_CACHE_NEG_HITS.0,
+        SUBSTRATE_CACHE_MISSES.0,
+        SUBSTRATE_CACHE_EXPIRED.0,
+        SUBSTRATE_CACHE_INVALIDATIONS.0,
+        SUBSTRATE_QUERIES_COALESCED.0,
+        SUBSTRATE_RING_SHARDS.0,
+        SUBSTRATE_RING_EPOCH.0,
         NODE_RESTARTS.0,
         NODE_UNEXPECTED_HTTP_RESPONSE.0,
         STANDALONE_DROPPED_REMOTE_AUTH.0,

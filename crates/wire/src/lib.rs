@@ -38,8 +38,8 @@ pub use ids::{
 pub use messages::{
     AppCommand, AppDescriptor, AppMsg, AppOp, AppPhase, AppStatus, AppStatusEntry,
     ArchiveSnapshot, Channel, ClientMessage, ClientRequest, ControlEvent, ControlEventKind,
-    ErrorCode, FifoStatusEntry, FoldedAppState, InteractionSpec, JobSpec, LogEntry, LogRecord,
-    MessageKind, OpOutcome, PeerMsg, PeerReply, PeerStatusEntry, ResponseBody, ServiceOffer,
-    StatusReport, UpdateBody, UpdateKey, WhiteboardStroke, WireError,
+    DirPlaneStatus, ErrorCode, FifoStatusEntry, FoldedAppState, InteractionSpec, JobSpec,
+    LogEntry, LogRecord, MessageKind, OpOutcome, PeerMsg, PeerReply, PeerStatusEntry,
+    ResponseBody, ServiceOffer, StatusReport, UpdateBody, UpdateKey, WhiteboardStroke, WireError,
 };
 pub use value::Value;

@@ -584,6 +584,24 @@ pub struct PeerStatusEntry {
     pub breaker: String,
 }
 
+/// The directory-plane lines inside a [`StatusReport`]: shard ring
+/// shape and discovery-cache counters, synced from the substrate.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct DirPlaneStatus {
+    /// Directory shard count on the consistent-hash ring.
+    pub shards: u32,
+    /// Ring membership epoch.
+    pub ring_epoch: u64,
+    /// Discovery-cache lookups served from a fresh entry (positive or
+    /// negative), lifetime.
+    pub cache_hits: u64,
+    /// Discovery-cache lookups that missed (no entry, or expired),
+    /// lifetime.
+    pub cache_misses: u64,
+    /// Discovery-cache entries explicitly invalidated, lifetime.
+    pub cache_invalidations: u64,
+}
+
 /// A read-only snapshot of one server's live state — the reproduction of
 /// the paper's portal monitoring view. Served by
 /// [`ClientRequest::Status`]; rendered as a text status page by
@@ -618,6 +636,8 @@ pub struct StatusReport {
     pub recovered_apps: u32,
     /// Completed archive recoveries over the server's lifetime.
     pub recoveries: u64,
+    /// Directory shard ring and discovery-cache introspection.
+    pub dir_plane: DirPlaneStatus,
 }
 
 impl StatusReport {
@@ -638,6 +658,17 @@ impl StatusReport {
             out.push_str(&format!(
                 "recovery: recoveries={} recovered_apps={}\n",
                 self.recoveries, self.recovered_apps
+            ));
+        }
+        // The directory line appears only for sharded/cached discovery
+        // planes, so single-directory status pages render byte-identical
+        // to pre-sharding builds.
+        if self.dir_plane.shards > 1 || self.dir_plane.cache_hits + self.dir_plane.cache_misses > 0
+        {
+            let d = &self.dir_plane;
+            out.push_str(&format!(
+                "directory: shards={} epoch={} cache_hits={} cache_misses={} invalidations={}\n",
+                d.shards, d.ring_epoch, d.cache_hits, d.cache_misses, d.cache_invalidations
             ));
         }
         for a in &self.apps {
